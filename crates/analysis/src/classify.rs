@@ -1,0 +1,272 @@
+//! The offer-description classifier.
+//!
+//! §4.1: "We manually label offer descriptions into two offer types
+//! (no activity and activity) … we further divide activity offers into
+//! three subcategories: (1) Registration if the offer requires users
+//! to register an account, (2) Purchase if the offer requires users to
+//! make in-app purchase, and (3) Usage if the offer requires users to
+//! perform any other action."
+//!
+//! The classifier codifies that manual labelling as keyword rules over
+//! the description text — the same information a human labeller had.
+//! Composite offers ("Install and register, then reach level 5") take
+//! the *strongest* activity class, with purchase > registration >
+//! usage (matching how the paper would label a purchase-bearing offer
+//! into the Purchase bucket).
+
+use std::fmt;
+
+/// The activity subcategories of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ActivityKind {
+    /// Any in-app action that is neither registration nor purchase.
+    Usage,
+    /// Account creation.
+    Registration,
+    /// In-app purchase.
+    Purchase,
+}
+
+/// The top-level offer taxonomy of §2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OfferType {
+    /// "Install and Launch"-style offers.
+    NoActivity,
+    /// Offers demanding further in-app work.
+    Activity(ActivityKind),
+}
+
+impl OfferType {
+    /// True for any activity offer.
+    pub fn is_activity(self) -> bool {
+        matches!(self, OfferType::Activity(_))
+    }
+}
+
+impl fmt::Display for OfferType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OfferType::NoActivity => f.write_str("No activity"),
+            OfferType::Activity(ActivityKind::Usage) => f.write_str("Activity (Usage)"),
+            OfferType::Activity(ActivityKind::Registration) => {
+                f.write_str("Activity (Registration)")
+            }
+            OfferType::Activity(ActivityKind::Purchase) => f.write_str("Activity (Purchase)"),
+        }
+    }
+}
+
+fn contains_any(text: &str, needles: &[&str]) -> bool {
+    needles.iter().any(|n| text.contains(n))
+}
+
+/// Classifies one offer description.
+pub fn classify_description(description: &str) -> OfferType {
+    let text = description.to_ascii_lowercase();
+    let purchase = contains_any(
+        &text,
+        &[
+            "purchase",
+            "buy ",
+            "buy any",
+            "spend $",
+            "in-app purchase",
+            "subscription",
+        ],
+    );
+    let registration = contains_any(
+        &text,
+        &[
+            "register",
+            "sign up",
+            "signup",
+            "create an account",
+            "create account",
+            "account",
+        ],
+    );
+    let usage = contains_any(
+        &text,
+        &[
+            "level",
+            "play for",
+            "minutes",
+            "watch",
+            "video",
+            "survey",
+            "task",
+            "points",
+            "reach",
+            "download a song",
+            "use the app",
+            "spend",
+            "complete",
+            "finish",
+            "offers inside",
+            // Extension: incentivized ratings ("Install and rate 5
+            // stars") are an activity against the profile's ratings
+            // facet; the paper's taxonomy has no rating class, so they
+            // land in the closest bucket.
+            "rate ",
+            "rating",
+            "star",
+        ],
+    );
+    if purchase {
+        OfferType::Activity(ActivityKind::Purchase)
+    } else if registration {
+        OfferType::Activity(ActivityKind::Registration)
+    } else if usage {
+        OfferType::Activity(ActivityKind::Usage)
+    } else {
+        // "Install and Launch", "Install and open the app", bare
+        // installs — nothing beyond the minimum.
+        OfferType::NoActivity
+    }
+}
+
+/// The §4.3.2 arbitrage detector: offers that pay users to complete
+/// *further* offers inside the advertised app (surveys, videos,
+/// points, nested installs).
+pub fn is_arbitrage(description: &str) -> bool {
+    let text = description.to_ascii_lowercase();
+    let has_nested_work = contains_any(
+        &text,
+        &[
+            "survey",
+            "watch",
+            "video",
+            "deals",
+            "tasks",
+            "offers inside",
+            "shopping",
+        ],
+    );
+    let has_points_target = contains_any(&text, &["points by completing", "reach", "points"]);
+    has_nested_work || (has_points_target && text.contains("points"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rating_offers_classify_as_activity() {
+        for d in [
+            "Install and rate 5 stars",
+            "Install, leave a 4-star rating",
+            "Rate the app 4 stars on the store",
+        ] {
+            assert_eq!(
+                classify_description(d),
+                OfferType::Activity(ActivityKind::Usage),
+                "{d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_examples_classify_correctly() {
+        // §2.2's literal examples.
+        assert_eq!(
+            classify_description("Install and Launch"),
+            OfferType::NoActivity
+        );
+        assert_eq!(
+            classify_description("Install and Register"),
+            OfferType::Activity(ActivityKind::Registration)
+        );
+        assert_eq!(
+            classify_description("Install and Reach level 10"),
+            OfferType::Activity(ActivityKind::Usage)
+        );
+        assert_eq!(
+            classify_description("Install and make a $4.99 in-app purchase"),
+            OfferType::Activity(ActivityKind::Purchase)
+        );
+        // §4.3.1's case-study offers.
+        assert_eq!(
+            classify_description("Install, register, and download a song"),
+            OfferType::Activity(ActivityKind::Registration)
+        );
+        assert_eq!(
+            classify_description("Install & Make any purchase"),
+            OfferType::Activity(ActivityKind::Purchase)
+        );
+    }
+
+    #[test]
+    fn template_variants_classify_consistently() {
+        for s in [
+            "Install and open the app",
+            "Install and run the application",
+            "Free install - just open once",
+        ] {
+            assert_eq!(classify_description(s), OfferType::NoActivity, "{s}");
+        }
+        for s in [
+            "Install and create an account",
+            "Install, sign up with email",
+            "Install and register a new account",
+        ] {
+            assert_eq!(
+                classify_description(s),
+                OfferType::Activity(ActivityKind::Registration),
+                "{s}"
+            );
+        }
+        for s in [
+            "Install and play for 5 minutes",
+            "Use the app for 3 minutes",
+            "Reach level 7 in the game",
+            "Install and complete 3 tasks (surveys, videos, deals)",
+        ] {
+            assert_eq!(
+                classify_description(s),
+                OfferType::Activity(ActivityKind::Usage),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn priority_purchase_over_registration_over_usage() {
+        assert_eq!(
+            classify_description("Install and register, then make any purchase"),
+            OfferType::Activity(ActivityKind::Purchase)
+        );
+        assert_eq!(
+            classify_description("Install and register, then reach level 5"),
+            OfferType::Activity(ActivityKind::Registration)
+        );
+    }
+
+    #[test]
+    fn arbitrage_detection() {
+        // §4.3.2's Cash Time example.
+        assert!(is_arbitrage(
+            "Reach 850 points by completing tasks in the app"
+        ));
+        assert!(is_arbitrage(
+            "Install and complete 3 tasks (surveys, videos, deals)"
+        ));
+        assert!(!is_arbitrage("Install and Launch"));
+        assert!(!is_arbitrage("Install and Register"));
+        assert!(!is_arbitrage("Install & Make any purchase"));
+    }
+
+    #[test]
+    fn display_labels_match_table3() {
+        assert_eq!(OfferType::NoActivity.to_string(), "No activity");
+        assert_eq!(
+            OfferType::Activity(ActivityKind::Usage).to_string(),
+            "Activity (Usage)"
+        );
+        assert_eq!(
+            OfferType::Activity(ActivityKind::Purchase).to_string(),
+            "Activity (Purchase)"
+        );
+        assert!(OfferType::Activity(ActivityKind::Usage).is_activity());
+        assert!(!OfferType::NoActivity.is_activity());
+    }
+}

@@ -1,0 +1,223 @@
+//! The funding database and developer matching (§4.3.3).
+//!
+//! "We use the Crunchbase database that provides us with access to the
+//! list of companies that have raised funding … By searching for
+//! developer information from Google Play Store, we match 23% of 922
+//! apps to their developers in the Crunchbase database."
+//!
+//! Matching mirrors the paper's reality: it keys on the developer's
+//! *name* and *website* as printed on the Play profile; developers
+//! without useful profile information (common on unvetted platforms)
+//! simply don't match.
+
+use iiscope_types::{Country, SimTime, Usd};
+use std::collections::BTreeMap;
+
+/// Funding round stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum RoundKind {
+    Angel,
+    Seed,
+    SeriesA,
+    SeriesB,
+    SeriesC,
+    SeriesD,
+    SeriesE,
+    SeriesF,
+}
+
+impl RoundKind {
+    /// Human label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoundKind::Angel => "Angel",
+            RoundKind::Seed => "Seed",
+            RoundKind::SeriesA => "Series A",
+            RoundKind::SeriesB => "Series B",
+            RoundKind::SeriesC => "Series C",
+            RoundKind::SeriesD => "Series D",
+            RoundKind::SeriesE => "Series E",
+            RoundKind::SeriesF => "Series F",
+        }
+    }
+}
+
+/// One funding event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FundingRound {
+    /// Announcement instant.
+    pub at: SimTime,
+    /// Stage.
+    pub kind: RoundKind,
+    /// Amount raised.
+    pub amount: Usd,
+    /// Investor name (VC firm, angel, …).
+    pub investor: String,
+}
+
+/// A company in the database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompanyRecord {
+    /// Company name.
+    pub name: String,
+    /// Company website.
+    pub website: Option<String>,
+    /// Headquarters country.
+    pub country: Country,
+    /// Whether the company is publicly traded (§4.3.3's quarterly-
+    /// report analysis).
+    pub is_public: bool,
+    /// Funding history, time-ascending.
+    pub rounds: Vec<FundingRound>,
+}
+
+impl CompanyRecord {
+    /// Whether any round closed in `(after, until]` — "raised funding
+    /// after running the incentivized install campaign(s)".
+    pub fn raised_between(&self, after: SimTime, until: SimTime) -> bool {
+        self.rounds.iter().any(|r| r.at > after && r.at <= until)
+    }
+}
+
+/// The database snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct CrunchbaseDb {
+    by_name: BTreeMap<String, usize>,
+    by_website: BTreeMap<String, usize>,
+    companies: Vec<CompanyRecord>,
+}
+
+impl CrunchbaseDb {
+    /// Empty database.
+    pub fn new() -> CrunchbaseDb {
+        CrunchbaseDb::default()
+    }
+
+    /// Inserts a company. Name collisions keep the first record (the
+    /// snapshot is de-duplicated upstream, as a real export would be).
+    pub fn insert(&mut self, company: CompanyRecord) {
+        let idx = self.companies.len();
+        self.by_name.entry(normalize(&company.name)).or_insert(idx);
+        if let Some(site) = &company.website {
+            self.by_website.entry(normalize(site)).or_insert(idx);
+        }
+        self.companies.push(company);
+    }
+
+    /// Number of companies.
+    pub fn len(&self) -> usize {
+        self.companies.len()
+    }
+
+    /// True when the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.companies.is_empty()
+    }
+
+    /// The §4.3.3 matcher: developer name and website from the Play
+    /// profile. A developer without a website only matches by exact
+    /// (normalized) name.
+    pub fn match_developer(
+        &self,
+        developer_name: &str,
+        developer_website: Option<&str>,
+    ) -> Option<&CompanyRecord> {
+        if let Some(site) = developer_website {
+            if let Some(idx) = self.by_website.get(&normalize(site)) {
+                return Some(&self.companies[*idx]);
+            }
+        }
+        if developer_name.trim().is_empty() {
+            return None;
+        }
+        self.by_name
+            .get(&normalize(developer_name))
+            .map(|idx| &self.companies[*idx])
+    }
+
+    /// All companies (for report rendering).
+    pub fn companies(&self) -> &[CompanyRecord] {
+        &self.companies
+    }
+}
+
+fn normalize(s: &str) -> String {
+    s.trim()
+        .to_ascii_lowercase()
+        .trim_start_matches("https://")
+        .trim_start_matches("http://")
+        .trim_start_matches("www.")
+        .trim_end_matches('/')
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn company(name: &str, website: Option<&str>, round_day: u64) -> CompanyRecord {
+        CompanyRecord {
+            name: name.into(),
+            website: website.map(str::to_string),
+            country: Country::Us,
+            is_public: false,
+            rounds: vec![FundingRound {
+                at: SimTime::from_days(round_day),
+                kind: RoundKind::SeriesA,
+                amount: Usd::from_dollars(30_000_000),
+                investor: "Sequoia-ish".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn match_by_website_then_name() {
+        let mut db = CrunchbaseDb::new();
+        db.insert(company(
+            "Dashlane Inc",
+            Some("https://dashlane.example"),
+            40,
+        ));
+        db.insert(company("Droom", None, 50));
+        // Website match, case/scheme-insensitive.
+        assert!(db
+            .match_developer("dashlane", Some("http://www.dashlane.example/"))
+            .is_some());
+        // Name match.
+        assert!(db.match_developer("DROOM", None).is_some());
+        // No info: no match — the unvetted long tail.
+        assert!(db.match_developer("Unknown Studio 993", None).is_none());
+        assert!(db.match_developer("", None).is_none());
+    }
+
+    #[test]
+    fn raised_between_windows() {
+        let c = company("X", None, 40);
+        assert!(c.raised_between(SimTime::from_days(30), SimTime::from_days(50)));
+        assert!(
+            !c.raised_between(SimTime::from_days(40), SimTime::from_days(50)),
+            "strictly after"
+        );
+        assert!(!c.raised_between(SimTime::from_days(41), SimTime::from_days(50)));
+        assert!(!c.raised_between(SimTime::from_days(10), SimTime::from_days(39)));
+    }
+
+    #[test]
+    fn first_insert_wins_collisions() {
+        let mut db = CrunchbaseDb::new();
+        db.insert(company("Same Name", None, 1));
+        db.insert(CompanyRecord {
+            is_public: true,
+            ..company("Same Name", None, 2)
+        });
+        assert_eq!(db.len(), 2);
+        assert!(!db.match_developer("same name", None).unwrap().is_public);
+    }
+
+    #[test]
+    fn round_labels() {
+        assert_eq!(RoundKind::SeriesF.label(), "Series F");
+        assert_eq!(RoundKind::Seed.label(), "Seed");
+    }
+}

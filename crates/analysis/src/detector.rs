@@ -1,0 +1,375 @@
+//! Extension: the §5.2 detection proposal, built out.
+//!
+//! "Our proposed measurements can provide a ground truth of apps to
+//! help train machine learning models in detecting the lockstep
+//! behavior of users who perform similar in-app activities to complete
+//! the offer." This module is that model: a from-scratch logistic
+//! regression over Play-internal observables ([`AppFeatures`]) with
+//! labels supplied by the monitoring pipeline (apps seen on offer
+//! walls = positive). Evaluation reports precision/recall/F1 and AUC.
+//!
+//! The features deliberately exclude anything Google could not see
+//! (offer descriptions, IIP identities): only install-stream shape,
+//! address concentration, device signals and engagement-per-install.
+
+use iiscope_playstore::DetectorSnapshot;
+
+/// Feature vector for one app.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppFeatures {
+    /// Share of installs in the single busiest /24 (lockstep signal).
+    pub block_concentration: f64,
+    /// Share of installs with hard fraud markers.
+    pub suspicious_rate: f64,
+    /// Burstiness: max daily installs over mean daily installs.
+    pub burstiness: f64,
+    /// Sessions per install — paid installs barely engage.
+    pub engagement_per_install: f64,
+    /// Mean session length in minutes.
+    pub session_minutes: f64,
+    /// Campaign-attributed (event) share of all installs.
+    pub attributed_share: f64,
+}
+
+impl AppFeatures {
+    /// Derives features from a Play-side snapshot. `None` when the app
+    /// has no install events to featurize.
+    pub fn from_snapshot(s: &DetectorSnapshot) -> Option<AppFeatures> {
+        if s.event_installs == 0 {
+            return None;
+        }
+        let ev = s.event_installs as f64;
+        let nonzero_days = s.daily_installs.iter().filter(|d| **d > 0).count().max(1) as f64;
+        let mean_daily = s.daily_installs.iter().sum::<u64>() as f64 / nonzero_days;
+        let max_daily = s.daily_installs.iter().copied().max().unwrap_or(0) as f64;
+        Some(AppFeatures {
+            block_concentration: s.max_block_installs as f64 / ev,
+            suspicious_rate: s.suspicious_installs as f64 / ev,
+            burstiness: if mean_daily > 0.0 {
+                max_daily / mean_daily
+            } else {
+                0.0
+            },
+            engagement_per_install: s.sessions as f64 / ev,
+            session_minutes: if s.sessions > 0 {
+                s.session_secs as f64 / s.sessions as f64 / 60.0
+            } else {
+                0.0
+            },
+            attributed_share: s.event_installs as f64 / s.total_installs.max(1) as f64,
+        })
+    }
+
+    fn to_vec(self) -> [f64; 6] {
+        [
+            self.block_concentration,
+            self.suspicious_rate,
+            self.burstiness,
+            self.engagement_per_install,
+            self.session_minutes,
+            self.attributed_share,
+        ]
+    }
+}
+
+/// A trained logistic-regression detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockstepDetector {
+    weights: [f64; 6],
+    bias: f64,
+    mean: [f64; 6],
+    std: [f64; 6],
+}
+
+impl LockstepDetector {
+    /// Trains on labeled examples by batch gradient descent on the
+    /// standardized features (600 epochs, fixed step — plenty for six
+    /// dimensions).
+    ///
+    /// Returns `None` when either class is missing.
+    pub fn train(examples: &[(AppFeatures, bool)]) -> Option<LockstepDetector> {
+        let positives = examples.iter().filter(|(_, y)| *y).count();
+        if positives == 0 || positives == examples.len() || examples.is_empty() {
+            return None;
+        }
+        // Standardize.
+        let mut mean = [0.0; 6];
+        let mut std = [0.0; 6];
+        let n = examples.len() as f64;
+        for (f, _) in examples {
+            for (i, v) in f.to_vec().iter().enumerate() {
+                mean[i] += v / n;
+            }
+        }
+        for (f, _) in examples {
+            for (i, v) in f.to_vec().iter().enumerate() {
+                std[i] += (v - mean[i]).powi(2) / n;
+            }
+        }
+        for s in &mut std {
+            *s = s.sqrt().max(1e-9);
+        }
+        let standardized: Vec<([f64; 6], f64)> = examples
+            .iter()
+            .map(|(f, y)| {
+                let mut x = f.to_vec();
+                for i in 0..6 {
+                    x[i] = (x[i] - mean[i]) / std[i];
+                }
+                (x, f64::from(u8::from(*y)))
+            })
+            .collect();
+
+        let mut w = [0.0; 6];
+        let mut b = 0.0;
+        let lr = 0.5;
+        for _epoch in 0..600 {
+            let mut gw = [0.0; 6];
+            let mut gb = 0.0;
+            for (x, y) in &standardized {
+                let z: f64 = b + w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>();
+                let p = sigmoid(z);
+                let err = p - y;
+                for (g, xi) in gw.iter_mut().zip(x) {
+                    *g += err * xi / n;
+                }
+                gb += err / n;
+            }
+            for i in 0..6 {
+                w[i] -= lr * gw[i];
+            }
+            b -= lr * gb;
+        }
+        Some(LockstepDetector {
+            weights: w,
+            bias: b,
+            mean,
+            std,
+        })
+    }
+
+    /// Probability that the app runs incentivized campaigns.
+    pub fn score(&self, f: &AppFeatures) -> f64 {
+        let x = f.to_vec();
+        let mut z = self.bias;
+        for ((w, xi), (m, s)) in self
+            .weights
+            .iter()
+            .zip(x)
+            .zip(self.mean.iter().zip(self.std))
+        {
+            z += w * (xi - m) / s;
+        }
+        sigmoid(z)
+    }
+
+    /// The learned (standardized-space) weights, for inspection.
+    pub fn weights(&self) -> [f64; 6] {
+        self.weights
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Threshold-based classification metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorMetrics {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+    /// Area under the ROC curve (threshold-free).
+    pub auc: f64,
+}
+
+impl DetectorMetrics {
+    /// Precision at the evaluation threshold.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall at the evaluation threshold.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 at the evaluation threshold.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Evaluates a detector on held-out examples at `threshold`.
+pub fn evaluate(
+    detector: &LockstepDetector,
+    examples: &[(AppFeatures, bool)],
+    threshold: f64,
+) -> DetectorMetrics {
+    let mut m = DetectorMetrics {
+        tp: 0,
+        fp: 0,
+        tn: 0,
+        fn_: 0,
+        auc: 0.0,
+    };
+    let mut scored: Vec<(f64, bool)> = Vec::with_capacity(examples.len());
+    for (f, y) in examples {
+        let s = detector.score(f);
+        scored.push((s, *y));
+        match (s >= threshold, *y) {
+            (true, true) => m.tp += 1,
+            (true, false) => m.fp += 1,
+            (false, false) => m.tn += 1,
+            (false, true) => m.fn_ += 1,
+        }
+    }
+    m.auc = auc(&scored);
+    m
+}
+
+/// AUC by the rank-sum (Mann–Whitney) formulation, with tie handling.
+fn auc(scored: &[(f64, bool)]) -> f64 {
+    let pos: Vec<f64> = scored.iter().filter(|(_, y)| *y).map(|(s, _)| *s).collect();
+    let neg: Vec<f64> = scored
+        .iter()
+        .filter(|(_, y)| !*y)
+        .map(|(s, _)| *s)
+        .collect();
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0;
+    for p in &pos {
+        for n in &neg {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos.len() as f64 * neg.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(block: f64, susp: f64, burst: f64, eng: f64, mins: f64, attr: f64) -> AppFeatures {
+        AppFeatures {
+            block_concentration: block,
+            suspicious_rate: susp,
+            burstiness: burst,
+            engagement_per_install: eng,
+            session_minutes: mins,
+            attributed_share: attr,
+        }
+    }
+
+    fn synthetic_dataset() -> Vec<(AppFeatures, bool)> {
+        let mut data = Vec::new();
+        // Incentivized-campaign apps: bursty, concentrated, barely
+        // engaged.
+        for i in 0..40 {
+            let j = i as f64 / 40.0;
+            data.push((
+                features(
+                    0.25 + 0.3 * j,
+                    0.02 + 0.05 * j,
+                    6.0 + 4.0 * j,
+                    1.1,
+                    2.0,
+                    0.7,
+                ),
+                true,
+            ));
+        }
+        // Organic apps: diffuse, steady, engaged.
+        for i in 0..40 {
+            let j = i as f64 / 40.0;
+            data.push((
+                features(0.02 + 0.02 * j, 0.005, 1.5 + j, 4.0 + 2.0 * j, 8.0, 0.1),
+                false,
+            ));
+        }
+        data
+    }
+
+    #[test]
+    fn learns_separable_classes() {
+        let data = synthetic_dataset();
+        let detector = LockstepDetector::train(&data).expect("two classes present");
+        let metrics = evaluate(&detector, &data, 0.5);
+        assert!(metrics.auc > 0.95, "auc {}", metrics.auc);
+        assert!(metrics.f1() > 0.9, "f1 {}", metrics.f1());
+        assert!(metrics.precision() > 0.9);
+        assert!(metrics.recall() > 0.9);
+    }
+
+    #[test]
+    fn degenerate_training_sets_rejected() {
+        assert!(LockstepDetector::train(&[]).is_none());
+        let one_class: Vec<(AppFeatures, bool)> = (0..5)
+            .map(|_| (features(0.1, 0.0, 1.0, 2.0, 3.0, 0.2), true))
+            .collect();
+        assert!(LockstepDetector::train(&one_class).is_none());
+    }
+
+    #[test]
+    fn feature_extraction_from_snapshot() {
+        let snap = DetectorSnapshot {
+            total_installs: 1_000,
+            event_installs: 400,
+            suspicious_installs: 8,
+            max_block_installs: 60,
+            distinct_blocks: 300,
+            daily_installs: vec![10, 50, 10, 0, 10],
+            sessions: 440,
+            session_secs: 52_800,
+        };
+        let f = AppFeatures::from_snapshot(&snap).unwrap();
+        assert!((f.block_concentration - 0.15).abs() < 1e-12);
+        assert!((f.suspicious_rate - 0.02).abs() < 1e-12);
+        assert!((f.engagement_per_install - 1.1).abs() < 1e-12);
+        assert!((f.session_minutes - 2.0).abs() < 1e-12);
+        assert!((f.attributed_share - 0.4).abs() < 1e-12);
+        // max 50 / mean (80/4 nonzero days = 20) = 2.5.
+        assert!((f.burstiness - 2.5).abs() < 1e-12);
+        // No events → no features.
+        let empty = DetectorSnapshot {
+            event_installs: 0,
+            ..snap
+        };
+        assert!(AppFeatures::from_snapshot(&empty).is_none());
+    }
+
+    #[test]
+    fn auc_extremes_and_ties() {
+        let perfect: Vec<(f64, bool)> = vec![(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        assert_eq!(auc(&perfect), 1.0);
+        let inverted: Vec<(f64, bool)> = vec![(0.1, true), (0.2, true), (0.8, false), (0.9, false)];
+        assert_eq!(auc(&inverted), 0.0);
+        let tied: Vec<(f64, bool)> = vec![(0.5, true), (0.5, false)];
+        assert_eq!(auc(&tied), 0.5);
+    }
+}

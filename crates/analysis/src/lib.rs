@@ -1,0 +1,41 @@
+//! # iiscope-analysis
+//!
+//! The statistical and labelling machinery of §4.2–§5.2:
+//!
+//! * [`stats`] — the chi-squared test of independence (with exact
+//!   p-values via the regularized incomplete gamma function), summary
+//!   statistics, empirical CDFs and histograms.
+//! * [`classify`] — the offer-description classifier reproducing the
+//!   paper's manual labelling: no-activity vs activity{registration,
+//!   purchase, usage}, plus the arbitrage detector of §4.3.2.
+//! * [`libradar`] — LibRadar-style static analysis: scans APK bytes
+//!   for advertising-SDK fingerprints (and therefore inherits static
+//!   analysis' blindness to obfuscation and dynamic loading, exactly
+//!   as the paper's footnote concedes).
+//! * [`crunchbase`] — the funding database: company records, funding
+//!   rounds, and the developer-matching logic of §4.3.3 (matching by
+//!   name/website, with the websiteless long tail unmatched).
+//! * [`impact`] — §4.3.1/§5.2 detectors over crawl timelines:
+//!   install-count increases, top-chart appearances with the paper's
+//!   exclusion rules, and enforcement-driven decreases.
+//! * [`detector`] — the §5.2 *proposal* implemented: a from-scratch
+//!   logistic-regression model over Play-internal observables, trained
+//!   on the monitoring pipeline's ground truth, with
+//!   precision/recall/AUC evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod crunchbase;
+pub mod detector;
+pub mod impact;
+pub mod libradar;
+pub mod stats;
+
+pub use classify::{classify_description, ActivityKind, OfferType};
+pub use crunchbase::{CompanyRecord, CrunchbaseDb, FundingRound, RoundKind};
+pub use detector::{AppFeatures, DetectorMetrics, LockstepDetector};
+pub use impact::{chart_appearance, install_decreased, install_increased};
+pub use libradar::detect_libraries;
+pub use stats::{chi2_2x2, Chi2Result};

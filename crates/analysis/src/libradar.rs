@@ -1,0 +1,91 @@
+//! LibRadar-style static analysis of APK bytes.
+//!
+//! §4.3.2: "We download APKs of baseline and advertised apps to
+//! perform static analysis using LibRadar" to count embedded
+//! advertising libraries (Figure 6). The detector greps the dex blob
+//! for known SDK path fingerprints; like the original, it is blind to
+//! obfuscated class paths and dynamically loaded code (the paper's
+//! footnote 9 concedes both).
+
+use iiscope_playstore::AdLibrary;
+use std::collections::BTreeSet;
+
+/// Scans APK bytes and returns the detected ad/monetization SDKs.
+pub fn detect_libraries(apk_bytes: &[u8]) -> BTreeSet<AdLibrary> {
+    let mut found = BTreeSet::new();
+    for lib in AdLibrary::ALL {
+        let needle = lib.fingerprint().as_bytes();
+        if apk_bytes.windows(needle.len()).any(|w| w == needle) {
+            found.insert(lib);
+        }
+    }
+    found
+}
+
+/// Convenience: number of unique libraries detected (Figure 6's
+/// x-axis).
+pub fn count_libraries(apk_bytes: &[u8]) -> usize {
+    detect_libraries(apk_bytes).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiscope_playstore::ApkInfo;
+    use iiscope_types::SeedFork;
+
+    fn apk(libs: Vec<AdLibrary>, obfuscation: f64, dynamic: Vec<AdLibrary>) -> Vec<u8> {
+        ApkInfo {
+            ad_libraries: libs,
+            obfuscation,
+            dynamic_libraries: dynamic,
+        }
+        .render(SeedFork::new(77))
+    }
+
+    #[test]
+    fn detects_plain_libraries() {
+        let bytes = apk(
+            vec![AdLibrary::AdMob, AdLibrary::ChartBoost, AdLibrary::FyberSdk],
+            0.0,
+            vec![],
+        );
+        let found = detect_libraries(&bytes);
+        assert_eq!(found.len(), 3);
+        assert!(found.contains(&AdLibrary::AdMob));
+        assert!(
+            found.contains(&AdLibrary::FyberSdk),
+            "IIP SDKs detectable too (§4.3.2)"
+        );
+    }
+
+    #[test]
+    fn misses_obfuscated_and_dynamic() {
+        let bytes = apk(vec![AdLibrary::AdMob], 1.0, vec![AdLibrary::TapJoy]);
+        assert_eq!(count_libraries(&bytes), 0, "static analysis under-counts");
+    }
+
+    #[test]
+    fn partial_obfuscation_partial_detection() {
+        // With many libraries at 50% obfuscation, detection lands
+        // strictly between zero and all.
+        let libs: Vec<AdLibrary> = AdLibrary::ALL.into_iter().take(20).collect();
+        let bytes = apk(libs.clone(), 0.5, vec![]);
+        let n = count_libraries(&bytes);
+        assert!(n > 0 && n < libs.len(), "{n} of {}", libs.len());
+    }
+
+    #[test]
+    fn bare_apk_has_nothing() {
+        let bytes = ApkInfo::bare().render(SeedFork::new(1));
+        assert_eq!(count_libraries(&bytes), 0);
+    }
+
+    #[test]
+    fn filler_never_false_positives() {
+        // Fingerprints contain '/' which the filler alphabet (A–T)
+        // cannot produce.
+        let bytes = apk(vec![], 0.0, vec![]);
+        assert!(detect_libraries(&bytes).is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! Statistics: chi-squared tests, incomplete gamma, summaries, CDFs.
+//!
+//! The paper runs six chi-squared tests of independence (Tables 5, 6,
+//! 7 — vetted-vs-baseline and unvetted-vs-baseline each) and reports
+//! the statistic and p-value for each (e.g. "For vetted vs. baseline,
+//! χ² = 26.0 and p = 3.378e−7"). The p-value comes from the upper tail
+//! of the chi-squared distribution, computed here with the regularized
+//! incomplete gamma function (series expansion for the lower part,
+//! Lentz continued fraction for the upper part).
+
+/// Result of a chi-squared test of independence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom.
+    pub dof: u32,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+}
+
+impl Chi2Result {
+    /// Whether the null hypothesis is rejected at significance `alpha`
+    /// (the paper uses 0.05 throughout).
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Chi-squared test of independence for a 2×2 contingency table:
+///
+/// ```text
+///             outcome-     outcome+
+/// group A        a            b
+/// group B        c            d
+/// ```
+///
+/// Returns `None` when a marginal is zero (the test is undefined).
+pub fn chi2_2x2(a: f64, b: f64, c: f64, d: f64) -> Option<Chi2Result> {
+    chi2_table(&[vec![a, b], vec![c, d]])
+}
+
+/// Chi-squared test of independence for an arbitrary R×C table.
+pub fn chi2_table(observed: &[Vec<f64>]) -> Option<Chi2Result> {
+    let rows = observed.len();
+    let cols = observed.first()?.len();
+    if rows < 2 || cols < 2 || observed.iter().any(|r| r.len() != cols) {
+        return None;
+    }
+    let row_sums: Vec<f64> = observed.iter().map(|r| r.iter().sum()).collect();
+    let col_sums: Vec<f64> = (0..cols)
+        .map(|j| observed.iter().map(|r| r[j]).sum())
+        .collect();
+    let total: f64 = row_sums.iter().sum();
+    if total <= 0.0 || row_sums.iter().any(|s| *s <= 0.0) || col_sums.iter().any(|s| *s <= 0.0) {
+        return None;
+    }
+    let mut statistic = 0.0;
+    for i in 0..rows {
+        for j in 0..cols {
+            let expected = row_sums[i] * col_sums[j] / total;
+            let diff = observed[i][j] - expected;
+            statistic += diff * diff / expected;
+        }
+    }
+    let dof = ((rows - 1) * (cols - 1)) as u32;
+    Some(Chi2Result {
+        statistic,
+        dof,
+        p_value: chi2_sf(statistic, dof),
+    })
+}
+
+/// Survival function of the chi-squared distribution:
+/// `P(X > x)` for `dof` degrees of freedom.
+pub fn chi2_sf(x: f64, dof: u32) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(f64::from(dof) / 2.0, x / 2.0)
+}
+
+/// ln Γ(x) via the Lanczos approximation.
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COEFFS {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Regularized lower incomplete gamma P(a, x) by series expansion.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let gln = ln_gamma(a);
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - gln).exp()
+}
+
+/// Regularized upper incomplete gamma Q(a, x) by Lentz continued
+/// fraction.
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    let gln = ln_gamma(a);
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - gln).exp() * h
+}
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 − P(a, x).
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    if x < 0.0 || a <= 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        (1.0 - gamma_p_series(a, x)).clamp(0.0, 1.0)
+    } else {
+        gamma_q_cf(a, x).clamp(0.0, 1.0)
+    }
+}
+
+/// Mean of a slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Lower median of a slice (matching `Usd::median`).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[(v.len() - 1) / 2]
+}
+
+/// Empirical CDF evaluated at thresholds `0..=max`: fraction of values
+/// ≤ t. Used for Figure 6 ("Distribution of unique ad libraries").
+pub fn ecdf_counts(values: &[usize], max: usize) -> Vec<f64> {
+    let n = values.len().max(1) as f64;
+    (0..=max)
+        .map(|t| values.iter().filter(|v| **v <= t).count() as f64 / n)
+        .collect()
+}
+
+/// Fraction of values ≥ threshold — the paper's "60% … have 5 or more
+/// ad libraries" phrasing.
+pub fn frac_at_least(values: &[usize], threshold: usize) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|v| **v >= threshold).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi2_critical_value_at_05() {
+        // χ²(1 dof) upper 5% critical value is 3.841.
+        assert!((chi2_sf(3.841, 1) - 0.05).abs() < 5e-4);
+        assert!((chi2_sf(6.635, 1) - 0.01).abs() < 5e-4);
+        // 2 dof: 5.991 at 0.05.
+        assert!((chi2_sf(5.991, 2) - 0.05).abs() < 5e-4);
+    }
+
+    #[test]
+    fn paper_statistics_reproduce_their_p_values() {
+        // §4.3.1: χ² = 26.0 → p = 3.378e-7.
+        let p = chi2_sf(26.0, 1);
+        assert!((p - 3.378e-7).abs() / 3.378e-7 < 0.05, "{p}");
+        // χ² = 5.43 → p = 0.02.
+        assert!((chi2_sf(5.43, 1) - 0.0198).abs() < 1e-3);
+        // χ² = 0.22 → p = 0.64.
+        assert!((chi2_sf(0.22, 1) - 0.639).abs() < 2e-3);
+        // §4.3.3: χ² = 4.7 → p = 0.03; χ² = 2.8 → p = 0.10.
+        assert!((chi2_sf(4.7, 1) - 0.0302).abs() < 1e-3);
+        assert!((chi2_sf(2.8, 1) - 0.0943).abs() < 2e-3);
+    }
+
+    #[test]
+    fn table5_vetted_vs_baseline_reproduces() {
+        // Table 5's actual counts: baseline 294/6, vetted 431/61.
+        let r = chi2_2x2(294.0, 6.0, 431.0, 61.0).unwrap();
+        assert_eq!(r.dof, 1);
+        assert!((r.statistic - 26.0).abs() < 1.0, "{}", r.statistic);
+        assert!(r.significant_at(0.05));
+        // Unvetted: 450/88 → χ² ≈ 39.9.
+        let r = chi2_2x2(294.0, 6.0, 450.0, 88.0).unwrap();
+        assert!((r.statistic - 39.9).abs() < 1.5, "{}", r.statistic);
+    }
+
+    #[test]
+    fn table6_and_table7_reproduce() {
+        // Table 6 vetted: baseline 253/8, vetted 296/24 → χ² ≈ 5.43.
+        let r = chi2_2x2(253.0, 8.0, 296.0, 24.0).unwrap();
+        assert!((r.statistic - 5.43).abs() < 0.3, "{}", r.statistic);
+        assert!(r.significant_at(0.05));
+        // Table 6 unvetted: 472/12 → χ² ≈ 0.22, not significant.
+        let r = chi2_2x2(253.0, 8.0, 472.0, 12.0).unwrap();
+        assert!((r.statistic - 0.22).abs() < 0.15, "{}", r.statistic);
+        assert!(!r.significant_at(0.05));
+        // Table 7 vetted: baseline 77/5, vetted 162/30 → χ² ≈ 4.7.
+        let r = chi2_2x2(77.0, 5.0, 162.0, 30.0).unwrap();
+        assert!((r.statistic - 4.7).abs() < 0.3, "{}", r.statistic);
+        assert!(r.significant_at(0.05));
+        // Table 7 unvetted: 68/11 → χ² ≈ 2.8, not significant.
+        let r = chi2_2x2(77.0, 5.0, 68.0, 11.0).unwrap();
+        assert!((r.statistic - 2.8).abs() < 0.3, "{}", r.statistic);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn degenerate_tables_are_none() {
+        assert!(chi2_2x2(0.0, 0.0, 5.0, 5.0).is_none());
+        assert!(chi2_2x2(5.0, 0.0, 5.0, 0.0).is_none());
+        assert!(chi2_table(&[vec![1.0, 2.0]]).is_none());
+        assert!(chi2_table(&[vec![1.0, 2.0], vec![1.0]]).is_none());
+    }
+
+    #[test]
+    fn gamma_q_edges() {
+        assert_eq!(gamma_q(1.0, 0.0), 1.0);
+        assert!(gamma_q(-1.0, 1.0).is_nan());
+        assert!(gamma_q(1.0, -1.0).is_nan());
+        // Q(1, x) = e^{-x}.
+        for x in [0.5, 1.0, 3.0, 10.0] {
+            assert!((gamma_q(1.0, x) - (-x).exp()).abs() < 1e-10, "{x}");
+        }
+    }
+
+    #[test]
+    fn summaries() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.0); // lower median
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn ecdf_and_thresholds() {
+        let values = [0usize, 2, 5, 5, 9];
+        let cdf = ecdf_counts(&values, 9);
+        assert_eq!(cdf[0], 0.2);
+        assert_eq!(cdf[4], 0.4);
+        assert_eq!(cdf[5], 0.8);
+        assert_eq!(cdf[9], 1.0);
+        assert!((frac_at_least(&values, 5) - 0.6).abs() < 1e-12);
+        assert_eq!(frac_at_least(&[], 5), 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Conversion goals and in-app event progress.
+//!
+//! A campaign's *conversion goal* is the machine-checkable counterpart
+//! of the offer description a user reads ("Install and Register",
+//! "Install and Reach Level 10", "Install & Make any purchase" — all
+//! literal examples from §2.2 and §4.3.1). The mediator accumulates a
+//! device's [`ConversionEvent`]s into a [`Progress`] and tests the goal
+//! against it.
+
+use iiscope_types::Usd;
+
+/// One in-app event reported through the mediator SDK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConversionEvent {
+    /// The app was installed via the campaign's tracking link.
+    Installed,
+    /// The app was opened.
+    Opened,
+    /// An account was registered.
+    Registered,
+    /// A game level was reached.
+    LevelReached(u32),
+    /// A session ended after the given number of seconds.
+    SessionEnded(u64),
+    /// An in-app purchase of the given amount completed.
+    Purchased(Usd),
+    /// An in-app sub-offer (survey, video, nested install) completed —
+    /// the currency of arbitrage apps (§4.3.2).
+    SubOfferCompleted,
+    /// The user left a star rating on the store listing (extension:
+    /// ratings are the other public profile surface the paper's cited
+    /// policy page protects alongside installs).
+    Rated(u8),
+}
+
+/// Accumulated per-(device, campaign) progress.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Progress {
+    /// Install observed.
+    pub installed: bool,
+    /// Number of opens.
+    pub opens: u64,
+    /// Registration observed.
+    pub registered: bool,
+    /// Highest level reached.
+    pub max_level: u32,
+    /// Total session seconds.
+    pub session_secs: u64,
+    /// Total purchase volume.
+    pub purchased: Usd,
+    /// Number of purchases.
+    pub purchases: u64,
+    /// Sub-offers completed inside the app.
+    pub sub_offers: u64,
+    /// Best (highest) star rating left, 0 if none.
+    pub best_rating: u8,
+}
+
+impl Progress {
+    /// Folds one event into the progress.
+    pub fn apply(&mut self, ev: ConversionEvent) {
+        match ev {
+            ConversionEvent::Installed => self.installed = true,
+            ConversionEvent::Opened => self.opens += 1,
+            ConversionEvent::Registered => self.registered = true,
+            ConversionEvent::LevelReached(l) => self.max_level = self.max_level.max(l),
+            ConversionEvent::SessionEnded(secs) => self.session_secs += secs,
+            ConversionEvent::Purchased(amount) => {
+                self.purchased += amount;
+                self.purchases += 1;
+            }
+            ConversionEvent::SubOfferCompleted => self.sub_offers += 1,
+            ConversionEvent::Rated(stars) => {
+                self.best_rating = self.best_rating.max(stars.clamp(1, 5))
+            }
+        }
+    }
+}
+
+/// What a device must do for the conversion to fire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConversionGoal {
+    /// "Install and Launch" — the no-activity offer.
+    InstallAndOpen,
+    /// "Install and Register".
+    Register,
+    /// "Install and Reach Level N".
+    ReachLevel(u32),
+    /// Accumulate at least this much in-app time.
+    SessionTime(u64),
+    /// "Install & make a purchase" of at least the given total.
+    Purchase(Usd),
+    /// Complete N sub-offers inside the app (arbitrage offers like
+    /// "reach 850 points by completing tasks", §4.3.2).
+    CompleteSubOffers(u64),
+    /// "Install and rate N stars" — incentivized ratings (extension;
+    /// not part of the paper's §4.3.1 taxonomy but the same policy
+    /// violation, against the ratings facet of the profile).
+    RateApp(u8),
+    /// All of the sub-goals (e.g. Dashlane's "create an account and
+    /// save at least two passwords" maps to Register + usage).
+    AllOf(Vec<ConversionGoal>),
+}
+
+impl ConversionGoal {
+    /// Whether `progress` satisfies the goal. Every goal implicitly
+    /// requires the install itself.
+    pub fn satisfied(&self, p: &Progress) -> bool {
+        if !p.installed {
+            return false;
+        }
+        match self {
+            ConversionGoal::InstallAndOpen => p.opens >= 1,
+            ConversionGoal::Register => p.registered,
+            ConversionGoal::ReachLevel(l) => p.max_level >= *l,
+            ConversionGoal::SessionTime(secs) => p.session_secs >= *secs,
+            ConversionGoal::Purchase(min) => p.purchases >= 1 && p.purchased >= *min,
+            ConversionGoal::CompleteSubOffers(n) => p.sub_offers >= *n,
+            ConversionGoal::RateApp(min_stars) => p.best_rating >= *min_stars,
+            ConversionGoal::AllOf(goals) => goals.iter().all(|g| g.satisfied(p)),
+        }
+    }
+
+    /// A rough effort scale (seconds of human work) used by the worker
+    /// behaviour model to decide completion probability and timing.
+    pub fn effort_secs(&self) -> u64 {
+        match self {
+            ConversionGoal::InstallAndOpen => 60,
+            ConversionGoal::Register => 180,
+            ConversionGoal::ReachLevel(l) => 120 * u64::from(*l),
+            ConversionGoal::SessionTime(secs) => *secs,
+            ConversionGoal::Purchase(_) => 300,
+            ConversionGoal::CompleteSubOffers(n) => 240 * n,
+            ConversionGoal::RateApp(_) => 90,
+            ConversionGoal::AllOf(goals) => goals.iter().map(ConversionGoal::effort_secs).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn progressed(events: &[ConversionEvent]) -> Progress {
+        let mut p = Progress::default();
+        for e in events {
+            p.apply(*e);
+        }
+        p
+    }
+
+    #[test]
+    fn install_and_open() {
+        let goal = ConversionGoal::InstallAndOpen;
+        assert!(!goal.satisfied(&progressed(&[ConversionEvent::Installed])));
+        assert!(
+            !goal.satisfied(&progressed(&[ConversionEvent::Opened])),
+            "open without install"
+        );
+        assert!(goal.satisfied(&progressed(&[
+            ConversionEvent::Installed,
+            ConversionEvent::Opened
+        ])));
+    }
+
+    #[test]
+    fn reach_level_takes_max() {
+        let goal = ConversionGoal::ReachLevel(10);
+        let p = progressed(&[
+            ConversionEvent::Installed,
+            ConversionEvent::LevelReached(4),
+            ConversionEvent::LevelReached(11),
+            ConversionEvent::LevelReached(2),
+        ]);
+        assert!(goal.satisfied(&p));
+        assert!(!ConversionGoal::ReachLevel(12).satisfied(&p));
+    }
+
+    #[test]
+    fn purchase_requires_amount() {
+        let goal = ConversionGoal::Purchase(Usd::from_cents(499));
+        let small = progressed(&[
+            ConversionEvent::Installed,
+            ConversionEvent::Purchased(Usd::from_cents(99)),
+        ]);
+        assert!(!goal.satisfied(&small));
+        let cumulative = progressed(&[
+            ConversionEvent::Installed,
+            ConversionEvent::Purchased(Usd::from_cents(300)),
+            ConversionEvent::Purchased(Usd::from_cents(300)),
+        ]);
+        assert!(goal.satisfied(&cumulative));
+    }
+
+    #[test]
+    fn session_time_accumulates() {
+        let goal = ConversionGoal::SessionTime(600);
+        let p = progressed(&[
+            ConversionEvent::Installed,
+            ConversionEvent::SessionEnded(300),
+            ConversionEvent::SessionEnded(400),
+        ]);
+        assert!(goal.satisfied(&p));
+    }
+
+    #[test]
+    fn all_of_composes() {
+        let goal = ConversionGoal::AllOf(vec![
+            ConversionGoal::Register,
+            ConversionGoal::SessionTime(100),
+        ]);
+        let partial = progressed(&[ConversionEvent::Installed, ConversionEvent::Registered]);
+        assert!(!goal.satisfied(&partial));
+        let full = progressed(&[
+            ConversionEvent::Installed,
+            ConversionEvent::Registered,
+            ConversionEvent::SessionEnded(150),
+        ]);
+        assert!(goal.satisfied(&full));
+    }
+
+    #[test]
+    fn sub_offers_for_arbitrage() {
+        let goal = ConversionGoal::CompleteSubOffers(3);
+        let p = progressed(&[
+            ConversionEvent::Installed,
+            ConversionEvent::SubOfferCompleted,
+            ConversionEvent::SubOfferCompleted,
+            ConversionEvent::SubOfferCompleted,
+        ]);
+        assert!(goal.satisfied(&p));
+    }
+
+    #[test]
+    fn rate_app_requires_enough_stars() {
+        let goal = ConversionGoal::RateApp(4);
+        let low = progressed(&[ConversionEvent::Installed, ConversionEvent::Rated(3)]);
+        assert!(!goal.satisfied(&low));
+        let high = progressed(&[
+            ConversionEvent::Installed,
+            ConversionEvent::Rated(3),
+            ConversionEvent::Rated(5),
+        ]);
+        assert!(goal.satisfied(&high), "best rating counts");
+        let uninstalled = progressed(&[ConversionEvent::Rated(5)]);
+        assert!(!goal.satisfied(&uninstalled));
+    }
+
+    #[test]
+    fn ratings_clamp_to_star_range() {
+        let p = progressed(&[ConversionEvent::Installed, ConversionEvent::Rated(9)]);
+        assert_eq!(p.best_rating, 5);
+        let p = progressed(&[ConversionEvent::Installed, ConversionEvent::Rated(0)]);
+        assert_eq!(p.best_rating, 1);
+    }
+
+    #[test]
+    fn effort_scales_with_difficulty() {
+        assert!(
+            ConversionGoal::ReachLevel(10).effort_secs() > ConversionGoal::Register.effort_secs()
+        );
+        assert!(
+            ConversionGoal::Register.effort_secs() > ConversionGoal::InstallAndOpen.effort_secs()
+        );
+        let combo = ConversionGoal::AllOf(vec![
+            ConversionGoal::Register,
+            ConversionGoal::InstallAndOpen,
+        ]);
+        assert_eq!(combo.effort_secs(), 240);
+    }
+}

@@ -1,0 +1,23 @@
+//! # iiscope-attribution
+//!
+//! The third-party mediator ("attribution service", §2.1): the entity
+//! trusted by both the developer and the IIP to certify offer
+//! completion. The advertised app integrates the mediator's SDK; in-app
+//! events flow to the mediator; when a device's accumulated progress
+//! satisfies the campaign's conversion goal, the mediator records a
+//! conversion and queues a postback for the IIP, charging the developer
+//! a per-user fee ("appsflyer.com charges 0.03 USD/user").
+//!
+//! The mediator also ships the anti-fraud product the paper mentions
+//! ("Many of these services also offer analytics and anti-fraud
+//! products"): conversions from emulator or datacenter devices are
+//! flagged, and IIPs may choose to reject flagged conversions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod goal;
+pub mod mediator;
+
+pub use goal::{ConversionEvent, ConversionGoal, Progress};
+pub use mediator::{Conversion, Mediator, Postback};

@@ -1,0 +1,274 @@
+//! The mediator service: SDK event ingestion, conversion
+//! certification, postbacks, fees, anti-fraud flags.
+
+use crate::goal::{ConversionEvent, ConversionGoal, Progress};
+use iiscope_types::{DeviceId, Error, Result, SimTime, Usd};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// A certified offer completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conversion {
+    /// The campaign's attribution tag.
+    pub tag: String,
+    /// The converting device.
+    pub device: DeviceId,
+    /// Certification instant.
+    pub at: SimTime,
+    /// Anti-fraud flag: raised for emulator/datacenter devices.
+    pub fraud_flag: bool,
+}
+
+/// A postback queued for the IIP after certification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Postback {
+    /// The certified conversion.
+    pub conversion: Conversion,
+}
+
+struct CampaignTrack {
+    goal: ConversionGoal,
+    progress: BTreeMap<DeviceId, (Progress, bool /* converted */, bool /* fraud */)>,
+}
+
+struct Inner {
+    campaigns: BTreeMap<String, CampaignTrack>,
+    conversions: Vec<Conversion>,
+    postbacks: Vec<Postback>,
+    fees_accrued: Usd,
+    tracked_users: u64,
+}
+
+/// The mediator (e.g. `appsflyer.iiscope`). Share via `Arc`.
+pub struct Mediator {
+    /// Service name.
+    pub name: String,
+    /// Fee charged to the developer per tracked user (the paper quotes
+    /// $0.03/user for AppsFlyer).
+    pub fee_per_user: Usd,
+    inner: Mutex<Inner>,
+}
+
+impl Mediator {
+    /// Creates a mediator with the paper's quoted fee.
+    pub fn new(name: impl Into<String>) -> Mediator {
+        Mediator {
+            name: name.into(),
+            fee_per_user: Usd::from_cents(3),
+            inner: Mutex::new(Inner {
+                campaigns: BTreeMap::new(),
+                conversions: Vec::new(),
+                postbacks: Vec::new(),
+                fees_accrued: Usd::ZERO,
+                tracked_users: 0,
+            }),
+        }
+    }
+
+    /// Registers a campaign's conversion goal under its attribution
+    /// tag. Re-registering a tag is an error (one campaign, one goal).
+    pub fn register_campaign(&self, tag: impl Into<String>, goal: ConversionGoal) -> Result<()> {
+        let tag = tag.into();
+        let mut inner = self.inner.lock();
+        if inner.campaigns.contains_key(&tag) {
+            return Err(Error::InvalidState(format!(
+                "tag {tag:?} already registered"
+            )));
+        }
+        inner.campaigns.insert(
+            tag,
+            CampaignTrack {
+                goal,
+                progress: BTreeMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Ingests one SDK event for `(device, tag)`.
+    ///
+    /// `suspicious_device` is the SDK-side anti-fraud verdict (emulator
+    /// build or datacenter egress). Returns `Ok(true)` exactly once per
+    /// (device, tag): on the event that completes the goal.
+    pub fn track(
+        &self,
+        tag: &str,
+        device: DeviceId,
+        event: ConversionEvent,
+        at: SimTime,
+        suspicious_device: bool,
+    ) -> Result<bool> {
+        let mut inner = self.inner.lock();
+        let fee = self.fee_per_user;
+        let campaign = inner
+            .campaigns
+            .get_mut(tag)
+            .ok_or_else(|| Error::NotFound(format!("campaign tag {tag:?}")))?;
+        let is_new_user = !campaign.progress.contains_key(&device);
+        let entry = campaign
+            .progress
+            .entry(device)
+            .or_insert((Progress::default(), false, false));
+        entry.0.apply(event);
+        entry.2 |= suspicious_device;
+        let newly_converted = !entry.1 && campaign.goal.satisfied(&entry.0);
+        let fraud = entry.2;
+        if newly_converted {
+            entry.1 = true;
+        }
+        if is_new_user {
+            inner.tracked_users += 1;
+            inner.fees_accrued += fee;
+        }
+        if newly_converted {
+            let conv = Conversion {
+                tag: tag.to_string(),
+                device,
+                at,
+                fraud_flag: fraud,
+            };
+            inner.conversions.push(conv.clone());
+            inner.postbacks.push(Postback { conversion: conv });
+        }
+        Ok(newly_converted)
+    }
+
+    /// Takes and clears the queued postbacks (IIPs poll this).
+    pub fn drain_postbacks(&self) -> Vec<Postback> {
+        std::mem::take(&mut self.inner.lock().postbacks)
+    }
+
+    /// All certified conversions so far.
+    pub fn conversions(&self) -> Vec<Conversion> {
+        self.inner.lock().conversions.clone()
+    }
+
+    /// Total mediation fees accrued against the developer.
+    pub fn fees_accrued(&self) -> Usd {
+        self.inner.lock().fees_accrued
+    }
+
+    /// Distinct users tracked across all campaigns.
+    pub fn tracked_users(&self) -> u64 {
+        self.inner.lock().tracked_users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_fires_once() {
+        let m = Mediator::new("appsflyer.iiscope");
+        m.register_campaign("fyber-1", ConversionGoal::InstallAndOpen)
+            .unwrap();
+        let d = DeviceId(1);
+        assert!(!m
+            .track(
+                "fyber-1",
+                d,
+                ConversionEvent::Installed,
+                SimTime::EPOCH,
+                false
+            )
+            .unwrap());
+        assert!(m
+            .track("fyber-1", d, ConversionEvent::Opened, SimTime::EPOCH, false)
+            .unwrap());
+        // A second open does not re-convert.
+        assert!(!m
+            .track("fyber-1", d, ConversionEvent::Opened, SimTime::EPOCH, false)
+            .unwrap());
+        assert_eq!(m.conversions().len(), 1);
+        let pb = m.drain_postbacks();
+        assert_eq!(pb.len(), 1);
+        assert_eq!(pb[0].conversion.device, d);
+        assert!(m.drain_postbacks().is_empty(), "drained");
+    }
+
+    #[test]
+    fn fraud_flag_sticks_even_if_raised_before_conversion() {
+        let m = Mediator::new("x");
+        m.register_campaign("t", ConversionGoal::InstallAndOpen)
+            .unwrap();
+        let d = DeviceId(2);
+        m.track("t", d, ConversionEvent::Installed, SimTime::EPOCH, true)
+            .unwrap();
+        m.track("t", d, ConversionEvent::Opened, SimTime::EPOCH, false)
+            .unwrap();
+        assert!(m.conversions()[0].fraud_flag);
+    }
+
+    #[test]
+    fn fees_charged_per_unique_user() {
+        let m = Mediator::new("x");
+        m.register_campaign("t", ConversionGoal::Register).unwrap();
+        for d in 0..5 {
+            m.track(
+                "t",
+                DeviceId(d),
+                ConversionEvent::Installed,
+                SimTime::EPOCH,
+                false,
+            )
+            .unwrap();
+            m.track(
+                "t",
+                DeviceId(d),
+                ConversionEvent::Opened,
+                SimTime::EPOCH,
+                false,
+            )
+            .unwrap();
+        }
+        assert_eq!(m.tracked_users(), 5);
+        assert_eq!(m.fees_accrued(), Usd::from_cents(15));
+        // No conversions: nobody registered.
+        assert!(m.conversions().is_empty());
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        let m = Mediator::new("x");
+        assert!(m
+            .track(
+                "nope",
+                DeviceId(1),
+                ConversionEvent::Installed,
+                SimTime::EPOCH,
+                false
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn duplicate_tag_rejected() {
+        let m = Mediator::new("x");
+        m.register_campaign("t", ConversionGoal::Register).unwrap();
+        assert!(m.register_campaign("t", ConversionGoal::Register).is_err());
+    }
+
+    #[test]
+    fn independent_campaigns_per_tag() {
+        let m = Mediator::new("x");
+        m.register_campaign("a", ConversionGoal::InstallAndOpen)
+            .unwrap();
+        m.register_campaign("b", ConversionGoal::Register).unwrap();
+        let d = DeviceId(7);
+        m.track("a", d, ConversionEvent::Installed, SimTime::EPOCH, false)
+            .unwrap();
+        assert!(m
+            .track("a", d, ConversionEvent::Opened, SimTime::EPOCH, false)
+            .unwrap());
+        // Same device on campaign b: fresh progress.
+        m.track("b", d, ConversionEvent::Installed, SimTime::EPOCH, false)
+            .unwrap();
+        assert!(!m
+            .track("b", d, ConversionEvent::Opened, SimTime::EPOCH, false)
+            .unwrap());
+        // The same user tracked on two campaigns is charged twice (per
+        // campaign-user).
+        assert_eq!(m.tracked_users(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Pipeline benches: the expensive end-to-end operations — milking a
+//! wall through the MITM proxy, crawling a profile, and building a
+//! world.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iiscope_bench::fixture;
+use iiscope_core::{World, WorldConfig};
+use iiscope_monitor::UiFuzzer;
+use iiscope_types::Country;
+use std::hint::black_box;
+
+fn bench_milk(c: &mut Criterion) {
+    let fx = fixture();
+    let app = &fx.world.affiliate_apps[0];
+    let fuzzer = UiFuzzer::default();
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+    g.bench_function("milk_one_affiliate_app", |b| {
+        b.iter(|| black_box(fx.world.infra.milk(app, Country::Us, &fuzzer).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let fx = fixture();
+    let pkg = fx.world.plan.baseline[0].package.as_str();
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+    g.bench_function("crawl_one_profile", |b| {
+        let mut crawler = fx.world.crawler();
+        b.iter(|| black_box(crawler.profile(pkg, fx.world.study_start()).unwrap()))
+    });
+    g.bench_function("crawl_one_apk", |b| {
+        let mut crawler = fx.world.crawler();
+        b.iter(|| black_box(crawler.apk(pkg).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_world_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("build_small_world", |b| {
+        b.iter(|| black_box(World::build(WorldConfig::small(9)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_milk, bench_crawl, bench_world_build);
+criterion_main!(benches);

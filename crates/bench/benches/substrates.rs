@@ -1,0 +1,195 @@
+//! Substrate micro-benches: the wire formats, crypto-ish layers, and
+//! statistics everything else is built on.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iiscope_analysis::libradar::count_libraries;
+use iiscope_analysis::stats::{chi2_2x2, chi2_sf};
+use iiscope_netsim::{encode_frame, FrameDecoder};
+use iiscope_playstore::apk::{AdLibrary, ApkInfo};
+use iiscope_playstore::charts;
+use iiscope_playstore::engagement::DayStats;
+use iiscope_types::rng::ZipfTable;
+use iiscope_types::{AppId, SeedFork, Usd};
+use iiscope_wire::http::{Request, Response};
+use iiscope_wire::tls::{open_records, seal_records, RecordType};
+use iiscope_wire::Json;
+use std::hint::black_box;
+
+fn sample_offer_wall_body() -> String {
+    // A realistic 10-offer wall page.
+    let offers: Vec<Json> = (0..10)
+        .map(|i| {
+            Json::obj([
+                ("offer_id", Json::Int(i)),
+                ("title", Json::str("Install and Reach level 10")),
+                ("payout_usd", Json::Float(0.52)),
+                ("package", Json::str(format!("com.adv.app{i}"))),
+                (
+                    "play_url",
+                    Json::str(format!(
+                        "https://play.iiscope/store/apps/details?id=com.adv.app{i}"
+                    )),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([(
+        "ofw",
+        Json::obj([("offers", Json::Array(offers)), ("count", Json::Int(10))]),
+    )])
+    .to_string()
+}
+
+fn bench_json(c: &mut Criterion) {
+    let body = sample_offer_wall_body();
+    let mut g = c.benchmark_group("json");
+    g.throughput(Throughput::Bytes(body.len() as u64));
+    g.bench_function("parse_offer_wall_page", |b| {
+        b.iter(|| black_box(Json::parse(&body).unwrap()))
+    });
+    let value = Json::parse(&body).unwrap();
+    g.bench_function("serialize_offer_wall_page", |b| {
+        b.iter(|| black_box(value.to_string()))
+    });
+    g.finish();
+}
+
+fn bench_tls(c: &mut Criterion) {
+    let payload = vec![0x42u8; 16 * 1024];
+    let mut g = c.benchmark_group("tls");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("seal_16k", |b| {
+        b.iter(|| {
+            let mut seq = 0;
+            black_box(seal_records(7, &mut seq, RecordType::AppData, &payload))
+        })
+    });
+    let mut seq = 0;
+    let wire = seal_records(7, &mut seq, RecordType::AppData, &payload);
+    g.bench_function("open_16k", |b| {
+        b.iter(|| {
+            let mut recv = 0;
+            black_box(open_records(7, &mut recv, &wire).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_http(c: &mut Criterion) {
+    let req = Request::post("/offers?affiliate=com.cash.app&page=3", vec![0u8; 256]);
+    let wire = req.encode();
+    let mut g = c.benchmark_group("http");
+    g.bench_function("encode_request", |b| b.iter(|| black_box(req.encode())));
+    g.bench_function("parse_request", |b| {
+        b.iter(|| black_box(Request::parse(&wire).unwrap().unwrap()))
+    });
+    let resp = Response::ok_text(sample_offer_wall_body());
+    let rwire = resp.encode();
+    g.bench_function("parse_response", |b| {
+        b.iter(|| black_box(Response::parse(&rwire).unwrap().unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_framing(c: &mut Criterion) {
+    let payload = vec![7u8; 4096];
+    let mut wire = BytesMut::new();
+    for _ in 0..16 {
+        encode_frame(&mut wire, &payload);
+    }
+    let mut g = c.benchmark_group("framing");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("decode_16x4k", |b| {
+        b.iter(|| {
+            let mut dec = FrameDecoder::new();
+            dec.extend(&wire);
+            black_box(dec.drain_frames().unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats");
+    g.bench_function("chi2_2x2", |b| {
+        b.iter(|| black_box(chi2_2x2(294.0, 6.0, 431.0, 61.0).unwrap()))
+    });
+    g.bench_function("chi2_sf_tail", |b| b.iter(|| black_box(chi2_sf(26.0, 1))));
+    g.finish();
+}
+
+fn bench_libradar(c: &mut Criterion) {
+    let apk = ApkInfo {
+        ad_libraries: AdLibrary::ALL.into_iter().take(12).collect(),
+        obfuscation: 0.2,
+        dynamic_libraries: vec![],
+    }
+    .render(SeedFork::new(5));
+    let mut g = c.benchmark_group("libradar");
+    g.throughput(Throughput::Bytes(apk.len() as u64));
+    g.bench_function("scan_apk", |b| b.iter(|| black_box(count_libraries(&apk))));
+    g.finish();
+}
+
+fn bench_charts(c: &mut Criterion) {
+    let entries: Vec<(AppId, f64)> = (0..1_200)
+        .map(|i| (AppId(i), (i as f64 * 37.0) % 9_999.0))
+        .collect();
+    let mut g = c.benchmark_group("charts");
+    g.bench_function("rank_1200_apps", |b| {
+        b.iter(|| black_box(charts::rank(entries.iter().copied())))
+    });
+    let stats = DayStats {
+        installs: 100,
+        sessions: 500,
+        session_secs: 90_000,
+        registrations: 40,
+        purchases: 5,
+        revenue_micros: 25_000_000,
+    };
+    g.bench_function("score", |b| {
+        b.iter(|| {
+            black_box(charts::score(
+                charts::ChartRanking::EngagementWeighted,
+                charts::ChartKind::TopFree,
+                &stats,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let table = ZipfTable::new(10_000, 1.1);
+    let mut rng = SeedFork::new(1).rng();
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("zipf_sample", |b| {
+        b.iter(|| black_box(table.sample(&mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_money(c: &mut Criterion) {
+    let mut g = c.benchmark_group("money");
+    g.bench_function("usd_parse", |b| {
+        b.iter(|| black_box(Usd::parse("$2.98").unwrap()))
+    });
+    let v: Vec<Usd> = (0..1_000).map(Usd::from_cents).collect();
+    g.bench_function("usd_median_1000", |b| b.iter(|| black_box(Usd::median(&v))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_json,
+    bench_tls,
+    bench_http,
+    bench_framing,
+    bench_stats,
+    bench_libradar,
+    bench_charts,
+    bench_rng,
+    bench_money,
+);
+criterion_main!(benches);

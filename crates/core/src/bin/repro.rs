@@ -1,0 +1,77 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale small|paper] [--seed N] [--export DIR]
+//! ```
+//!
+//! Builds the world, runs the §3 honey study and the §4 wild study,
+//! and prints the full report (the measured side of `EXPERIMENTS.md`).
+
+use iiscope_core::{experiments, World, WorldConfig};
+
+fn main() {
+    let mut scale = "paper".to_string();
+    let mut seed = 42u64;
+    let mut export: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().unwrap_or_else(|| usage()),
+            "--export" => export = Some(args.next().unwrap_or_else(|| usage())),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    let cfg = match scale.as_str() {
+        "paper" => WorldConfig::paper(seed),
+        "small" => WorldConfig::small(seed),
+        other => {
+            eprintln!("unknown scale {other:?} (use small|paper)");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "building world: {} advertised apps, {} baseline apps, {} days, seed {seed}",
+        cfg.advertised_apps, cfg.baseline_apps, cfg.monitoring_days
+    );
+    let world = World::build(cfg).expect("world build");
+
+    eprintln!("running the Section 3 honey-app study…");
+    let honey = world
+        .run_honey_study(world.study_start())
+        .expect("honey study");
+
+    eprintln!("running the Section 4 wild study (this is the long part)…");
+    let t = std::time::Instant::now();
+    let artifacts = world.run_wild_study().expect("wild study");
+    eprintln!(
+        "wild study done in {:.1}s: {} offer observations, {} unique offers, {} apps observed",
+        t.elapsed().as_secs_f64(),
+        artifacts.offer_observations,
+        artifacts.dataset.unique_offers().len(),
+        artifacts.dataset.advertised_packages().len(),
+    );
+
+    if let Some(dir) = export {
+        let rows = iiscope_monitor::export_csv(&artifacts.dataset, std::path::Path::new(&dir))
+            .expect("csv export");
+        eprintln!("exported {rows} dataset rows to {dir}/");
+    }
+
+    println!("{}", experiments::full_report(&world, &artifacts, honey));
+}
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--scale small|paper] [--seed N] [--export DIR]");
+    std::process::exit(2);
+}

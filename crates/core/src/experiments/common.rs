@@ -1,0 +1,114 @@
+//! Helpers shared by the experiment modules — and the lazily-built
+//! shared test world (building a world and running both studies once
+//! per test binary keeps the experiment tests fast).
+
+use iiscope_monitor::{Dataset, ProfileSnapshot, RateBook, ScrapedOffer};
+use iiscope_types::Usd;
+
+/// Normalizes one scraped offer's displayed reward to USD using the
+/// affiliate rate book. `None` for unknown affiliates or garbage.
+pub fn offer_usd(book: &RateBook, offer: &ScrapedOffer) -> Option<Usd> {
+    book.to_usd(offer.raw.reward, &offer.affiliate)
+}
+
+/// First profile snapshot of a package (crawl-day order).
+pub fn first_profile<'a>(ds: &'a Dataset, package: &str) -> Option<&'a ProfileSnapshot> {
+    ds.profile_series(package).into_iter().next()
+}
+
+/// The average campaign duration observed in the dataset, in days —
+/// the paper measured 25 and uses it as the baseline observation
+/// window (§4.3.1).
+pub fn avg_campaign_days(ds: &Dataset) -> u64 {
+    let obs = ds.observations();
+    if obs.is_empty() {
+        return 25;
+    }
+    let total: u64 = obs.iter().map(|o| o.duration_days()).sum();
+    (total / obs.len() as u64).max(1)
+}
+
+/// The baseline observation window: starting at the *second* crawl
+/// round, for the average campaign duration. Starting one round in
+/// leaves a pre-window observation, so the Table 6 exclusion rule
+/// ("baseline apps that appeared in top charts at the start of our
+/// crawls") has something to test against.
+/// Callers compute `avg_days` once via [`avg_campaign_days`] — it is
+/// O(dataset) and must not be recomputed per app.
+pub fn baseline_window(ds: &Dataset, package: &str, avg_days: u64) -> Option<(u64, u64)> {
+    let first = first_profile(ds, package)?.day;
+    let mut chart_days = ds.chart_days().into_iter();
+    let (d0, d1) = (chart_days.next(), chart_days.next());
+    let start = match (d0, d1) {
+        (Some(a), Some(b)) if a >= first => b,
+        _ => first + 1,
+    };
+    Some((start, start + avg_days))
+}
+
+#[cfg(test)]
+pub(crate) mod testworld {
+    //! One shared small world with both studies run, built on first
+    //! use.
+
+    use crate::{HoneyStudy, WildArtifacts, World, WorldConfig};
+    use std::sync::OnceLock;
+
+    pub struct Shared {
+        pub world: World,
+        pub artifacts: WildArtifacts,
+        pub honey: HoneyStudy,
+    }
+
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+
+    pub fn shared() -> &'static Shared {
+        SHARED.get_or_init(|| {
+            let world = World::build(WorldConfig::small(1234)).expect("world builds");
+            let honey = world
+                .run_honey_study(world.study_start())
+                .expect("honey study runs");
+            let artifacts = world.run_wild_study().expect("wild study runs");
+            Shared {
+                world,
+                artifacts,
+                honey,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiscope_monitor::parsers::{RawOffer, RewardValue};
+    use iiscope_types::{Country, IipId, SimTime};
+
+    #[test]
+    fn offer_usd_normalizes_known_affiliates() {
+        let apps = iiscope_devices::AffiliateApp::table2_catalog();
+        let book = RateBook::from_catalog(&apps);
+        let offer = ScrapedOffer {
+            iip: IipId::AyetStudios,
+            raw: RawOffer {
+                offer_key: 1,
+                description: "x".into(),
+                reward: RewardValue::Points(2_500),
+                package: "a.b".into(),
+                store_url: "u".into(),
+            },
+            seen_at: SimTime::EPOCH,
+            affiliate: "com.ayet.cashpirate".into(),
+            vantage: Country::Us,
+        };
+        assert_eq!(offer_usd(&book, &offer), Some(Usd::from_dollars(1)));
+        let mut unknown = offer;
+        unknown.affiliate = "com.not.registered".into();
+        assert_eq!(offer_usd(&book, &unknown), None);
+    }
+
+    #[test]
+    fn avg_campaign_days_fallback() {
+        assert_eq!(avg_campaign_days(&Dataset::new()), 25);
+    }
+}

@@ -1,0 +1,139 @@
+//! One module per table/figure of the paper.
+//!
+//! Every experiment consumes only what the measurement pipeline could
+//! see — the milked [`iiscope_monitor::Dataset`], crawled profiles and
+//! charts, downloaded APKs, honey-app telemetry, and the Crunchbase
+//! snapshot — and returns a typed result plus a printable rendering.
+//! `EXPERIMENTS.md` is generated from these renderings.
+
+pub mod common;
+pub mod detector_eval;
+pub mod disclosure;
+pub mod figure4;
+pub mod figure5;
+pub mod figure6;
+pub mod monetization;
+pub mod section3;
+pub mod section5;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+
+use crate::{HoneyStudy, WildArtifacts, World};
+
+pub use detector_eval::DetectorEval;
+pub use disclosure::Disclosure;
+pub use figure4::Figure4;
+pub use figure5::Figure5;
+pub use figure6::Figure6;
+pub use monetization::Monetization;
+pub use section3::Section3;
+pub use section5::Section5;
+pub use table1::Table1;
+pub use table2::Table2;
+pub use table3::Table3;
+pub use table4::Table4;
+pub use table5::Table5;
+pub use table6::Table6;
+pub use table7::Table7;
+pub use table8::Table8;
+
+/// Runs every experiment and renders the full report — the content of
+/// `EXPERIMENTS.md`'s measured side.
+pub fn full_report(world: &World, artifacts: &WildArtifacts, honey: HoneyStudy) -> String {
+    let mut out = String::new();
+    let mut push = |label: &str, s: String| {
+        let t = std::time::Instant::now();
+        out.push_str(&s);
+        out.push('\n');
+        let _ = (label, t); // rendering itself is trivial
+    };
+    let timed = |label: &str, f: &dyn Fn() -> String| -> String {
+        let t = std::time::Instant::now();
+        let s = f();
+        let elapsed = t.elapsed();
+        if elapsed.as_millis() > 500 {
+            eprintln!("[{label}] computed in {:.1}s", elapsed.as_secs_f64());
+        }
+        s
+    };
+    push(
+        "s3",
+        timed("Section 3", &|| {
+            Section3::run(world, honey.clone()).render()
+        }),
+    );
+    push("t1", timed("Table 1", &|| Table1::run(world).render()));
+    push(
+        "t2",
+        timed("Table 2", &|| {
+            Table2::run(world, world.cfg.milk_countries[0])
+                .map(|t| t.render())
+                .unwrap_or_else(|e| format!("Table 2 failed: {e}"))
+        }),
+    );
+    push(
+        "t3",
+        timed("Table 3", &|| Table3::run(world, artifacts).render()),
+    );
+    push(
+        "t4",
+        timed("Table 4", &|| Table4::run(world, artifacts).render()),
+    );
+    push(
+        "t5",
+        timed("Table 5", &|| Table5::run(world, artifacts).render()),
+    );
+    push(
+        "t6",
+        timed("Table 6", &|| Table6::run(world, artifacts).render()),
+    );
+    push(
+        "t7",
+        timed("Table 7", &|| Table7::run(world, artifacts).render()),
+    );
+    push(
+        "t8",
+        timed("Table 8", &|| Table8::run(world, artifacts).render()),
+    );
+    push(
+        "f4",
+        timed("Figure 4", &|| Figure4::run(world, artifacts).render()),
+    );
+    push(
+        "f5",
+        timed("Figure 5", &|| Figure5::run(world, artifacts).render()),
+    );
+    push(
+        "f6",
+        timed("Figure 6", &|| Figure6::run(world, artifacts).render()),
+    );
+    push(
+        "mon",
+        timed("Monetization", &|| {
+            Monetization::run(world, artifacts).render()
+        }),
+    );
+    push(
+        "dis",
+        timed("Disclosure", &|| Disclosure::run(world, artifacts).render()),
+    );
+    push(
+        "det",
+        timed("Detector", &|| {
+            DetectorEval::run(world, artifacts)
+                .map(|d| d.render())
+                .unwrap_or_else(|| "Detector: degenerate classes".to_string())
+        }),
+    );
+    push(
+        "s5",
+        timed("Section 5", &|| Section5::run(world, artifacts).render()),
+    );
+    out
+}

@@ -1,0 +1,195 @@
+//! The §3 study: purchase installs on three platforms, sequentially.
+//!
+//! "We arbitrarily pick one vetted (Fyber) and two unvetted
+//! (ayeT-Studios and RankApp) IIPs … and purchase 500 no activity
+//! installs for our honey app. Our incentivized install campaigns
+//! across these three IIPs are spread over time such that no two
+//! campaigns deliver installs at the same time."
+
+use crate::world::World;
+use iiscope_honeyapp::{
+    AcquisitionFindings, CampaignDriver, CampaignOutcome, EngagementFindings, ForensicFindings,
+};
+use iiscope_types::{IipId, Result, SimDuration, SimTime, Usd};
+
+/// The three platforms of §3.2, in purchase order.
+pub const HONEY_IIPS: [IipId; 3] = [IipId::Fyber, IipId::AyetStudios, IipId::RankApp];
+
+/// Results of the full §3 study.
+#[derive(Debug, Clone)]
+pub struct HoneyStudy {
+    /// One outcome per purchased campaign.
+    pub outcomes: Vec<CampaignOutcome>,
+    /// §3.2 user acquisition findings.
+    pub acquisition: AcquisitionFindings,
+    /// §3.2 engagement findings.
+    pub engagement: EngagementFindings,
+    /// §3.2 forensic findings.
+    pub forensics: ForensicFindings,
+}
+
+impl World {
+    /// Runs the three honey campaigns back-to-back, starting at
+    /// `start`, each waiting for the previous one to fully deliver
+    /// plus a 3-day quiet gap (so the §3.2 time-window attribution is
+    /// unambiguous).
+    pub fn run_honey_study(&self, start: SimTime) -> Result<HoneyStudy> {
+        let driver = CampaignDriver {
+            net: self.net.clone(),
+            store: self.store.clone(),
+            honey_app: self.honey.app,
+            developer: self.honey.developer,
+            mediator: self.mediator.clone(),
+            roots: self.genuine_roots.clone(),
+            collector_url: self.honey.collector_url.clone(),
+            seed: self.seed.fork("honey-study"),
+        };
+        let purchase = self.cfg.honey_purchase;
+        let mut outcomes = Vec::new();
+        let mut t = start;
+        for iip in HONEY_IIPS {
+            // Audience sized to cover over-delivery with headroom.
+            let audience = self.audience_for(iip, (purchase as usize * 14) / 10 + 20);
+            let payout = per_install_payout(iip);
+            // Top up our account for this campaign's escrow.
+            self.platforms[&iip].deposit(self.honey.developer, payout * purchase as i64 * 2)?;
+            let outcome = driver.run(&self.platforms[&iip], &audience, purchase, payout, t)?;
+            t = outcome.finished_at + SimDuration::from_days(3);
+            outcomes.push(outcome);
+        }
+        let acquisition = AcquisitionFindings::compute(&outcomes, &self.collector);
+        let engagement = EngagementFindings::compute(&outcomes, &self.collector);
+        let forensics = ForensicFindings::compute(&outcomes, &self.collector);
+        Ok(HoneyStudy {
+            outcomes,
+            acquisition,
+            engagement,
+            forensics,
+        })
+    }
+}
+
+/// What we paid per install in each campaign (unvetted platforms are
+/// the cheap ones — §1's "$0.06 on average").
+fn per_install_payout(iip: IipId) -> Usd {
+    match iip {
+        IipId::Fyber => Usd::from_cents(12),
+        IipId::AyetStudios => Usd::from_cents(8),
+        IipId::RankApp => Usd::from_cents(4),
+        _ => Usd::from_cents(10),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorldConfig;
+
+    #[test]
+    fn honey_study_reproduces_section3_shape() {
+        let world = World::build(WorldConfig::small(11)).unwrap();
+        let study = world.run_honey_study(world.study_start()).unwrap();
+        assert_eq!(study.outcomes.len(), 3);
+
+        // Over-delivery ordering: Fyber > ayeT > RankApp (626/550/503
+        // in the paper, on equal purchases).
+        let by_iip = |iip: IipId| {
+            study
+                .outcomes
+                .iter()
+                .find(|o| o.iip == iip)
+                .unwrap()
+                .installs_delivered
+        };
+        assert!(by_iip(IipId::Fyber) > by_iip(IipId::AyetStudios));
+        assert!(by_iip(IipId::AyetStudios) > by_iip(IipId::RankApp));
+        assert!(by_iip(IipId::RankApp) >= world.cfg.honey_purchase);
+
+        // Delivery speed: RankApp is the slow one (>24h in the paper).
+        let dur = |iip: IipId| {
+            study
+                .outcomes
+                .iter()
+                .find(|o| o.iip == iip)
+                .unwrap()
+                .delivery_duration()
+        };
+        assert!(dur(IipId::RankApp) > dur(IipId::Fyber).times(5));
+
+        // Telemetry gap: large for RankApp, small for the others.
+        for (iip, _delivered, _reported, missing, _) in &study.acquisition.per_iip {
+            match iip {
+                IipId::RankApp => {
+                    assert!((0.25..=0.70).contains(missing), "RankApp missing {missing}")
+                }
+                _ => assert!(*missing < 0.15, "{iip} missing {missing}"),
+            }
+        }
+
+        // Engagement: Fyber/ayeT around 44%, RankApp single digits.
+        let rate = |iip| study.engagement.rate_for(iip).unwrap();
+        assert!((0.25..=0.60).contains(&rate(IipId::Fyber)));
+        assert!((0.25..=0.60).contains(&rate(IipId::AyetStudios)));
+        assert!(rate(IipId::RankApp) < 0.15);
+
+        // Day-2 engagement is a handful of users at most.
+        for (_, n) in &study.engagement.day2_clickers {
+            assert!(*n <= 6, "day-2 clickers {n}");
+        }
+
+        // The headline §3.2 takeaway: the honey app's public install
+        // count rose from 0 past the purchase size.
+        let pkg = iiscope_types::PackageName::new(iiscope_honeyapp::HONEY_PACKAGE).unwrap();
+        let profile = world.store.profile(&pkg).unwrap();
+        assert!(
+            profile.installs.lower_bound() >= world.cfg.honey_purchase,
+            "bin {} too low",
+            profile.installs
+        );
+
+        // No organic contamination.
+        let report = world.store.acquisition_report(
+            world.honey.app,
+            world.study_start(),
+            world.study_start() + SimDuration::from_days(60),
+        );
+        assert_eq!(report.organic, 0);
+    }
+
+    #[test]
+    fn forensics_surface_worker_economy() {
+        let world = World::build(WorldConfig::small(12)).unwrap();
+        let study = world.run_honey_study(world.study_start()).unwrap();
+
+        // Money-keyword rates ordered RankApp > ayeT > Fyber
+        // (98% / 72% / 42% in the paper).
+        let kw = |iip: IipId| {
+            study
+                .forensics
+                .money_keyword_rate
+                .iter()
+                .find(|(i, _)| *i == iip)
+                .unwrap()
+                .1
+        };
+        assert!(kw(IipId::RankApp) > 0.85, "rankapp {}", kw(IipId::RankApp));
+        assert!(kw(IipId::AyetStudios) > kw(IipId::Fyber));
+        assert!(kw(IipId::Fyber) < 0.65, "fyber {}", kw(IipId::Fyber));
+
+        // A device farm shows up: many installs in one /24, mostly
+        // rooted, same SSID (the paper's 20/18 sighting).
+        assert!(
+            !study.forensics.farms.is_empty(),
+            "expected at least one farm sighting"
+        );
+        let farm = &study.forensics.farms[0];
+        assert!(farm.rooted * 10 >= farm.installs * 6);
+        assert!(farm.same_ssid * 10 >= farm.installs * 6);
+
+        // A small number of emulator/datacenter installs (§3.2: 4 and
+        // 7 of 1,679 — rare but present).
+        let total = study.acquisition.total_installs;
+        assert!(study.forensics.emulator_installs <= total / 20);
+        assert!(study.forensics.datacenter_installs <= total / 20);
+    }
+}

@@ -1,0 +1,853 @@
+//! Generation of the in-the-wild population: advertised apps, their
+//! campaign plans, baseline apps and the funding database.
+//!
+//! All the Table 3/4 shapes enter here as generator parameters:
+//!
+//! * per-IIP app counts (Table 4: 378 on Fyber … 28 on AdGem);
+//! * per-IIP offer-type mixes (RankApp 100% no-activity, AdscendMedia
+//!   91% activity, …);
+//! * per-IIP median user payouts ($0.02 RankApp … $1.71 AdGem) with
+//!   activity > no-activity and purchase ≫ the rest (Table 3's 9×/9×);
+//! * per-IIP app popularity and age medians (unvetted: young and tiny;
+//!   vetted: old and big);
+//! * ad-library loadouts biased by offer type (Figure 6);
+//! * Crunchbase match rates and funding probabilities (Table 7).
+
+use iiscope_attribution::ConversionGoal;
+use iiscope_types::rng::{chance, log_normal, sample_k, weighted_index};
+use iiscope_types::time::study;
+use iiscope_types::{Country, Genre, IipId, PackageName, SeedFork, SimTime, Usd};
+use rand::Rng;
+
+/// One planned offer within a campaign.
+#[derive(Debug, Clone)]
+pub struct PlannedOffer {
+    /// Completion requirement.
+    pub goal: ConversionGoal,
+    /// Developer payout per completion (the user sees roughly half).
+    pub payout: Usd,
+    /// Completions the budget buys.
+    pub cap: u64,
+    /// Geo targeting (usually worldwide).
+    pub countries: Vec<Country>,
+}
+
+/// One planned campaign of one app on one IIP.
+#[derive(Debug, Clone)]
+pub struct PlannedCampaign {
+    /// The platform.
+    pub iip: IipId,
+    /// Start, in days after the study start.
+    pub start_day: u64,
+    /// Length in days.
+    pub duration_days: u64,
+    /// The offers it publishes.
+    pub offers: Vec<PlannedOffer>,
+    /// Whether a third-party marketing organization (not the
+    /// developer) created this campaign. §5.1's disclosure responses
+    /// suggest exactly this: "they contracted multiple external
+    /// marketing organizations to acquire non-incentivized installs"
+    /// and one of those organizations quietly bought incentivized ones.
+    pub via_marketer: bool,
+    /// Companion non-incentivized marketing: the fraction of the app's
+    /// install base added as ordinary paid installs over the campaign.
+    /// This is the confound the paper itself flags ("some confounding
+    /// factors (e.g., non-incentivized installs) may have an effect on
+    /// the advertised apps", §4.3) — apps that buy incentivized
+    /// campaigns usually buy regular advertising too, and that is what
+    /// moves the install bins of big (vetted-platform) apps.
+    pub companion_growth: f64,
+}
+
+impl PlannedCampaign {
+    /// Last day (exclusive) of delivery.
+    pub fn end_day(&self) -> u64 {
+        self.start_day + self.duration_days
+    }
+}
+
+/// One planned advertised app.
+#[derive(Debug, Clone)]
+pub struct PlannedApp {
+    /// Package name.
+    pub package: PackageName,
+    /// Title.
+    pub title: String,
+    /// Genre.
+    pub genre: Genre,
+    /// Developer display name.
+    pub developer_name: String,
+    /// Developer country.
+    pub developer_country: Country,
+    /// Developer website (drives Crunchbase matching).
+    pub developer_website: Option<String>,
+    /// Install base before the study.
+    pub pre_installs: u64,
+    /// Release instant.
+    pub released: SimTime,
+    /// Campaigns across IIPs.
+    pub campaigns: Vec<PlannedCampaign>,
+    /// Number of distinct ad libraries in the APK.
+    pub ad_library_count: usize,
+    /// APK obfuscation level.
+    pub obfuscation: f64,
+    /// Whether the developer has a Crunchbase company record.
+    pub crunchbase_matched: bool,
+    /// Whether that company raises funding after the campaign.
+    pub raises_funding: bool,
+    /// Whether the company is publicly traded.
+    pub is_public_company: bool,
+    /// Mainstream brand name when this is one of the pinned well-known
+    /// apps the paper spotted on offer walls (Apple Music, LinkedIn,
+    /// TikTok, Fiverr — §4.2).
+    pub brand: Option<&'static str>,
+}
+
+impl PlannedApp {
+    /// True when any campaign runs on a vetted platform.
+    pub fn on_vetted(&self) -> bool {
+        self.campaigns.iter().any(|c| c.iip.is_vetted())
+    }
+
+    /// True when any campaign runs on an unvetted platform.
+    pub fn on_unvetted(&self) -> bool {
+        self.campaigns.iter().any(|c| !c.iip.is_vetted())
+    }
+
+    /// True when any offer is an activity offer (by goal, ground
+    /// truth).
+    pub fn has_activity_offer(&self) -> bool {
+        self.campaigns.iter().any(|c| {
+            c.offers
+                .iter()
+                .any(|o| !matches!(o.goal, ConversionGoal::InstallAndOpen))
+        })
+    }
+
+    /// Primary (first-campaign) platform.
+    pub fn primary_iip(&self) -> IipId {
+        self.campaigns
+            .first()
+            .map(|c| c.iip)
+            .expect("has campaigns")
+    }
+}
+
+/// One baseline app (no campaigns).
+#[derive(Debug, Clone)]
+pub struct PlannedBaselineApp {
+    /// Package name.
+    pub package: PackageName,
+    /// Title.
+    pub title: String,
+    /// Genre.
+    pub genre: Genre,
+    /// Developer name.
+    pub developer_name: String,
+    /// Developer country.
+    pub developer_country: Country,
+    /// Developer website.
+    pub developer_website: Option<String>,
+    /// Install base (Figure 4 spans <1K to >1000M).
+    pub pre_installs: u64,
+    /// Release instant.
+    pub released: SimTime,
+    /// Ad library count.
+    pub ad_library_count: usize,
+    /// APK obfuscation.
+    pub obfuscation: f64,
+    /// Crunchbase matched?
+    pub crunchbase_matched: bool,
+    /// Raises funding during the observation horizon?
+    pub raises_funding: bool,
+}
+
+/// The full generation output.
+#[derive(Debug, Clone)]
+pub struct WildPlan {
+    /// Advertised apps.
+    pub apps: Vec<PlannedApp>,
+    /// Baseline apps.
+    pub baseline: Vec<PlannedBaselineApp>,
+}
+
+/// Table 4 app-count weights per platform.
+fn iip_app_weight(iip: IipId) -> f64 {
+    match iip {
+        IipId::Fyber => 378.0,
+        IipId::AyetStudios => 392.0,
+        IipId::RankApp => 152.0,
+        IipId::OfferToro => 140.0,
+        IipId::AdscendMedia => 104.0,
+        IipId::AdGem => 28.0,
+        IipId::HangMyAds => 27.0,
+    }
+}
+
+/// Table 4 activity-offer share per platform.
+fn activity_share(iip: IipId) -> f64 {
+    match iip {
+        IipId::RankApp => 0.0,
+        IipId::AyetStudios => 0.29,
+        IipId::Fyber => 0.76,
+        IipId::AdscendMedia => 0.91,
+        IipId::AdGem => 0.84,
+        IipId::HangMyAds => 0.77,
+        IipId::OfferToro => 0.48,
+    }
+}
+
+/// Table 4 median *user-visible* payout per platform (what the milker
+/// normalizes to).
+fn median_user_payout(iip: IipId) -> Usd {
+    match iip {
+        IipId::RankApp => Usd::from_cents(2),
+        IipId::AyetStudios => Usd::from_cents(5),
+        IipId::OfferToro => Usd::from_cents(9),
+        IipId::AdscendMedia => Usd::from_cents(12),
+        IipId::Fyber => Usd::from_cents(19),
+        IipId::HangMyAds => Usd::from_cents(40),
+        IipId::AdGem => Usd::from_cents(171),
+    }
+}
+
+/// Table 4 median pre-study install base per platform.
+fn median_installs(iip: IipId) -> f64 {
+    match iip {
+        IipId::RankApp => 100.0,
+        IipId::AyetStudios => 1_000.0,
+        IipId::Fyber => 1_000_000.0,
+        IipId::HangMyAds => 1_000_000.0,
+        IipId::AdscendMedia => 500_000.0,
+        IipId::AdGem => 500_000.0,
+        IipId::OfferToro => 500_000.0,
+    }
+}
+
+/// Table 4 median app age at campaign start (days).
+fn median_age_days(iip: IipId) -> f64 {
+    match iip {
+        IipId::RankApp => 33.0,
+        IipId::AyetStudios => 70.0,
+        IipId::OfferToro => 557.0,
+        IipId::HangMyAds => 699.0,
+        IipId::AdscendMedia => 722.0,
+        IipId::Fyber => 777.0,
+        IipId::AdGem => 854.0,
+    }
+}
+
+/// The fraction of the developer payout a user sees on a platform
+/// (IIP cut, then 25% affiliate cut of the rest).
+fn user_fraction(iip: IipId) -> f64 {
+    let iip_cut = if iip.is_vetted() { 0.30 } else { 0.40 };
+    (1.0 - iip_cut) * 0.75
+}
+
+/// The Figure 5 case studies, pinned so the experiment can find them.
+pub const CASE_STUDY_TREBEL: &str = "com.mmm.trebelmusic";
+/// Second case study (World on Fire — top-grossing via purchase
+/// offers).
+pub const CASE_STUDY_WOF: &str = "com.camelgames.wof";
+
+/// Generates the full wild plan.
+pub fn generate(cfg: &crate::WorldConfig, seed: SeedFork) -> WildPlan {
+    let mut rng = seed.fork("wildgen").rng();
+    let mut apps = Vec::with_capacity(cfg.advertised_apps);
+    for i in 0..cfg.advertised_apps {
+        apps.push(generate_app(cfg, i, &mut rng));
+    }
+    // Pin the two case studies onto the first two slots (paper-size
+    // and small worlds both have ≥ 2 apps).
+    if apps.len() >= 2 {
+        pin_case_studies(cfg, &mut apps, &mut rng);
+    }
+    if apps.len() >= 6 {
+        pin_brand_apps(&mut apps);
+    }
+    let mut baseline = Vec::with_capacity(cfg.baseline_apps);
+    for i in 0..cfg.baseline_apps {
+        baseline.push(generate_baseline(i, &mut rng));
+    }
+    if cfg.rating_offers {
+        // Post-pass on a dedicated fork: the main stream is untouched,
+        // so the calibrated world is bit-identical with the knob off.
+        inject_rating_offers(&mut apps, seed.fork("rating-offers"));
+    }
+    WildPlan { apps, baseline }
+}
+
+/// Extension: rewrites a slice of offers into "Install and rate N
+/// stars" goals (cheap activity offers against the profile's ratings
+/// facet). Case studies (slots 0-1) are left alone so Figure 5 holds.
+fn inject_rating_offers(apps: &mut [PlannedApp], seed: SeedFork) {
+    let mut rng = seed.rng();
+    for app in apps.iter_mut().skip(2) {
+        for c in &mut app.campaigns {
+            for o in &mut c.offers {
+                if chance(&mut rng, 0.18) {
+                    o.goal = ConversionGoal::RateApp(4);
+                    o.payout = Usd::from_cents(rng.gen_range(8..=30));
+                }
+            }
+        }
+    }
+}
+
+fn sample_iips(rng: &mut impl Rng) -> Vec<IipId> {
+    let weights: Vec<f64> = IipId::ALL.iter().map(|i| iip_app_weight(*i)).collect();
+    let primary = IipId::ALL[weighted_index(rng, &weights).expect("weights")];
+    let mut iips = vec![primary];
+    // ~27% of apps appear on a second platform, biased to the same
+    // vetting class (a developer comfortable with documentation stays
+    // among vetted platforms and vice versa).
+    if chance(rng, 0.27) {
+        let same_class: Vec<IipId> = IipId::ALL
+            .into_iter()
+            .filter(|i| *i != primary && i.is_vetted() == primary.is_vetted())
+            .collect();
+        let cross_class: Vec<IipId> = IipId::ALL
+            .into_iter()
+            .filter(|i| *i != primary && i.is_vetted() != primary.is_vetted())
+            .collect();
+        let pool = if chance(rng, 0.8) {
+            same_class
+        } else {
+            cross_class
+        };
+        if !pool.is_empty() {
+            let w: Vec<f64> = pool.iter().map(|i| iip_app_weight(*i)).collect();
+            iips.push(pool[weighted_index(rng, &w).expect("weights")]);
+        }
+    }
+    iips
+}
+
+fn sample_goal(iip: IipId, rng: &mut impl Rng) -> ConversionGoal {
+    if !chance(rng, activity_share(iip)) {
+        return ConversionGoal::InstallAndOpen;
+    }
+    // Table 3 subtype split among activity offers: usage 70%,
+    // registration 21%, purchase 9%.
+    let r: f64 = rng.gen();
+    if r < 0.09 {
+        let amount = Usd::from_cents([99, 199, 299, 499, 999][rng.gen_range(0..5)]);
+        ConversionGoal::Purchase(amount)
+    } else if r < 0.30 {
+        if chance(rng, 0.3) {
+            ConversionGoal::AllOf(vec![
+                ConversionGoal::Register,
+                ConversionGoal::SessionTime(300),
+            ])
+        } else {
+            ConversionGoal::Register
+        }
+    } else {
+        // Usage. Arbitrage-style sub-offer goals appear more on vetted
+        // platforms (§4.3.2: 7% of vetted apps vs 2% of unvetted).
+        let arbitrage_p = if iip.is_vetted() { 0.06 } else { 0.02 };
+        if chance(rng, arbitrage_p) {
+            ConversionGoal::CompleteSubOffers(rng.gen_range(2..=5))
+        } else if chance(rng, 0.5) {
+            ConversionGoal::ReachLevel(rng.gen_range(3..=15))
+        } else {
+            ConversionGoal::SessionTime(rng.gen_range(5..=30) * 60)
+        }
+    }
+}
+
+fn goal_payout_multiplier(goal: &ConversionGoal) -> f64 {
+    // Table 3: activity ≈ 9× no-activity on average; purchase ≈ 6–9×
+    // the other activity classes.
+    match goal {
+        ConversionGoal::InstallAndOpen => 1.0,
+        ConversionGoal::Register => 5.5,
+        ConversionGoal::ReachLevel(_) | ConversionGoal::SessionTime(_) => 8.0,
+        ConversionGoal::CompleteSubOffers(_) => 10.0,
+        ConversionGoal::Purchase(_) => 48.0,
+        ConversionGoal::RateApp(_) => 2.5,
+        ConversionGoal::AllOf(_) => 7.0,
+    }
+}
+
+fn sample_offer(iip: IipId, pre_installs: u64, rng: &mut impl Rng) -> PlannedOffer {
+    let goal = sample_goal(iip, rng);
+    let median = median_user_payout(iip).dollars_f64();
+    // Per-IIP medians are dominated by their majority class, so the
+    // base draw is normalized to the no-activity level first.
+    let base_no_activity = median / (1.0 + activity_share(iip) * 4.0);
+    // No-activity pricing has the heavier tail (the paper's overall
+    // $0.06 average sits 3× above RankApp's $0.02 median).
+    let sigma = if matches!(goal, ConversionGoal::InstallAndOpen) {
+        1.1
+    } else {
+        0.6
+    };
+    let user_usd =
+        (base_no_activity * goal_payout_multiplier(&goal) * log_normal(rng, 0.0, sigma)).max(0.005);
+    let payout = Usd::from_micros((user_usd / user_fraction(iip) * 1e6).round() as i64);
+    // Campaign size scales with the platform's price point and with
+    // the app's own size (big developers buy big campaigns): without
+    // the size term, tiny unvetted apps would all cross their first
+    // install bin and Table 5's 16% would be 50%.
+    let (cap_median, size_power) = if iip.is_vetted() {
+        (350.0, 0.30)
+    } else {
+        (40.0, 0.40)
+    };
+    let size_factor = ((pre_installs.max(1) as f64) / median_installs(iip))
+        .powf(size_power)
+        .clamp(0.2, 3.0);
+    let cap = (cap_median * size_factor * log_normal(rng, 0.0, 0.7)).clamp(10.0, 3_000.0) as u64;
+    // A tenth of offers geo-target a handful of countries.
+    let countries = if chance(rng, 0.10) {
+        let n = rng.gen_range(1..=3);
+        sample_k(rng, Country::VANTAGE_POINTS, n)
+    } else {
+        Vec::new()
+    };
+    PlannedOffer {
+        goal,
+        payout,
+        cap,
+        countries,
+    }
+}
+
+fn generate_app(cfg: &crate::WorldConfig, i: usize, rng: &mut impl Rng) -> PlannedApp {
+    let iips = sample_iips(rng);
+    let primary = iips[0];
+    let genre = Genre::ALL[rng.gen_range(0..Genre::ALL.len())];
+    let pre_installs = log_normal(rng, median_installs(primary).ln(), 2.0).max(0.0) as u64;
+    let mut campaigns = Vec::new();
+    let horizon = cfg.monitoring_days;
+    for iip in &iips {
+        let duration = (25.0 * log_normal(rng, 0.0, 0.5)).clamp(4.0, (horizon - 2) as f64) as u64;
+        let latest_start = horizon.saturating_sub(duration).max(3);
+        let start_day = rng.gen_range(2..=latest_start);
+        let n_offers = rng.gen_range(1..=3);
+        let offers = (0..n_offers)
+            .map(|_| sample_offer(*iip, pre_installs, rng))
+            .collect();
+        // Vetted-platform advertisers run serious parallel marketing
+        // (~13% base growth over the campaign on average); unvetted
+        // ones mostly don't.
+        // The draw always happens (keeps the RNG stream identical
+        // across the ablation); the knob only zeroes the effect.
+        let drawn = if iip.is_vetted() {
+            log_normal(rng, 0.11f64.ln(), 0.6).clamp(0.0, 0.6)
+        } else {
+            log_normal(rng, 0.03f64.ln(), 0.6).clamp(0.0, 0.2)
+        };
+        let companion_growth = if cfg.companion_marketing { drawn } else { 0.0 };
+        campaigns.push(PlannedCampaign {
+            iip: *iip,
+            start_day,
+            duration_days: duration,
+            offers,
+            via_marketer: chance(rng, if iip.is_vetted() { 0.18 } else { 0.10 }),
+            companion_growth,
+        });
+    }
+    let age = log_normal(rng, median_age_days(primary).ln(), 0.8).max(1.0) as u64;
+    let campaign_start =
+        study::STUDY_START + iiscope_types::SimDuration::from_days(campaigns[0].start_day);
+    let released = SimTime::from_secs(campaign_start.secs().saturating_sub(age * 86_400));
+
+    // Ad libraries: activity-offer apps monetize engagement (Figure 6:
+    // 60% of activity apps have ≥5 libraries vs 25% of no-activity).
+    let has_activity = campaigns.iter().any(|c| {
+        c.offers
+            .iter()
+            .any(|o| !matches!(o.goal, ConversionGoal::InstallAndOpen))
+    });
+    let lib_median: f64 = if has_activity { 6.0 } else { 2.6 };
+    let ad_library_count = (log_normal(rng, lib_median.ln(), 0.65))
+        .round()
+        .clamp(0.0, 30.0) as usize;
+    let obfuscation = if chance(rng, 0.25) {
+        rng.gen_range(0.1..0.5)
+    } else {
+        0.0
+    };
+
+    // Developer identity & funding (Table 7 calibration).
+    let vetted = primary.is_vetted();
+    let developer_country = Country::ALL[rng.gen_range(0..Country::ALL.len())];
+    let developer_name = format!("Studio {i} {}", developer_country.code());
+    let developer_website = if chance(rng, if vetted { 0.75 } else { 0.22 }) {
+        Some(format!("https://studio{i}.example"))
+    } else {
+        None
+    };
+    // §4.3.3 match rates: 39% (vetted) / 15% (unvetted).
+    let crunchbase_matched = chance(rng, if vetted { 0.39 } else { 0.15 });
+    // Table 7: of matched apps, 15.6% (vetted) / 13.9% (unvetted)
+    // raise after their campaigns.
+    let raises_funding = crunchbase_matched && chance(rng, if vetted { 0.17 } else { 0.14 });
+    let is_public_company = crunchbase_matched && chance(rng, 0.10);
+
+    PlannedApp {
+        brand: None,
+        package: PackageName::new(format!(
+            "com.wild{i}.app{}",
+            primary.name().to_ascii_lowercase().replace('-', "")
+        ))
+        .expect("valid package"),
+        title: format!("Wild App {i}"),
+        genre,
+        developer_name,
+        developer_country,
+        developer_website,
+        pre_installs,
+        released,
+        campaigns,
+        ad_library_count,
+        obfuscation,
+        crunchbase_matched,
+        raises_funding,
+        is_public_company,
+    }
+}
+
+fn pin_case_studies(cfg: &crate::WorldConfig, apps: &mut [PlannedApp], rng: &mut impl Rng) {
+    let horizon = cfg.monitoring_days;
+    // TREBEL: registration + usage offers on Fyber, mid-window, big
+    // caps — appears in the top-games chart after the campaign starts
+    // (Figure 5a).
+    let trebel = &mut apps[0];
+    trebel.package = PackageName::new(CASE_STUDY_TREBEL).expect("valid");
+    trebel.title = "TREBEL - Free Music Downloads & Offline Play".into();
+    trebel.genre = Genre::GameMusic;
+    trebel.pre_installs = 80_000;
+    trebel.crunchbase_matched = true;
+    trebel.raises_funding = false;
+    trebel.campaigns = vec![PlannedCampaign {
+        iip: IipId::Fyber,
+        start_day: (horizon / 4).max(3),
+        duration_days: horizon / 2,
+        via_marketer: false,
+        companion_growth: if cfg.companion_marketing { 0.05 } else { 0.0 },
+        offers: vec![
+            PlannedOffer {
+                goal: ConversionGoal::Register,
+                payout: Usd::from_cents(55),
+                cap: 12_000,
+                countries: vec![],
+            },
+            PlannedOffer {
+                goal: ConversionGoal::AllOf(vec![
+                    ConversionGoal::Register,
+                    ConversionGoal::SessionTime(600),
+                ]),
+                payout: Usd::from_cents(80),
+                cap: 9_000,
+                countries: vec![],
+            },
+        ],
+    }];
+    let _ = rng;
+    // World on Fire: purchase offers on Fyber → top-grossing
+    // (Figure 5b).
+    let wof = &mut apps[1];
+    wof.package = PackageName::new(CASE_STUDY_WOF).expect("valid");
+    wof.title = "World on Fire".into();
+    wof.genre = Genre::GameStrategy;
+    wof.pre_installs = 150_000;
+    wof.campaigns = vec![PlannedCampaign {
+        iip: IipId::Fyber,
+        start_day: (horizon / 3).max(3),
+        duration_days: horizon / 3,
+        via_marketer: false,
+        companion_growth: if cfg.companion_marketing { 0.05 } else { 0.0 },
+        offers: vec![PlannedOffer {
+            goal: ConversionGoal::Purchase(Usd::from_cents(99)),
+            payout: Usd::from_cents(420),
+            cap: 2_500,
+            countries: vec![],
+        }],
+    }];
+}
+
+/// The mainstream-brand apps the paper observed on offer walls
+/// ("Apple Music" and "LinkedIn" on vetted IIPs, "TikTok" and "Fiverr"
+/// on unvetted ones, §4.2) — pinned into slots 2..6. Their campaigns
+/// are created by third-party marketers, not the brands (the §5.1
+/// disclosure finding).
+pub const BRAND_APPS: [(&str, &str); 4] = [
+    ("com.apple.android.music", "Apple Music"),
+    (
+        "com.linkedin.android",
+        "LinkedIn: Job Search & Business News",
+    ),
+    ("com.zhiliaoapp.musically", "TikTok - Make Your Day"),
+    ("com.fiverr.fiverr", "Fiverr - Freelance Services"),
+];
+
+fn pin_brand_apps(apps: &mut [PlannedApp]) {
+    // Which platform class each brand was seen on (§4.2).
+    let placements = [
+        IipId::Fyber,
+        IipId::AdscendMedia,
+        IipId::AyetStudios,
+        IipId::RankApp,
+    ];
+    for (slot, ((package, brand), iip)) in BRAND_APPS.iter().zip(placements).enumerate() {
+        let app = &mut apps[2 + slot];
+        app.package = PackageName::new(*package).expect("valid brand package");
+        app.title = (*brand).to_string();
+        app.brand = Some(brand);
+        app.pre_installs = 100_000_000 + slot as u64 * 150_000_000;
+        app.developer_name = brand
+            .split([':', '-'])
+            .next()
+            .unwrap_or(brand)
+            .trim()
+            .to_string();
+        app.developer_website = Some(format!(
+            "https://{}.example",
+            app.developer_name.to_ascii_lowercase().replace(' ', "")
+        ));
+        app.crunchbase_matched = true;
+        app.raises_funding = false;
+        app.is_public_company = true;
+        for c in &mut app.campaigns {
+            c.iip = iip;
+            // The brand did not buy this; a contracted marketer did.
+            c.via_marketer = true;
+            // Unvetted walls carry install-count offers only (Table 4:
+            // RankApp is 100% no-activity), so a marketer placing a
+            // brand there buys plain installs.
+            if !iip.is_vetted() {
+                for o in &mut c.offers {
+                    o.goal = ConversionGoal::InstallAndOpen;
+                }
+            }
+        }
+    }
+}
+
+fn generate_baseline(i: usize, rng: &mut impl Rng) -> PlannedBaselineApp {
+    // Figure 4: popularity spans <1K to >1000M; log-uniform exponent.
+    let exponent = rng.gen_range(1.8..9.4);
+    let pre_installs = 10f64.powf(exponent) as u64;
+    let genre = Genre::ALL[rng.gen_range(0..Genre::ALL.len())];
+    let developer_country = Country::ALL[rng.gen_range(0..Country::ALL.len())];
+    let website = if chance(rng, 0.6) {
+        Some(format!("https://baseline{i}.example"))
+    } else {
+        None
+    };
+    // Baseline ad-library loadout sits between the two advertised
+    // classes (Figure 6a: ~35% have ≥5).
+    let ad_library_count = (log_normal(rng, 3.4f64.ln(), 0.7)).round().clamp(0.0, 30.0) as usize;
+    PlannedBaselineApp {
+        package: PackageName::new(format!("org.baseline{i}.app")).expect("valid"),
+        title: format!("Baseline App {i}"),
+        genre,
+        developer_name: format!("Baseline Dev {i}"),
+        developer_country,
+        developer_website: website,
+        pre_installs,
+        released: SimTime::from_days(200 + (i as u64 % 900)),
+        ad_library_count,
+        obfuscation: if chance(rng, 0.2) {
+            rng.gen_range(0.1..0.4)
+        } else {
+            0.0
+        },
+        crunchbase_matched: chance(rng, 0.27),
+        raises_funding: false, // decided below from the matched flag
+    }
+    .with_funding(rng)
+}
+
+impl PlannedBaselineApp {
+    fn with_funding(mut self, rng: &mut impl Rng) -> PlannedBaselineApp {
+        // Table 7 baseline: 6.1% of matched baseline apps raise during
+        // the horizon.
+        self.raises_funding = self.crunchbase_matched && chance(rng, 0.055);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorldConfig;
+
+    fn plan() -> WildPlan {
+        generate(&WorldConfig::paper(7), SeedFork::new(7))
+    }
+
+    #[test]
+    fn scale_matches_config() {
+        let p = plan();
+        assert_eq!(p.apps.len(), 922);
+        assert_eq!(p.baseline.len(), 300);
+    }
+
+    #[test]
+    fn per_iip_app_counts_follow_table4_ordering() {
+        let p = plan();
+        let count = |iip: IipId| {
+            p.apps
+                .iter()
+                .filter(|a| a.campaigns.iter().any(|c| c.iip == iip))
+                .count()
+        };
+        assert!(count(IipId::AyetStudios) > count(IipId::RankApp));
+        assert!(count(IipId::Fyber) > count(IipId::AdscendMedia));
+        assert!(count(IipId::AdscendMedia) > count(IipId::AdGem));
+        assert!(count(IipId::AdGem) < 90);
+        assert!(count(IipId::Fyber) > 250);
+    }
+
+    #[test]
+    fn rankapp_offers_are_all_no_activity() {
+        let p = plan();
+        for app in &p.apps {
+            for c in app.campaigns.iter().filter(|c| c.iip == IipId::RankApp) {
+                for o in &c.offers {
+                    assert!(
+                        matches!(o.goal, ConversionGoal::InstallAndOpen),
+                        "RankApp had activity offer {:?}",
+                        o.goal
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vetted_apps_are_older_and_bigger() {
+        let p = plan();
+        let med = |vetted: bool, f: &dyn Fn(&PlannedApp) -> f64| -> f64 {
+            let mut v: Vec<f64> = p
+                .apps
+                .iter()
+                .filter(|a| a.primary_iip().is_vetted() == vetted)
+                .map(f)
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let installs_v = med(true, &|a| a.pre_installs as f64);
+        let installs_u = med(false, &|a| a.pre_installs as f64);
+        assert!(
+            installs_v > 50.0 * installs_u,
+            "vetted {installs_v} vs unvetted {installs_u}"
+        );
+        let age = |a: &PlannedApp| {
+            let start =
+                study::STUDY_START.secs() as f64 + a.campaigns[0].start_day as f64 * 86_400.0;
+            (start - a.released.secs() as f64) / 86_400.0
+        };
+        let age_v = med(true, &age);
+        let age_u = med(false, &age);
+        assert!(age_v > 4.0 * age_u, "vetted {age_v}d vs unvetted {age_u}d");
+    }
+
+    #[test]
+    fn payout_shape_activity_over_no_activity() {
+        let p = plan();
+        let mut no_act = Vec::new();
+        let mut act = Vec::new();
+        for app in &p.apps {
+            for c in &app.campaigns {
+                for o in &c.offers {
+                    let user = o.payout.dollars_f64() * user_fraction(c.iip);
+                    if matches!(o.goal, ConversionGoal::InstallAndOpen) {
+                        no_act.push(user);
+                    } else {
+                        act.push(user);
+                    }
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let ratio = mean(&act) / mean(&no_act);
+        assert!(
+            (4.0..18.0).contains(&ratio),
+            "activity/no-activity payout ratio {ratio} (paper: ~9×)"
+        );
+        // Absolute scale: no-activity mean around $0.06.
+        let m = mean(&no_act);
+        assert!((0.02..0.15).contains(&m), "no-activity mean ${m}");
+    }
+
+    #[test]
+    fn case_studies_are_pinned() {
+        let p = plan();
+        let trebel = p
+            .apps
+            .iter()
+            .find(|a| a.package.as_str() == CASE_STUDY_TREBEL)
+            .expect("trebel exists");
+        assert!(trebel.genre.is_game());
+        assert!(trebel.has_activity_offer());
+        let wof = p
+            .apps
+            .iter()
+            .find(|a| a.package.as_str() == CASE_STUDY_WOF)
+            .expect("wof exists");
+        assert!(wof.campaigns.iter().any(|c| c
+            .offers
+            .iter()
+            .any(|o| matches!(o.goal, ConversionGoal::Purchase(_)))));
+    }
+
+    #[test]
+    fn baseline_spans_figure4_range() {
+        let p = plan();
+        let min = p.baseline.iter().map(|b| b.pre_installs).min().unwrap();
+        let max = p.baseline.iter().map(|b| b.pre_installs).max().unwrap();
+        assert!(min < 10_000, "min {min}");
+        assert!(max > 500_000_000, "max {max}");
+    }
+
+    #[test]
+    fn crunchbase_match_rates_separate_by_class() {
+        let p = plan();
+        let rate = |vetted: bool| {
+            let apps: Vec<&PlannedApp> = p
+                .apps
+                .iter()
+                .filter(|a| a.primary_iip().is_vetted() == vetted)
+                .collect();
+            apps.iter().filter(|a| a.crunchbase_matched).count() as f64 / apps.len() as f64
+        };
+        assert!(rate(true) > 0.28, "vetted match rate {}", rate(true));
+        assert!(rate(false) < 0.25, "unvetted match rate {}", rate(false));
+    }
+
+    #[test]
+    fn library_counts_split_by_activity() {
+        let p = plan();
+        let frac5 = |act: bool| {
+            let apps: Vec<&PlannedApp> = p
+                .apps
+                .iter()
+                .filter(|a| a.has_activity_offer() == act)
+                .collect();
+            apps.iter().filter(|a| a.ad_library_count >= 5).count() as f64 / apps.len() as f64
+        };
+        assert!(
+            frac5(true) > frac5(false) + 0.2,
+            "activity {} vs no-activity {}",
+            frac5(true),
+            frac5(false)
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = plan();
+        let b = plan();
+        for (x, y) in a.apps.iter().zip(&b.apps) {
+            assert_eq!(x.package, y.package);
+            assert_eq!(x.pre_installs, y.pre_installs);
+            assert_eq!(x.campaigns.len(), y.campaigns.len());
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! The §4 longitudinal study: run every planned campaign against the
+//! live world while the monitoring rig milks offer walls and crawls
+//! the Play Store on the paper's cadence.
+//!
+//! Day loop:
+//!
+//! 1. start the campaigns scheduled for the day (platform escrow,
+//!    offers appear on walls);
+//! 2. organic background activity for every app (installs, sessions,
+//!    revenue — the baseline world the campaigns perturb);
+//! 3. campaign delivery: per-install worker sampling (archetypes,
+//!    device farms in /24 bursts, emulators/datacenter bots),
+//!    engagement per conversion goal, postbacks and payout settlement;
+//! 4. the Play-side enforcement sweep;
+//! 5. on crawl days: milk every affiliate app from every vantage
+//!    point through the MITM proxy, then crawl profiles of every
+//!    discovered app (plus baseline) and the three top charts;
+//! 6. campaigns past their end day are withdrawn.
+//!
+//! At the end the crawler downloads APKs of every observed app for the
+//! Figure 6 static analysis.
+
+use crate::world::World;
+use iiscope_attribution::{Conversion, ConversionGoal, Postback};
+use iiscope_devices::behavior::plan_for;
+use iiscope_devices::{IipBehaviorProfile, WorkerKind};
+use iiscope_monitor::{Dataset, UiFuzzer};
+use iiscope_playstore::{InstallSignals, InstallSource};
+use iiscope_types::rng::chance;
+use iiscope_types::{AppId, CampaignId, DeviceId, IipId, Result, SimDuration, SimTime, Usd};
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything the wild study produced.
+pub struct WildArtifacts {
+    /// The longitudinal dataset (offers, profiles, charts).
+    pub dataset: Dataset,
+    /// Downloaded APKs by package (observed advertised apps + baseline).
+    pub apks: BTreeMap<String, Vec<u8>>,
+    /// Total installs removed by enforcement over the window.
+    pub enforcement_removed: u64,
+    /// Star ratings recorded by incentivized RateApp completions
+    /// (extension; always 0 unless `WorldConfig::rating_offers`).
+    pub incentivized_ratings: u64,
+    /// Raw offer observations count (pre-dedup).
+    pub offer_observations: usize,
+}
+
+struct OfferRt {
+    app_id: AppId,
+    iip: IipId,
+    campaign_id: CampaignId,
+    tag: String,
+    goal: ConversionGoal,
+    start_day: u64,
+    end_day: u64,
+    cap: u64,
+    completions: u64,
+    installs_per_day: f64,
+    carry: f64,
+    /// Companion (non-incentivized) installs per day; recorded as
+    /// organic bulk so enforcement never touches them.
+    companion_per_day: f64,
+    companion_carry: f64,
+    farm_left: u32,
+    farm_block: u32,
+    device_counter: u64,
+    ended: bool,
+}
+
+impl World {
+    /// Runs the full wild study and returns its artifacts.
+    pub fn run_wild_study(&self) -> Result<WildArtifacts> {
+        let mut dataset = Dataset::new();
+        let mut rng = self.seed.fork("wildsim").rng();
+        let fuzzer = UiFuzzer::new(iiscope_monitor::FuzzerConfig {
+            max_scroll_pages: self.cfg.fuzzer_pages,
+        });
+        let mut crawler = self.crawler();
+        let profiles: BTreeMap<IipId, IipBehaviorProfile> = IipId::ALL
+            .into_iter()
+            .map(|iip| (iip, IipBehaviorProfile::for_iip(iip)))
+            .collect();
+
+        // Schedule: planned offers keyed by start day.
+        let mut pending: BTreeMap<u64, Vec<(usize, usize, usize)>> = BTreeMap::new();
+        for (ai, app) in self.plan.apps.iter().enumerate() {
+            for (ci, c) in app.campaigns.iter().enumerate() {
+                for (oi, _) in c.offers.iter().enumerate() {
+                    pending.entry(c.start_day).or_default().push((ai, ci, oi));
+                }
+            }
+        }
+        let mut active: Vec<OfferRt> = Vec::new();
+        let mut discovered: BTreeSet<String> = BTreeSet::new();
+        let mut enforcement_removed = 0u64;
+        let mut incentivized_ratings = 0u64;
+        let mut device_base = 10_000_000u64;
+
+        for day in 0..=self.cfg.monitoring_days {
+            let t0 = self.study_start() + SimDuration::from_days(day);
+            self.net.clock().advance_to(t0);
+
+            // 1. Campaign starts.
+            if let Some(starts) = pending.remove(&day) {
+                for (ai, ci, oi) in starts {
+                    let app = &self.plan.apps[ai];
+                    let c = &app.campaigns[ci];
+                    let o = &c.offers[oi];
+                    let dev = self.dev_ids[app.package.as_str()];
+                    let platform = &self.platforms[&c.iip];
+                    let (campaign_id, tag) = platform.create_campaign(
+                        iiscope_iip::CampaignSpec {
+                            developer: dev,
+                            package: app.package.clone(),
+                            store_url: format!(
+                                "https://play.iiscope/store/apps/details?id={}",
+                                app.package
+                            ),
+                            goal: o.goal.clone(),
+                            payout: o.payout,
+                            cap: o.cap,
+                            countries: o.countries.clone(),
+                        },
+                        t0,
+                    )?;
+                    device_base += 100_000;
+                    // Companion marketing is campaign-level; attribute
+                    // it to the campaign's first offer runtime so it is
+                    // applied exactly once per campaign-day.
+                    let companion_per_day = if oi == 0 {
+                        app.pre_installs as f64 * c.companion_growth / c.duration_days as f64
+                    } else {
+                        0.0
+                    };
+                    active.push(OfferRt {
+                        app_id: self.app_ids[app.package.as_str()],
+                        iip: c.iip,
+                        campaign_id,
+                        tag,
+                        goal: o.goal.clone(),
+                        start_day: c.start_day,
+                        end_day: c.end_day(),
+                        cap: o.cap,
+                        completions: 0,
+                        installs_per_day: o.cap as f64 * 1.15 / c.duration_days as f64,
+                        carry: 0.0,
+                        companion_per_day,
+                        companion_carry: 0.0,
+                        farm_left: 0,
+                        farm_block: 0,
+                        device_counter: device_base,
+                        ended: false,
+                    });
+                }
+            }
+
+            // 2. Organic background.
+            for (app_id, organic) in &self.organic {
+                let installs = sample_count(organic.installs_daily, &mut rng);
+                if installs > 0 {
+                    self.store.record_organic_installs(*app_id, t0, installs);
+                }
+                let sessions = sample_count(organic.sessions_daily, &mut rng);
+                if sessions > 0 {
+                    self.store.record_engagement_bulk(
+                        *app_id,
+                        t0,
+                        sessions,
+                        sessions * organic.session_secs,
+                    );
+                }
+                if organic.revenue_daily > Usd::ZERO {
+                    self.store.record_revenue_bulk(
+                        *app_id,
+                        t0,
+                        (organic.revenue_daily.dollars_f64() / 3.0).ceil() as u64,
+                        organic.revenue_daily,
+                    );
+                }
+                let ratings = sample_count(organic.ratings_daily, &mut rng);
+                if ratings > 0 {
+                    let total = ((ratings as f64) * organic.avg_stars).round() as u64;
+                    self.store
+                        .record_ratings_bulk(*app_id, ratings, total.min(ratings * 5));
+                }
+            }
+
+            // 3. Campaign delivery.
+            for rt in active.iter_mut() {
+                if rt.ended || day < rt.start_day || day >= rt.end_day {
+                    continue;
+                }
+                let profile = &profiles[&rt.iip];
+                incentivized_ratings += self.deliver_offer_day(rt, profile, t0, &mut rng)?;
+            }
+
+            // 4. Enforcement sweep.
+            enforcement_removed += self.store.enforcement_sweep(t0);
+
+            // 6 (early). Campaign ends.
+            for rt in active.iter_mut() {
+                if !rt.ended && day >= rt.end_day {
+                    self.platforms[&rt.iip].end_campaign(rt.campaign_id)?;
+                    rt.ended = true;
+                }
+            }
+
+            // 5. Milk + crawl on cadence.
+            if day % self.cfg.crawl_cadence_days == 0 {
+                for app in &self.affiliate_apps {
+                    for country in &self.cfg.milk_countries {
+                        let offers = self.infra.milk(app, *country, &fuzzer)?;
+                        for o in &offers {
+                            discovered.insert(o.raw.package.clone());
+                        }
+                        dataset.add_offers(offers);
+                    }
+                }
+                for pkg in discovered
+                    .iter()
+                    .map(String::as_str)
+                    .chain(self.plan.baseline.iter().map(|b| b.package.as_str()))
+                {
+                    // A failed crawl is a missing data point, not a
+                    // dead study (the paper's crawler had outages too).
+                    if let Ok(Some(snap)) = crawler.profile(pkg, t0) {
+                        dataset.add_profile(snap);
+                    }
+                }
+                for kind in iiscope_playstore::ChartKind::ALL {
+                    if let Ok(snap) = crawler.chart(kind, self.cfg.chart_size, t0) {
+                        dataset.add_chart(snap);
+                    }
+                }
+            }
+        }
+
+        // APK downloads for the Figure 6 analysis.
+        let mut apks = BTreeMap::new();
+        for pkg in discovered
+            .iter()
+            .map(String::as_str)
+            .chain(self.plan.baseline.iter().map(|b| b.package.as_str()))
+        {
+            if let Ok(Some(bytes)) = crawler.apk(pkg) {
+                apks.insert(pkg.to_string(), bytes);
+            }
+        }
+
+        Ok(WildArtifacts {
+            offer_observations: dataset.offers().len(),
+            dataset,
+            apks,
+            enforcement_removed,
+            incentivized_ratings,
+        })
+    }
+
+    fn deliver_offer_day(
+        &self,
+        rt: &mut OfferRt,
+        profile: &IipBehaviorProfile,
+        t0: SimTime,
+        rng: &mut impl Rng,
+    ) -> Result<u64> {
+        let mut ratings = 0;
+        // Companion non-incentivized installs (organic bulk).
+        rt.companion_carry += rt.companion_per_day;
+        let companion = rt.companion_carry as u64;
+        rt.companion_carry -= companion as f64;
+        if companion > 0 {
+            self.store.record_organic_installs(rt.app_id, t0, companion);
+        }
+        rt.carry += rt.installs_per_day;
+        let n = rt.carry as u64;
+        rt.carry -= n as f64;
+        // Farm deliveries arrive in whole-farm bursts: the kind mix's
+        // farm share is an *install* share, so burst starts are drawn
+        // at share/mean-burst and then the burst drains install by
+        // install (producing the /24 clusters §3.2 observed and §5.2's
+        // lockstep detector keys on).
+        let farm_share = profile
+            .kind_weights
+            .iter()
+            .find(|(k, _)| *k == WorkerKind::FarmOperator)
+            .map(|(_, w)| *w)
+            .unwrap_or(0.0);
+        let burst_start_p = farm_share / 17.0;
+        for _ in 0..n {
+            let t = t0 + SimDuration::from_secs(rng.gen_range(0..86_400));
+            let kind = if rt.farm_left > 0 || chance(rng, burst_start_p) {
+                WorkerKind::FarmOperator
+            } else {
+                // Re-draw among the non-farm kinds.
+                let mut kind = profile.sample_kind(rng);
+                while kind == WorkerKind::FarmOperator {
+                    kind = profile.sample_kind(rng);
+                }
+                kind
+            };
+            let signals = self.sample_signals(rt, kind, rng);
+            self.store.record_install(
+                rt.app_id,
+                t,
+                signals,
+                &InstallSource::Tagged(rt.tag.clone()),
+            )?;
+            let plan = plan_for(profile, kind, &rt.goal, rng);
+            if plan.opens_app {
+                ratings += self.record_goal_engagement(rt, &plan, t, rng)?;
+            }
+            if plan.completes && rt.completions < rt.cap {
+                rt.completions += 1;
+                rt.device_counter += 1;
+                let pb = Postback {
+                    conversion: Conversion {
+                        tag: rt.tag.clone(),
+                        device: DeviceId(rt.device_counter),
+                        at: t,
+                        fraud_flag: signals.is_suspicious(),
+                    },
+                };
+                self.platforms[&rt.iip].process_postback(&pb)?;
+            }
+        }
+        Ok(ratings)
+    }
+
+    fn sample_signals(
+        &self,
+        rt: &mut OfferRt,
+        kind: WorkerKind,
+        rng: &mut impl Rng,
+    ) -> InstallSignals {
+        match kind {
+            WorkerKind::FarmOperator => {
+                if rt.farm_left == 0 {
+                    rt.farm_block = rng.gen::<u32>() | 0x8000_0000;
+                    rt.farm_left = rng.gen_range(10..=25);
+                }
+                rt.farm_left -= 1;
+                InstallSignals {
+                    emulator: false,
+                    rooted: chance(rng, 0.9),
+                    datacenter_asn: false,
+                    block24: rt.farm_block,
+                }
+            }
+            WorkerKind::BotOperator => InstallSignals {
+                emulator: chance(rng, 0.5),
+                rooted: true,
+                datacenter_asn: chance(rng, 0.5),
+                block24: rng.gen::<u32>() & 0x7FFF_FFFF,
+            },
+            _ => InstallSignals {
+                emulator: false,
+                rooted: chance(rng, 0.08),
+                datacenter_asn: false,
+                block24: rng.gen::<u32>() & 0x7FFF_FFFF,
+            },
+        }
+    }
+
+    fn record_goal_engagement(
+        &self,
+        rt: &OfferRt,
+        plan: &iiscope_devices::ExecutionPlan,
+        t: SimTime,
+        rng: &mut impl Rng,
+    ) -> Result<u64> {
+        let app = rt.app_id;
+        if !plan.completes {
+            // Opened, poked around, left.
+            self.store.record_session(app, t, rng.gen_range(20..120))?;
+            return Ok(0);
+        }
+        match &rt.goal {
+            ConversionGoal::InstallAndOpen => {
+                self.store.record_session(app, t, rng.gen_range(30..120))?;
+            }
+            ConversionGoal::Register | ConversionGoal::AllOf(_) => {
+                // Paid registrations churn: a fraction are throwaway
+                // accounts the store's engagement pipeline discounts.
+                if chance(rng, 0.6) {
+                    self.store.record_registration(app, t)?;
+                }
+                self.store
+                    .record_session(app, t, plan.work_secs.clamp(60, 450))?;
+            }
+            ConversionGoal::ReachLevel(_)
+            | ConversionGoal::SessionTime(_)
+            | ConversionGoal::CompleteSubOffers(_) => {
+                self.store
+                    .record_session(app, t, plan.work_secs.clamp(120, 1_200))?;
+                if chance(rng, 0.15) {
+                    self.store.record_session(app, t, rng.gen_range(120..600))?;
+                }
+            }
+            ConversionGoal::Purchase(min) => {
+                let amount = *min + Usd::from_cents(rng.gen_range(0..200));
+                self.store.record_purchase(app, t, amount)?;
+                self.store
+                    .record_session(app, t, plan.work_secs.clamp(120, 600))?;
+            }
+            ConversionGoal::RateApp(min_stars) => {
+                // Paid raters leave the minimum the offer demands, or
+                // five stars — never less.
+                let stars = if chance(rng, 0.6) { 5 } else { *min_stars };
+                self.store.record_rating(app, stars);
+                self.store.record_session(app, t, rng.gen_range(30..150))?;
+                return Ok(1);
+            }
+        }
+        Ok(0)
+    }
+}
+
+fn sample_count(rate: f64, rng: &mut impl Rng) -> u64 {
+    // Poisson-ish: integer part plus Bernoulli remainder, with ±20%
+    // day-to-day jitter.
+    let jittered = rate * (0.8 + 0.4 * rng.gen::<f64>());
+    let base = jittered.floor() as u64;
+    base + u64::from(chance(rng, jittered.fract()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{World, WorldConfig};
+
+    #[test]
+    fn small_wild_study_produces_a_coherent_dataset() {
+        let world = World::build(WorldConfig::small(21)).unwrap();
+        let artifacts = world.run_wild_study().unwrap();
+        let ds = &artifacts.dataset;
+
+        // Most planned apps are discovered through milking.
+        let advertised = ds.advertised_packages();
+        let discovery_rate = advertised.len() as f64 / world.plan.apps.len() as f64;
+        assert!(
+            discovery_rate > 0.8,
+            "discovered {} of {}",
+            advertised.len(),
+            world.plan.apps.len()
+        );
+
+        // Offers were observed repeatedly across rounds; dedup works.
+        assert!(ds.unique_offers().len() < ds.offers().len());
+        assert!(!ds.unique_descriptions().is_empty());
+
+        // Profiles exist for baseline and advertised apps, multiple
+        // crawl days each.
+        let some_pkg = advertised.iter().next().unwrap().to_string();
+        assert!(ds.profile_series(&some_pkg).len() >= 2);
+        let b = world.plan.baseline[0].package.as_str();
+        assert!(ds.profile_series(b).len() >= 2);
+
+        // Charts were crawled and are populated.
+        assert!(!ds.chart_days().is_empty());
+        assert!(ds.charts().iter().any(|c| !c.entries.is_empty()));
+
+        // APKs downloaded for observed + baseline apps.
+        assert!(artifacts.apks.len() >= advertised.len());
+
+        // Popular apps accumulate public star ratings over the window.
+        let rated = ds
+            .profiles()
+            .iter()
+            .filter(|p| p.rating_count > 0 && p.rating >= 1.0 && p.rating <= 5.0)
+            .count();
+        assert!(rated > 50, "rated profile snapshots: {rated}");
+
+        // Payout settlement actually flowed.
+        let gross: iiscope_types::Usd = IipId::ALL
+            .into_iter()
+            .map(|i| world.platforms[&i].settlement().gross())
+            .sum();
+        assert!(gross > iiscope_types::Usd::from_dollars(10), "{gross}");
+    }
+
+    #[test]
+    fn wild_study_is_deterministic() {
+        let run = |seed: u64| {
+            let world = World::build(WorldConfig::small(seed)).unwrap();
+            let a = world.run_wild_study().unwrap();
+            (
+                a.dataset.offers().len(),
+                a.dataset.unique_offers().len(),
+                a.enforcement_removed,
+            )
+        };
+        assert_eq!(run(33), run(33));
+    }
+}

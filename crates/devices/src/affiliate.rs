@@ -1,0 +1,250 @@
+//! Affiliate apps and the Table 2 catalog.
+//!
+//! Affiliate apps distribute offers: each integrates one or more IIP
+//! offer walls as tabs in its UI, pays users in its own point currency,
+//! and redeems points for gift cards. The monitored set is the eight
+//! apps of Table 2, reproduced here with their exact integration
+//! matrix.
+
+use iiscope_types::{IipId, PackageName};
+
+/// A tab in an affiliate app's UI, hosting one IIP's offer wall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WallTab {
+    /// Which IIP's wall the tab embeds.
+    pub iip: IipId,
+    /// The wall's hostname (the SDK's endpoint).
+    pub hostname: String,
+}
+
+/// An affiliate app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffiliateApp {
+    /// Package name.
+    pub package: PackageName,
+    /// Display name.
+    pub title: String,
+    /// Public install bin label (Table 2's Installs column).
+    pub installs_label: &'static str,
+    /// Offer-wall tabs, in UI order.
+    pub tabs: Vec<WallTab>,
+    /// Points per redeemed dollar (the §4.1 normalization target:
+    /// "By analyzing affiliate apps, we convert these reward points to
+    /// an equivalent offer payout in USD").
+    pub points_per_dollar: u64,
+    /// Whether the app pays monetary rewards (gift cards / PayPal).
+    /// The study "primarily focus\[es\] on affiliate apps that offer
+    /// monetary incentives" (§2.1).
+    pub monetary: bool,
+}
+
+impl AffiliateApp {
+    /// The offer-wall hostname used for an IIP in this world.
+    pub fn wall_host(iip: IipId) -> String {
+        format!(
+            "wall.{}.iiscope",
+            iip.name().to_ascii_lowercase().replace('-', "")
+        )
+    }
+
+    fn new(
+        package: &str,
+        title: &str,
+        installs_label: &'static str,
+        iips: &[IipId],
+        points_per_dollar: u64,
+    ) -> AffiliateApp {
+        AffiliateApp {
+            package: PackageName::new(package).expect("valid package"),
+            title: title.into(),
+            installs_label,
+            tabs: iips
+                .iter()
+                .map(|&iip| WallTab {
+                    iip,
+                    hostname: AffiliateApp::wall_host(iip),
+                })
+                .collect(),
+            points_per_dollar,
+            monetary: true,
+        }
+    }
+
+    /// The eight monitored affiliate apps with Table 2's integration
+    /// matrix (✓ cells), install labels, and distinct point systems.
+    pub fn table2_catalog() -> Vec<AffiliateApp> {
+        use IipId::*;
+        vec![
+            AffiliateApp::new(
+                "com.mobvantage.cashforapps",
+                "CashForApps",
+                "10M+",
+                &[Fyber, AdGem, HangMyAds, AyetStudios],
+                1_000,
+            ),
+            AffiliateApp::new(
+                "proxima.makemoney.android",
+                "Make Money",
+                "5M+",
+                &[Fyber, AdscendMedia],
+                200,
+            ),
+            AffiliateApp::new(
+                "proxima.moneyapp.android",
+                "Money App",
+                "1M+",
+                &[Fyber],
+                200,
+            ),
+            AffiliateApp::new(
+                "com.bigcash.app",
+                "BigCash",
+                "1M+",
+                &[AdscendMedia, OfferToro],
+                500,
+            ),
+            AffiliateApp::new(
+                "com.ayet.cashpirate",
+                "CashPirate",
+                "1M+",
+                &[Fyber, AyetStudios],
+                2_500,
+            ),
+            AffiliateApp::new(
+                "eu.makemoney",
+                "MakeMoney EU",
+                "1M+",
+                &[AdscendMedia, RankApp],
+                100,
+            ),
+            AffiliateApp::new(
+                "com.growrich.makemoney",
+                "GrowRich",
+                "1M+",
+                &[AdscendMedia, RankApp],
+                750,
+            ),
+            AffiliateApp::new(
+                "make.money.easy",
+                "Money Easy",
+                "100K+",
+                &[Fyber, AdscendMedia, AyetStudios],
+                300,
+            ),
+        ]
+    }
+
+    /// IIPs integrated by this app.
+    pub fn integrated_iips(&self) -> Vec<IipId> {
+        self.tabs.iter().map(|t| t.iip).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn catalog_matches_table2_shape() {
+        let apps = AffiliateApp::table2_catalog();
+        assert_eq!(apps.len(), 8, "eight monitored affiliate apps");
+        // All 7 IIPs are reachable through the catalog.
+        let covered: BTreeSet<IipId> = apps.iter().flat_map(|a| a.integrated_iips()).collect();
+        assert_eq!(covered.len(), 7);
+        // Every app integrates at least one *vetted* wall (Table 2:
+        // "all of the 8 affiliate apps integrate at least one offer
+        // wall from vetted IIPs").
+        for app in &apps {
+            assert!(
+                app.integrated_iips().iter().any(|i| i.is_vetted()),
+                "{} lacks a vetted wall",
+                app.package
+            );
+        }
+        // Most (5 of 8) also integrate an unvetted wall.
+        let with_unvetted = apps
+            .iter()
+            .filter(|a| a.integrated_iips().iter().any(|i| !i.is_vetted()))
+            .count();
+        assert_eq!(with_unvetted, 5);
+        // The most popular app (10M+) integrates 4 walls.
+        let top = apps.iter().find(|a| a.installs_label == "10M+").unwrap();
+        assert_eq!(top.tabs.len(), 4);
+    }
+
+    #[test]
+    fn table2_matrix_exact() {
+        use IipId::*;
+        let apps = AffiliateApp::table2_catalog();
+        let get = |pkg: &str| -> BTreeSet<IipId> {
+            apps.iter()
+                .find(|a| a.package.as_str() == pkg)
+                .unwrap()
+                .integrated_iips()
+                .into_iter()
+                .collect()
+        };
+        assert_eq!(
+            get("com.mobvantage.cashforapps"),
+            [Fyber, AdGem, HangMyAds, AyetStudios].into_iter().collect()
+        );
+        assert_eq!(
+            get("proxima.makemoney.android"),
+            [Fyber, AdscendMedia].into_iter().collect()
+        );
+        assert_eq!(
+            get("proxima.moneyapp.android"),
+            [Fyber].into_iter().collect()
+        );
+        assert_eq!(
+            get("com.bigcash.app"),
+            [AdscendMedia, OfferToro].into_iter().collect()
+        );
+        assert_eq!(
+            get("com.ayet.cashpirate"),
+            [Fyber, AyetStudios].into_iter().collect()
+        );
+        assert_eq!(
+            get("eu.makemoney"),
+            [AdscendMedia, RankApp].into_iter().collect()
+        );
+        assert_eq!(
+            get("com.growrich.makemoney"),
+            [AdscendMedia, RankApp].into_iter().collect()
+        );
+        assert_eq!(
+            get("make.money.easy"),
+            [Fyber, AdscendMedia, AyetStudios].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn point_systems_differ() {
+        let apps = AffiliateApp::table2_catalog();
+        let rates: BTreeSet<u64> = apps.iter().map(|a| a.points_per_dollar).collect();
+        assert!(
+            rates.len() >= 5,
+            "point systems must vary for normalization to matter"
+        );
+    }
+
+    #[test]
+    fn wall_hosts_are_wellformed() {
+        assert_eq!(AffiliateApp::wall_host(IipId::Fyber), "wall.fyber.iiscope");
+        assert_eq!(
+            AffiliateApp::wall_host(IipId::AyetStudios),
+            "wall.ayetstudios.iiscope"
+        );
+    }
+
+    #[test]
+    fn money_keywords_present_in_most_packages() {
+        let apps = AffiliateApp::table2_catalog();
+        let with_kw = apps
+            .iter()
+            .filter(|a| a.package.has_money_keyword())
+            .count();
+        assert!(with_kw >= 6, "affiliate package names should scream money");
+    }
+}

@@ -1,0 +1,353 @@
+//! Per-IIP behaviour profiles and per-install execution plans.
+//!
+//! Everything §3.2 measured about install quality is generated here,
+//! calibrated so the honey-app experiment reproduces the paper's
+//! shape:
+//!
+//! * **telemetry gap** — RankApp's worker pool is farm-heavy, and farm
+//!   operators often never open the app (paper: 45% of RankApp installs
+//!   produced no telemetry; Fyber/ayeT matched the console);
+//! * **engagement** — ~44% of Fyber/ayeT users click the one button in
+//!   the app vs ~6% for RankApp; day-2 returns are a handful of users;
+//! * **automation** — a sprinkle of emulator builds and datacenter
+//!   egress (4 emulators and 7 cloud-ASN devices out of 1,679);
+//! * **worker economy** — money-keyword affiliate apps on 98% / 72% /
+//!   42% of RankApp / ayeT / Fyber devices;
+//! * **delivery speed** — audience-proportional: Fyber and ayeT fill
+//!   500 installs within ~2 hours, RankApp needs >24.
+
+use crate::worker::WorkerKind;
+use iiscope_attribution::ConversionGoal;
+use iiscope_types::rng::{chance, weighted_index};
+use iiscope_types::IipId;
+use rand::Rng;
+
+/// Behavioural parameters of one IIP's reachable audience.
+#[derive(Debug, Clone)]
+pub struct IipBehaviorProfile {
+    /// The platform.
+    pub iip: IipId,
+    /// Worker archetype mix — the probability that any given *install*
+    /// is performed by each archetype (weights; normalized on
+    /// sampling).
+    pub kind_weights: [(WorkerKind, f64); 4],
+    /// Fraction of worker devices carrying at least one money-keyword
+    /// affiliate app.
+    pub money_keyword_rate: f64,
+    /// The platform's single most popular affiliate app and its share
+    /// of worker devices (§3.2 names them per IIP).
+    pub top_affiliate: (&'static str, f64),
+    /// Devices per farm operator (min, max).
+    pub farm_size: (usize, usize),
+    /// Offer uptake rate: completions the audience can deliver per
+    /// simulated hour.
+    pub delivery_per_hour: f64,
+    /// Audience-quality multiplier on the archetype's open
+    /// probability. RankApp's ~0.57 produces §3.2's 45% missing
+    /// telemetry.
+    pub open_factor: f64,
+    /// Audience-quality multiplier on the archetype's
+    /// beyond-the-minimum engagement probability. RankApp's low value
+    /// produces §3.2's 6%-click-rate (vs 44% on Fyber/ayeT).
+    pub engagement_factor: f64,
+}
+
+impl IipBehaviorProfile {
+    /// The calibrated profile per platform.
+    pub fn for_iip(iip: IipId) -> IipBehaviorProfile {
+        use WorkerKind::*;
+        let (kind_weights, money_keyword_rate, top_affiliate, open_factor, engagement_factor) =
+            match iip {
+                IipId::Fyber => (
+                    [
+                        (Casual, 0.30),
+                        (SemiPro, 0.68),
+                        (BotOperator, 0.005),
+                        (FarmOperator, 0.015),
+                    ],
+                    0.42,
+                    ("proxima.makemoney.android", 0.09),
+                    1.0,
+                    1.0,
+                ),
+                IipId::AyetStudios => (
+                    [
+                        (Casual, 0.20),
+                        (SemiPro, 0.7575),
+                        (BotOperator, 0.0125),
+                        (FarmOperator, 0.03),
+                    ],
+                    0.72,
+                    ("com.ayet.cashpirate", 0.20),
+                    1.0,
+                    1.0,
+                ),
+                IipId::RankApp => (
+                    [
+                        (Casual, 0.10),
+                        (SemiPro, 0.85),
+                        (BotOperator, 0.005),
+                        (FarmOperator, 0.045),
+                    ],
+                    0.98,
+                    ("eu.gcashapp", 0.37),
+                    // §3.2: 45% of RankApp installs never report; 6% click.
+                    0.53,
+                    0.15,
+                ),
+                IipId::OfferToro => (
+                    [
+                        (Casual, 0.28),
+                        (SemiPro, 0.70),
+                        (BotOperator, 0.005),
+                        (FarmOperator, 0.015),
+                    ],
+                    0.50,
+                    ("com.bigcash.app", 0.12),
+                    0.95,
+                    0.85,
+                ),
+                IipId::AdscendMedia => (
+                    [
+                        (Casual, 0.30),
+                        (SemiPro, 0.68),
+                        (BotOperator, 0.005),
+                        (FarmOperator, 0.015),
+                    ],
+                    0.50,
+                    ("proxima.makemoney.android", 0.10),
+                    1.0,
+                    0.9,
+                ),
+                IipId::HangMyAds => (
+                    [
+                        (Casual, 0.32),
+                        (SemiPro, 0.66),
+                        (BotOperator, 0.005),
+                        (FarmOperator, 0.015),
+                    ],
+                    0.45,
+                    ("com.mobvantage.cashforapps", 0.11),
+                    0.95,
+                    0.9,
+                ),
+                IipId::AdGem => (
+                    [
+                        (Casual, 0.33),
+                        (SemiPro, 0.65),
+                        (BotOperator, 0.005),
+                        (FarmOperator, 0.015),
+                    ],
+                    0.45,
+                    ("com.mobvantage.cashforapps", 0.10),
+                    1.0,
+                    0.95,
+                ),
+            };
+        let audience = crate::population::audience_size(iip) as f64;
+        IipBehaviorProfile {
+            iip,
+            kind_weights,
+            money_keyword_rate,
+            top_affiliate,
+            farm_size: (10, 30),
+            // Audience-proportional uptake: 60k-strong Fyber fills 500
+            // completions in ~an hour; RankApp's 1.5k takes >24h.
+            delivery_per_hour: audience / 120.0,
+            open_factor,
+            engagement_factor,
+        }
+    }
+
+    /// Samples a worker archetype from the mix.
+    pub fn sample_kind(&self, rng: &mut impl Rng) -> WorkerKind {
+        let weights: Vec<f64> = self.kind_weights.iter().map(|(_, w)| *w).collect();
+        let idx = weighted_index(rng, &weights).expect("non-empty weights");
+        self.kind_weights[idx].0
+    }
+
+    /// Expected hours to deliver `n` completions.
+    pub fn hours_to_deliver(&self, n: u64) -> f64 {
+        n as f64 / self.delivery_per_hour
+    }
+}
+
+/// What one worker actually does with one accepted offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionPlan {
+    /// Whether the app is ever opened after install.
+    pub opens_app: bool,
+    /// Whether the conversion goal gets completed (implies
+    /// `opens_app`).
+    pub completes: bool,
+    /// Whether the worker pokes at the app beyond the paid minimum.
+    pub extra_engagement: bool,
+    /// Whether the worker returns the next day.
+    pub day2_return: bool,
+    /// Seconds of in-app work from first open to goal completion (or
+    /// abandonment).
+    pub work_secs: u64,
+}
+
+/// Samples an execution plan for `kind` against `goal`, with neutral
+/// audience-quality factors.
+pub fn plan(kind: WorkerKind, goal: &ConversionGoal, rng: &mut impl Rng) -> ExecutionPlan {
+    plan_scaled(kind, goal, 1.0, 1.0, rng)
+}
+
+/// Samples an execution plan under a platform's audience-quality
+/// factors (see [`IipBehaviorProfile::open_factor`]).
+pub fn plan_for(
+    profile: &IipBehaviorProfile,
+    kind: WorkerKind,
+    goal: &ConversionGoal,
+    rng: &mut impl Rng,
+) -> ExecutionPlan {
+    plan_scaled(
+        kind,
+        goal,
+        profile.open_factor,
+        profile.engagement_factor,
+        rng,
+    )
+}
+
+fn plan_scaled(
+    kind: WorkerKind,
+    goal: &ConversionGoal,
+    open_factor: f64,
+    engagement_factor: f64,
+    rng: &mut impl Rng,
+) -> ExecutionPlan {
+    // The open_factor models installs sold purely for the install
+    // count (never opened). Farm operators are exempt: their whole
+    // business is collecting payouts, which requires the open.
+    let open_factor = if kind == WorkerKind::FarmOperator {
+        1.0
+    } else {
+        open_factor
+    };
+    let opens_app = chance(rng, kind.open_prob() * open_factor);
+    let effort = goal.effort_secs();
+    let completes = opens_app && chance(rng, kind.completion_prob(effort));
+    let extra_engagement =
+        opens_app && chance(rng, kind.extra_engagement_prob() * engagement_factor);
+    let day2_return = opens_app && chance(rng, kind.day2_return_prob());
+    // Workers take 0.8–2.0× the nominal effort.
+    let factor = 0.8 + 1.2 * rng.gen::<f64>();
+    let work_secs = if opens_app {
+        ((effort as f64) * factor) as u64
+    } else {
+        0
+    };
+    ExecutionPlan {
+        opens_app,
+        completes,
+        extra_engagement,
+        day2_return,
+        work_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiscope_types::SeedFork;
+
+    fn simulate(iip: IipId, n: usize) -> (f64, f64, f64) {
+        // Returns (open rate, extra-engagement rate, completion rate)
+        // for the no-activity goal over n simulated workers.
+        let profile = IipBehaviorProfile::for_iip(iip);
+        let mut rng = SeedFork::new(77).fork(iip.name()).rng();
+        let goal = ConversionGoal::InstallAndOpen;
+        let (mut opens, mut extra, mut completes) = (0, 0, 0);
+        for _ in 0..n {
+            let kind = profile.sample_kind(&mut rng);
+            let p = plan_for(&profile, kind, &goal, &mut rng);
+            opens += p.opens_app as usize;
+            extra += p.extra_engagement as usize;
+            completes += p.completes as usize;
+        }
+        (
+            opens as f64 / n as f64,
+            extra as f64 / n as f64,
+            completes as f64 / n as f64,
+        )
+    }
+
+    #[test]
+    fn rankapp_loses_nearly_half_its_telemetry() {
+        let (open, extra, _) = simulate(IipId::RankApp, 6_000);
+        assert!((0.40..=0.62).contains(&open), "open rate {open}");
+        assert!(extra < 0.13, "extra engagement {extra}");
+    }
+
+    #[test]
+    fn fyber_and_ayet_report_and_engage_more() {
+        for iip in [IipId::Fyber, IipId::AyetStudios] {
+            let (open, extra, _) = simulate(iip, 6_000);
+            assert!(open > 0.92, "{iip} open rate {open}");
+            assert!((0.30..=0.55).contains(&extra), "{iip} extra {extra}");
+        }
+    }
+
+    #[test]
+    fn engagement_gap_between_classes() {
+        let (_, fyber_extra, _) = simulate(IipId::Fyber, 6_000);
+        let (_, rank_extra, _) = simulate(IipId::RankApp, 6_000);
+        assert!(
+            fyber_extra > 3.0 * rank_extra,
+            "fyber {fyber_extra} vs rankapp {rank_extra}"
+        );
+    }
+
+    #[test]
+    fn delivery_speed_matches_section3() {
+        // 500 installs: ≤2h for Fyber, ≤3h for ayeT, >24h for RankApp.
+        assert!(IipBehaviorProfile::for_iip(IipId::Fyber).hours_to_deliver(500) <= 2.0);
+        assert!(IipBehaviorProfile::for_iip(IipId::AyetStudios).hours_to_deliver(500) <= 3.0);
+        assert!(IipBehaviorProfile::for_iip(IipId::RankApp).hours_to_deliver(500) > 24.0);
+    }
+
+    #[test]
+    fn hard_goals_lose_automation() {
+        let mut rng = SeedFork::new(5).rng();
+        let goal = ConversionGoal::Register;
+        let n = 2_000;
+        let bot_done = (0..n)
+            .filter(|_| plan(WorkerKind::BotOperator, &goal, &mut rng).completes)
+            .count();
+        let pro_done = (0..n)
+            .filter(|_| plan(WorkerKind::SemiPro, &goal, &mut rng).completes)
+            .count();
+        assert!(pro_done > 5 * bot_done, "{pro_done} vs {bot_done}");
+    }
+
+    #[test]
+    fn plans_are_internally_consistent() {
+        let mut rng = SeedFork::new(9).rng();
+        for _ in 0..2_000 {
+            let p = plan(
+                WorkerKind::FarmOperator,
+                &ConversionGoal::InstallAndOpen,
+                &mut rng,
+            );
+            if !p.opens_app {
+                assert!(!p.completes && !p.extra_engagement && !p.day2_return);
+                assert_eq!(p.work_secs, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn money_keyword_rates_match_paper() {
+        assert!(
+            (IipBehaviorProfile::for_iip(IipId::RankApp).money_keyword_rate - 0.98).abs() < 1e-9
+        );
+        assert!(
+            (IipBehaviorProfile::for_iip(IipId::AyetStudios).money_keyword_rate - 0.72).abs()
+                < 1e-9
+        );
+        assert!((IipBehaviorProfile::for_iip(IipId::Fyber).money_keyword_rate - 0.42).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! # iiscope-devices
+//!
+//! The population substrate: Android devices, the crowd workers who
+//! operate them, the affiliate apps they earn through, and the per-IIP
+//! behaviour profiles that §3.2's measurements characterize.
+//!
+//! * [`device`] — devices with build strings (emulator markers like
+//!   `generic`/`genymotion`), root state, WiFi SSIDs, network addresses
+//!   and installed-package lists — every §3.1 telemetry field has a
+//!   ground-truth source here.
+//! * [`affiliate`] — affiliate apps: point currencies, offer-wall
+//!   integrations, and the Table 2 catalog of the eight monitored apps
+//!   with their exact IIP matrix.
+//! * [`worker`] — crowd workers: casual users, semi-professional
+//!   earners with money-keyword app collections, bot operators on cloud
+//!   hosts, and device-farm operators (the 20-installs-one-/24 case).
+//! * [`behavior`] — per-IIP behaviour profiles (open rates, extra
+//!   engagement, day-2 retention, worker-quality mix) and the sampler
+//!   that turns a profile into per-install execution plans.
+//! * [`population`] — deterministic generation of per-IIP audiences.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affiliate;
+pub mod behavior;
+pub mod device;
+pub mod population;
+pub mod worker;
+
+pub use affiliate::{AffiliateApp, WallTab};
+pub use behavior::{ExecutionPlan, IipBehaviorProfile};
+pub use device::Device;
+pub use population::IipAudience;
+pub use worker::{Worker, WorkerKind};

@@ -1,0 +1,452 @@
+//! Deterministic generation of per-IIP worker audiences.
+//!
+//! An audience is a pool of workers (each with one or more devices)
+//! sampled from the platform's [`crate::behavior::IipBehaviorProfile`].
+//! Farms materialize as one operator with many rooted devices sharing a
+//! /24 block and a WiFi SSID — the §3.2 fingerprint. Device installed-
+//! package lists embed the money-keyword affiliate apps at the
+//! calibrated per-IIP rates, including each platform's signature app
+//! (`eu.gcashapp` on 37% of RankApp devices, etc.).
+
+use crate::behavior::IipBehaviorProfile;
+use crate::device::{Device, EMULATOR_BUILDS, HANDSET_BUILDS};
+use crate::worker::{Worker, WorkerKind};
+use iiscope_netsim::{AsnId, AsnKind, AsnRegistry};
+use iiscope_types::rng::{chance, weighted_index};
+use iiscope_types::{Country, DeviceId, IipId, PackageName, SeedFork, WorkerId};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Audience size per platform (drives delivery speed; see
+/// `IipBehaviorProfile::delivery_per_hour`).
+pub fn audience_size(iip: IipId) -> u32 {
+    match iip {
+        IipId::Fyber => 60_000,
+        IipId::OfferToro => 25_000,
+        IipId::AdscendMedia => 20_000,
+        IipId::HangMyAds => 8_000,
+        IipId::AdGem => 6_000,
+        IipId::AyetStudios => 30_000,
+        IipId::RankApp => 1_500,
+    }
+}
+
+/// Where crowd workers live (weights loosely follow the usual
+/// paid-install geographies).
+const WORKER_COUNTRIES: [(Country, f64); 10] = [
+    (Country::In, 0.22),
+    (Country::Ph, 0.13),
+    (Country::Id, 0.11),
+    (Country::Br, 0.10),
+    (Country::Us, 0.12),
+    (Country::Ru, 0.08),
+    (Country::Vn, 0.07),
+    (Country::Ng, 0.06),
+    (Country::De, 0.06),
+    (Country::Uk, 0.05),
+];
+
+/// Money-keyword affiliate apps a worker may carry (beyond the
+/// platform's signature app).
+const MONEY_APP_POOL: [&str; 10] = [
+    "com.mobvantage.cashforapps",
+    "proxima.makemoney.android",
+    "proxima.moneyapp.android",
+    "com.bigcash.app",
+    "com.ayet.cashpirate",
+    "eu.makemoney",
+    "com.growrich.makemoney",
+    "make.money.easy",
+    "eu.gcashapp",
+    "com.apps.rewardz",
+];
+
+/// Innocuous apps for the rest of the installed list.
+const MUNDANE_APP_POOL: [&str; 8] = [
+    "com.whatsapp.clone",
+    "com.instagraph.android",
+    "com.spotify.like",
+    "com.maps.navigator",
+    "com.bank.wallet",
+    "com.news.daily",
+    "com.game.match3",
+    "com.camera.filters",
+];
+
+/// Registers the standard AS inventory into a fresh registry:
+/// one eyeball AS per country, three datacenter ASes, one VPN exit per
+/// vantage-point country.
+pub fn standard_registry() -> AsnRegistry {
+    let mut reg = AsnRegistry::new();
+    for (i, c) in Country::ALL.iter().enumerate() {
+        reg.register(
+            AsnId(10_000 + i as u32),
+            format!("Eyeball-{}", c.code()),
+            AsnKind::Eyeball,
+            *c,
+        )
+        .expect("unique");
+    }
+    reg.register(
+        AsnId(14_061),
+        "Digital Ocean",
+        AsnKind::Datacenter,
+        Country::Us,
+    )
+    .expect("unique");
+    reg.register(AsnId(16_509), "AWS", AsnKind::Datacenter, Country::Us)
+        .expect("unique");
+    reg.register(AsnId(24_940), "Hetzner", AsnKind::Datacenter, Country::De)
+        .expect("unique");
+    for (i, c) in Country::VANTAGE_POINTS.iter().enumerate() {
+        reg.register(
+            AsnId(9_000 + i as u32),
+            format!("Luminati-{}", c.code()),
+            AsnKind::VpnExit,
+            *c,
+        )
+        .expect("unique");
+    }
+    reg
+}
+
+/// The eyeball AS serving a country in [`standard_registry`].
+pub fn eyeball_asn(country: Country) -> AsnId {
+    let idx = Country::ALL
+        .iter()
+        .position(|c| *c == country)
+        .expect("known country");
+    AsnId(10_000 + idx as u32)
+}
+
+/// The VPN exit AS for a vantage-point country.
+pub fn vpn_asn(country: Country) -> Option<AsnId> {
+    Country::VANTAGE_POINTS
+        .iter()
+        .position(|c| *c == country)
+        .map(|i| AsnId(9_000 + i as u32))
+}
+
+/// A generated audience for one platform.
+#[derive(Debug)]
+pub struct IipAudience {
+    /// The platform.
+    pub iip: IipId,
+    /// Workers in arrival order.
+    pub workers: Vec<Worker>,
+    /// Devices by id.
+    pub devices: BTreeMap<DeviceId, Device>,
+}
+
+impl IipAudience {
+    /// Generates `n_workers` workers (farm operators contribute many
+    /// devices each). Ids are namespaced by `id_base` so audiences of
+    /// different platforms never collide.
+    pub fn generate(
+        profile: &IipBehaviorProfile,
+        n_workers: usize,
+        registry: &mut AsnRegistry,
+        seed: SeedFork,
+        id_base: u64,
+    ) -> IipAudience {
+        let mut rng = seed.fork("audience").rng();
+        let mut workers = Vec::with_capacity(n_workers);
+        let mut devices = BTreeMap::new();
+        let mut next_device = id_base;
+        for w in 0..n_workers {
+            let kind = profile.sample_kind(&mut rng);
+            let country = sample_country(&mut rng);
+            let n_devices = match kind {
+                WorkerKind::FarmOperator => {
+                    rng.gen_range(profile.farm_size.0..=profile.farm_size.1)
+                }
+                WorkerKind::BotOperator => rng.gen_range(2..=5),
+                _ => 1,
+            };
+            // Farms share one /24 and one SSID.
+            let farm_block = if kind == WorkerKind::FarmOperator {
+                Some(
+                    registry
+                        .alloc_block(eyeball_asn(country))
+                        .expect("block space"),
+                )
+            } else {
+                None
+            };
+            let farm_ssid = format!("FARM-AP-{}", id_base + w as u64);
+            let mut device_ids = Vec::with_capacity(n_devices);
+            for _ in 0..n_devices {
+                let id = DeviceId(next_device);
+                next_device += 1;
+                let device = spawn_device(
+                    id, kind, country, profile, farm_block, &farm_ssid, registry, &mut rng,
+                );
+                device_ids.push(id);
+                devices.insert(id, device);
+            }
+            workers.push(Worker {
+                id: WorkerId(id_base + w as u64),
+                kind,
+                devices: device_ids,
+            });
+        }
+        IipAudience {
+            iip: profile.iip,
+            workers,
+            devices,
+        }
+    }
+
+    /// Device lookup.
+    pub fn device(&self, id: DeviceId) -> Option<&Device> {
+        self.devices.get(&id)
+    }
+
+    /// Total devices across all workers.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+}
+
+fn sample_country(rng: &mut impl Rng) -> Country {
+    let weights: Vec<f64> = WORKER_COUNTRIES.iter().map(|(_, w)| *w).collect();
+    WORKER_COUNTRIES[weighted_index(rng, &weights).expect("weights")].0
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_device(
+    id: DeviceId,
+    kind: WorkerKind,
+    country: Country,
+    profile: &IipBehaviorProfile,
+    farm_block: Option<iiscope_netsim::Block24>,
+    farm_ssid: &str,
+    registry: &mut AsnRegistry,
+    rng: &mut impl Rng,
+) -> Device {
+    // Address + ASN.
+    let addr = match kind {
+        WorkerKind::BotOperator if chance(rng, 0.5) => {
+            // Cloud-hosted: §3.2's "ASNs of popular cloud services".
+            let asn = if chance(rng, 0.6) {
+                AsnId(14_061)
+            } else {
+                AsnId(16_509)
+            };
+            registry.alloc_host_fresh_block(asn).expect("dc space")
+        }
+        WorkerKind::FarmOperator => registry
+            .alloc_host(eyeball_asn(country), farm_block.expect("farm block"))
+            .expect("farm space"),
+        _ => registry
+            .alloc_host_fresh_block(eyeball_asn(country))
+            .expect("eyeball space"),
+    };
+
+    // Build string + root state.
+    let (build, rooted) = match kind {
+        WorkerKind::BotOperator => {
+            if chance(rng, 0.5) {
+                (
+                    EMULATOR_BUILDS[rng.gen_range(0..EMULATOR_BUILDS.len())].to_string(),
+                    true,
+                )
+            } else {
+                (
+                    HANDSET_BUILDS[rng.gen_range(0..HANDSET_BUILDS.len())].to_string(),
+                    true,
+                )
+            }
+        }
+        WorkerKind::FarmOperator => (
+            HANDSET_BUILDS[rng.gen_range(0..HANDSET_BUILDS.len())].to_string(),
+            chance(rng, 0.9),
+        ),
+        WorkerKind::SemiPro => (
+            HANDSET_BUILDS[rng.gen_range(0..HANDSET_BUILDS.len())].to_string(),
+            chance(rng, 0.15),
+        ),
+        WorkerKind::Casual => (
+            HANDSET_BUILDS[rng.gen_range(0..HANDSET_BUILDS.len())].to_string(),
+            chance(rng, 0.02),
+        ),
+    };
+
+    // SSID: farms share, others have their own (bots on wired DC have
+    // none).
+    let wifi_ssid = match kind {
+        WorkerKind::FarmOperator => Some(farm_ssid.to_string()),
+        WorkerKind::BotOperator if addr.asn_kind == AsnKind::Datacenter => None,
+        _ => Some(format!("AP-{}", id.raw())),
+    };
+
+    // Installed packages: mundane base + money apps at the calibrated
+    // rate, with the platform's signature app boosted.
+    let mut installed = Vec::new();
+    for _ in 0..rng.gen_range(2..6) {
+        let p = MUNDANE_APP_POOL[rng.gen_range(0..MUNDANE_APP_POOL.len())];
+        installed.push(PackageName::new(p).expect("valid"));
+    }
+    if chance(rng, profile.money_keyword_rate) {
+        let n = rng.gen_range(1..4);
+        for _ in 0..n {
+            let p = MONEY_APP_POOL[rng.gen_range(0..MONEY_APP_POOL.len())];
+            let pkg = PackageName::new(p).expect("valid");
+            if !installed.contains(&pkg) {
+                installed.push(pkg);
+            }
+        }
+    }
+    let (top_pkg, top_share) = profile.top_affiliate;
+    // Conditional boost so the signature app hits its §3.2 share.
+    if chance(rng, top_share) {
+        let pkg = PackageName::new(top_pkg).expect("valid");
+        if !installed.contains(&pkg) {
+            installed.push(pkg);
+        }
+    }
+
+    Device {
+        id,
+        addr,
+        build,
+        rooted,
+        wifi_ssid,
+        installed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audience(iip: IipId, n: usize) -> IipAudience {
+        let mut reg = standard_registry();
+        let profile = IipBehaviorProfile::for_iip(iip);
+        IipAudience::generate(&profile, n, &mut reg, SeedFork::new(1).fork(iip.name()), 0)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = audience(IipId::Fyber, 50);
+        let b = audience(IipId::Fyber, 50);
+        assert_eq!(a.device_count(), b.device_count());
+        for (id, d) in &a.devices {
+            let other = b.device(*id).unwrap();
+            assert_eq!(d.addr.ip, other.addr.ip);
+            assert_eq!(d.build, other.build);
+            assert_eq!(d.installed, other.installed);
+        }
+    }
+
+    #[test]
+    fn farms_share_block_and_ssid() {
+        let a = audience(IipId::RankApp, 80);
+        let farm = a
+            .workers
+            .iter()
+            .find(|w| w.kind == WorkerKind::FarmOperator)
+            .expect("RankApp is farm-heavy");
+        assert!(farm.devices.len() >= 10);
+        let first = a.device(farm.devices[0]).unwrap();
+        let rooted = farm
+            .devices
+            .iter()
+            .filter(|d| a.device(**d).unwrap().rooted)
+            .count();
+        for d in &farm.devices {
+            let dev = a.device(*d).unwrap();
+            assert_eq!(dev.block24_key(), first.block24_key(), "same /24");
+            assert_eq!(dev.wifi_ssid, first.wifi_ssid, "same SSID");
+        }
+        assert!(
+            rooted * 10 >= farm.devices.len() * 7,
+            "farms are mostly rooted"
+        );
+    }
+
+    #[test]
+    fn rankapp_money_keyword_rate_near_98_percent() {
+        let a = audience(IipId::RankApp, 120);
+        let with_kw = a
+            .devices
+            .values()
+            .filter(|d| d.has_money_keyword_app())
+            .count();
+        let rate = with_kw as f64 / a.device_count() as f64;
+        assert!(rate > 0.93, "rate {rate}");
+    }
+
+    #[test]
+    fn fyber_money_keyword_rate_much_lower() {
+        let a = audience(IipId::Fyber, 400);
+        // Only count single-device human workers to match §3.2's
+        // per-user framing.
+        let rate = a
+            .devices
+            .values()
+            .filter(|d| d.has_money_keyword_app())
+            .count() as f64
+            / a.device_count() as f64;
+        assert!((0.30..0.65).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn signature_app_share() {
+        let a = audience(IipId::RankApp, 150);
+        let pkg = PackageName::new("eu.gcashapp").unwrap();
+        let share = a.devices.values().filter(|d| d.has_package(&pkg)).count() as f64
+            / a.device_count() as f64;
+        assert!((0.25..0.75).contains(&share), "gcashapp share {share}");
+    }
+
+    #[test]
+    fn bots_sometimes_sit_in_datacenters() {
+        let mut reg = standard_registry();
+        let mut profile = IipBehaviorProfile::for_iip(IipId::Fyber);
+        // Force an all-bot audience for the check.
+        profile.kind_weights = [
+            (WorkerKind::BotOperator, 1.0),
+            (WorkerKind::Casual, 0.0),
+            (WorkerKind::SemiPro, 0.0),
+            (WorkerKind::FarmOperator, 0.0),
+        ];
+        let a = IipAudience::generate(&profile, 40, &mut reg, SeedFork::new(3), 0);
+        let dc = a
+            .devices
+            .values()
+            .filter(|d| d.addr.asn_kind == AsnKind::Datacenter)
+            .count();
+        let emu = a
+            .devices
+            .values()
+            .filter(|d| d.looks_like_emulator())
+            .count();
+        assert!(dc > 0, "some bots on cloud hosts");
+        assert!(emu > 0, "some bots on emulators");
+    }
+
+    #[test]
+    fn ids_are_namespaced_by_base() {
+        let mut reg = standard_registry();
+        let profile = IipBehaviorProfile::for_iip(IipId::Fyber);
+        let a = IipAudience::generate(&profile, 10, &mut reg, SeedFork::new(4), 0);
+        let b = IipAudience::generate(&profile, 10, &mut reg, SeedFork::new(4), 1_000_000);
+        for id in a.devices.keys() {
+            assert!(!b.devices.contains_key(id), "collision at {id}");
+        }
+    }
+
+    #[test]
+    fn registry_helpers() {
+        let reg = standard_registry();
+        assert!(reg.get(eyeball_asn(Country::In)).is_some());
+        assert_eq!(
+            reg.get(eyeball_asn(Country::De)).unwrap().kind,
+            AsnKind::Eyeball
+        );
+        assert!(vpn_asn(Country::Us).is_some());
+        assert!(vpn_asn(Country::Br).is_none());
+        assert_eq!(reg.get(AsnId(14_061)).unwrap().name, "Digital Ocean");
+    }
+}

@@ -1,0 +1,152 @@
+//! Crowd workers — the humans (and bots) behind incentivized installs.
+//!
+//! §3.2's conclusion: "most of the users are likely semi-professional
+//! crowd workers who seek to earn money through these schemes", with a
+//! minority of outright automation (emulators, cloud hosts) and device
+//! farms ("20 installs from different devices behind the same /24
+//! block. 18 out of these 20 installs are from rooted phones that also
+//! share the same WiFi SSID").
+
+use iiscope_types::{DeviceId, WorkerId};
+
+/// The behavioural archetypes observed in §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkerKind {
+    /// Occasional earner with one ordinary phone and a couple of
+    /// reward apps.
+    Casual,
+    /// Semi-professional earner: one or two phones packed with
+    /// money-keyword affiliate apps; completes offers reliably.
+    SemiPro,
+    /// Automation operator: emulators and/or cloud-hosted devices;
+    /// completes the bare minimum, never engages.
+    BotOperator,
+    /// Device-farm operator: many rooted handsets behind one /24 and
+    /// one WiFi SSID.
+    FarmOperator,
+}
+
+impl WorkerKind {
+    /// Probability the worker opens the app at all after installing.
+    /// Workers chasing the payout must open the app — the conversion
+    /// requires it — so every human archetype opens nearly always.
+    /// (§3.2's 45%-never-opened RankApp installs come from the
+    /// platform-level `open_factor`, which models installs sold purely
+    /// for the count metric.)
+    pub fn open_prob(self) -> f64 {
+        match self {
+            WorkerKind::Casual => 0.97,
+            WorkerKind::SemiPro => 0.99,
+            WorkerKind::BotOperator => 0.60,
+            WorkerKind::FarmOperator => 0.85,
+        }
+    }
+
+    /// Probability of engaging beyond the paid minimum (the honey
+    /// app's record-button click).
+    pub fn extra_engagement_prob(self) -> f64 {
+        match self {
+            WorkerKind::Casual => 0.60,
+            WorkerKind::SemiPro => 0.45,
+            WorkerKind::BotOperator => 0.02,
+            WorkerKind::FarmOperator => 0.05,
+        }
+    }
+
+    /// Probability of returning to the app the next day (§3.2: "One
+    /// day after installation, only a handful of users … clicked").
+    pub fn day2_return_prob(self) -> f64 {
+        match self {
+            WorkerKind::Casual => 0.012,
+            WorkerKind::SemiPro => 0.006,
+            WorkerKind::BotOperator => 0.001,
+            WorkerKind::FarmOperator => 0.002,
+        }
+    }
+
+    /// Probability the worker actually finishes a task of the given
+    /// effort (seconds). Heavier tasks lose more workers; bots only do
+    /// trivial ones.
+    pub fn completion_prob(self, effort_secs: u64) -> f64 {
+        let base = match self {
+            WorkerKind::Casual => 0.85,
+            WorkerKind::SemiPro => 0.95,
+            WorkerKind::BotOperator => 0.90,
+            WorkerKind::FarmOperator => 0.92,
+        };
+        let fatigue = match self {
+            // Humans tolerate longer tasks for pay; bots abandon
+            // anything that needs a real account or purchase.
+            WorkerKind::Casual => (-(effort_secs as f64) / 4_000.0).exp(),
+            WorkerKind::SemiPro => (-(effort_secs as f64) / 10_000.0).exp(),
+            WorkerKind::BotOperator | WorkerKind::FarmOperator => {
+                if effort_secs > 90 {
+                    0.05
+                } else {
+                    1.0
+                }
+            }
+        };
+        base * fatigue
+    }
+}
+
+/// One worker and the devices they operate.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    /// Worker id.
+    pub id: WorkerId,
+    /// Archetype.
+    pub kind: WorkerKind,
+    /// Devices under this worker's control.
+    pub devices: Vec<DeviceId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paid_work_requires_opening() {
+        // Every human archetype opens most of the time (no open, no
+        // payout); only unattended automation skips it noticeably.
+        assert!(WorkerKind::FarmOperator.open_prob() >= 0.8);
+        assert!(WorkerKind::SemiPro.open_prob() > 0.95);
+        assert!(WorkerKind::BotOperator.open_prob() < 0.8);
+    }
+
+    #[test]
+    fn engagement_ordering_matches_section3() {
+        // Human workers engage far more than automation.
+        assert!(
+            WorkerKind::Casual.extra_engagement_prob()
+                > 5.0 * WorkerKind::FarmOperator.extra_engagement_prob()
+        );
+        assert!(
+            WorkerKind::SemiPro.extra_engagement_prob()
+                > 10.0 * WorkerKind::BotOperator.extra_engagement_prob()
+        );
+    }
+
+    #[test]
+    fn day2_retention_is_tiny_for_everyone() {
+        for k in [
+            WorkerKind::Casual,
+            WorkerKind::SemiPro,
+            WorkerKind::BotOperator,
+            WorkerKind::FarmOperator,
+        ] {
+            assert!(k.day2_return_prob() < 0.02, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn completion_prob_decays_with_effort() {
+        let k = WorkerKind::SemiPro;
+        assert!(k.completion_prob(60) > k.completion_prob(3_600));
+        assert!(k.completion_prob(60) > 0.9);
+        // Bots abandon registration-grade tasks.
+        assert!(WorkerKind::BotOperator.completion_prob(180) < 0.1);
+        assert!(WorkerKind::BotOperator.completion_prob(60) > 0.8);
+    }
+}

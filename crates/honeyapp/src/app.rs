@@ -1,0 +1,215 @@
+//! The honey app and its telemetry.
+//!
+//! §3.1: "We customize an open-source 'voice memos saving' Android app
+//! and publish it on the Google Play Store … our honey app collects
+//! information about user in-app activity (e.g., clicks on voice memo
+//! record button) and device information (e.g., list of other installed
+//! apps, device build, WiFi SSIDs, the /24 block of the public IPv4
+//! address, and signals to identify whether the device is rooted).
+//! This information is uploaded to our server whenever the user opens
+//! our honey app or clicks the voice memo record button."
+//!
+//! The Ethics paragraph's privacy measures are enforced structurally:
+//! the payload type has no field that *could* carry an IMEI or a full
+//! IP, and the SSID only exists in hashed form.
+
+use iiscope_devices::Device;
+use iiscope_netsim::AsnKind;
+use iiscope_types::SimTime;
+use iiscope_wire::Json;
+
+/// Package name of the honey app.
+pub const HONEY_PACKAGE: &str = "net.iiscope.voicememos";
+/// Display title of the honey app.
+pub const HONEY_TITLE: &str = "Voice Memos - Easy Recorder";
+
+/// In-app events that trigger a telemetry upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryEvent {
+    /// The app was opened.
+    Open,
+    /// The record button — the app's only functionality — was clicked.
+    RecordClick,
+}
+
+impl TelemetryEvent {
+    /// Wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TelemetryEvent::Open => "open",
+            TelemetryEvent::RecordClick => "record_click",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn parse(s: &str) -> Option<TelemetryEvent> {
+        match s {
+            "open" => Some(TelemetryEvent::Open),
+            "record_click" => Some(TelemetryEvent::RecordClick),
+            _ => None,
+        }
+    }
+}
+
+/// One telemetry upload, as stored server-side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryRecord {
+    /// Server receive time.
+    pub at: SimTime,
+    /// Install-scoped pseudonymous id (not a hardware id).
+    pub install_id: u64,
+    /// Which event fired.
+    pub event: TelemetryEvent,
+    /// Device build string.
+    pub build: String,
+    /// Client-side emulator heuristic result.
+    pub emulator_suspected: bool,
+    /// RootBeer-style root signal.
+    pub rooted: bool,
+    /// FNV hash of the WiFi SSID, if on WiFi.
+    pub ssid_hash: Option<u64>,
+    /// /24 block of the public address, e.g. `203.0.113.0/24`.
+    pub block24: String,
+    /// Origin AS number (from the server's connection log).
+    pub asn: u32,
+    /// Origin AS kind label (`eyeball` / `datacenter` / `vpn`).
+    pub asn_kind: String,
+    /// Installed packages reported by the app.
+    pub installed: Vec<String>,
+}
+
+/// Builds the upload JSON the instrumented app sends for `event`.
+///
+/// The /24 truncation happens client-side conceptually (the app reports
+/// its public address block); the AS fields are derived server-side
+/// from the connection and are not part of the body.
+pub fn telemetry_payload(device: &Device, install_id: u64, event: TelemetryEvent) -> Json {
+    let block = device.addr.block();
+    Json::obj([
+        ("install_id", Json::Int(install_id as i64)),
+        ("event", Json::str(event.label())),
+        ("build", Json::str(&device.build)),
+        ("emulator", Json::Bool(device.looks_like_emulator())),
+        ("rooted", Json::Bool(device.rooted)),
+        (
+            "ssid_hash",
+            match device.ssid_hash() {
+                Some(h) => Json::str(format!("{h:016x}")),
+                None => Json::Null,
+            },
+        ),
+        ("block24", Json::str(block.to_string())),
+        (
+            "installed",
+            Json::arr(device.installed.iter().map(|p| Json::str(p.as_str()))),
+        ),
+    ])
+}
+
+/// Parses an upload body back into a record (server side), attaching
+/// the connection-derived fields.
+pub fn parse_payload(
+    body: &Json,
+    at: SimTime,
+    asn: u32,
+    asn_kind: AsnKind,
+) -> Option<TelemetryRecord> {
+    let event = TelemetryEvent::parse(body.get("event")?.as_str()?)?;
+    Some(TelemetryRecord {
+        at,
+        install_id: body.get("install_id")?.as_i64()? as u64,
+        event,
+        build: body.get("build")?.as_str()?.to_string(),
+        emulator_suspected: body.get("emulator")?.as_bool()?,
+        rooted: body.get("rooted")?.as_bool()?,
+        ssid_hash: match body.get("ssid_hash") {
+            Some(Json::Null) | None => None,
+            Some(v) => Some(u64::from_str_radix(v.as_str()?, 16).ok()?),
+        },
+        block24: body.get("block24")?.as_str()?.to_string(),
+        asn,
+        asn_kind: match asn_kind {
+            AsnKind::Eyeball => "eyeball".to_string(),
+            AsnKind::Datacenter => "datacenter".to_string(),
+            AsnKind::VpnExit => "vpn".to_string(),
+        },
+        installed: body
+            .get("installed")?
+            .as_array()?
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiscope_netsim::{AsnId, HostAddr};
+    use iiscope_types::{Country, DeviceId, PackageName};
+    use std::net::Ipv4Addr;
+
+    fn device() -> Device {
+        Device {
+            id: DeviceId(9),
+            addr: HostAddr {
+                ip: Ipv4Addr::new(203, 0, 113, 77),
+                asn: AsnId(7922),
+                asn_kind: AsnKind::Eyeball,
+                country: Country::Us,
+            },
+            build: "samsung/SM-G960F".into(),
+            rooted: true,
+            wifi_ssid: Some("CoffeeShop".into()),
+            installed: vec![PackageName::new("eu.gcashapp").unwrap()],
+        }
+    }
+
+    #[test]
+    fn payload_round_trips_through_parse() {
+        let d = device();
+        let payload = telemetry_payload(&d, 42, TelemetryEvent::RecordClick);
+        let rec = parse_payload(&payload, SimTime::from_secs(5), 7922, AsnKind::Eyeball).unwrap();
+        assert_eq!(rec.install_id, 42);
+        assert_eq!(rec.event, TelemetryEvent::RecordClick);
+        assert!(rec.rooted);
+        assert!(!rec.emulator_suspected);
+        assert_eq!(rec.block24, "203.0.113.0/24");
+        assert_eq!(rec.ssid_hash, d.ssid_hash());
+        assert_eq!(rec.installed, vec!["eu.gcashapp".to_string()]);
+        assert_eq!(rec.asn_kind, "eyeball");
+    }
+
+    #[test]
+    fn privacy_last_octet_never_leaves_the_device() {
+        let d = device();
+        let text = telemetry_payload(&d, 1, TelemetryEvent::Open).to_string();
+        assert!(!text.contains("113.77"), "full IP leaked: {text}");
+        assert!(text.contains("203.0.113.0/24"));
+    }
+
+    #[test]
+    fn privacy_ssid_only_hashed() {
+        let d = device();
+        let text = telemetry_payload(&d, 1, TelemetryEvent::Open).to_string();
+        assert!(!text.contains("CoffeeShop"), "raw SSID leaked");
+        let mut no_wifi = device();
+        no_wifi.wifi_ssid = None;
+        let payload = telemetry_payload(&no_wifi, 1, TelemetryEvent::Open);
+        assert!(payload.get("ssid_hash").unwrap().is_null());
+    }
+
+    #[test]
+    fn event_labels_round_trip() {
+        for e in [TelemetryEvent::Open, TelemetryEvent::RecordClick] {
+            assert_eq!(TelemetryEvent::parse(e.label()), Some(e));
+        }
+        assert_eq!(TelemetryEvent::parse("imei_upload"), None);
+    }
+
+    #[test]
+    fn malformed_payload_rejected() {
+        let bad = Json::obj([("event", Json::str("open"))]);
+        assert!(parse_payload(&bad, SimTime::EPOCH, 1, AsnKind::Eyeball).is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! The researchers' telemetry collection server.
+//!
+//! §3.1: "This information is uploaded to our server … communication
+//! with our server happens over encrypted channels." The collector is
+//! an ordinary [`Handler`] served behind the workspace's TLS layer
+//! (wired up by `iiscope-core`); it derives the AS facts from the
+//! connection's peer info — which is how §3.2 can say installs
+//! "connect from ASNs of popular cloud services".
+
+use crate::app::{parse_payload, TelemetryRecord};
+use iiscope_wire::http::RequestCtx;
+use iiscope_wire::{Handler, Json, Request, Response};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared telemetry store + HTTP ingestion endpoint.
+#[derive(Clone, Default)]
+pub struct Collector {
+    records: Arc<Mutex<Vec<TelemetryRecord>>>,
+}
+
+impl Collector {
+    /// Creates an empty collector.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True when nothing was uploaded.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Snapshot of all records.
+    pub fn records(&self) -> Vec<TelemetryRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Directly ingests a record (tests / offline replay).
+    pub fn ingest(&self, record: TelemetryRecord) {
+        self.records.lock().push(record);
+    }
+
+    /// Distinct install ids seen — §3.2's "installs our server knows
+    /// about" (missing ids = the app was never opened).
+    pub fn distinct_installs(&self) -> usize {
+        let ids: std::collections::BTreeSet<u64> =
+            self.records.lock().iter().map(|r| r.install_id).collect();
+        ids.len()
+    }
+}
+
+impl Handler for Collector {
+    fn handle(&self, req: &Request, ctx: &RequestCtx) -> Response {
+        if req.path() != "/v1/telemetry" {
+            return Response::not_found();
+        }
+        let Ok(body) = std::str::from_utf8(&req.body) else {
+            return Response::status(400);
+        };
+        let Ok(json) = Json::parse(body) else {
+            return Response::status(400);
+        };
+        match parse_payload(&json, ctx.now, ctx.peer.addr.asn.0, ctx.peer.addr.asn_kind) {
+            Some(record) => {
+                self.records.lock().push(record);
+                Response::status(204)
+            }
+            None => Response::status(400),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{telemetry_payload, TelemetryEvent};
+    use iiscope_devices::Device;
+    use iiscope_netsim::{AsnId, AsnKind, HostAddr, PeerInfo};
+    use iiscope_types::{Country, DeviceId, SimTime};
+    use std::net::Ipv4Addr;
+
+    fn ctx(kind: AsnKind) -> RequestCtx {
+        RequestCtx {
+            peer: PeerInfo {
+                addr: HostAddr {
+                    ip: Ipv4Addr::new(198, 51, 100, 20),
+                    asn: AsnId(14061),
+                    asn_kind: kind,
+                    country: Country::Us,
+                },
+                opened_at: SimTime::EPOCH,
+            },
+            now: SimTime::from_secs(99),
+        }
+    }
+
+    fn device() -> Device {
+        Device {
+            id: DeviceId(1),
+            addr: HostAddr {
+                ip: Ipv4Addr::new(198, 51, 100, 20),
+                asn: AsnId(14061),
+                asn_kind: AsnKind::Datacenter,
+                country: Country::Us,
+            },
+            build: "genymotion/vbox86p".into(),
+            rooted: true,
+            wifi_ssid: None,
+            installed: vec![],
+        }
+    }
+
+    #[test]
+    fn ingestion_over_http() {
+        let c = Collector::new();
+        let payload = telemetry_payload(&device(), 7, TelemetryEvent::Open);
+        let req = Request::post("/v1/telemetry", payload.to_string().into_bytes());
+        let resp = c.handle(&req, &ctx(AsnKind::Datacenter));
+        assert_eq!(resp.status, 204);
+        assert_eq!(c.len(), 1);
+        let rec = &c.records()[0];
+        assert_eq!(rec.at, SimTime::from_secs(99));
+        assert_eq!(rec.asn, 14061);
+        assert_eq!(rec.asn_kind, "datacenter");
+        assert!(rec.emulator_suspected);
+    }
+
+    #[test]
+    fn bad_bodies_rejected() {
+        let c = Collector::new();
+        let ctx = ctx(AsnKind::Eyeball);
+        assert_eq!(
+            c.handle(&Request::post("/v1/telemetry", b"not json".to_vec()), &ctx)
+                .status,
+            400
+        );
+        assert_eq!(
+            c.handle(&Request::post("/v1/telemetry", b"{}".to_vec()), &ctx)
+                .status,
+            400
+        );
+        assert_eq!(c.handle(&Request::get("/other"), &ctx).status, 404);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn distinct_installs_dedups_events() {
+        let c = Collector::new();
+        let d = device();
+        for (id, ev) in [
+            (1u64, TelemetryEvent::Open),
+            (1, TelemetryEvent::RecordClick),
+            (2, TelemetryEvent::Open),
+        ] {
+            let payload = telemetry_payload(&d, id, ev);
+            c.handle(
+                &Request::post("/v1/telemetry", payload.to_string().into_bytes()),
+                &ctx(AsnKind::Eyeball),
+            );
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.distinct_installs(), 2);
+    }
+}

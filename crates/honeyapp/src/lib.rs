@@ -1,0 +1,33 @@
+//! # iiscope-honeyapp
+//!
+//! The Section 3 apparatus: a purpose-built "voice memos saving" app
+//! published on the (simulated) Play Store, instrumented to upload
+//! metadata to a collection server, plus the campaign driver that
+//! purchases incentivized installs from IIPs and the report generator
+//! for §3.2's findings.
+//!
+//! * [`app`] — the honey app and its telemetry payload builder, with
+//!   the paper's privacy measures baked in (hash the SSID, drop the
+//!   last IPv4 octet, never collect IMEI/IMSI).
+//! * [`collector`] — the researchers' HTTPS collection endpoint and
+//!   queryable telemetry store.
+//! * [`campaign`] — runs a purchase of N installs on one IIP end to
+//!   end: worker arrivals at the platform's delivery rate, Play
+//!   installs with device signals, mediator conversions, payouts, and
+//!   telemetry uploads over the real (simulated) TLS network path.
+//! * [`report`] — §3.2's analyses: user acquisition, engagement decay,
+//!   and install forensics (emulators, cloud ASNs, device farms,
+//!   money-keyword affiliate apps).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod campaign;
+pub mod collector;
+pub mod report;
+
+pub use app::{TelemetryEvent, TelemetryRecord, HONEY_PACKAGE, HONEY_TITLE};
+pub use campaign::{CampaignDriver, CampaignOutcome};
+pub use collector::Collector;
+pub use report::{AcquisitionFindings, EngagementFindings, ForensicFindings};

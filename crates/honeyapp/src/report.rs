@@ -1,0 +1,440 @@
+//! §3.2's analyses over the collected telemetry.
+//!
+//! Campaigns are "spread over time such that no two campaigns deliver
+//! installs at the same time", so records are attributed to an IIP by
+//! time window — exactly the paper's attribution logic.
+
+use crate::app::{TelemetryEvent, TelemetryRecord};
+use crate::campaign::CampaignOutcome;
+use crate::collector::Collector;
+use iiscope_types::{IipId, SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The observation window of one campaign: delivery plus two days of
+/// residual engagement.
+fn window(outcome: &CampaignOutcome) -> (SimTime, SimTime) {
+    (
+        outcome.started_at,
+        outcome.finished_at + SimDuration::from_days(2),
+    )
+}
+
+fn records_in(
+    records: &[TelemetryRecord],
+    w: (SimTime, SimTime),
+) -> impl Iterator<Item = &TelemetryRecord> {
+    records.iter().filter(move |r| r.at >= w.0 && r.at < w.1)
+}
+
+/// User-acquisition findings (§3.2, first bullet).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcquisitionFindings {
+    /// Per IIP: (delivered installs, installs that produced telemetry,
+    /// missing-telemetry fraction, delivery duration).
+    pub per_iip: Vec<(IipId, u64, u64, f64, SimDuration)>,
+    /// Total installs across all campaigns (the paper's 1,679).
+    pub total_installs: u64,
+}
+
+impl AcquisitionFindings {
+    /// Computes the acquisition table from campaign outcomes and the
+    /// collector's records.
+    pub fn compute(outcomes: &[CampaignOutcome], collector: &Collector) -> AcquisitionFindings {
+        let records = collector.records();
+        let per_iip = outcomes
+            .iter()
+            .map(|o| {
+                let ids: BTreeSet<u64> = records_in(&records, window(o))
+                    .map(|r| r.install_id)
+                    .collect();
+                let reported = ids.len() as u64;
+                let missing = if o.installs_delivered == 0 {
+                    0.0
+                } else {
+                    1.0 - reported as f64 / o.installs_delivered as f64
+                };
+                (
+                    o.iip,
+                    o.installs_delivered,
+                    reported,
+                    missing,
+                    o.delivery_duration(),
+                )
+            })
+            .collect();
+        AcquisitionFindings {
+            per_iip,
+            total_installs: outcomes.iter().map(|o| o.installs_delivered).sum(),
+        }
+    }
+}
+
+/// Engagement findings (§3.2, second bullet).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngagementFindings {
+    /// Per IIP: fraction of *delivered* installs that clicked the
+    /// record button during the campaign window.
+    pub click_rate: Vec<(IipId, f64)>,
+    /// Per IIP: number of distinct installs clicking the record button
+    /// one day or more after their first appearance.
+    pub day2_clickers: Vec<(IipId, u64)>,
+}
+
+impl EngagementFindings {
+    /// Computes engagement metrics.
+    pub fn compute(outcomes: &[CampaignOutcome], collector: &Collector) -> EngagementFindings {
+        let records = collector.records();
+        let mut click_rate = Vec::new();
+        let mut day2 = Vec::new();
+        for o in outcomes {
+            let w = window(o);
+            // First-seen day per install.
+            let mut first_seen: BTreeMap<u64, u64> = BTreeMap::new();
+            for r in records_in(&records, w) {
+                let e = first_seen.entry(r.install_id).or_insert(r.at.days());
+                *e = (*e).min(r.at.days());
+            }
+            let clickers: BTreeSet<u64> = records_in(&records, w)
+                .filter(|r| r.event == TelemetryEvent::RecordClick)
+                .map(|r| r.install_id)
+                .collect();
+            let rate = if o.installs_delivered == 0 {
+                0.0
+            } else {
+                clickers.len() as f64 / o.installs_delivered as f64
+            };
+            click_rate.push((o.iip, rate));
+            let late: BTreeSet<u64> = records_in(&records, w)
+                .filter(|r| {
+                    r.event == TelemetryEvent::RecordClick
+                        && first_seen
+                            .get(&r.install_id)
+                            .is_some_and(|d| r.at.days() > *d)
+                })
+                .map(|r| r.install_id)
+                .collect();
+            day2.push((o.iip, late.len() as u64));
+        }
+        EngagementFindings {
+            click_rate,
+            day2_clickers: day2,
+        }
+    }
+
+    /// Click rate for one IIP.
+    pub fn rate_for(&self, iip: IipId) -> Option<f64> {
+        self.click_rate
+            .iter()
+            .find(|(i, _)| *i == iip)
+            .map(|(_, r)| *r)
+    }
+}
+
+/// A detected device farm: many installs behind one /24.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FarmSighting {
+    /// The shared /24 label.
+    pub block24: String,
+    /// Installs from the block.
+    pub installs: u64,
+    /// How many of them are rooted.
+    pub rooted: u64,
+    /// How many share the block's dominant SSID hash.
+    pub same_ssid: u64,
+}
+
+/// Install forensics (§3.2, "Incentivized Users").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForensicFindings {
+    /// Installs flagged as emulators.
+    pub emulator_installs: u64,
+    /// Installs connecting from datacenter ASNs.
+    pub datacenter_installs: u64,
+    /// Device farms (≥ `FARM_THRESHOLD` installs in one /24).
+    pub farms: Vec<FarmSighting>,
+    /// Per IIP: fraction of reporting installs with ≥1 money-keyword
+    /// app installed.
+    pub money_keyword_rate: Vec<(IipId, f64)>,
+    /// Per IIP: the most installed money-keyword package and its share
+    /// of reporting installs.
+    pub top_affiliate: Vec<(IipId, String, f64)>,
+}
+
+/// Installs behind a single /24 needed to call it a farm (the paper's
+/// observed farm had 20).
+pub const FARM_THRESHOLD: u64 = 10;
+
+fn has_money_keyword(pkg: &str) -> bool {
+    const KW: [&str; 5] = ["money", "reward", "cash", "earn", "rich"];
+    let lower = pkg.to_ascii_lowercase();
+    KW.iter().any(|k| lower.contains(k))
+}
+
+impl ForensicFindings {
+    /// Computes the forensic summary.
+    pub fn compute(outcomes: &[CampaignOutcome], collector: &Collector) -> ForensicFindings {
+        let records = collector.records();
+        // Deduplicate to one representative record per install (its
+        // first upload).
+        let mut first: BTreeMap<u64, &TelemetryRecord> = BTreeMap::new();
+        for r in &records {
+            first
+                .entry(r.install_id)
+                .and_modify(|cur| {
+                    if r.at < cur.at {
+                        *cur = r;
+                    }
+                })
+                .or_insert(r);
+        }
+        let installs: Vec<&TelemetryRecord> = first.values().copied().collect();
+
+        let emulator_installs = installs.iter().filter(|r| r.emulator_suspected).count() as u64;
+        let datacenter_installs = installs
+            .iter()
+            .filter(|r| r.asn_kind == "datacenter")
+            .count() as u64;
+
+        // Farms: group by /24.
+        let mut per_block: BTreeMap<&str, Vec<&TelemetryRecord>> = BTreeMap::new();
+        for r in &installs {
+            per_block.entry(r.block24.as_str()).or_default().push(r);
+        }
+        let mut farms = Vec::new();
+        for (block, group) in per_block {
+            if (group.len() as u64) < FARM_THRESHOLD {
+                continue;
+            }
+            let rooted = group.iter().filter(|r| r.rooted).count() as u64;
+            // Dominant SSID hash.
+            let mut ssids: BTreeMap<u64, u64> = BTreeMap::new();
+            for r in &group {
+                if let Some(h) = r.ssid_hash {
+                    *ssids.entry(h).or_default() += 1;
+                }
+            }
+            let same_ssid = ssids.values().copied().max().unwrap_or(0);
+            farms.push(FarmSighting {
+                block24: block.to_string(),
+                installs: group.len() as u64,
+                rooted,
+                same_ssid,
+            });
+        }
+        farms.sort_by(|a, b| b.installs.cmp(&a.installs).then(a.block24.cmp(&b.block24)));
+
+        // Per-IIP keyword and top-affiliate analysis over the windows.
+        let mut money_keyword_rate = Vec::new();
+        let mut top_affiliate = Vec::new();
+        for o in outcomes {
+            let w = window(o);
+            let in_window: Vec<&&TelemetryRecord> = installs
+                .iter()
+                .filter(|r| r.at >= w.0 && r.at < w.1)
+                .collect();
+            if in_window.is_empty() {
+                money_keyword_rate.push((o.iip, 0.0));
+                top_affiliate.push((o.iip, String::new(), 0.0));
+                continue;
+            }
+            let with_kw = in_window
+                .iter()
+                .filter(|r| r.installed.iter().any(|p| has_money_keyword(p)))
+                .count();
+            money_keyword_rate.push((o.iip, with_kw as f64 / in_window.len() as f64));
+
+            let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+            for r in &in_window {
+                for p in &r.installed {
+                    if has_money_keyword(p) {
+                        *counts.entry(p.as_str()).or_default() += 1;
+                    }
+                }
+            }
+            let (top, n) = counts
+                .into_iter()
+                .max_by_key(|(p, n)| (*n, std::cmp::Reverse(p.to_string())))
+                .unwrap_or(("", 0));
+            top_affiliate.push((o.iip, top.to_string(), n as f64 / in_window.len() as f64));
+        }
+
+        ForensicFindings {
+            emulator_installs,
+            datacenter_installs,
+            farms,
+            money_keyword_rate,
+            top_affiliate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        install_id: u64,
+        at_secs: u64,
+        event: TelemetryEvent,
+        block: &str,
+        rooted: bool,
+        ssid: Option<u64>,
+        installed: Vec<&str>,
+    ) -> TelemetryRecord {
+        TelemetryRecord {
+            at: SimTime::from_secs(at_secs),
+            install_id,
+            event,
+            build: "samsung/SM-G960F".into(),
+            emulator_suspected: false,
+            rooted,
+            ssid_hash: ssid,
+            block24: block.into(),
+            asn: 1,
+            asn_kind: "eyeball".into(),
+            installed: installed.into_iter().map(str::to_string).collect(),
+        }
+    }
+
+    fn outcome(iip: IipId, start: u64, end: u64, delivered: u64) -> CampaignOutcome {
+        CampaignOutcome {
+            iip,
+            purchased: delivered,
+            started_at: SimTime::from_secs(start),
+            finished_at: SimTime::from_secs(end),
+            installs_delivered: delivered,
+            completions_paid: delivered,
+            tag: format!("{iip}-c1"),
+            browse_misses: 0,
+        }
+    }
+
+    #[test]
+    fn acquisition_counts_missing_telemetry() {
+        let c = Collector::new();
+        // 4 delivered, 3 reported.
+        for id in 0..3 {
+            c.ingest(rec(
+                id,
+                100 + id,
+                TelemetryEvent::Open,
+                "1.2.3.0/24",
+                false,
+                None,
+                vec![],
+            ));
+        }
+        let o = outcome(IipId::RankApp, 0, 1_000, 4);
+        let f = AcquisitionFindings::compute(&[o], &c);
+        let (_, delivered, reported, missing, _) = f.per_iip[0];
+        assert_eq!(delivered, 4);
+        assert_eq!(reported, 3);
+        assert!((missing - 0.25).abs() < 1e-9);
+        assert_eq!(f.total_installs, 4);
+    }
+
+    #[test]
+    fn engagement_click_rates_and_day2() {
+        let c = Collector::new();
+        let day = 86_400;
+        // Install 1 opens and clicks on day 0, clicks again on day 1.
+        c.ingest(rec(
+            1,
+            100,
+            TelemetryEvent::Open,
+            "a.0/24",
+            false,
+            None,
+            vec![],
+        ));
+        c.ingest(rec(
+            1,
+            200,
+            TelemetryEvent::RecordClick,
+            "a.0/24",
+            false,
+            None,
+            vec![],
+        ));
+        c.ingest(rec(
+            1,
+            day + 300,
+            TelemetryEvent::RecordClick,
+            "a.0/24",
+            false,
+            None,
+            vec![],
+        ));
+        // Install 2 only opens.
+        c.ingest(rec(
+            2,
+            400,
+            TelemetryEvent::Open,
+            "b.0/24",
+            false,
+            None,
+            vec![],
+        ));
+        let o = outcome(IipId::Fyber, 0, 1_000, 2);
+        let e = EngagementFindings::compute(&[o], &c);
+        assert!((e.rate_for(IipId::Fyber).unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(e.day2_clickers[0].1, 1);
+    }
+
+    #[test]
+    fn forensics_find_farms() {
+        let c = Collector::new();
+        // A farm: 12 installs, one /24, 11 rooted, same SSID.
+        for id in 0..12u64 {
+            c.ingest(rec(
+                id,
+                100 + id,
+                TelemetryEvent::Open,
+                "10.9.9.0/24",
+                id != 0,
+                Some(0xFA51),
+                vec!["eu.gcashapp"],
+            ));
+        }
+        // Scattered ordinary installs.
+        for id in 100..105u64 {
+            c.ingest(rec(
+                id,
+                100 + id,
+                TelemetryEvent::Open,
+                &format!("10.0.{id}.0/24"),
+                false,
+                Some(id),
+                vec!["com.whatsapp.clone"],
+            ));
+        }
+        let o = outcome(IipId::RankApp, 0, 10_000, 17);
+        let f = ForensicFindings::compute(&[o], &c);
+        assert_eq!(f.farms.len(), 1);
+        assert_eq!(f.farms[0].installs, 12);
+        assert_eq!(f.farms[0].rooted, 11);
+        assert_eq!(f.farms[0].same_ssid, 12);
+        // Keyword rate: 12 of 17.
+        let (_, rate) = f.money_keyword_rate[0];
+        assert!((rate - 12.0 / 17.0).abs() < 1e-9);
+        let (_, top, share) = f.top_affiliate[0].clone();
+        assert_eq!(top, "eu.gcashapp");
+        assert!((share - 12.0 / 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forensics_count_emulators_and_datacenters_once_per_install() {
+        let c = Collector::new();
+        let mut r = rec(1, 100, TelemetryEvent::Open, "x.0/24", false, None, vec![]);
+        r.emulator_suspected = true;
+        r.asn_kind = "datacenter".into();
+        c.ingest(r.clone());
+        r.at = SimTime::from_secs(200);
+        r.event = TelemetryEvent::RecordClick;
+        c.ingest(r);
+        let f = ForensicFindings::compute(&[], &c);
+        assert_eq!(f.emulator_installs, 1);
+        assert_eq!(f.datacenter_installs, 1);
+        assert!(f.farms.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! The payout chain of Figure 1.
+//!
+//! "After a user completes an offer listed in the offer wall, the IIP
+//! keeps a fraction of the payout and releases the remaining payout to
+//! the affiliate app which, in turn, keeps a fraction of the payout and
+//! releases the remaining payout to the user." (§2.1)
+//!
+//! Splits are exact: the three parts always reconcile to the
+//! developer's payout, with rounding absorbed down-chain.
+
+use iiscope_types::Usd;
+
+/// The exact three-way division of one completed offer's payout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayoutSplit {
+    /// Kept by the IIP.
+    pub iip_share: Usd,
+    /// Kept by the affiliate app.
+    pub affiliate_share: Usd,
+    /// Paid to the user (in the affiliate's point currency).
+    pub user_share: Usd,
+}
+
+impl PayoutSplit {
+    /// Splits `payout`: the IIP takes `iip_cut_percent`, the affiliate
+    /// takes `affiliate_cut_percent` of what remains, the user gets the
+    /// rest.
+    pub fn compute(payout: Usd, iip_cut_percent: u8, affiliate_cut_percent: u8) -> PayoutSplit {
+        let (iip_share, rest) = payout.split_percent(iip_cut_percent);
+        let (affiliate_share, user_share) = rest.split_percent(affiliate_cut_percent);
+        PayoutSplit {
+            iip_share,
+            affiliate_share,
+            user_share,
+        }
+    }
+
+    /// Sum of the three parts (always the original payout).
+    pub fn total(&self) -> Usd {
+        self.iip_share + self.affiliate_share + self.user_share
+    }
+}
+
+/// Running settlement ledger for one platform: who has earned what.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Settlement {
+    /// Revenue retained by the IIP.
+    pub iip_revenue: Usd,
+    /// Total released to affiliate apps.
+    pub affiliate_revenue: Usd,
+    /// Total released to users.
+    pub user_payouts: Usd,
+    /// Number of settled completions.
+    pub completions: u64,
+}
+
+impl Settlement {
+    /// Empty ledger.
+    pub fn new() -> Settlement {
+        Settlement::default()
+    }
+
+    /// Applies one split.
+    pub fn settle(&mut self, split: PayoutSplit) {
+        self.iip_revenue += split.iip_share;
+        self.affiliate_revenue += split.affiliate_share;
+        self.user_payouts += split.user_share;
+        self.completions += 1;
+    }
+
+    /// Total money that has flowed through the platform.
+    pub fn gross(&self) -> Usd {
+        self.iip_revenue + self.affiliate_revenue + self.user_payouts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_reconciles_exactly() {
+        for payout_micros in [1i64, 7, 60_000, 520_000, 2_980_001] {
+            let payout = Usd::from_micros(payout_micros);
+            for iip_cut in [0u8, 30, 40, 100] {
+                for aff_cut in [0u8, 25, 50] {
+                    let s = PayoutSplit::compute(payout, iip_cut, aff_cut);
+                    assert_eq!(s.total(), payout, "{payout} {iip_cut} {aff_cut}");
+                    assert!(!s.user_share.is_negative());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typical_offer_split() {
+        // A $0.06 no-activity offer (Table 3's average) with a 30% IIP
+        // cut and 25% affiliate cut: the user sees about three cents.
+        let s = PayoutSplit::compute(Usd::from_cents(6), 30, 25);
+        assert_eq!(s.iip_share, Usd::from_micros(18_000));
+        assert_eq!(s.affiliate_share, Usd::from_micros(10_500));
+        assert_eq!(s.user_share, Usd::from_micros(31_500));
+    }
+
+    #[test]
+    fn settlement_accumulates() {
+        let mut ledger = Settlement::new();
+        let split = PayoutSplit::compute(Usd::from_cents(52), 30, 25);
+        for _ in 0..10 {
+            ledger.settle(split);
+        }
+        assert_eq!(ledger.completions, 10);
+        assert_eq!(ledger.gross(), Usd::from_cents(520));
+        assert_eq!(
+            ledger.gross(),
+            ledger.iip_revenue + ledger.affiliate_revenue + ledger.user_payouts
+        );
+    }
+}

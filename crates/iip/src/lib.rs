@@ -1,0 +1,31 @@
+//! # iiscope-iip
+//!
+//! The incentivized install platforms (IIPs) of Table 1 — the paper's
+//! central object of study. An IIP:
+//!
+//! * **vets developers** (or doesn't): vetted platforms demand
+//!   documentation and four-figure deposits; unvetted ones take $20 and
+//!   a dream (§2.1, [`vetting`]);
+//! * runs **campaigns** that publish **offers** — app, store URL,
+//!   payout, human-readable task description, conversion goal, geo
+//!   targeting ([`offer`], [`platform`]);
+//! * serves an **offer wall** to affiliate apps over HTTPS, each IIP
+//!   with its own JSON schema and reward currency ([`wall`]) — the
+//!   surface the §4.1 monitoring pipeline milks;
+//! * settles the **payout chain** of Figure 1 on certified postbacks:
+//!   IIP cut → affiliate cut → user reward ([`economics`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod economics;
+pub mod offer;
+pub mod platform;
+pub mod vetting;
+pub mod wall;
+
+pub use economics::{PayoutSplit, Settlement};
+pub use offer::{describe_goal, Offer, OfferStatus};
+pub use platform::{Campaign, CampaignSpec, IipPlatform};
+pub use vetting::{DeveloperApplication, IipProfile, VettingOutcome};
+pub use wall::OfferWallHandler;

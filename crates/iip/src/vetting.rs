@@ -1,0 +1,159 @@
+//! Developer vetting: the Table 1 split.
+//!
+//! "On one end, we find vetted IIPs … that have a stringent review
+//! process to vet developers. In most cases, they require developers to
+//! provide extensive documentation (e.g., valid TAX id, bank account)
+//! and make significant upfront monetary commitments (sometimes as high
+//! as thousands of dollars). … On the other end, we find unvetted IIPs
+//! … a developer can pay as little as 20 dollars to start a campaign."
+//! (§2.1)
+
+use iiscope_types::{DeveloperId, IipId, Usd};
+
+/// What a developer submits when registering with an IIP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeveloperApplication {
+    /// Applying developer.
+    pub developer: DeveloperId,
+    /// Provided a valid tax id.
+    pub has_tax_id: bool,
+    /// Provided a bank account.
+    pub has_bank_account: bool,
+    /// Upfront deposit offered.
+    pub deposit: Usd,
+}
+
+/// The result of a registration attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VettingOutcome {
+    /// Account opened with the deposited balance.
+    Accepted,
+    /// Rejected with the platform's reason.
+    Rejected(&'static str),
+}
+
+/// Per-IIP operating profile: the review process, fee structure and
+/// delivery characteristics the paper observed.
+#[derive(Debug, Clone)]
+pub struct IipProfile {
+    /// Which platform.
+    pub iip: IipId,
+    /// Documentation (tax id + bank account) required to register.
+    pub requires_documents: bool,
+    /// Minimum upfront deposit.
+    pub min_deposit: Usd,
+    /// Platform's cut of each completed offer payout (percent).
+    pub iip_cut_percent: u8,
+    /// Whether the platform rejects conversions carrying the
+    /// mediator's fraud flag (vetted platforms do; unvetted pay out
+    /// anyway).
+    pub rejects_flagged_conversions: bool,
+    /// Rough size of the worker audience reachable through the
+    /// platform's affiliate network — drives delivery speed (§3.2:
+    /// Fyber/ayeT deliver 500 installs within two hours, RankApp takes
+    /// more than 24).
+    pub audience_size: u32,
+}
+
+impl IipProfile {
+    /// The calibrated profile for each of the seven platforms.
+    pub fn for_iip(iip: IipId) -> IipProfile {
+        let vetted = iip.is_vetted();
+        let (min_deposit, audience_size) = match iip {
+            IipId::Fyber => (Usd::from_dollars(3_000), 60_000),
+            IipId::OfferToro => (Usd::from_dollars(1_500), 25_000),
+            IipId::AdscendMedia => (Usd::from_dollars(1_000), 20_000),
+            IipId::HangMyAds => (Usd::from_dollars(1_000), 8_000),
+            IipId::AdGem => (Usd::from_dollars(2_000), 6_000),
+            IipId::AyetStudios => (Usd::from_dollars(50), 30_000),
+            IipId::RankApp => (Usd::from_dollars(20), 4_000),
+        };
+        IipProfile {
+            iip,
+            requires_documents: vetted,
+            min_deposit,
+            iip_cut_percent: if vetted { 30 } else { 40 },
+            rejects_flagged_conversions: vetted,
+            audience_size,
+        }
+    }
+
+    /// Reviews an application.
+    pub fn review(&self, app: &DeveloperApplication) -> VettingOutcome {
+        if self.requires_documents && !(app.has_tax_id && app.has_bank_account) {
+            return VettingOutcome::Rejected("documentation required (tax id, bank account)");
+        }
+        if app.deposit < self.min_deposit {
+            return VettingOutcome::Rejected("deposit below platform minimum");
+        }
+        VettingOutcome::Accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn application(docs: bool, deposit: Usd) -> DeveloperApplication {
+        DeveloperApplication {
+            developer: DeveloperId(1),
+            has_tax_id: docs,
+            has_bank_account: docs,
+            deposit,
+        }
+    }
+
+    #[test]
+    fn vetted_requires_documents() {
+        let fyber = IipProfile::for_iip(IipId::Fyber);
+        assert_eq!(
+            fyber.review(&application(false, Usd::from_dollars(10_000))),
+            VettingOutcome::Rejected("documentation required (tax id, bank account)")
+        );
+        assert_eq!(
+            fyber.review(&application(true, Usd::from_dollars(10_000))),
+            VettingOutcome::Accepted
+        );
+    }
+
+    #[test]
+    fn unvetted_takes_20_dollars_no_questions() {
+        // §2.1's literal claim: "a developer can pay as little as 20
+        // dollars to start a campaign".
+        let rankapp = IipProfile::for_iip(IipId::RankApp);
+        assert_eq!(
+            rankapp.review(&application(false, Usd::from_dollars(20))),
+            VettingOutcome::Accepted
+        );
+        assert!(matches!(
+            rankapp.review(&application(false, Usd::from_dollars(5))),
+            VettingOutcome::Rejected(_)
+        ));
+    }
+
+    #[test]
+    fn deposit_floors_differ_by_class() {
+        for iip in IipId::ALL {
+            let p = IipProfile::for_iip(iip);
+            if iip.is_vetted() {
+                assert!(p.min_deposit >= Usd::from_dollars(1_000), "{iip}");
+                assert!(p.requires_documents);
+                assert!(p.rejects_flagged_conversions);
+            } else {
+                assert!(p.min_deposit <= Usd::from_dollars(50), "{iip}");
+                assert!(!p.requires_documents);
+                assert!(!p.rejects_flagged_conversions);
+            }
+        }
+    }
+
+    #[test]
+    fn vetted_reach_includes_the_biggest_audiences() {
+        // Fyber's audience dwarfs RankApp's — the delivery-speed gap of
+        // §3.2 falls out of this.
+        assert!(
+            IipProfile::for_iip(IipId::Fyber).audience_size
+                > 10 * IipProfile::for_iip(IipId::RankApp).audience_size
+        );
+    }
+}

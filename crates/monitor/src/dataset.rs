@@ -1,0 +1,325 @@
+//! The assembled longitudinal dataset and its query surface.
+//!
+//! §4.1's summary numbers all come from this store: "a total of 2,126
+//! offers from 922 unique advertised apps … a total of 1,128 unique
+//! offer descriptions". The analyses of §4.2–4.3 query it for campaign
+//! windows, per-IIP app sets, profile timelines and chart presence.
+
+use crate::crawler::{ChartSnapshot, ProfileSnapshot};
+use crate::parsers::ScrapedOffer;
+use iiscope_types::{IipId, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-app summary of everything the monitor saw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignObservation {
+    /// The advertised package.
+    pub package: String,
+    /// IIPs the app was seen on.
+    pub iips: BTreeSet<IipId>,
+    /// First offer sighting.
+    pub first_seen: SimTime,
+    /// Last offer sighting.
+    pub last_seen: SimTime,
+    /// Distinct offers ((iip, key) pairs).
+    pub offer_count: usize,
+}
+
+impl CampaignObservation {
+    /// Whether any of the app's offers ran on a vetted platform.
+    pub fn on_vetted(&self) -> bool {
+        self.iips.iter().any(|i| i.is_vetted())
+    }
+
+    /// Whether any of the app's offers ran on an unvetted platform.
+    pub fn on_unvetted(&self) -> bool {
+        self.iips.iter().any(|i| !i.is_vetted())
+    }
+
+    /// Campaign duration in days (Table 5/6 use a 25-day average).
+    pub fn duration_days(&self) -> u64 {
+        (self.last_seen - self.first_seen).days()
+    }
+}
+
+/// The dataset store.
+#[derive(Debug, Default)]
+pub struct Dataset {
+    offers: Vec<ScrapedOffer>,
+    profiles: Vec<ProfileSnapshot>,
+    charts: Vec<ChartSnapshot>,
+}
+
+impl Dataset {
+    /// Empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Appends scraped offers.
+    pub fn add_offers(&mut self, offers: impl IntoIterator<Item = ScrapedOffer>) {
+        self.offers.extend(offers);
+    }
+
+    /// Appends a profile snapshot.
+    pub fn add_profile(&mut self, snap: ProfileSnapshot) {
+        self.profiles.push(snap);
+    }
+
+    /// Appends a chart snapshot.
+    pub fn add_chart(&mut self, snap: ChartSnapshot) {
+        self.charts.push(snap);
+    }
+
+    /// All raw offer observations.
+    pub fn offers(&self) -> &[ScrapedOffer] {
+        &self.offers
+    }
+
+    /// All profile snapshots.
+    pub fn profiles(&self) -> &[ProfileSnapshot] {
+        &self.profiles
+    }
+
+    /// All chart snapshots.
+    pub fn charts(&self) -> &[ChartSnapshot] {
+        &self.charts
+    }
+
+    /// Deduplicated offers: first observation of each `(iip, key)`.
+    pub fn unique_offers(&self) -> Vec<&ScrapedOffer> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for o in &self.offers {
+            if seen.insert((o.iip, o.raw.offer_key)) {
+                out.push(o);
+            }
+        }
+        out
+    }
+
+    /// Unique offer descriptions (the paper counts 1,128).
+    pub fn unique_descriptions(&self) -> BTreeSet<&str> {
+        self.offers
+            .iter()
+            .map(|o| o.raw.description.as_str())
+            .collect()
+    }
+
+    /// Unique advertised packages (the paper counts 922).
+    pub fn advertised_packages(&self) -> BTreeSet<&str> {
+        self.offers.iter().map(|o| o.raw.package.as_str()).collect()
+    }
+
+    /// Packages advertised on a specific IIP.
+    pub fn packages_on(&self, iip: IipId) -> BTreeSet<&str> {
+        self.offers
+            .iter()
+            .filter(|o| o.iip == iip)
+            .map(|o| o.raw.package.as_str())
+            .collect()
+    }
+
+    /// Packages advertised on any vetted (true) / unvetted (false)
+    /// platform. Note an app can be in both sets (Table 5's N values
+    /// overlap: 492 + 538 > 922).
+    pub fn packages_by_class(&self, vetted: bool) -> BTreeSet<&str> {
+        self.offers
+            .iter()
+            .filter(|o| o.iip.is_vetted() == vetted)
+            .map(|o| o.raw.package.as_str())
+            .collect()
+    }
+
+    /// Per-app observation summaries, sorted by package.
+    pub fn observations(&self) -> Vec<CampaignObservation> {
+        let mut map: BTreeMap<&str, CampaignObservation> = BTreeMap::new();
+        let mut keys: BTreeMap<&str, BTreeSet<(IipId, u64)>> = BTreeMap::new();
+        for o in &self.offers {
+            let pkg = o.raw.package.as_str();
+            let entry = map.entry(pkg).or_insert_with(|| CampaignObservation {
+                package: pkg.to_string(),
+                iips: BTreeSet::new(),
+                first_seen: o.seen_at,
+                last_seen: o.seen_at,
+                offer_count: 0,
+            });
+            entry.iips.insert(o.iip);
+            entry.first_seen = entry.first_seen.min(o.seen_at);
+            entry.last_seen = entry.last_seen.max(o.seen_at);
+            keys.entry(pkg)
+                .or_default()
+                .insert((o.iip, o.raw.offer_key));
+        }
+        map.into_iter()
+            .map(|(pkg, mut obs)| {
+                obs.offer_count = keys.get(pkg).map_or(0, BTreeSet::len);
+                obs
+            })
+            .collect()
+    }
+
+    /// Observation for one package.
+    pub fn observation(&self, package: &str) -> Option<CampaignObservation> {
+        self.observations()
+            .into_iter()
+            .find(|o| o.package == package)
+    }
+
+    /// Profile timeline of one package, day-ascending.
+    pub fn profile_series(&self, package: &str) -> Vec<&ProfileSnapshot> {
+        let mut v: Vec<&ProfileSnapshot> = self
+            .profiles
+            .iter()
+            .filter(|p| p.package == package)
+            .collect();
+        v.sort_by_key(|p| p.day);
+        v
+    }
+
+    /// Days on which `package` appeared in `chart`, with its rank.
+    pub fn chart_presence(&self, package: &str, chart: &str) -> Vec<(u64, usize)> {
+        let mut v: Vec<(u64, usize)> = self
+            .charts
+            .iter()
+            .filter(|c| c.chart == chart)
+            .filter_map(|c| {
+                c.entries
+                    .iter()
+                    .find(|(p, _)| p == package)
+                    .map(|(_, rank)| (c.day, *rank))
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether `package` appeared in *any* chart in the day range
+    /// `[from, to]`.
+    pub fn in_any_chart(&self, package: &str, from: u64, to: u64) -> bool {
+        self.charts
+            .iter()
+            .any(|c| c.day >= from && c.day <= to && c.entries.iter().any(|(p, _)| p == package))
+    }
+
+    /// Distinct crawl days present in the chart dataset.
+    pub fn chart_days(&self) -> BTreeSet<u64> {
+        self.charts.iter().map(|c| c.day).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parsers::{RawOffer, RewardValue};
+    use iiscope_types::Country;
+
+    fn offer(iip: IipId, key: u64, pkg: &str, day: u64, desc: &str) -> ScrapedOffer {
+        ScrapedOffer {
+            iip,
+            raw: RawOffer {
+                offer_key: key,
+                description: desc.into(),
+                reward: RewardValue::Cents(5),
+                package: pkg.into(),
+                store_url: format!("https://play.iiscope/store/apps/details?id={pkg}"),
+            },
+            seen_at: SimTime::from_days(day),
+            affiliate: "com.cash.app".into(),
+            vantage: Country::Us,
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let mut d = Dataset::new();
+        d.add_offers([
+            offer(IipId::Fyber, 1, "com.a.one", 10, "Install and Register"),
+            offer(IipId::Fyber, 1, "com.a.one", 12, "Install and Register"), // re-observed
+            offer(IipId::RankApp, 7, "com.a.one", 14, "Install and Launch"),
+            offer(IipId::RankApp, 8, "com.b.two", 11, "Install and Launch"),
+        ]);
+        d
+    }
+
+    #[test]
+    fn dedup_and_counts() {
+        let d = dataset();
+        assert_eq!(d.offers().len(), 4);
+        assert_eq!(d.unique_offers().len(), 3);
+        assert_eq!(d.unique_descriptions().len(), 2);
+        assert_eq!(d.advertised_packages().len(), 2);
+    }
+
+    #[test]
+    fn per_class_sets_can_overlap() {
+        let d = dataset();
+        let vetted = d.packages_by_class(true);
+        let unvetted = d.packages_by_class(false);
+        assert!(vetted.contains("com.a.one"));
+        assert!(unvetted.contains("com.a.one"));
+        assert!(!vetted.contains("com.b.two"));
+        assert_eq!(d.packages_on(IipId::RankApp).len(), 2);
+    }
+
+    #[test]
+    fn observations_aggregate_windows() {
+        let d = dataset();
+        let obs = d.observation("com.a.one").unwrap();
+        assert_eq!(obs.first_seen, SimTime::from_days(10));
+        assert_eq!(obs.last_seen, SimTime::from_days(14));
+        assert_eq!(obs.duration_days(), 4);
+        assert_eq!(obs.offer_count, 2);
+        assert!(obs.on_vetted() && obs.on_unvetted());
+        assert!(d.observation("com.none").is_none());
+    }
+
+    #[test]
+    fn chart_queries() {
+        let mut d = dataset();
+        d.add_chart(ChartSnapshot {
+            day: 10,
+            chart: "topselling_free",
+            entries: vec![("com.a.one".into(), 3)],
+        });
+        d.add_chart(ChartSnapshot {
+            day: 12,
+            chart: "topselling_free",
+            entries: vec![("com.b.two".into(), 1)],
+        });
+        assert_eq!(
+            d.chart_presence("com.a.one", "topselling_free"),
+            vec![(10, 3)]
+        );
+        assert!(d.in_any_chart("com.a.one", 9, 11));
+        assert!(!d.in_any_chart("com.a.one", 11, 20));
+        assert_eq!(d.chart_days().len(), 2);
+    }
+
+    #[test]
+    fn profile_series_sorted() {
+        let mut d = Dataset::new();
+        for day in [14u64, 10, 12] {
+            d.add_profile(ProfileSnapshot {
+                day,
+                package: "com.a.one".into(),
+                title: "A".into(),
+                genre_id: "TOOLS".into(),
+                released_day: 1,
+                min_installs: 100 * day,
+                developer_id: 1,
+                developer_name: "d".into(),
+                developer_country: "US".into(),
+                developer_email: "e".into(),
+                developer_website: String::new(),
+                rating: 0.0,
+                rating_count: 0,
+            });
+        }
+        let series = d.profile_series("com.a.one");
+        assert_eq!(
+            series.iter().map(|p| p.day).collect::<Vec<_>>(),
+            vec![10, 12, 14]
+        );
+        assert!(d.profile_series("com.none").is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Dataset export — the repo's equivalent of the paper's public data
+//! release ("we have also publicly shared our crawled data", §5.2).
+//!
+//! Three CSV files, mirroring what the authors could share: the offer
+//! observations, the profile crawl, and the chart crawl. CSV writing
+//! is implemented here (RFC-4180-style quoting) because the offline
+//! dependency set has no csv crate.
+
+use crate::dataset::Dataset;
+use iiscope_types::Result;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Quotes one CSV field if needed.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn csv_row(fields: &[&str]) -> String {
+    let mut out = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&csv_field(f));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders the offers CSV (one row per observation).
+pub fn offers_csv(ds: &Dataset) -> String {
+    let mut out = csv_row(&[
+        "iip",
+        "offer_key",
+        "seen_day",
+        "vantage",
+        "affiliate",
+        "package",
+        "description",
+        "reward",
+        "store_url",
+    ]);
+    for o in ds.offers() {
+        let reward = match o.raw.reward {
+            crate::parsers::RewardValue::Usd(v) => format!("usd:{v}"),
+            crate::parsers::RewardValue::Points(p) => format!("points:{p}"),
+            crate::parsers::RewardValue::Cents(c) => format!("cents:{c}"),
+        };
+        out.push_str(&csv_row(&[
+            o.iip.name(),
+            &o.raw.offer_key.to_string(),
+            &o.seen_at.days().to_string(),
+            o.vantage.code(),
+            &o.affiliate,
+            &o.raw.package,
+            &o.raw.description,
+            &reward,
+            &o.raw.store_url,
+        ]));
+    }
+    out
+}
+
+/// Renders the profiles CSV (one row per crawl snapshot).
+pub fn profiles_csv(ds: &Dataset) -> String {
+    let mut out = csv_row(&[
+        "day",
+        "package",
+        "title",
+        "genre",
+        "released_day",
+        "min_installs",
+        "developer_id",
+        "developer_name",
+        "developer_country",
+        "developer_website",
+        "rating",
+        "rating_count",
+    ]);
+    for p in ds.profiles() {
+        out.push_str(&csv_row(&[
+            &p.day.to_string(),
+            &p.package,
+            &p.title,
+            &p.genre_id,
+            &p.released_day.to_string(),
+            &p.min_installs.to_string(),
+            &p.developer_id.to_string(),
+            &p.developer_name,
+            &p.developer_country,
+            &p.developer_website,
+            &format!("{:.1}", p.rating),
+            &p.rating_count.to_string(),
+        ]));
+    }
+    out
+}
+
+/// Renders the charts CSV (one row per chart entry per crawl).
+pub fn charts_csv(ds: &Dataset) -> String {
+    let mut out = csv_row(&["day", "chart", "rank", "package"]);
+    for c in ds.charts() {
+        for (pkg, rank) in &c.entries {
+            let mut row = String::new();
+            let _ = write!(row, "{},{},{rank},", c.day, c.chart);
+            row.push_str(&csv_field(pkg));
+            row.push('\n');
+            out.push_str(&row);
+        }
+    }
+    out
+}
+
+/// Writes `offers.csv`, `profiles.csv` and `charts.csv` into `dir`
+/// (created if missing). Returns the number of data rows written.
+pub fn export_csv(ds: &Dataset, dir: &Path) -> Result<usize> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| iiscope_types::Error::InvalidState(format!("mkdir {dir:?}: {e}")))?;
+    let mut rows = 0;
+    for (name, content) in [
+        ("offers.csv", offers_csv(ds)),
+        ("profiles.csv", profiles_csv(ds)),
+        ("charts.csv", charts_csv(ds)),
+    ] {
+        rows += content.lines().count().saturating_sub(1);
+        std::fs::write(dir.join(name), content)
+            .map_err(|e| iiscope_types::Error::InvalidState(format!("write {name}: {e}")))?;
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawler::{ChartSnapshot, ProfileSnapshot};
+    use crate::parsers::{RawOffer, RewardValue, ScrapedOffer};
+    use iiscope_types::{Country, IipId, SimTime};
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.add_offers([ScrapedOffer {
+            iip: IipId::Fyber,
+            raw: RawOffer {
+                offer_key: 9,
+                description: "Install, \"register\", earn".into(),
+                reward: RewardValue::Usd(0.25),
+                package: "com.a.b".into(),
+                store_url: "https://play.iiscope/x?id=com.a.b".into(),
+            },
+            seen_at: SimTime::from_days(3),
+            affiliate: "com.cash,app".into(), // comma on purpose
+            vantage: Country::De,
+        }]);
+        ds.add_profile(ProfileSnapshot {
+            day: 3,
+            package: "com.a.b".into(),
+            title: "A, B".into(),
+            genre_id: "TOOLS".into(),
+            released_day: 1,
+            min_installs: 100,
+            developer_id: 4,
+            developer_name: "Dev \"X\"".into(),
+            developer_country: "DE".into(),
+            developer_email: "d@x".into(),
+            developer_website: String::new(),
+            rating: 0.0,
+            rating_count: 0,
+        });
+        ds.add_chart(ChartSnapshot {
+            day: 3,
+            chart: "topselling_free",
+            entries: vec![("com.a.b".into(), 1)],
+        });
+        ds
+    }
+
+    #[test]
+    fn csv_escaping_is_correct() {
+        let ds = dataset();
+        let offers = offers_csv(&ds);
+        assert!(offers.contains("\"Install, \"\"register\"\", earn\""));
+        assert!(offers.contains("\"com.cash,app\""));
+        let profiles = profiles_csv(&ds);
+        assert!(profiles.contains("\"A, B\""));
+        assert!(profiles.contains("\"Dev \"\"X\"\"\""));
+        let charts = charts_csv(&ds);
+        assert!(charts.contains("3,topselling_free,1,com.a.b"));
+    }
+
+    #[test]
+    fn export_writes_three_files() {
+        let ds = dataset();
+        let dir = std::env::temp_dir().join(format!("iiscope-export-{}", std::process::id()));
+        let rows = export_csv(&ds, &dir).unwrap();
+        assert_eq!(rows, 3, "one data row per file");
+        for f in ["offers.csv", "profiles.csv", "charts.csv"] {
+            let content = std::fs::read_to_string(dir.join(f)).unwrap();
+            assert!(content.lines().count() >= 2, "{f} missing rows");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_rows_are_stable() {
+        let ds = Dataset::new();
+        assert!(offers_csv(&ds).starts_with("iip,offer_key,seen_day,"));
+        assert!(profiles_csv(&ds).starts_with("day,package,title,"));
+        assert!(charts_csv(&ds).starts_with("day,chart,rank,package"));
+    }
+}

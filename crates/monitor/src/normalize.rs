@@ -1,0 +1,137 @@
+//! Reward normalization: whatever a wall displays → USD.
+//!
+//! §4.1: "offer payouts use different point systems across different
+//! affiliate apps. We normalize offer payouts … by converting their
+//! points to equivalent dollar amounts" (footnote: "By analyzing
+//! affiliate apps, we convert these reward points to an equivalent
+//! offer payout in USD that can be redeemed through gift cards").
+//!
+//! The [`RateBook`] is the product of that manual analysis: a mapping
+//! from affiliate package to points-per-dollar. It is built from the
+//! affiliate-app catalog by the rig, not leaked from IIP internals.
+
+use crate::parsers::RewardValue;
+use iiscope_types::Usd;
+use std::collections::BTreeMap;
+
+/// Redemption rates per affiliate app.
+#[derive(Debug, Clone, Default)]
+pub struct RateBook {
+    rates: BTreeMap<String, u64>,
+}
+
+impl RateBook {
+    /// Empty book.
+    pub fn new() -> RateBook {
+        RateBook::default()
+    }
+
+    /// Records an affiliate's points-per-dollar redemption rate.
+    pub fn set_rate(&mut self, affiliate: impl Into<String>, points_per_dollar: u64) {
+        self.rates.insert(affiliate.into(), points_per_dollar);
+    }
+
+    /// Builds the book from the monitored affiliate apps.
+    pub fn from_catalog(apps: &[iiscope_devices::AffiliateApp]) -> RateBook {
+        let mut book = RateBook::new();
+        for app in apps {
+            book.set_rate(app.package.as_str(), app.points_per_dollar);
+        }
+        book
+    }
+
+    /// Known rate for an affiliate.
+    pub fn rate(&self, affiliate: &str) -> Option<u64> {
+        self.rates.get(affiliate).copied()
+    }
+
+    /// Converts a displayed reward into USD. Point conversions need
+    /// the observing affiliate's rate; unknown affiliates yield `None`
+    /// (those offers are dropped from payout analyses, as unlabelled
+    /// data would be).
+    pub fn to_usd(&self, reward: RewardValue, affiliate: &str) -> Option<Usd> {
+        match reward {
+            RewardValue::Usd(d) if d.is_finite() && d >= 0.0 => {
+                Some(Usd::from_micros((d * 1e6).round() as i64))
+            }
+            RewardValue::Usd(_) => None,
+            RewardValue::Cents(c) if c >= 0 => Some(Usd::from_cents(c)),
+            RewardValue::Cents(_) => None,
+            RewardValue::Points(p) => {
+                let rate = self.rate(affiliate)?;
+                if p < 0 || rate == 0 {
+                    return None;
+                }
+                Some(Usd::from_micros(
+                    ((p as f64 / rate as f64) * 1e6).round() as i64
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usd_and_cents_are_direct() {
+        let book = RateBook::new();
+        assert_eq!(
+            book.to_usd(RewardValue::Usd(0.525), "whoever").unwrap(),
+            Usd::from_micros(525_000)
+        );
+        assert_eq!(
+            book.to_usd(RewardValue::Cents(7), "whoever").unwrap(),
+            Usd::from_cents(7)
+        );
+    }
+
+    #[test]
+    fn points_need_a_rate() {
+        let mut book = RateBook::new();
+        assert_eq!(book.to_usd(RewardValue::Points(500), "com.cash.app"), None);
+        book.set_rate("com.cash.app", 1_000);
+        assert_eq!(
+            book.to_usd(RewardValue::Points(500), "com.cash.app")
+                .unwrap(),
+            Usd::from_cents(50)
+        );
+        // A different affiliate's rate gives a different dollar value
+        // for the same point count — the normalization problem.
+        book.set_rate("com.other.app", 100);
+        assert_eq!(
+            book.to_usd(RewardValue::Points(500), "com.other.app")
+                .unwrap(),
+            Usd::from_dollars(5)
+        );
+    }
+
+    #[test]
+    fn garbage_rewards_rejected() {
+        let mut book = RateBook::new();
+        book.set_rate("a.b", 100);
+        assert_eq!(book.to_usd(RewardValue::Usd(f64::NAN), "a.b"), None);
+        assert_eq!(book.to_usd(RewardValue::Usd(-1.0), "a.b"), None);
+        assert_eq!(book.to_usd(RewardValue::Cents(-5), "a.b"), None);
+        assert_eq!(book.to_usd(RewardValue::Points(-5), "a.b"), None);
+        book.set_rate("zero", 0);
+        assert_eq!(book.to_usd(RewardValue::Points(5), "zero"), None);
+    }
+
+    #[test]
+    fn catalog_round_trip() {
+        let apps = iiscope_devices::AffiliateApp::table2_catalog();
+        let book = RateBook::from_catalog(&apps);
+        for app in &apps {
+            assert_eq!(book.rate(app.package.as_str()), Some(app.points_per_dollar));
+        }
+        // A wall shows 2,500 points on CashPirate (2,500 pts/$):
+        // that's a dollar.
+        assert_eq!(
+            book.to_usd(RewardValue::Points(2_500), "com.ayet.cashpirate")
+                .unwrap(),
+            Usd::from_dollars(1)
+        );
+    }
+}

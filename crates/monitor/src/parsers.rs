@@ -1,0 +1,260 @@
+//! Per-IIP offer-wall parsers.
+//!
+//! Each parser consumes the *intercepted JSON body* of one wall page
+//! and emits [`RawOffer`]s. Inputs are untrusted bytes off the wire:
+//! parsers tolerate unknown fields, skip malformed entries (counting
+//! them), and never panic. The dialects mirror
+//! `iiscope_iip::wall` — but the monitor only knows them the way the
+//! paper's authors did: by reverse-engineering captured traffic, so
+//! nothing here links against the wall implementation.
+
+use iiscope_types::{Country, IipId, SimTime};
+use iiscope_wire::Json;
+
+/// The reward currency as displayed by a wall.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RewardValue {
+    /// Direct USD amount (Fyber).
+    Usd(f64),
+    /// Affiliate-app points (most walls).
+    Points(i64),
+    /// Whole US cents (RankApp).
+    Cents(i64),
+}
+
+/// One offer as parsed from a wall page, before enrichment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawOffer {
+    /// Wall-scoped offer key (for deduplication across pages/rounds).
+    pub offer_key: u64,
+    /// Human-readable task description.
+    pub description: String,
+    /// Displayed reward.
+    pub reward: RewardValue,
+    /// Advertised package name (as printed; may be garbage).
+    pub package: String,
+    /// Play Store URL.
+    pub store_url: String,
+}
+
+/// A fully-enriched observation of an offer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapedOffer {
+    /// Which IIP's wall it was seen on.
+    pub iip: IipId,
+    /// The raw parse.
+    pub raw: RawOffer,
+    /// When it was scraped.
+    pub seen_at: SimTime,
+    /// Which affiliate app's wall produced it.
+    pub affiliate: String,
+    /// Vantage-point country of the milker.
+    pub vantage: Country,
+}
+
+/// Result of parsing one page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageParse {
+    /// Successfully parsed offers.
+    pub offers: Vec<RawOffer>,
+    /// Entries skipped as malformed.
+    pub skipped: usize,
+}
+
+fn str_field(v: &Json, key: &str) -> Option<String> {
+    v.get(key)?.as_str().map(str::to_string)
+}
+
+fn int_field(v: &Json, key: &str) -> Option<i64> {
+    v.get(key)?.as_i64()
+}
+
+/// Parses one wall page body for the given IIP dialect.
+///
+/// Returns an error only when the page as a whole is unusable (not
+/// JSON / wrong envelope); individual bad entries are skipped.
+pub fn parse_wall(iip: IipId, body: &str) -> iiscope_types::Result<PageParse> {
+    let json =
+        Json::parse(body).map_err(|e| iiscope_types::Error::Decode(format!("{iip} wall: {e}")))?;
+    let entries: &[Json] = match iip {
+        IipId::Fyber => json
+            .get("ofw")
+            .and_then(|o| o.get("offers"))
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad_envelope(iip))?,
+        IipId::OfferToro => json
+            .get("response")
+            .and_then(|o| o.get("offers"))
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad_envelope(iip))?,
+        IipId::AdscendMedia => json
+            .get("adscend")
+            .and_then(|o| o.get("entries"))
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad_envelope(iip))?,
+        IipId::HangMyAds => json
+            .get("result")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad_envelope(iip))?,
+        IipId::AdGem => json
+            .get("data")
+            .and_then(|o| o.get("wall"))
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad_envelope(iip))?,
+        IipId::AyetStudios => {
+            if json.get("status").and_then(Json::as_str) != Some("ok") {
+                return Err(bad_envelope(iip));
+            }
+            json.get("offers")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad_envelope(iip))?
+        }
+        IipId::RankApp => json.as_array().ok_or_else(|| bad_envelope(iip))?,
+    };
+
+    let mut offers = Vec::with_capacity(entries.len());
+    let mut skipped = 0;
+    for entry in entries {
+        match parse_entry(iip, entry) {
+            Some(offer) => offers.push(offer),
+            None => skipped += 1,
+        }
+    }
+    Ok(PageParse { offers, skipped })
+}
+
+fn bad_envelope(iip: IipId) -> iiscope_types::Error {
+    iiscope_types::Error::Decode(format!("{iip} wall: unexpected envelope"))
+}
+
+fn parse_entry(iip: IipId, v: &Json) -> Option<RawOffer> {
+    match iip {
+        IipId::Fyber => Some(RawOffer {
+            offer_key: int_field(v, "offer_id")? as u64,
+            description: str_field(v, "title")?,
+            reward: RewardValue::Usd(v.get("payout_usd")?.as_f64()?),
+            package: str_field(v, "package")?,
+            store_url: str_field(v, "play_url")?,
+        }),
+        IipId::OfferToro => Some(RawOffer {
+            offer_key: int_field(v, "id")? as u64,
+            description: str_field(v, "offer_desc")?,
+            reward: RewardValue::Points(int_field(v, "amount")?),
+            package: str_field(v, "package_name")?,
+            store_url: str_field(v, "link")?,
+        }),
+        IipId::AdscendMedia => {
+            let app = v.get("app")?;
+            Some(RawOffer {
+                offer_key: int_field(v, "uid")? as u64,
+                description: str_field(v, "description")?,
+                reward: RewardValue::Points(int_field(v, "currency_count")?),
+                package: str_field(app, "bundle")?,
+                store_url: str_field(app, "market_url")?,
+            })
+        }
+        IipId::HangMyAds => Some(RawOffer {
+            offer_key: int_field(v, "tid")? as u64,
+            description: str_field(v, "task")?,
+            reward: RewardValue::Points(int_field(v, "points")?),
+            package: str_field(v, "pkg")?,
+            store_url: str_field(v, "url")?,
+        }),
+        IipId::AdGem => Some(RawOffer {
+            offer_key: int_field(v, "id")? as u64,
+            description: str_field(v, "text")?,
+            reward: RewardValue::Points(int_field(v.get("reward")?, "points")?),
+            package: str_field(v, "bundle_id")?,
+            store_url: str_field(v, "store_link")?,
+        }),
+        IipId::AyetStudios => Some(RawOffer {
+            offer_key: int_field(v, "offer_key")? as u64,
+            description: str_field(v, "name")?,
+            reward: RewardValue::Points(int_field(v, "payout")?),
+            package: str_field(v, "package_id")?,
+            store_url: str_field(v, "tracking_link")?,
+        }),
+        IipId::RankApp => Some(RawOffer {
+            offer_key: int_field(v, "rid")? as u64,
+            description: str_field(v, "task")?,
+            reward: RewardValue::Cents(int_field(v, "price_cents")?),
+            package: str_field(v, "app")?,
+            store_url: str_field(v, "gp_link")?,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fyber_page_parses() {
+        let body = r#"{"ofw":{"count":2,"offers":[
+            {"offer_id":1,"title":"Install and Launch","payout_usd":0.03,
+             "package":"com.a.b","play_url":"https://play.iiscope/x"},
+            {"offer_id":2,"title":"Install and Register","payout_usd":0.26,
+             "package":"com.c.d","play_url":"https://play.iiscope/y"}
+        ]}}"#;
+        let page = parse_wall(IipId::Fyber, body).unwrap();
+        assert_eq!(page.offers.len(), 2);
+        assert_eq!(page.skipped, 0);
+        assert_eq!(page.offers[0].reward, RewardValue::Usd(0.03));
+        assert_eq!(page.offers[1].description, "Install and Register");
+    }
+
+    #[test]
+    fn rankapp_top_level_array() {
+        let body = r#"[{"rid":9,"task":"Install and run the application",
+            "price_cents":1,"gp_link":"https://play.iiscope/z","app":"com.x.y"}]"#;
+        let page = parse_wall(IipId::RankApp, body).unwrap();
+        assert_eq!(page.offers.len(), 1);
+        assert_eq!(page.offers[0].reward, RewardValue::Cents(1));
+    }
+
+    #[test]
+    fn nested_schemas_parse() {
+        let adscend = r#"{"adscend":{"entries":[{"uid":3,"description":"Install, sign up with email",
+            "currency_count":120,"app":{"bundle":"com.q.r","market_url":"https://play.iiscope/q"}}]}}"#;
+        let page = parse_wall(IipId::AdscendMedia, adscend).unwrap();
+        assert_eq!(page.offers[0].package, "com.q.r");
+        let adgem = r#"{"data":{"wall":[{"id":4,"text":"Install & complete level 5",
+            "reward":{"points":900},"bundle_id":"com.g.h","store_link":"https://play.iiscope/g"}]}}"#;
+        let page = parse_wall(IipId::AdGem, adgem).unwrap();
+        assert_eq!(page.offers[0].reward, RewardValue::Points(900));
+    }
+
+    #[test]
+    fn malformed_entries_are_skipped_not_fatal() {
+        let body = r#"{"ofw":{"count":2,"offers":[
+            {"offer_id":1,"title":"ok","payout_usd":0.1,"package":"a.b","play_url":"u"},
+            {"title":"missing id and payout"}
+        ]}}"#;
+        let page = parse_wall(IipId::Fyber, body).unwrap();
+        assert_eq!(page.offers.len(), 1);
+        assert_eq!(page.skipped, 1);
+    }
+
+    #[test]
+    fn wrong_envelope_is_fatal() {
+        assert!(parse_wall(IipId::Fyber, "{}").is_err());
+        assert!(parse_wall(IipId::RankApp, "{}").is_err());
+        assert!(parse_wall(IipId::AyetStudios, r#"{"status":"error","offers":[]}"#).is_err());
+        assert!(parse_wall(IipId::Fyber, "not json at all").is_err());
+    }
+
+    #[test]
+    fn ayet_requires_ok_status() {
+        let body = r#"{"status":"ok","offers":[{"offer_key":5,"name":"Install and Launch",
+            "payout":44,"package_id":"com.m.n","tracking_link":"t"}]}"#;
+        let page = parse_wall(IipId::AyetStudios, body).unwrap();
+        assert_eq!(page.offers[0].offer_key, 5);
+    }
+
+    #[test]
+    fn empty_pages_are_fine() {
+        let page = parse_wall(IipId::HangMyAds, r#"{"result":[]}"#).unwrap();
+        assert!(page.offers.is_empty());
+        assert_eq!(page.skipped, 0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Addressing: autonomous systems, /24 blocks, host addresses.
+//!
+//! §3.2's install forensics are built on addressing facts:
+//!
+//! * "7 of the devices that install our honey app … connect from ASNs of
+//!   popular cloud services (e.g., Digital Ocean) when eyeball ASNs
+//!   would be expected" — so ASNs carry a [`AsnKind`].
+//! * "we record 20 installs from different devices behind the same /24
+//!   block" — so the honey app reports the [`Block24`] of the public
+//!   IPv4, and device farms share one.
+//! * the milkers egress "using datacenter VPN proxies offered by
+//!   luminati.io" — [`AsnKind::VpnExit`] with a country.
+
+use iiscope_types::Country;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Autonomous system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AsnId(pub u32);
+
+impl fmt::Display for AsnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// The operational class of an autonomous system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AsnKind {
+    /// Residential / mobile access network — what genuine users
+    /// connect from.
+    Eyeball,
+    /// Cloud / hosting provider (Digital Ocean et al.) — a bot signal
+    /// when seen on an "end user" install (§3.2).
+    Datacenter,
+    /// Datacenter VPN exit used by the monitoring milkers (§4.1).
+    VpnExit,
+}
+
+/// A /24 IPv4 block. The honey app truncates the last octet of the
+/// public address before upload ("we drop the last octet of the IPv4
+/// address", §3.1 Ethics), so /24 is the resolution of every
+/// address-based analysis in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Block24(u32);
+
+impl Block24 {
+    /// The block containing `addr`.
+    pub fn containing(addr: Ipv4Addr) -> Block24 {
+        Block24(u32::from(addr) & 0xFFFF_FF00)
+    }
+
+    /// The `i`-th host address inside the block (i in 1..=254;
+    /// .0 and .255 are reserved).
+    pub fn host(self, i: u8) -> Ipv4Addr {
+        debug_assert!((1..=254).contains(&i), "host index out of range");
+        Ipv4Addr::from(self.0 | u32::from(i))
+    }
+
+    /// Network address of the block (x.y.z.0).
+    pub fn network(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.0)
+    }
+}
+
+impl fmt::Display for Block24 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/24", self.network())
+    }
+}
+
+/// A fully-resolved network location of a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostAddr {
+    /// The concrete IPv4 address.
+    pub ip: Ipv4Addr,
+    /// Origin AS of the address.
+    pub asn: AsnId,
+    /// Operational class of the origin AS.
+    pub asn_kind: AsnKind,
+    /// Geolocation of the address.
+    pub country: Country,
+}
+
+impl HostAddr {
+    /// The /24 block of the address — the granularity the honey app
+    /// reports upstream.
+    pub fn block(&self) -> Block24 {
+        Block24::containing(self.ip)
+    }
+}
+
+/// Descriptor of one simulated AS.
+#[derive(Debug, Clone)]
+pub struct AsnRecord {
+    /// The AS number.
+    pub id: AsnId,
+    /// Human-readable operator name ("Comcast", "Digital Ocean", …).
+    pub name: String,
+    /// Operational class.
+    pub kind: AsnKind,
+    /// Country the AS serves.
+    pub country: Country,
+}
+
+/// Registry of ASNs and allocator of /24 blocks and host addresses.
+///
+/// Allocation is strictly sequential and therefore deterministic: the
+/// n-th block requested from a given registry is always the same,
+/// regardless of what other subsystems do.
+#[derive(Debug, Default)]
+pub struct AsnRegistry {
+    records: Vec<AsnRecord>,
+    by_id: BTreeMap<u32, usize>,
+    /// Next /24 index per ASN (blocks are carved out of a per-ASN /8-ish
+    /// space derived from the ASN id).
+    next_block: BTreeMap<u32, u32>,
+    /// Next host index per allocated block.
+    next_host: BTreeMap<Block24, u8>,
+}
+
+impl AsnRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> AsnRegistry {
+        AsnRegistry::default()
+    }
+
+    /// Registers an AS. Returns an error if the id is already taken.
+    pub fn register(
+        &mut self,
+        id: AsnId,
+        name: impl Into<String>,
+        kind: AsnKind,
+        country: Country,
+    ) -> iiscope_types::Result<()> {
+        if self.by_id.contains_key(&id.0) {
+            return Err(iiscope_types::Error::InvalidState(format!(
+                "{id} already registered"
+            )));
+        }
+        self.by_id.insert(id.0, self.records.len());
+        self.records.push(AsnRecord {
+            id,
+            name: name.into(),
+            kind,
+            country,
+        });
+        self.next_block.insert(id.0, 0);
+        Ok(())
+    }
+
+    /// Looks up an AS record.
+    pub fn get(&self, id: AsnId) -> Option<&AsnRecord> {
+        self.by_id.get(&id.0).map(|i| &self.records[*i])
+    }
+
+    /// Iterates over all registered ASes.
+    pub fn iter(&self) -> impl Iterator<Item = &AsnRecord> {
+        self.records.iter()
+    }
+
+    /// Allocates a fresh /24 inside the given AS.
+    ///
+    /// Address plan: the AS with id `a` owns `10.(a % 256).x.0/24` …
+    /// carved from a synthetic space `(a * 4096 + block_index) << 8`,
+    /// guaranteeing no two ASes ever share a block (up to 4096 blocks
+    /// per AS — far beyond anything the study needs).
+    pub fn alloc_block(&mut self, id: AsnId) -> iiscope_types::Result<Block24> {
+        let next = self
+            .next_block
+            .get_mut(&id.0)
+            .ok_or_else(|| iiscope_types::Error::NotFound(id.to_string()))?;
+        if *next >= 4096 {
+            return Err(iiscope_types::Error::InvalidState(format!(
+                "{id} exhausted its block space"
+            )));
+        }
+        let prefix = (id.0 * 4096 + *next) << 8;
+        *next += 1;
+        let block = Block24(prefix);
+        self.next_host.insert(block, 1);
+        Ok(block)
+    }
+
+    /// Allocates a host address inside a previously allocated block.
+    pub fn alloc_host(&mut self, id: AsnId, block: Block24) -> iiscope_types::Result<HostAddr> {
+        let record = self
+            .get(id)
+            .ok_or_else(|| iiscope_types::Error::NotFound(id.to_string()))?
+            .clone();
+        let next = self
+            .next_host
+            .get_mut(&block)
+            .ok_or_else(|| iiscope_types::Error::NotFound(block.to_string()))?;
+        if *next > 254 {
+            return Err(iiscope_types::Error::InvalidState(format!(
+                "{block} is full"
+            )));
+        }
+        let ip = block.host(*next);
+        *next += 1;
+        Ok(HostAddr {
+            ip,
+            asn: id,
+            asn_kind: record.kind,
+            country: record.country,
+        })
+    }
+
+    /// Convenience: allocates a fresh block *and* a first host in it.
+    pub fn alloc_host_fresh_block(&mut self, id: AsnId) -> iiscope_types::Result<HostAddr> {
+        let block = self.alloc_block(id)?;
+        self.alloc_host(id, block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> AsnRegistry {
+        let mut r = AsnRegistry::new();
+        r.register(AsnId(7922), "Comcast", AsnKind::Eyeball, Country::Us)
+            .unwrap();
+        r.register(
+            AsnId(14061),
+            "Digital Ocean",
+            AsnKind::Datacenter,
+            Country::Us,
+        )
+        .unwrap();
+        r.register(AsnId(9009), "Luminati DE", AsnKind::VpnExit, Country::De)
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn register_rejects_duplicates() {
+        let mut r = registry();
+        assert!(r
+            .register(AsnId(7922), "dup", AsnKind::Eyeball, Country::Us)
+            .is_err());
+    }
+
+    #[test]
+    fn blocks_are_disjoint_across_asns() {
+        let mut r = registry();
+        let b1 = r.alloc_block(AsnId(7922)).unwrap();
+        let b2 = r.alloc_block(AsnId(14061)).unwrap();
+        let b3 = r.alloc_block(AsnId(7922)).unwrap();
+        assert_ne!(b1, b2);
+        assert_ne!(b1, b3);
+        assert_ne!(b2, b3);
+    }
+
+    #[test]
+    fn hosts_share_block_prefix() {
+        let mut r = registry();
+        let block = r.alloc_block(AsnId(7922)).unwrap();
+        let h1 = r.alloc_host(AsnId(7922), block).unwrap();
+        let h2 = r.alloc_host(AsnId(7922), block).unwrap();
+        assert_ne!(h1.ip, h2.ip);
+        assert_eq!(h1.block(), h2.block());
+        assert_eq!(h1.block(), block);
+        assert_eq!(h1.asn_kind, AsnKind::Eyeball);
+        assert_eq!(h1.country, Country::Us);
+    }
+
+    #[test]
+    fn block_exhaustion_is_detected() {
+        let mut r = registry();
+        let block = r.alloc_block(AsnId(9009)).unwrap();
+        for _ in 0..254 {
+            r.alloc_host(AsnId(9009), block).unwrap();
+        }
+        assert!(r.alloc_host(AsnId(9009), block).is_err());
+    }
+
+    #[test]
+    fn block24_math() {
+        let b = Block24::containing(Ipv4Addr::new(10, 1, 2, 200));
+        assert_eq!(b.network(), Ipv4Addr::new(10, 1, 2, 0));
+        assert_eq!(b.host(7), Ipv4Addr::new(10, 1, 2, 7));
+        assert_eq!(b.to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let mut a = registry();
+        let mut b = registry();
+        for _ in 0..10 {
+            assert_eq!(
+                a.alloc_host_fresh_block(AsnId(14061)).unwrap(),
+                b.alloc_host_fresh_block(AsnId(14061)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_asn_errors() {
+        let mut r = registry();
+        assert!(r.alloc_block(AsnId(1)).is_err());
+        let block = r.alloc_block(AsnId(7922)).unwrap();
+        assert!(r.alloc_host(AsnId(1), block).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Traffic capture — the substrate's pcap equivalent.
+//!
+//! The monitoring infrastructure of §4.1 works by *interception*: the
+//! proxy records what crossed the wire and higher layers parse the
+//! captured bodies. The network appends one [`CaptureRecord`] per
+//! delivered (or dropped) segment; tests and the monitor use the log to
+//! assert on traffic shape, and the TLS layer demonstrates that
+//! captured ciphertext alone is useless without the MITM key position.
+
+use iiscope_types::SimTime;
+use parking_lot::Mutex;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Direction of a captured segment, relative to the connection's
+/// initiator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server.
+    ToServer,
+    /// Server → client.
+    ToClient,
+}
+
+/// One captured delivery.
+#[derive(Debug, Clone)]
+pub struct CaptureRecord {
+    /// Capture timestamp (after latency was applied).
+    pub at: SimTime,
+    /// Connection id the segment belongs to.
+    pub conn_id: u64,
+    /// Client address of the connection.
+    pub client: Ipv4Addr,
+    /// Server address of the connection.
+    pub server: Ipv4Addr,
+    /// Server port.
+    pub port: u16,
+    /// Segment direction.
+    pub dir: Direction,
+    /// Raw bytes as seen on the wire (ciphertext when TLS is in use).
+    pub bytes: Vec<u8>,
+    /// Whether the fault injector dropped this segment (bytes then hold
+    /// the would-have-been payload, mirroring smoltcp's "dropped packets
+    /// still get traced" behaviour).
+    pub dropped: bool,
+}
+
+/// Shared, append-only capture log.
+#[derive(Debug, Clone, Default)]
+pub struct CaptureLog {
+    inner: Arc<Mutex<Vec<CaptureRecord>>>,
+    disabled: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl CaptureLog {
+    /// Creates an empty log.
+    pub fn new() -> CaptureLog {
+        CaptureLog::default()
+    }
+
+    /// Turns recording on or off. Long simulation runs disable capture
+    /// to keep memory bounded (a paper-scale milking study would hoard
+    /// hundreds of megabytes of ciphertext otherwise); tests that
+    /// assert on traffic leave it on.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.disabled
+            .store(!enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Appends a record (no-op while disabled).
+    pub fn push(&self, rec: CaptureRecord) {
+        if self.disabled.load(std::sync::atomic::Ordering::Relaxed) {
+            return;
+        }
+        self.inner.lock().push(rec);
+    }
+
+    /// Number of captured records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Snapshot of all records (cloned; the log keeps growing).
+    pub fn snapshot(&self) -> Vec<CaptureRecord> {
+        self.inner.lock().clone()
+    }
+
+    /// Snapshot filtered by server port (e.g. just the offer-wall
+    /// traffic).
+    pub fn for_port(&self, port: u16) -> Vec<CaptureRecord> {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|r| r.port == port)
+            .cloned()
+            .collect()
+    }
+
+    /// Total delivered payload bytes in each direction.
+    pub fn byte_totals(&self) -> (usize, usize) {
+        let log = self.inner.lock();
+        let mut to_server = 0;
+        let mut to_client = 0;
+        for r in log.iter().filter(|r| !r.dropped) {
+            match r.dir {
+                Direction::ToServer => to_server += r.bytes.len(),
+                Direction::ToClient => to_client += r.bytes.len(),
+            }
+        }
+        (to_server, to_client)
+    }
+
+    /// Clears the log (between experiment phases).
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(port: u16, dir: Direction, n: usize, dropped: bool) -> CaptureRecord {
+        CaptureRecord {
+            at: SimTime::EPOCH,
+            conn_id: 1,
+            client: Ipv4Addr::new(10, 0, 0, 1),
+            server: Ipv4Addr::new(10, 0, 0, 2),
+            port,
+            dir,
+            bytes: vec![0; n],
+            dropped,
+        }
+    }
+
+    #[test]
+    fn totals_skip_dropped() {
+        let log = CaptureLog::new();
+        log.push(rec(443, Direction::ToServer, 10, false));
+        log.push(rec(443, Direction::ToClient, 20, false));
+        log.push(rec(443, Direction::ToClient, 99, true));
+        assert_eq!(log.byte_totals(), (10, 20));
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn port_filter() {
+        let log = CaptureLog::new();
+        log.push(rec(443, Direction::ToServer, 1, false));
+        log.push(rec(8080, Direction::ToServer, 1, false));
+        assert_eq!(log.for_port(443).len(), 1);
+        assert_eq!(log.for_port(8080).len(), 1);
+        assert_eq!(log.for_port(22).len(), 0);
+    }
+
+    #[test]
+    fn shared_handles_observe_each_other() {
+        let log = CaptureLog::new();
+        let other = log.clone();
+        log.push(rec(1, Direction::ToServer, 1, false));
+        assert_eq!(other.len(), 1);
+        other.clear();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! The shared simulated clock.
+//!
+//! One clock per world. Services read it to timestamp events (telemetry
+//! upload times, crawl snapshots); the network advances it by the
+//! sampled latency of each round trip; scenario drivers advance it in
+//! larger steps (campaign hours, crawl days).
+
+use iiscope_types::{SimDuration, SimTime};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cloneable handle to the world clock.
+///
+/// Cloning shares the underlying instant — all handles observe every
+/// advance. The clock is monotonic: it can only move forward.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    inner: Arc<RwLock<SimTime>>,
+}
+
+impl Clock {
+    /// Creates a clock at the world epoch.
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    /// Creates a clock at an arbitrary start instant.
+    pub fn starting_at(t: SimTime) -> Clock {
+        Clock {
+            inner: Arc::new(RwLock::new(t)),
+        }
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimTime {
+        *self.inner.read()
+    }
+
+    /// Advances the clock by `d` and returns the new instant.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let mut t = self.inner.write();
+        *t += d;
+        *t
+    }
+
+    /// Moves the clock to `t` if `t` is in the future; otherwise leaves
+    /// it unchanged (monotonicity). Returns the resulting instant.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let mut cur = self.inner.write();
+        if t > *cur {
+            *cur = t;
+        }
+        *cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_and_share() {
+        let c = Clock::new();
+        let c2 = c.clone();
+        assert_eq!(c.now(), SimTime::EPOCH);
+        c.advance(SimDuration::from_hours(2));
+        assert_eq!(c2.now(), SimTime::from_secs(7200));
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = Clock::starting_at(SimTime::from_days(5));
+        assert_eq!(c.advance_to(SimTime::from_days(3)), SimTime::from_days(5));
+        assert_eq!(c.advance_to(SimTime::from_days(6)), SimTime::from_days(6));
+    }
+}

@@ -1,0 +1,331 @@
+//! Turn-based duplex connections.
+//!
+//! A connection joins a client to a per-connection server [`Session`].
+//! The client writes bytes and calls [`ClientConn::roundtrip`]; the
+//! network applies the link's [`crate::FaultPlan`] to the request,
+//! advances the shared clock by the sampled latency, hands the bytes to
+//! the session, applies faults to the reply, and returns it. This
+//! models a request/response exchange over a reliable-ish transport
+//! while staying single-threaded and fully deterministic — exactly what
+//! the HTTP and TLS layers in `iiscope-wire` need, and it gives the
+//! capture log a faithful view of "what crossed the wire".
+
+use crate::capture::{CaptureLog, CaptureRecord, Direction};
+use crate::clock::Clock;
+use crate::fault::{FaultPlan, Verdict};
+use crate::HostAddr;
+use bytes::BytesMut;
+use iiscope_types::{Error, Result, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use std::net::Ipv4Addr;
+
+/// What a server learns about the connecting client.
+///
+/// Services in the world use it the way real services do: offer walls
+/// geo-target by `addr.country`, the honey-app backend logs `addr`'s
+/// /24 block and AS kind, the Play Store rate-limits crawlers by IP.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerInfo {
+    /// Network location of the client.
+    pub addr: HostAddr,
+    /// Instant the connection was opened.
+    pub opened_at: SimTime,
+}
+
+/// Server-side I/O surface handed to a [`Session`] on every turn.
+pub struct ServerIo<'a> {
+    incoming: &'a mut BytesMut,
+    outgoing: &'a mut BytesMut,
+    peer: PeerInfo,
+    now: SimTime,
+}
+
+impl ServerIo<'_> {
+    /// Takes every byte delivered so far and not yet consumed.
+    pub fn recv_all(&mut self) -> Vec<u8> {
+        self.incoming.split().to_vec()
+    }
+
+    /// Peeks at the delivered-but-unconsumed bytes.
+    pub fn peek(&self) -> &[u8] {
+        self.incoming
+    }
+
+    /// Queues reply bytes for the client.
+    pub fn send(&mut self, bytes: &[u8]) {
+        self.outgoing.extend_from_slice(bytes);
+    }
+
+    /// The connecting client's info.
+    pub fn peer(&self) -> PeerInfo {
+        self.peer
+    }
+
+    /// Current simulated time as observed by the server.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+/// A per-connection server state machine.
+pub trait Session: Send {
+    /// Invoked once per client round trip with whatever bytes survived
+    /// the link. Implementations consume input via
+    /// [`ServerIo::recv_all`]/[`ServerIo::peek`] and reply via
+    /// [`ServerIo::send`]. Leaving bytes unconsumed carries them into
+    /// the next turn (for pipelined or split requests).
+    fn on_turn(&mut self, io: &mut ServerIo<'_>);
+}
+
+/// Creates a fresh [`Session`] per accepted connection — the listener
+/// side of the substrate.
+pub trait SessionFactory: Send + Sync {
+    /// Accepts a connection from `peer`.
+    fn open(&self, peer: PeerInfo) -> Box<dyn Session>;
+}
+
+impl<F> SessionFactory for F
+where
+    F: Fn(PeerInfo) -> Box<dyn Session> + Send + Sync,
+{
+    fn open(&self, peer: PeerInfo) -> Box<dyn Session> {
+        self(peer)
+    }
+}
+
+/// How long a client waits before declaring a dropped exchange dead.
+/// Advancing the clock on timeouts keeps retry loops from being free.
+pub const TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+/// The client end of an established connection.
+pub struct ClientConn {
+    pub(crate) conn_id: u64,
+    pub(crate) client_ip: Ipv4Addr,
+    pub(crate) server_ip: Ipv4Addr,
+    pub(crate) port: u16,
+    pub(crate) session: Box<dyn Session>,
+    pub(crate) fault: FaultPlan,
+    pub(crate) rng: StdRng,
+    pub(crate) clock: Clock,
+    pub(crate) capture: CaptureLog,
+    pub(crate) peer: PeerInfo,
+    pub(crate) out_buf: BytesMut,
+    pub(crate) server_residue: BytesMut,
+}
+
+impl std::fmt::Debug for ClientConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientConn")
+            .field("conn_id", &self.conn_id)
+            .field("client_ip", &self.client_ip)
+            .field("server_ip", &self.server_ip)
+            .field("port", &self.port)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClientConn {
+    /// Queues bytes to be sent on the next [`ClientConn::roundtrip`].
+    pub fn send(&mut self, bytes: &[u8]) {
+        self.out_buf.extend_from_slice(bytes);
+    }
+
+    /// The connection id (stable key into the capture log).
+    pub fn conn_id(&self) -> u64 {
+        self.conn_id
+    }
+
+    /// Performs one exchange: delivers queued bytes to the server
+    /// session and returns the session's reply bytes.
+    ///
+    /// Errors with [`Error::Network`] when the fault injector drops the
+    /// request or the reply; the queued request bytes are consumed
+    /// either way (retries must re-send, exactly like a real client
+    /// re-issuing an HTTP request).
+    pub fn roundtrip(&mut self) -> Result<Vec<u8>> {
+        let mut request = self.out_buf.split().to_vec();
+        let verdict = self.fault.apply(&mut self.rng, &mut request);
+        match verdict {
+            Verdict::Dropped(reason) => {
+                self.clock.advance(TIMEOUT);
+                self.record(Direction::ToServer, request, true);
+                return Err(Error::Network(format!(
+                    "request dropped ({reason:?}) conn {}",
+                    self.conn_id
+                )));
+            }
+            Verdict::Delivered { latency, .. } => {
+                self.clock.advance(latency);
+                self.record(Direction::ToServer, request.clone(), false);
+            }
+        }
+
+        // Deliver to the server session.
+        self.server_residue.extend_from_slice(&request);
+        let mut outgoing = BytesMut::new();
+        let mut io = ServerIo {
+            incoming: &mut self.server_residue,
+            outgoing: &mut outgoing,
+            peer: self.peer,
+            now: self.clock.now(),
+        };
+        self.session.on_turn(&mut io);
+
+        let mut reply = outgoing.to_vec();
+        let verdict = self.fault.apply(&mut self.rng, &mut reply);
+        match verdict {
+            Verdict::Dropped(reason) => {
+                self.clock.advance(TIMEOUT);
+                self.record(Direction::ToClient, reply, true);
+                Err(Error::Network(format!(
+                    "reply dropped ({reason:?}) conn {}",
+                    self.conn_id
+                )))
+            }
+            Verdict::Delivered { latency, .. } => {
+                self.clock.advance(latency);
+                self.record(Direction::ToClient, reply.clone(), false);
+                Ok(reply)
+            }
+        }
+    }
+
+    fn record(&self, dir: Direction, bytes: Vec<u8>, dropped: bool) {
+        self.capture.push(CaptureRecord {
+            at: self.clock.now(),
+            conn_id: self.conn_id,
+            client: self.client_ip,
+            server: self.server_ip,
+            port: self.port,
+            dir,
+            bytes,
+            dropped,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{AsnId, AsnKind};
+    use iiscope_types::{Country, SeedFork};
+
+    /// Echo-with-prefix session used across the tests.
+    struct Echo;
+    impl Session for Echo {
+        fn on_turn(&mut self, io: &mut ServerIo<'_>) {
+            let data = io.recv_all();
+            io.send(b"echo:");
+            io.send(&data);
+        }
+    }
+
+    fn conn(fault: FaultPlan) -> ClientConn {
+        let addr = HostAddr {
+            ip: Ipv4Addr::new(10, 0, 0, 1),
+            asn: AsnId(1),
+            asn_kind: AsnKind::Eyeball,
+            country: Country::Us,
+        };
+        ClientConn {
+            conn_id: 1,
+            client_ip: addr.ip,
+            server_ip: Ipv4Addr::new(10, 9, 9, 9),
+            port: 443,
+            session: Box::new(Echo),
+            fault,
+            rng: SeedFork::new(11).rng(),
+            clock: Clock::new(),
+            capture: CaptureLog::new(),
+            peer: PeerInfo {
+                addr,
+                opened_at: SimTime::EPOCH,
+            },
+            out_buf: BytesMut::new(),
+            server_residue: BytesMut::new(),
+        }
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let mut c = conn(FaultPlan::perfect());
+        c.send(b"hello");
+        assert_eq!(c.roundtrip().unwrap(), b"echo:hello");
+        // Second turn with separate payload.
+        c.send(b"again");
+        assert_eq!(c.roundtrip().unwrap(), b"echo:again");
+    }
+
+    #[test]
+    fn capture_sees_both_directions() {
+        let mut c = conn(FaultPlan::perfect());
+        c.send(b"xy");
+        c.roundtrip().unwrap();
+        let log = c.capture.snapshot();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].dir, Direction::ToServer);
+        assert_eq!(log[0].bytes, b"xy");
+        assert_eq!(log[1].dir, Direction::ToClient);
+        assert_eq!(log[1].bytes, b"echo:xy");
+    }
+
+    #[test]
+    fn drop_advances_clock_and_errors() {
+        let mut c = conn(FaultPlan::lossy(1.0, 0.0));
+        c.send(b"doomed");
+        let before = c.clock.now();
+        let err = c.roundtrip().unwrap_err();
+        assert_eq!(err.kind(), "network");
+        assert_eq!(c.clock.now() - before, TIMEOUT);
+        // Queued bytes were consumed; a bare retry sends nothing.
+        assert!(c.out_buf.is_empty());
+    }
+
+    #[test]
+    fn latency_advances_clock_per_direction() {
+        let fault = FaultPlan::perfect().with_latency(SimDuration::from_secs(2), SimDuration::ZERO);
+        let mut c = conn(fault);
+        c.send(b"p");
+        let t0 = c.clock.now();
+        c.roundtrip().unwrap();
+        assert_eq!(c.clock.now() - t0, SimDuration::from_secs(4)); // 2 each way
+    }
+
+    /// A session that buffers input until it has seen a full 4-byte
+    /// "message", demonstrating residue carry-over between turns.
+    struct Accumulate;
+    impl Session for Accumulate {
+        fn on_turn(&mut self, io: &mut ServerIo<'_>) {
+            if io.peek().len() >= 4 {
+                let data = io.recv_all();
+                io.send(&data);
+            }
+        }
+    }
+
+    #[test]
+    fn residue_carries_across_turns() {
+        let mut c = conn(FaultPlan::perfect());
+        c.session = Box::new(Accumulate);
+        c.send(b"ab");
+        assert_eq!(c.roundtrip().unwrap(), b"");
+        c.send(b"cd");
+        assert_eq!(c.roundtrip().unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn server_sees_peer_info() {
+        struct PeerReporter;
+        impl Session for PeerReporter {
+            fn on_turn(&mut self, io: &mut ServerIo<'_>) {
+                let _ = io.recv_all();
+                let c = io.peer().addr.country;
+                io.send(c.code().as_bytes());
+            }
+        }
+        let mut c = conn(FaultPlan::perfect());
+        c.session = Box::new(PeerReporter);
+        c.send(b"?");
+        assert_eq!(c.roundtrip().unwrap(), b"US");
+    }
+}

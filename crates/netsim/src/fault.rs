@@ -1,0 +1,223 @@
+//! Fault injection for the simulated network.
+//!
+//! Modelled on smoltcp's example fault injectors: a drop chance, a
+//! corruption chance (one flipped octet), a size limit, and a latency
+//! model. The TLS layer in `iiscope-wire` authenticates records, so an
+//! injected corruption surfaces exactly like real-world tampering — as
+//! a MAC failure — which the monitoring pipeline must tolerate.
+
+use iiscope_types::SimDuration;
+use rand::Rng;
+
+/// Per-link fault and latency plan.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability that a delivery attempt is dropped entirely.
+    pub drop_chance: f64,
+    /// Probability that one octet of a delivered payload is flipped.
+    pub corrupt_chance: f64,
+    /// Deliveries larger than this are dropped (None = unlimited).
+    pub size_limit: Option<usize>,
+    /// Base one-way latency.
+    pub base_latency: SimDuration,
+    /// Max uniform extra jitter added on top of the base latency.
+    pub jitter: SimDuration,
+}
+
+impl Default for FaultPlan {
+    /// A well-behaved link: no faults, 40 ms-class latency rounded to
+    /// the 1-second clock resolution (i.e. zero), so tests that don't
+    /// care about time see a still clock.
+    fn default() -> FaultPlan {
+        FaultPlan {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            size_limit: None,
+            base_latency: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A perfect link (alias of [`FaultPlan::default`]).
+    pub fn perfect() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A lossy link with the given drop and corruption chances.
+    pub fn lossy(drop_chance: f64, corrupt_chance: f64) -> FaultPlan {
+        FaultPlan {
+            drop_chance,
+            corrupt_chance,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A link with fixed latency and uniform jitter.
+    pub fn with_latency(mut self, base: SimDuration, jitter: SimDuration) -> FaultPlan {
+        self.base_latency = base;
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets a maximum delivery size.
+    pub fn with_size_limit(mut self, limit: usize) -> FaultPlan {
+        self.size_limit = Some(limit);
+        self
+    }
+
+    /// Decides the fate of one delivery. Mutates `payload` in place on
+    /// corruption and returns the verdict.
+    pub fn apply(&self, rng: &mut impl Rng, payload: &mut [u8]) -> Verdict {
+        if let Some(limit) = self.size_limit {
+            if payload.len() > limit {
+                return Verdict::Dropped(DropReason::TooLarge);
+            }
+        }
+        if iiscope_types::rng::chance(rng, self.drop_chance) {
+            return Verdict::Dropped(DropReason::Random);
+        }
+        let mut corrupted = false;
+        if !payload.is_empty() && iiscope_types::rng::chance(rng, self.corrupt_chance) {
+            let idx = rng.gen_range(0..payload.len());
+            let bit = 1u8 << rng.gen_range(0..8);
+            payload[idx] ^= bit;
+            corrupted = true;
+        }
+        Verdict::Delivered {
+            corrupted,
+            latency: self.sample_latency(rng),
+        }
+    }
+
+    /// Samples a one-way latency for this link.
+    pub fn sample_latency(&self, rng: &mut impl Rng) -> SimDuration {
+        let jitter = if self.jitter.secs() == 0 {
+            0
+        } else {
+            rng.gen_range(0..=self.jitter.secs())
+        };
+        SimDuration::from_secs(self.base_latency.secs() + jitter)
+    }
+}
+
+/// Why a delivery was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random loss.
+    Random,
+    /// Payload exceeded the link's size limit.
+    TooLarge,
+}
+
+/// Outcome of one delivery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The payload was (possibly corrupted and) delivered after
+    /// `latency`.
+    Delivered {
+        /// Whether a corruption fault fired.
+        corrupted: bool,
+        /// Sampled one-way latency.
+        latency: SimDuration,
+    },
+    /// The payload was dropped.
+    Dropped(DropReason),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiscope_types::SeedFork;
+
+    #[test]
+    fn perfect_link_never_mutates() {
+        let plan = FaultPlan::perfect();
+        let mut rng = SeedFork::new(1).rng();
+        for _ in 0..100 {
+            let mut payload = vec![1, 2, 3];
+            match plan.apply(&mut rng, &mut payload) {
+                Verdict::Delivered { corrupted, latency } => {
+                    assert!(!corrupted);
+                    assert_eq!(latency, SimDuration::ZERO);
+                    assert_eq!(payload, vec![1, 2, 3]);
+                }
+                v => panic!("unexpected {v:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn drop_chance_roughly_honoured() {
+        let plan = FaultPlan::lossy(0.3, 0.0);
+        let mut rng = SeedFork::new(2).rng();
+        let n = 10_000;
+        let drops = (0..n)
+            .filter(|_| {
+                matches!(
+                    plan.apply(&mut rng, &mut [0u8; 4]),
+                    Verdict::Dropped(DropReason::Random)
+                )
+            })
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let plan = FaultPlan::lossy(0.0, 1.0);
+        let mut rng = SeedFork::new(3).rng();
+        let original = vec![0xAAu8; 16];
+        let mut payload = original.clone();
+        match plan.apply(&mut rng, &mut payload) {
+            Verdict::Delivered { corrupted, .. } => assert!(corrupted),
+            v => panic!("unexpected {v:?}"),
+        }
+        let flipped_bits: u32 = original
+            .iter()
+            .zip(&payload)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped_bits, 1);
+    }
+
+    #[test]
+    fn size_limit_drops_large_payloads() {
+        let plan = FaultPlan::perfect().with_size_limit(8);
+        let mut rng = SeedFork::new(4).rng();
+        let mut small = vec![0u8; 8];
+        let mut big = vec![0u8; 9];
+        assert!(matches!(
+            plan.apply(&mut rng, &mut small),
+            Verdict::Delivered { .. }
+        ));
+        assert_eq!(
+            plan.apply(&mut rng, &mut big),
+            Verdict::Dropped(DropReason::TooLarge)
+        );
+    }
+
+    #[test]
+    fn latency_within_bounds() {
+        let plan =
+            FaultPlan::perfect().with_latency(SimDuration::from_secs(2), SimDuration::from_secs(3));
+        let mut rng = SeedFork::new(5).rng();
+        for _ in 0..200 {
+            let l = plan.sample_latency(&mut rng).secs();
+            assert!((2..=5).contains(&l), "latency {l}");
+        }
+    }
+
+    #[test]
+    fn empty_payload_never_corrupts() {
+        let plan = FaultPlan::lossy(0.0, 1.0);
+        let mut rng = SeedFork::new(6).rng();
+        let mut payload = Vec::new();
+        match plan.apply(&mut rng, &mut payload) {
+            Verdict::Delivered { corrupted, .. } => assert!(!corrupted),
+            v => panic!("unexpected {v:?}"),
+        }
+    }
+}

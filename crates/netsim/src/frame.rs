@@ -1,0 +1,157 @@
+//! Length-delimited framing over raw byte streams.
+//!
+//! The turn-based connections of [`crate::conn`] move opaque byte
+//! slabs; the wire protocols above (TLS records, HTTP messages) need
+//! message boundaries. Frames are `u32` big-endian length prefixes
+//! followed by the payload, with a hard maximum to bound memory — the
+//! same shape as the Tokio tutorial's framing chapter, implemented
+//! synchronously on [`bytes`].
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum payload size of a single frame (16 MiB). Offer walls,
+/// APK-sized blobs and telemetry batches all fit comfortably; anything
+/// larger is a protocol error.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Framing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Declared length exceeds [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one frame (length prefix + payload) onto `out`.
+pub fn encode_frame(out: &mut BytesMut, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    out.reserve(4 + payload.len());
+    out.put_u32(payload.len() as u32);
+    out.put_slice(payload);
+}
+
+/// Incremental frame decoder. Feed bytes in arbitrary chunk sizes;
+/// complete frames come out in order.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes from the stream.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Attempts to decode the next complete frame.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed; `Err` when the
+    /// stream is unrecoverable (oversized declared length). After an
+    /// error the decoder should be discarded along with the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLarge(len));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(len).freeze()))
+    }
+
+    /// Bytes currently buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Drains every complete frame currently buffered.
+    pub fn drain_frames(&mut self) -> Result<Vec<Bytes>, FrameError> {
+        let mut frames = Vec::new();
+        while let Some(frame) = self.next_frame()? {
+            frames.push(frame);
+        }
+        Ok(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_single_frame() {
+        let mut out = BytesMut::new();
+        encode_frame(&mut out, b"hello");
+        let mut dec = FrameDecoder::new();
+        dec.extend(&out);
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"hello");
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn split_delivery_reassembles() {
+        let mut out = BytesMut::new();
+        encode_frame(&mut out, b"abcdefgh");
+        let mut dec = FrameDecoder::new();
+        for chunk in out.chunks(3) {
+            dec.extend(chunk);
+        }
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"abcdefgh");
+    }
+
+    #[test]
+    fn multiple_frames_in_order() {
+        let mut out = BytesMut::new();
+        encode_frame(&mut out, b"one");
+        encode_frame(&mut out, b"");
+        encode_frame(&mut out, b"three");
+        let mut dec = FrameDecoder::new();
+        dec.extend(&out);
+        let frames = dec.drain_frames().unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].as_ref(), b"one");
+        assert_eq!(frames[1].as_ref(), b"");
+        assert_eq!(frames[2].as_ref(), b"three");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut dec = FrameDecoder::new();
+        let bogus = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes();
+        dec.extend(&bogus);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::TooLarge(MAX_FRAME_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn partial_header_waits() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&[0, 0]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        dec.extend(&[0, 1]);
+        assert_eq!(dec.next_frame().unwrap(), None); // payload missing
+        dec.extend(&[0xAB]);
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), &[0xAB]);
+    }
+}

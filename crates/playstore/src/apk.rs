@@ -1,0 +1,294 @@
+//! The APK model: what a downloaded package "contains".
+//!
+//! §4.3.2 downloads APKs of baseline and advertised apps and runs
+//! LibRadar static analysis to count embedded advertising libraries
+//! (Figure 6). Our APK is a synthetic binary blob whose bytes embed
+//! detectable fingerprints of the libraries the app integrates —
+//! unless the app obfuscates or loads code dynamically, which is
+//! exactly the miss-model the paper acknowledges ("static analysis may
+//! miss some advertising libraries due to code obfuscation and dynamic
+//! code loading", §4.3.2 fn 9).
+
+use iiscope_types::SeedFork;
+
+/// Advertising / monetization SDK vendors that can be embedded in an
+/// APK. The list mirrors the vendors the paper names (AdMob, AppLovin,
+/// ChartBoost, Fyber-as-advertiser) plus the usual mobile-ads long
+/// tail; Figure 6 counts *unique* libraries per app, reaching ~30 for
+/// the most ad-saturated apps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum AdLibrary {
+    AdMob,
+    AppLovin,
+    ChartBoost,
+    UnityAds,
+    IronSource,
+    Vungle,
+    TapJoy,
+    FyberSdk,
+    AdColony,
+    InMobi,
+    StartApp,
+    MoPub,
+    Facebook,
+    Smaato,
+    Pubmatic,
+    CriteoSdk,
+    Mintegral,
+    Pangle,
+    MyTarget,
+    YandexAds,
+    HuaweiAds,
+    Flurry,
+    Leadbolt,
+    AirPush,
+    OfferToroSdk,
+    AdscendSdk,
+    AyetSdk,
+    HangMyAdsSdk,
+    AdGemSdk,
+    KiipSdk,
+    PollfishSdk,
+    TapResearch,
+}
+
+impl AdLibrary {
+    /// All known vendors.
+    pub const ALL: [AdLibrary; 32] = [
+        AdLibrary::AdMob,
+        AdLibrary::AppLovin,
+        AdLibrary::ChartBoost,
+        AdLibrary::UnityAds,
+        AdLibrary::IronSource,
+        AdLibrary::Vungle,
+        AdLibrary::TapJoy,
+        AdLibrary::FyberSdk,
+        AdLibrary::AdColony,
+        AdLibrary::InMobi,
+        AdLibrary::StartApp,
+        AdLibrary::MoPub,
+        AdLibrary::Facebook,
+        AdLibrary::Smaato,
+        AdLibrary::Pubmatic,
+        AdLibrary::CriteoSdk,
+        AdLibrary::Mintegral,
+        AdLibrary::Pangle,
+        AdLibrary::MyTarget,
+        AdLibrary::YandexAds,
+        AdLibrary::HuaweiAds,
+        AdLibrary::Flurry,
+        AdLibrary::Leadbolt,
+        AdLibrary::AirPush,
+        AdLibrary::OfferToroSdk,
+        AdLibrary::AdscendSdk,
+        AdLibrary::AyetSdk,
+        AdLibrary::HangMyAdsSdk,
+        AdLibrary::AdGemSdk,
+        AdLibrary::KiipSdk,
+        AdLibrary::PollfishSdk,
+        AdLibrary::TapResearch,
+    ];
+
+    /// The dex-path-style fingerprint a static analyzer greps for.
+    pub fn fingerprint(self) -> &'static str {
+        match self {
+            AdLibrary::AdMob => "com/google/android/gms/ads",
+            AdLibrary::AppLovin => "com/applovin/sdk",
+            AdLibrary::ChartBoost => "com/chartboost/sdk",
+            AdLibrary::UnityAds => "com/unity3d/ads",
+            AdLibrary::IronSource => "com/ironsource/mediationsdk",
+            AdLibrary::Vungle => "com/vungle/warren",
+            AdLibrary::TapJoy => "com/tapjoy/sdk",
+            AdLibrary::FyberSdk => "com/fyber/offerwall",
+            AdLibrary::AdColony => "com/adcolony/sdk",
+            AdLibrary::InMobi => "com/inmobi/ads",
+            AdLibrary::StartApp => "com/startapp/android",
+            AdLibrary::MoPub => "com/mopub/mobileads",
+            AdLibrary::Facebook => "com/facebook/ads",
+            AdLibrary::Smaato => "com/smaato/soma",
+            AdLibrary::Pubmatic => "com/pubmatic/sdk",
+            AdLibrary::CriteoSdk => "com/criteo/publisher",
+            AdLibrary::Mintegral => "com/mintegral/msdk",
+            AdLibrary::Pangle => "com/bytedance/sdk/openadsdk",
+            AdLibrary::MyTarget => "com/my/target/ads",
+            AdLibrary::YandexAds => "com/yandex/mobile/ads",
+            AdLibrary::HuaweiAds => "com/huawei/hms/ads",
+            AdLibrary::Flurry => "com/flurry/android",
+            AdLibrary::Leadbolt => "com/apptracker/android",
+            AdLibrary::AirPush => "com/airpush/android",
+            AdLibrary::OfferToroSdk => "com/offertoro/sdk",
+            AdLibrary::AdscendSdk => "com/adscendmedia/sdk",
+            AdLibrary::AyetSdk => "com/ayetstudios/publishersdk",
+            AdLibrary::HangMyAdsSdk => "com/hangmyads/sdk",
+            AdLibrary::AdGemSdk => "com/adgem/android",
+            AdLibrary::KiipSdk => "me/kiip/sdk",
+            AdLibrary::PollfishSdk => "com/pollfish/main",
+            AdLibrary::TapResearch => "com/tapr/sdk",
+        }
+    }
+
+    /// Whether this vendor also operates an incentivized offer wall —
+    /// §4.3.2: "We also find advertisers that serve the role of IIP
+    /// (e.g., Fyber)."
+    pub fn is_offerwall_vendor(self) -> bool {
+        matches!(
+            self,
+            AdLibrary::FyberSdk
+                | AdLibrary::TapJoy
+                | AdLibrary::OfferToroSdk
+                | AdLibrary::AdscendSdk
+                | AdLibrary::AyetSdk
+                | AdLibrary::HangMyAdsSdk
+                | AdLibrary::AdGemSdk
+                | AdLibrary::KiipSdk
+        )
+    }
+}
+
+/// The simulated package contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApkInfo {
+    /// Ad/monetization libraries actually integrated by the app.
+    pub ad_libraries: Vec<AdLibrary>,
+    /// Fraction of library fingerprints hidden by obfuscation
+    /// (0.0 = plain, 1.0 = fully obfuscated).
+    pub obfuscation: f64,
+    /// Libraries pulled in via dynamic code loading — present at run
+    /// time but invisible to any static analyzer.
+    pub dynamic_libraries: Vec<AdLibrary>,
+}
+
+impl ApkInfo {
+    /// An APK with no monetization SDKs at all.
+    pub fn bare() -> ApkInfo {
+        ApkInfo {
+            ad_libraries: Vec::new(),
+            obfuscation: 0.0,
+            dynamic_libraries: Vec::new(),
+        }
+    }
+
+    /// Total unique libraries present at run time (static + dynamic) —
+    /// the ground truth Figure 6's static analysis *under*-estimates.
+    pub fn runtime_library_count(&self) -> usize {
+        let mut set: std::collections::BTreeSet<AdLibrary> =
+            self.ad_libraries.iter().copied().collect();
+        set.extend(self.dynamic_libraries.iter().copied());
+        set.len()
+    }
+
+    /// Renders the APK as bytes: a dex-like blob interleaving filler
+    /// with the fingerprints of statically-present, non-obfuscated
+    /// libraries. Obfuscation deterministically hides a prefix-hash
+    /// selection of libraries; dynamically loaded libraries never
+    /// appear.
+    pub fn render(&self, seed: SeedFork) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4096);
+        out.extend_from_slice(b"dex\n037\0");
+        let mut filler_state = seed.seed() | 1;
+        let mut push_filler = |out: &mut Vec<u8>, n: usize| {
+            for _ in 0..n {
+                filler_state ^= filler_state << 13;
+                filler_state ^= filler_state >> 7;
+                filler_state ^= filler_state << 17;
+                // Printable filler so fingerprints can't appear by chance.
+                out.push(b'A' + (filler_state % 20) as u8);
+            }
+        };
+        push_filler(&mut out, 64);
+        for (i, lib) in self.ad_libraries.iter().enumerate() {
+            // Deterministic per-library obfuscation decision: hide the
+            // library iff its position-hash falls below the ratio.
+            let h = seed.fork_idx("obf", i as u64).seed() as f64 / u64::MAX as f64;
+            if h < self.obfuscation {
+                // Obfuscated: class path is renamed beyond recognition.
+                push_filler(&mut out, lib.fingerprint().len());
+            } else {
+                out.extend_from_slice(lib.fingerprint().as_bytes());
+            }
+            out.push(0);
+            push_filler(&mut out, 32);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for lib in AdLibrary::ALL {
+            assert!(seen.insert(lib.fingerprint()), "dup {lib:?}");
+        }
+        assert_eq!(AdLibrary::ALL.len(), 32);
+    }
+
+    #[test]
+    fn plain_apk_embeds_all_fingerprints() {
+        let apk = ApkInfo {
+            ad_libraries: vec![AdLibrary::AdMob, AdLibrary::FyberSdk],
+            obfuscation: 0.0,
+            dynamic_libraries: vec![],
+        };
+        let bytes = apk.render(SeedFork::new(1));
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.contains("com/google/android/gms/ads"));
+        assert!(text.contains("com/fyber/offerwall"));
+    }
+
+    #[test]
+    fn fully_obfuscated_apk_hides_everything() {
+        let apk = ApkInfo {
+            ad_libraries: vec![AdLibrary::AdMob, AdLibrary::Vungle],
+            obfuscation: 1.0,
+            dynamic_libraries: vec![],
+        };
+        let bytes = apk.render(SeedFork::new(2));
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(!text.contains("com/google/android/gms/ads"));
+        assert!(!text.contains("com/vungle/warren"));
+    }
+
+    #[test]
+    fn dynamic_libraries_never_rendered() {
+        let apk = ApkInfo {
+            ad_libraries: vec![],
+            obfuscation: 0.0,
+            dynamic_libraries: vec![AdLibrary::TapJoy],
+        };
+        let bytes = apk.render(SeedFork::new(3));
+        assert!(!String::from_utf8_lossy(&bytes).contains("com/tapjoy/sdk"));
+        assert_eq!(apk.runtime_library_count(), 1);
+    }
+
+    #[test]
+    fn runtime_count_dedups_static_and_dynamic() {
+        let apk = ApkInfo {
+            ad_libraries: vec![AdLibrary::AdMob, AdLibrary::TapJoy],
+            obfuscation: 0.0,
+            dynamic_libraries: vec![AdLibrary::TapJoy, AdLibrary::Vungle],
+        };
+        assert_eq!(apk.runtime_library_count(), 3);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let apk = ApkInfo {
+            ad_libraries: vec![AdLibrary::AdMob],
+            obfuscation: 0.5,
+            dynamic_libraries: vec![],
+        };
+        assert_eq!(apk.render(SeedFork::new(7)), apk.render(SeedFork::new(7)));
+        assert_ne!(apk.render(SeedFork::new(7)), apk.render(SeedFork::new(8)));
+    }
+
+    #[test]
+    fn offerwall_vendor_flag() {
+        assert!(AdLibrary::FyberSdk.is_offerwall_vendor());
+        assert!(!AdLibrary::AdMob.is_offerwall_vendor());
+    }
+}

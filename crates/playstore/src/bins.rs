@@ -1,0 +1,168 @@
+//! Google-style install-count bins.
+//!
+//! The public Play profile never shows exact installs — only a
+//! lower-bound bin ("100+", "1K+", "500K+"). Two analyses in the paper
+//! depend on the binning being faithful:
+//!
+//! * Table 5 detects an "increase in install counts" only when an app
+//!   crosses a bin boundary during its campaign window;
+//! * §5.2's enforcement probe looks for *decreases* ("install count
+//!   decreased from 1,000 to 500"), which likewise only shows when a
+//!   boundary is re-crossed downward.
+
+use std::fmt;
+
+/// The ordered lower bounds Google uses: 1, 5, 10, 50 pattern per
+/// decade, up to 10B+ (as of the study period).
+const BOUNDS: [u64; 21] = [
+    0,
+    1,
+    5,
+    10,
+    50,
+    100,
+    500,
+    1_000,
+    5_000,
+    10_000,
+    50_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+    5_000_000_000,
+];
+
+/// A public install-count bin, identified by its lower bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstallBin(u64);
+
+impl InstallBin {
+    /// The bin containing an exact install count.
+    pub fn for_count(count: u64) -> InstallBin {
+        let mut bound = BOUNDS[0];
+        for b in BOUNDS {
+            if count >= b {
+                bound = b;
+            } else {
+                break;
+            }
+        }
+        InstallBin(bound)
+    }
+
+    /// The public lower-bound number ("minimum installs").
+    pub fn lower_bound(self) -> u64 {
+        self.0
+    }
+
+    /// All bins, ascending.
+    pub fn all() -> impl Iterator<Item = InstallBin> {
+        BOUNDS.into_iter().map(InstallBin)
+    }
+
+    /// Figure 4's eight coarse histogram buckets, as labels in the
+    /// paper's x-axis order.
+    pub const FIGURE4_BUCKETS: [&'static str; 8] = [
+        "0-1k",
+        "1k-10k",
+        "10k-100k",
+        "100k-1M",
+        "1M-10M",
+        "10M-100M",
+        "100M-1000M",
+        "1000M+",
+    ];
+
+    /// Index into [`InstallBin::FIGURE4_BUCKETS`] for an exact count.
+    pub fn figure4_bucket(count: u64) -> usize {
+        match count {
+            0..=999 => 0,
+            1_000..=9_999 => 1,
+            10_000..=99_999 => 2,
+            100_000..=999_999 => 3,
+            1_000_000..=9_999_999 => 4,
+            10_000_000..=99_999_999 => 5,
+            100_000_000..=999_999_999 => 6,
+            _ => 7,
+        }
+    }
+}
+
+impl fmt::Display for InstallBin {
+    /// Renders like the Play UI: `100+`, `1K+`, `500M+`, `5B+`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.0;
+        if n >= 1_000_000_000 {
+            write!(f, "{}B+", n / 1_000_000_000)
+        } else if n >= 1_000_000 {
+            write!(f, "{}M+", n / 1_000_000)
+        } else if n >= 1_000 {
+            write!(f, "{}K+", n / 1_000)
+        } else {
+            write!(f, "{n}+")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_matches_paper_examples() {
+        // §5.2: "install count decreased from 1,000 to 500".
+        assert_eq!(InstallBin::for_count(1_200).lower_bound(), 1_000);
+        assert_eq!(InstallBin::for_count(700).lower_bound(), 500);
+        // §3.2: honey app went "from 0 to over 1,000".
+        assert_eq!(InstallBin::for_count(0).lower_bound(), 0);
+        assert_eq!(InstallBin::for_count(1_679).lower_bound(), 1_000);
+    }
+
+    #[test]
+    fn bin_edges_are_inclusive_lower() {
+        for bin in InstallBin::all() {
+            let b = bin.lower_bound();
+            assert_eq!(InstallBin::for_count(b).lower_bound(), b);
+            if b > 0 {
+                assert!(InstallBin::for_count(b - 1).lower_bound() < b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(InstallBin::for_count(3).to_string(), "1+");
+        assert_eq!(InstallBin::for_count(250).to_string(), "100+");
+        assert_eq!(InstallBin::for_count(2_000).to_string(), "1K+");
+        assert_eq!(InstallBin::for_count(600_000).to_string(), "500K+");
+        assert_eq!(InstallBin::for_count(2_000_000).to_string(), "1M+");
+        assert_eq!(InstallBin::for_count(6_000_000_000).to_string(), "5B+");
+    }
+
+    #[test]
+    fn monotonic() {
+        let mut prev = 0;
+        for c in [0u64, 1, 7, 99, 5_000, 1_000_000, u64::MAX / 2] {
+            let b = InstallBin::for_count(c).lower_bound();
+            assert!(b >= prev || c < prev);
+            assert!(b <= c);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn figure4_buckets_cover_everything() {
+        assert_eq!(InstallBin::figure4_bucket(0), 0);
+        assert_eq!(InstallBin::figure4_bucket(999), 0);
+        assert_eq!(InstallBin::figure4_bucket(1_000), 1);
+        assert_eq!(InstallBin::figure4_bucket(50_000), 2);
+        assert_eq!(InstallBin::figure4_bucket(2_000_000_000), 7);
+        assert_eq!(InstallBin::FIGURE4_BUCKETS.len(), 8);
+    }
+}

@@ -1,0 +1,265 @@
+//! The app and developer catalog.
+//!
+//! Holds the authoritative records behind the public profiles the
+//! crawler scrapes. §4.2 extracts, per app: install counts (binned),
+//! release date, genre, and developer details ("company name, websites,
+//! mailing address, developer ID"); developers are keyed by developer
+//! ID and located by parsing the mailing address on the profile.
+
+use crate::apk::ApkInfo;
+use crate::bins::InstallBin;
+use iiscope_types::{AppId, Country, DeveloperId, Error, Genre, PackageName, Result, SimTime};
+use std::collections::BTreeMap;
+
+/// A developer account.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeveloperRecord {
+    /// Developer id (the Play-profile join key of §4.2).
+    pub id: DeveloperId,
+    /// Company / developer name.
+    pub name: String,
+    /// Country parsed from the mailing address.
+    pub country: Country,
+    /// Contact email shown on profiles — §5.1 uses it for disclosure.
+    pub email: String,
+    /// Website, when the developer lists one. §4.3.3 notes unmatched
+    /// developers "often do not provide useful information in their
+    /// Google Play Store profile (e.g., link to their website)".
+    pub website: Option<String>,
+}
+
+/// The authoritative (non-public) app record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppRecord {
+    /// Store-internal id.
+    pub id: AppId,
+    /// Unique package name.
+    pub package: PackageName,
+    /// Display title.
+    pub title: String,
+    /// Owning developer.
+    pub developer: DeveloperId,
+    /// Category.
+    pub genre: Genre,
+    /// Release instant on the simulated timeline.
+    pub released: SimTime,
+    /// Package contents (for APK downloads / static analysis).
+    pub apk: ApkInfo,
+}
+
+/// The *public* profile — exactly what a crawler can see.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Package name.
+    pub package: PackageName,
+    /// Display title.
+    pub title: String,
+    /// Category.
+    pub genre: Genre,
+    /// Release instant (Play shows a release date).
+    pub released: SimTime,
+    /// Binned install count ("1K+").
+    pub installs: InstallBin,
+    /// Developer id.
+    pub developer_id: DeveloperId,
+    /// Developer name.
+    pub developer_name: String,
+    /// Developer country (from the mailing address).
+    pub developer_country: Country,
+    /// Developer contact email.
+    pub developer_email: String,
+    /// Developer website, if listed.
+    pub developer_website: Option<String>,
+    /// Average star rating (None until the first rating).
+    pub rating: Option<f64>,
+    /// Number of ratings behind the average.
+    pub rating_count: u64,
+}
+
+/// The catalog: developers + apps, with uniqueness enforcement.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    developers: BTreeMap<DeveloperId, DeveloperRecord>,
+    apps: BTreeMap<AppId, AppRecord>,
+    by_package: BTreeMap<PackageName, AppId>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a developer account.
+    pub fn register_developer(&mut self, dev: DeveloperRecord) -> Result<()> {
+        if self.developers.contains_key(&dev.id) {
+            return Err(Error::InvalidState(format!("{} already exists", dev.id)));
+        }
+        self.developers.insert(dev.id, dev);
+        Ok(())
+    }
+
+    /// Publishes an app. Fails if the package name is taken or the
+    /// developer is unknown (Play requires an account to publish).
+    pub fn publish(&mut self, app: AppRecord) -> Result<()> {
+        if !self.developers.contains_key(&app.developer) {
+            return Err(Error::Denied(format!(
+                "unknown developer {} for {}",
+                app.developer, app.package
+            )));
+        }
+        if self.by_package.contains_key(&app.package) {
+            return Err(Error::InvalidState(format!(
+                "package {} already published",
+                app.package
+            )));
+        }
+        if self.apps.contains_key(&app.id) {
+            return Err(Error::InvalidState(format!("{} already exists", app.id)));
+        }
+        self.by_package.insert(app.package.clone(), app.id);
+        self.apps.insert(app.id, app);
+        Ok(())
+    }
+
+    /// App by id.
+    pub fn app(&self, id: AppId) -> Option<&AppRecord> {
+        self.apps.get(&id)
+    }
+
+    /// App by package name.
+    pub fn app_by_package(&self, package: &PackageName) -> Option<&AppRecord> {
+        self.by_package
+            .get(package)
+            .and_then(|id| self.apps.get(id))
+    }
+
+    /// Developer by id.
+    pub fn developer(&self, id: DeveloperId) -> Option<&DeveloperRecord> {
+        self.developers.get(&id)
+    }
+
+    /// Iterates over all apps.
+    pub fn apps(&self) -> impl Iterator<Item = &AppRecord> {
+        self.apps.values()
+    }
+
+    /// Iterates over all developers.
+    pub fn developers(&self) -> impl Iterator<Item = &DeveloperRecord> {
+        self.developers.values()
+    }
+
+    /// Number of published apps.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True when no apps are published.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Builds the public profile for an app given its current exact
+    /// install count and rating state (owned by the engagement ledger,
+    /// not the catalog).
+    pub fn profile(
+        &self,
+        id: AppId,
+        exact_installs: u64,
+        rating: Option<f64>,
+        rating_count: u64,
+    ) -> Option<AppProfile> {
+        let app = self.apps.get(&id)?;
+        let dev = self.developers.get(&app.developer)?;
+        Some(AppProfile {
+            package: app.package.clone(),
+            title: app.title.clone(),
+            genre: app.genre,
+            released: app.released,
+            installs: InstallBin::for_count(exact_installs),
+            developer_id: dev.id,
+            developer_name: dev.name.clone(),
+            developer_country: dev.country,
+            developer_email: dev.email.clone(),
+            developer_website: dev.website.clone(),
+            rating,
+            rating_count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(id: u64) -> DeveloperRecord {
+        DeveloperRecord {
+            id: DeveloperId(id),
+            name: format!("Dev {id}"),
+            country: Country::Us,
+            email: format!("dev{id}@example.com"),
+            website: Some(format!("https://dev{id}.example")),
+        }
+    }
+
+    fn app(id: u64, dev: u64, pkg: &str) -> AppRecord {
+        AppRecord {
+            id: AppId(id),
+            package: PackageName::new(pkg).unwrap(),
+            title: format!("App {id}"),
+            developer: DeveloperId(dev),
+            genre: Genre::Tools,
+            released: SimTime::from_days(100),
+            apk: ApkInfo::bare(),
+        }
+    }
+
+    #[test]
+    fn publish_and_lookup() {
+        let mut c = Catalog::new();
+        c.register_developer(dev(1)).unwrap();
+        c.publish(app(10, 1, "com.a.one")).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.app(AppId(10)).unwrap().title, "App 10");
+        let pkg = PackageName::new("com.a.one").unwrap();
+        assert_eq!(c.app_by_package(&pkg).unwrap().id, AppId(10));
+    }
+
+    #[test]
+    fn publish_requires_developer() {
+        let mut c = Catalog::new();
+        assert_eq!(
+            c.publish(app(10, 1, "com.a.one")).unwrap_err().kind(),
+            "denied"
+        );
+    }
+
+    #[test]
+    fn duplicate_package_rejected() {
+        let mut c = Catalog::new();
+        c.register_developer(dev(1)).unwrap();
+        c.publish(app(10, 1, "com.a.one")).unwrap();
+        assert!(c.publish(app(11, 1, "com.a.one")).is_err());
+        assert!(c.publish(app(10, 1, "com.a.two")).is_err());
+    }
+
+    #[test]
+    fn duplicate_developer_rejected() {
+        let mut c = Catalog::new();
+        c.register_developer(dev(1)).unwrap();
+        assert!(c.register_developer(dev(1)).is_err());
+    }
+
+    #[test]
+    fn profile_bins_installs() {
+        let mut c = Catalog::new();
+        c.register_developer(dev(1)).unwrap();
+        c.publish(app(10, 1, "com.a.one")).unwrap();
+        let p = c.profile(AppId(10), 1_679, Some(4.3), 120).unwrap();
+        assert_eq!(p.installs.lower_bound(), 1_000);
+        assert_eq!(p.developer_country, Country::Us);
+        assert_eq!(p.rating, Some(4.3));
+        assert_eq!(p.rating_count, 120);
+        assert!(c.profile(AppId(99), 0, None, 0).is_none());
+    }
+}

@@ -1,0 +1,222 @@
+//! Top-chart ranking.
+//!
+//! §4.3.1: "Google Play Store places apps in top charts based on user
+//! engagement metrics, which cannot be inflated with no activity offers
+//! on unvetted IIPs." That sentence is the paper's causal story for
+//! Table 6 (only vetted IIPs correlate with chart appearances) and
+//! Figure 5 (registration/usage offers push TREBEL into top-games,
+//! purchase offers push World on Fire into top-grossing). The default
+//! ranker is therefore engagement-weighted; an install-weighted
+//! alternative exists purely for the ablation bench that shows the
+//! vetted/unvetted gap collapsing without it.
+
+use crate::engagement::DayStats;
+use iiscope_types::{AppId, Genre};
+
+/// Which chart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChartKind {
+    /// Top free apps (all categories).
+    TopFree,
+    /// Top games.
+    TopGames,
+    /// Top grossing (revenue-driven).
+    TopGrossing,
+}
+
+impl ChartKind {
+    /// All charts the crawler scrapes.
+    pub const ALL: [ChartKind; 3] = [
+        ChartKind::TopFree,
+        ChartKind::TopGames,
+        ChartKind::TopGrossing,
+    ];
+
+    /// Chart id used in frontend URLs.
+    pub fn id(self) -> &'static str {
+        match self {
+            ChartKind::TopFree => "topselling_free",
+            ChartKind::TopGames => "topselling_free_games",
+            ChartKind::TopGrossing => "topgrossing",
+        }
+    }
+
+    /// Whether an app of `genre` is eligible for this chart.
+    pub fn eligible(self, genre: Genre) -> bool {
+        match self {
+            ChartKind::TopFree => true,
+            ChartKind::TopGames => genre.is_game(),
+            ChartKind::TopGrossing => true,
+        }
+    }
+}
+
+/// Ranking policy (the ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChartRanking {
+    /// The real-world-like default: weighted blend of trailing
+    /// installs, sessions, session time and registrations; revenue
+    /// dominates the grossing chart.
+    EngagementWeighted,
+    /// Naive alternative: trailing installs only.
+    InstallWeighted,
+}
+
+/// Number of rank slots per chart (Play shows a few hundred).
+pub const CHART_SIZE: usize = 200;
+
+/// Computes an app's score for `chart` from its trailing-window stats.
+///
+/// Weights are tuned so that: raw installs alone can lift an app into
+/// TopFree's tail but not far; session time and registrations move
+/// TopFree/TopGames strongly; only revenue meaningfully moves
+/// TopGrossing.
+pub fn score(ranking: ChartRanking, chart: ChartKind, w: &DayStats) -> f64 {
+    match ranking {
+        ChartRanking::InstallWeighted => w.installs as f64,
+        ChartRanking::EngagementWeighted => match chart {
+            ChartKind::TopFree | ChartKind::TopGames => {
+                w.installs as f64
+                    + 3.0 * w.sessions as f64
+                    + 0.02 * w.session_secs as f64
+                    + 5.0 * w.registrations as f64
+            }
+            ChartKind::TopGrossing => {
+                0.05 * w.sessions as f64 + (w.revenue_micros.max(0) as f64) / 50_000.0
+            }
+        },
+    }
+}
+
+/// One chart entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChartEntry {
+    /// Ranked app.
+    pub app: AppId,
+    /// 1-based rank.
+    pub rank: usize,
+    /// The score that produced the rank (useful for Figure 5's
+    /// percentile axis).
+    pub score: f64,
+}
+
+/// Ranks eligible apps by score, ties broken by `AppId` for
+/// determinism, truncated to [`CHART_SIZE`]. Zero-score apps never
+/// chart (an app with no recent activity is not "trending").
+pub fn rank(entries: impl IntoIterator<Item = (AppId, f64)>) -> Vec<ChartEntry> {
+    let mut scored: Vec<(AppId, f64)> = entries.into_iter().filter(|(_, s)| *s > 0.0).collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.truncate(CHART_SIZE);
+    scored
+        .into_iter()
+        .enumerate()
+        .map(|(i, (app, score))| ChartEntry {
+            app,
+            rank: i + 1,
+            score,
+        })
+        .collect()
+}
+
+/// Percentile rank (Figure 5's y-axis): rank 1 of N → 100.0, rank N of
+/// N → ~0.0. Returns `None` for apps not on the chart.
+pub fn percentile(entries: &[ChartEntry], app: AppId) -> Option<f64> {
+    let n = entries.len();
+    entries
+        .iter()
+        .find(|e| e.app == app)
+        .map(|e| 100.0 * (n - e.rank) as f64 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(installs: u64, sessions: u64, secs: u64, regs: u64, revenue_cents: i64) -> DayStats {
+        DayStats {
+            installs,
+            sessions,
+            session_secs: secs,
+            registrations: regs,
+            purchases: 0,
+            revenue_micros: revenue_cents * 10_000,
+        }
+    }
+
+    #[test]
+    fn engagement_beats_raw_installs_on_top_free() {
+        // 500 no-activity installs vs 200 installs with real usage.
+        let no_activity = stats(500, 500, 2_500, 0, 0); // one brief open each
+        let activity = stats(200, 600, 120_000, 180, 0);
+        let s_no = score(
+            ChartRanking::EngagementWeighted,
+            ChartKind::TopFree,
+            &no_activity,
+        );
+        let s_act = score(
+            ChartRanking::EngagementWeighted,
+            ChartKind::TopFree,
+            &activity,
+        );
+        assert!(s_act > s_no, "{s_act} should beat {s_no}");
+        // …but under the ablation ranker the order flips.
+        let s_no = score(
+            ChartRanking::InstallWeighted,
+            ChartKind::TopFree,
+            &no_activity,
+        );
+        let s_act = score(ChartRanking::InstallWeighted, ChartKind::TopFree, &activity);
+        assert!(s_no > s_act);
+    }
+
+    #[test]
+    fn only_revenue_moves_top_grossing() {
+        let installs_only = stats(10_000, 10_000, 50_000, 0, 0);
+        let purchaser = stats(50, 100, 5_000, 0, 500 * 100); // $500 revenue
+        let s_i = score(
+            ChartRanking::EngagementWeighted,
+            ChartKind::TopGrossing,
+            &installs_only,
+        );
+        let s_p = score(
+            ChartRanking::EngagementWeighted,
+            ChartKind::TopGrossing,
+            &purchaser,
+        );
+        assert!(s_p > s_i, "{s_p} vs {s_i}");
+    }
+
+    #[test]
+    fn eligibility() {
+        assert!(ChartKind::TopGames.eligible(iiscope_types::Genre::GamePuzzle));
+        assert!(!ChartKind::TopGames.eligible(iiscope_types::Genre::Finance));
+        assert!(ChartKind::TopFree.eligible(iiscope_types::Genre::Finance));
+    }
+
+    #[test]
+    fn rank_orders_truncates_and_skips_zero() {
+        let entries: Vec<(AppId, f64)> = (0..300).map(|i| (AppId(i), i as f64)).collect();
+        let ranked = rank(entries);
+        assert_eq!(ranked.len(), CHART_SIZE);
+        assert_eq!(ranked[0].app, AppId(299));
+        assert_eq!(ranked[0].rank, 1);
+        assert!(ranked.iter().all(|e| e.score > 0.0), "zero scores excluded");
+    }
+
+    #[test]
+    fn rank_ties_break_deterministically() {
+        let ranked = rank([(AppId(5), 1.0), (AppId(2), 1.0), (AppId(9), 1.0)]);
+        assert_eq!(
+            ranked.iter().map(|e| e.app).collect::<Vec<_>>(),
+            vec![AppId(2), AppId(5), AppId(9)]
+        );
+    }
+
+    #[test]
+    fn percentile_math() {
+        let ranked = rank((1..=100).map(|i| (AppId(i), 101.0 - i as f64)));
+        assert_eq!(percentile(&ranked, AppId(1)), Some(99.0)); // rank 1
+        assert_eq!(percentile(&ranked, AppId(100)), Some(0.0)); // last
+        assert_eq!(percentile(&ranked, AppId(999)), None);
+    }
+}

@@ -1,0 +1,257 @@
+//! The store's HTTP frontend — what the §4.3 crawler actually crawls.
+//!
+//! Routes:
+//!
+//! * `GET /store/apps/details?id=<package>` — public profile as JSON;
+//! * `GET /store/charts?chart=<id>&n=<count>` — a top chart snapshot;
+//! * `GET /apk?id=<package>` — APK download for static analysis.
+//!
+//! Responses carry only *public* fields (binned installs, release day,
+//! developer info) — the crawler cannot see exact counts, mirroring the
+//! paper's limitation that Google "reports installs in bins".
+
+use crate::charts::ChartKind;
+use crate::store::PlayStore;
+use iiscope_types::PackageName;
+use iiscope_wire::{Handler, Json, Request, Response};
+use std::sync::Arc;
+
+/// HTTP handler over a shared store.
+pub struct StoreFrontend {
+    store: Arc<PlayStore>,
+}
+
+impl StoreFrontend {
+    /// Wraps a store.
+    pub fn new(store: Arc<PlayStore>) -> StoreFrontend {
+        StoreFrontend { store }
+    }
+
+    fn details(&self, req: &Request) -> Response {
+        let Some(id) = req.query_param("id") else {
+            return Response::status(400);
+        };
+        let Ok(package) = PackageName::new(id) else {
+            return Response::status(400);
+        };
+        match self.store.profile(&package) {
+            Some(p) => Response::ok_json(&Json::obj([
+                ("package", Json::str(p.package.as_str())),
+                ("title", Json::str(p.title)),
+                ("genre", Json::str(p.genre.play_id())),
+                ("released_day", Json::Int(p.released.days() as i64)),
+                ("min_installs", Json::Int(p.installs.lower_bound() as i64)),
+                ("installs_label", Json::str(p.installs.to_string())),
+                (
+                    "rating",
+                    match p.rating {
+                        // One decimal, as the store UI shows.
+                        Some(r) => Json::Float((r * 10.0).round() / 10.0),
+                        None => Json::Null,
+                    },
+                ),
+                ("rating_count", Json::Int(p.rating_count as i64)),
+                (
+                    "developer",
+                    Json::obj([
+                        ("id", Json::Int(p.developer_id.raw() as i64)),
+                        ("name", Json::str(p.developer_name)),
+                        ("country", Json::str(p.developer_country.code())),
+                        ("email", Json::str(p.developer_email)),
+                        (
+                            "website",
+                            match p.developer_website {
+                                Some(w) => Json::str(w),
+                                None => Json::Null,
+                            },
+                        ),
+                    ]),
+                ),
+            ])),
+            None => Response::not_found(),
+        }
+    }
+
+    fn charts(&self, req: &Request, now: iiscope_types::SimTime) -> Response {
+        let chart = match req.query_param("chart").as_deref() {
+            Some("topselling_free") => ChartKind::TopFree,
+            Some("topselling_free_games") => ChartKind::TopGames,
+            Some("topgrossing") => ChartKind::TopGrossing,
+            _ => return Response::status(400),
+        };
+        let n: usize = req
+            .query_param("n")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        let entries = self.store.chart(chart, now);
+        let items = entries.iter().take(n).filter_map(|e| {
+            let pkg = self.store.package_of(e.app)?;
+            Some(Json::obj([
+                ("package", Json::str(pkg.as_str())),
+                ("rank", Json::Int(e.rank as i64)),
+            ]))
+        });
+        Response::ok_json(&Json::obj([
+            (
+                "chart",
+                Json::str(req.query_param("chart").unwrap_or_default()),
+            ),
+            ("entries", Json::arr(items)),
+        ]))
+    }
+
+    fn apk(&self, req: &Request) -> Response {
+        let Some(id) = req.query_param("id") else {
+            return Response::status(400);
+        };
+        let Ok(package) = PackageName::new(id) else {
+            return Response::status(400);
+        };
+        match self.store.apk_bytes(&package) {
+            Some(bytes) => Response::ok_bytes(bytes, "application/vnd.android.package-archive"),
+            None => Response::not_found(),
+        }
+    }
+}
+
+impl Handler for StoreFrontend {
+    fn handle(&self, req: &Request, ctx: &iiscope_wire::http::RequestCtx) -> Response {
+        match req.path() {
+            "/store/apps/details" => self.details(req),
+            "/store/charts" => self.charts(req, ctx.now),
+            "/apk" => self.apk(req),
+            _ => Response::not_found(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apk::ApkInfo;
+    use crate::engagement::InstallSignals;
+    use crate::store::InstallSource;
+    use iiscope_netsim::{AsnId, AsnKind, HostAddr, PeerInfo};
+    use iiscope_types::{Country, Genre, SeedFork, SimTime};
+    use iiscope_wire::http::RequestCtx;
+
+    fn rig() -> (Arc<PlayStore>, StoreFrontend, RequestCtx) {
+        let store = Arc::new(PlayStore::new(SeedFork::new(7)));
+        let dev = store.register_developer(
+            "Acme",
+            Country::De,
+            "a@x.de",
+            Some("https://acme.de".into()),
+        );
+        let app = store
+            .publish(
+                PackageName::new("com.acme.runner").unwrap(),
+                "Runner",
+                dev,
+                Genre::GameArcade,
+                SimTime::from_days(5),
+                ApkInfo::bare(),
+            )
+            .unwrap();
+        let now = SimTime::from_days(40);
+        for _ in 0..120 {
+            store
+                .record_install(app, now, InstallSignals::clean(1), &InstallSource::Organic)
+                .unwrap();
+            store.record_session(app, now, 200).unwrap();
+        }
+        let frontend = StoreFrontend::new(Arc::clone(&store));
+        let ctx = RequestCtx {
+            peer: PeerInfo {
+                addr: HostAddr {
+                    ip: std::net::Ipv4Addr::new(1, 2, 3, 4),
+                    asn: AsnId(1),
+                    asn_kind: AsnKind::Datacenter,
+                    country: Country::Us,
+                },
+                opened_at: now,
+            },
+            now,
+        };
+        (store, frontend, ctx)
+    }
+
+    #[test]
+    fn details_route_serves_public_profile() {
+        let (_s, f, ctx) = rig();
+        let resp = f.handle(
+            &Request::get("/store/apps/details?id=com.acme.runner"),
+            &ctx,
+        );
+        assert!(resp.is_success());
+        let j = resp.body_json().unwrap();
+        assert_eq!(
+            j.get("package").and_then(Json::as_str),
+            Some("com.acme.runner")
+        );
+        assert_eq!(j.get("min_installs").and_then(Json::as_i64), Some(100));
+        assert_eq!(j.get("installs_label").and_then(Json::as_str), Some("100+"));
+        let dev = j.get("developer").unwrap();
+        assert_eq!(dev.get("country").and_then(Json::as_str), Some("DE"));
+    }
+
+    #[test]
+    fn details_missing_and_malformed() {
+        let (_s, f, ctx) = rig();
+        assert_eq!(
+            f.handle(&Request::get("/store/apps/details"), &ctx).status,
+            400
+        );
+        assert_eq!(
+            f.handle(&Request::get("/store/apps/details?id=bad"), &ctx)
+                .status,
+            400
+        );
+        assert_eq!(
+            f.handle(&Request::get("/store/apps/details?id=com.no.app"), &ctx)
+                .status,
+            404
+        );
+    }
+
+    #[test]
+    fn charts_route() {
+        let (_s, f, ctx) = rig();
+        let resp = f.handle(
+            &Request::get("/store/charts?chart=topselling_free_games&n=10"),
+            &ctx,
+        );
+        assert!(resp.is_success());
+        let j = resp.body_json().unwrap();
+        let entries = j.get("entries").and_then(Json::as_array).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].get("package").and_then(Json::as_str),
+            Some("com.acme.runner")
+        );
+        assert_eq!(entries[0].get("rank").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            f.handle(&Request::get("/store/charts?chart=bogus"), &ctx)
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn apk_route_serves_bytes() {
+        let (_s, f, ctx) = rig();
+        let resp = f.handle(&Request::get("/apk?id=com.acme.runner"), &ctx);
+        assert!(resp.is_success());
+        assert!(resp.body.starts_with(b"dex\n"));
+        assert_eq!(
+            f.handle(&Request::get("/apk?id=com.no.app"), &ctx).status,
+            404
+        );
+    }
+
+    #[test]
+    fn unknown_route_404s() {
+        let (_s, f, ctx) = rig();
+        assert_eq!(f.handle(&Request::get("/nope"), &ctx).status, 404);
+    }
+}

@@ -1,0 +1,276 @@
+//! Countries, as they appear in the study.
+//!
+//! Two distinct country dimensions exist in the paper:
+//!
+//! * **Vantage points** — the monitoring infrastructure runs its
+//!   offer-wall milkers "from the following eight countries: USA, UK,
+//!   Spain, Israel, Canada, Germany, India, and Russia using datacenter
+//!   VPN proxies" (§4.1).
+//! * **Developer countries** — Table 4 counts the number of distinct
+//!   countries the advertised apps' developers are based in (up to 44
+//!   for ayeT-Studios), parsed from Play Store mailing addresses.
+
+use std::fmt;
+
+/// ISO-3166-ish country codes covering every country referenced in the
+/// study plus a long tail used by the developer-population generator
+/// (Table 4 needs up to 44 distinct developer countries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Country {
+    Us,
+    Uk,
+    Es,
+    Il,
+    Ca,
+    De,
+    In,
+    Ru, // the eight vantage points, in paper order
+    Fr,
+    It,
+    Nl,
+    Se,
+    No,
+    Fi,
+    Dk,
+    Pl,
+    Pt,
+    Gr,
+    Cz,
+    Hu,
+    Ro,
+    Bg,
+    Ua,
+    Tr,
+    Cn,
+    Jp,
+    Kr,
+    Tw,
+    Hk,
+    Sg,
+    My,
+    Th,
+    Vn,
+    Ph,
+    Id,
+    Pk,
+    Bd,
+    Lk,
+    Np,
+    Ae,
+    Sa,
+    Eg,
+    Ng,
+    Ke,
+    Za,
+    Ma,
+    Br,
+    Mx,
+    Ar,
+    Cl,
+    Co,
+    Pe,
+    Au,
+    Nz,
+    Ie,
+    Ch,
+    At,
+    Be,
+    Ee,
+    Lv,
+    Lt,
+}
+
+impl Country {
+    /// The eight vantage-point countries of §4.1, in the paper's order.
+    pub const VANTAGE_POINTS: [Country; 8] = [
+        Country::Us,
+        Country::Uk,
+        Country::Es,
+        Country::Il,
+        Country::Ca,
+        Country::De,
+        Country::In,
+        Country::Ru,
+    ];
+
+    /// Every country known to the generator.
+    pub const ALL: [Country; 61] = [
+        Country::Us,
+        Country::Uk,
+        Country::Es,
+        Country::Il,
+        Country::Ca,
+        Country::De,
+        Country::In,
+        Country::Ru,
+        Country::Fr,
+        Country::It,
+        Country::Nl,
+        Country::Se,
+        Country::No,
+        Country::Fi,
+        Country::Dk,
+        Country::Pl,
+        Country::Pt,
+        Country::Gr,
+        Country::Cz,
+        Country::Hu,
+        Country::Ro,
+        Country::Bg,
+        Country::Ua,
+        Country::Tr,
+        Country::Cn,
+        Country::Jp,
+        Country::Kr,
+        Country::Tw,
+        Country::Hk,
+        Country::Sg,
+        Country::My,
+        Country::Th,
+        Country::Vn,
+        Country::Ph,
+        Country::Id,
+        Country::Pk,
+        Country::Bd,
+        Country::Lk,
+        Country::Np,
+        Country::Ae,
+        Country::Sa,
+        Country::Eg,
+        Country::Ng,
+        Country::Ke,
+        Country::Za,
+        Country::Ma,
+        Country::Br,
+        Country::Mx,
+        Country::Ar,
+        Country::Cl,
+        Country::Co,
+        Country::Pe,
+        Country::Au,
+        Country::Nz,
+        Country::Ie,
+        Country::Ch,
+        Country::At,
+        Country::Be,
+        Country::Ee,
+        Country::Lv,
+        Country::Lt,
+    ];
+
+    /// Two-letter code.
+    pub fn code(self) -> &'static str {
+        use Country::*;
+        match self {
+            Us => "US",
+            Uk => "GB",
+            Es => "ES",
+            Il => "IL",
+            Ca => "CA",
+            De => "DE",
+            In => "IN",
+            Ru => "RU",
+            Fr => "FR",
+            It => "IT",
+            Nl => "NL",
+            Se => "SE",
+            No => "NO",
+            Fi => "FI",
+            Dk => "DK",
+            Pl => "PL",
+            Pt => "PT",
+            Gr => "GR",
+            Cz => "CZ",
+            Hu => "HU",
+            Ro => "RO",
+            Bg => "BG",
+            Ua => "UA",
+            Tr => "TR",
+            Cn => "CN",
+            Jp => "JP",
+            Kr => "KR",
+            Tw => "TW",
+            Hk => "HK",
+            Sg => "SG",
+            My => "MY",
+            Th => "TH",
+            Vn => "VN",
+            Ph => "PH",
+            Id => "ID",
+            Pk => "PK",
+            Bd => "BD",
+            Lk => "LK",
+            Np => "NP",
+            Ae => "AE",
+            Sa => "SA",
+            Eg => "EG",
+            Ng => "NG",
+            Ke => "KE",
+            Za => "ZA",
+            Ma => "MA",
+            Br => "BR",
+            Mx => "MX",
+            Ar => "AR",
+            Cl => "CL",
+            Co => "CO",
+            Pe => "PE",
+            Au => "AU",
+            Nz => "NZ",
+            Ie => "IE",
+            Ch => "CH",
+            At => "AT",
+            Be => "BE",
+            Ee => "EE",
+            Lv => "LV",
+            Lt => "LT",
+        }
+    }
+
+    /// Whether this country is one of the eight §4.1 vantage points.
+    pub fn is_vantage_point(self) -> bool {
+        Self::VANTAGE_POINTS.contains(&self)
+    }
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn eight_vantage_points() {
+        assert_eq!(Country::VANTAGE_POINTS.len(), 8);
+        for c in Country::VANTAGE_POINTS {
+            assert!(c.is_vantage_point());
+        }
+        assert!(!Country::Br.is_vantage_point());
+    }
+
+    #[test]
+    fn all_is_unique_and_contains_vantage_points() {
+        let set: BTreeSet<Country> = Country::ALL.into_iter().collect();
+        assert_eq!(set.len(), Country::ALL.len());
+        for c in Country::VANTAGE_POINTS {
+            assert!(set.contains(&c));
+        }
+        // Table 4 reports up to 44 distinct developer countries for a
+        // single IIP, so the generator's pool must be at least that big.
+        assert!(Country::ALL.len() >= 44);
+    }
+
+    #[test]
+    fn codes_are_two_letters_and_unique() {
+        let mut seen = BTreeSet::new();
+        for c in Country::ALL {
+            assert_eq!(c.code().len(), 2);
+            assert!(seen.insert(c.code()), "duplicate code {}", c.code());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The workspace-wide error type.
+//!
+//! Each subsystem defines richer, local error enums where useful; this
+//! type covers the cross-cutting failures that bubble up through the
+//! measurement pipeline.
+
+use std::fmt;
+
+/// Convenient alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors shared across iiscope crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A string failed [`crate::PackageName`] validation.
+    InvalidPackageName(String),
+    /// A string failed [`crate::Usd`] parsing.
+    InvalidMoney(String),
+    /// A lookup by id found nothing (catalog, offer wall, registry…).
+    NotFound(String),
+    /// An operation violated a protocol or state machine (e.g. paying
+    /// out an offer that was never completed).
+    InvalidState(String),
+    /// A network-level failure from the simulated substrate.
+    Network(String),
+    /// A wire-format decode failure (JSON, HTTP, TLS records).
+    Decode(String),
+    /// A policy denial (e.g. an unvetted developer rejected by a vetted
+    /// IIP, or the Play Store refusing a publish).
+    Denied(String),
+}
+
+impl Error {
+    /// Short machine-readable kind label, useful in test assertions and
+    /// event logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::InvalidPackageName(_) => "invalid_package_name",
+            Error::InvalidMoney(_) => "invalid_money",
+            Error::NotFound(_) => "not_found",
+            Error::InvalidState(_) => "invalid_state",
+            Error::Network(_) => "network",
+            Error::Decode(_) => "decode",
+            Error::Denied(_) => "denied",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidPackageName(s) => write!(f, "invalid package name: {s:?}"),
+            Error::InvalidMoney(s) => write!(f, "invalid money literal: {s:?}"),
+            Error::NotFound(s) => write!(f, "not found: {s}"),
+            Error::InvalidState(s) => write!(f, "invalid state: {s}"),
+            Error::Network(s) => write!(f, "network error: {s}"),
+            Error::Decode(s) => write!(f, "decode error: {s}"),
+            Error::Denied(s) => write!(f, "denied: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_kind() {
+        let e = Error::NotFound("app-7".into());
+        assert_eq!(e.to_string(), "not found: app-7");
+        assert_eq!(e.kind(), "not_found");
+        let e = Error::Decode("bad json".into());
+        assert_eq!(e.kind(), "decode");
+        assert!(e.to_string().contains("bad json"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Network("down".into()));
+    }
+}

@@ -1,0 +1,258 @@
+//! Google Play app genres.
+//!
+//! Table 4 counts the distinct genres of apps advertised per IIP (up to
+//! 51 for ayeT-Studios), so the simulated catalog needs Google Play's
+//! real genre taxonomy: the application categories plus the game
+//! sub-categories, 53 in total — comfortably above the paper's maximum
+//! observed count.
+
+use std::fmt;
+
+/// A Google Play category ("genre" in the paper's terminology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Genre {
+    // Application categories.
+    ArtAndDesign,
+    AutoAndVehicles,
+    Beauty,
+    BooksAndReference,
+    Business,
+    Comics,
+    Communication,
+    Dating,
+    Education,
+    Entertainment,
+    Events,
+    Finance,
+    FoodAndDrink,
+    HealthAndFitness,
+    HouseAndHome,
+    LibrariesAndDemo,
+    Lifestyle,
+    MapsAndNavigation,
+    Medical,
+    MusicAndAudio,
+    NewsAndMagazines,
+    Parenting,
+    Personalization,
+    Photography,
+    Productivity,
+    Shopping,
+    Social,
+    Sports,
+    Tools,
+    TravelAndLocal,
+    VideoPlayers,
+    Weather,
+    // Game sub-categories.
+    GameAction,
+    GameAdventure,
+    GameArcade,
+    GameBoard,
+    GameCard,
+    GameCasino,
+    GameCasual,
+    GameEducational,
+    GameMusic,
+    GamePuzzle,
+    GameRacing,
+    GameRolePlaying,
+    GameSimulation,
+    GameSports,
+    GameStrategy,
+    GameTrivia,
+    GameWord,
+    // Family categories.
+    FamilyAction,
+    FamilyBrainGames,
+    FamilyCreate,
+    FamilyEducation,
+}
+
+impl Genre {
+    /// Every genre known to the catalog generator.
+    pub const ALL: [Genre; 53] = [
+        Genre::ArtAndDesign,
+        Genre::AutoAndVehicles,
+        Genre::Beauty,
+        Genre::BooksAndReference,
+        Genre::Business,
+        Genre::Comics,
+        Genre::Communication,
+        Genre::Dating,
+        Genre::Education,
+        Genre::Entertainment,
+        Genre::Events,
+        Genre::Finance,
+        Genre::FoodAndDrink,
+        Genre::HealthAndFitness,
+        Genre::HouseAndHome,
+        Genre::LibrariesAndDemo,
+        Genre::Lifestyle,
+        Genre::MapsAndNavigation,
+        Genre::Medical,
+        Genre::MusicAndAudio,
+        Genre::NewsAndMagazines,
+        Genre::Parenting,
+        Genre::Personalization,
+        Genre::Photography,
+        Genre::Productivity,
+        Genre::Shopping,
+        Genre::Social,
+        Genre::Sports,
+        Genre::Tools,
+        Genre::TravelAndLocal,
+        Genre::VideoPlayers,
+        Genre::Weather,
+        Genre::GameAction,
+        Genre::GameAdventure,
+        Genre::GameArcade,
+        Genre::GameBoard,
+        Genre::GameCard,
+        Genre::GameCasino,
+        Genre::GameCasual,
+        Genre::GameEducational,
+        Genre::GameMusic,
+        Genre::GamePuzzle,
+        Genre::GameRacing,
+        Genre::GameRolePlaying,
+        Genre::GameSimulation,
+        Genre::GameSports,
+        Genre::GameStrategy,
+        Genre::GameTrivia,
+        Genre::GameWord,
+        Genre::FamilyAction,
+        Genre::FamilyBrainGames,
+        Genre::FamilyCreate,
+        Genre::FamilyEducation,
+    ];
+
+    /// Whether the genre is a game category. Games matter twice in the
+    /// study: the "top games" chart (Figure 5a) and the prevalence of
+    /// level-based usage offers ("Install and Reach Level 10").
+    pub fn is_game(self) -> bool {
+        matches!(
+            self,
+            Genre::GameAction
+                | Genre::GameAdventure
+                | Genre::GameArcade
+                | Genre::GameBoard
+                | Genre::GameCard
+                | Genre::GameCasino
+                | Genre::GameCasual
+                | Genre::GameEducational
+                | Genre::GameMusic
+                | Genre::GamePuzzle
+                | Genre::GameRacing
+                | Genre::GameRolePlaying
+                | Genre::GameSimulation
+                | Genre::GameSports
+                | Genre::GameStrategy
+                | Genre::GameTrivia
+                | Genre::GameWord
+        )
+    }
+
+    /// Play-Store-style identifier, e.g. `GAME_ACTION`.
+    pub fn play_id(self) -> &'static str {
+        use Genre::*;
+        match self {
+            ArtAndDesign => "ART_AND_DESIGN",
+            AutoAndVehicles => "AUTO_AND_VEHICLES",
+            Beauty => "BEAUTY",
+            BooksAndReference => "BOOKS_AND_REFERENCE",
+            Business => "BUSINESS",
+            Comics => "COMICS",
+            Communication => "COMMUNICATION",
+            Dating => "DATING",
+            Education => "EDUCATION",
+            Entertainment => "ENTERTAINMENT",
+            Events => "EVENTS",
+            Finance => "FINANCE",
+            FoodAndDrink => "FOOD_AND_DRINK",
+            HealthAndFitness => "HEALTH_AND_FITNESS",
+            HouseAndHome => "HOUSE_AND_HOME",
+            LibrariesAndDemo => "LIBRARIES_AND_DEMO",
+            Lifestyle => "LIFESTYLE",
+            MapsAndNavigation => "MAPS_AND_NAVIGATION",
+            Medical => "MEDICAL",
+            MusicAndAudio => "MUSIC_AND_AUDIO",
+            NewsAndMagazines => "NEWS_AND_MAGAZINES",
+            Parenting => "PARENTING",
+            Personalization => "PERSONALIZATION",
+            Photography => "PHOTOGRAPHY",
+            Productivity => "PRODUCTIVITY",
+            Shopping => "SHOPPING",
+            Social => "SOCIAL",
+            Sports => "SPORTS",
+            Tools => "TOOLS",
+            TravelAndLocal => "TRAVEL_AND_LOCAL",
+            VideoPlayers => "VIDEO_PLAYERS",
+            Weather => "WEATHER",
+            GameAction => "GAME_ACTION",
+            GameAdventure => "GAME_ADVENTURE",
+            GameArcade => "GAME_ARCADE",
+            GameBoard => "GAME_BOARD",
+            GameCard => "GAME_CARD",
+            GameCasino => "GAME_CASINO",
+            GameCasual => "GAME_CASUAL",
+            GameEducational => "GAME_EDUCATIONAL",
+            GameMusic => "GAME_MUSIC",
+            GamePuzzle => "GAME_PUZZLE",
+            GameRacing => "GAME_RACING",
+            GameRolePlaying => "GAME_ROLE_PLAYING",
+            GameSimulation => "GAME_SIMULATION",
+            GameSports => "GAME_SPORTS",
+            GameStrategy => "GAME_STRATEGY",
+            GameTrivia => "GAME_TRIVIA",
+            GameWord => "GAME_WORD",
+            FamilyAction => "FAMILY_ACTION",
+            FamilyBrainGames => "FAMILY_BRAINGAMES",
+            FamilyCreate => "FAMILY_CREATE",
+            FamilyEducation => "FAMILY_EDUCATION",
+        }
+    }
+}
+
+impl fmt::Display for Genre {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.play_id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn all_unique_and_large_enough_for_table4() {
+        let set: BTreeSet<Genre> = Genre::ALL.into_iter().collect();
+        assert_eq!(set.len(), Genre::ALL.len());
+        // Table 4's maximum observed genre count is 51 (ayeT-Studios).
+        assert!(Genre::ALL.len() >= 51);
+    }
+
+    #[test]
+    fn game_classification() {
+        assert!(Genre::GamePuzzle.is_game());
+        assert!(Genre::GameStrategy.is_game());
+        assert!(!Genre::Finance.is_game());
+        assert!(!Genre::FamilyAction.is_game());
+        let games = Genre::ALL.iter().filter(|g| g.is_game()).count();
+        assert_eq!(games, 17);
+    }
+
+    #[test]
+    fn play_ids_unique() {
+        let mut seen = BTreeSet::new();
+        for g in Genre::ALL {
+            assert!(seen.insert(g.play_id()));
+            assert!(g
+                .play_id()
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c == '_'));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! The paper joins half a dozen datasets — offer-wall traffic, Play
+//! Store profiles, top-chart crawls, honey-app telemetry, Crunchbase —
+//! on keys like package names and developer ids. Each key gets its own
+//! newtype so the compiler rules out cross-dataset join mistakes.
+
+use std::fmt;
+
+macro_rules! numeric_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Returns the raw numeric value.
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+numeric_id!(
+    /// Identifier of a mobile app inside the simulated Play Store
+    /// catalog. Distinct from [`PackageName`]: the store may (rarely)
+    /// recycle a package name, but an `AppId` is forever.
+    AppId,
+    "app-"
+);
+numeric_id!(
+    /// Identifier of a developer account on the simulated Play Store.
+    ///
+    /// The paper identifies developers by the Play developer id and
+    /// locates them via the mailing address on their store profile.
+    DeveloperId,
+    "dev-"
+);
+numeric_id!(
+    /// Identifier of an incentivized-install offer as issued by an IIP.
+    OfferId,
+    "offer-"
+);
+numeric_id!(
+    /// Identifier of an advertising campaign a developer runs on an IIP.
+    /// One campaign may publish several offers (e.g. a registration
+    /// offer and a purchase offer for the same app).
+    CampaignId,
+    "camp-"
+);
+numeric_id!(
+    /// Identifier of a physical (simulated) Android device.
+    DeviceId,
+    "device-"
+);
+numeric_id!(
+    /// Identifier of a human crowd worker (or bot operator) controlling
+    /// one or more devices.
+    WorkerId,
+    "worker-"
+);
+
+/// Identifier of an incentivized install platform.
+///
+/// The study covers exactly seven IIPs (Table 1), so this is a closed
+/// enum rather than a numeric id: every analysis in Section 4 is keyed
+/// by "which IIP", and exhaustive `match`es keep the tables total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IipId {
+    /// fyber.com — vetted.
+    Fyber,
+    /// offertoro.com — vetted.
+    OfferToro,
+    /// adscendmedia.com — vetted.
+    AdscendMedia,
+    /// hangmyads.com — vetted.
+    HangMyAds,
+    /// adgem.com — vetted.
+    AdGem,
+    /// ayetstudios.com — unvetted.
+    AyetStudios,
+    /// rankapp.org — unvetted.
+    RankApp,
+}
+
+impl IipId {
+    /// All seven IIPs of Table 1, in the paper's presentation order.
+    pub const ALL: [IipId; 7] = [
+        IipId::Fyber,
+        IipId::OfferToro,
+        IipId::AdscendMedia,
+        IipId::HangMyAds,
+        IipId::AdGem,
+        IipId::AyetStudios,
+        IipId::RankApp,
+    ];
+
+    /// Whether this IIP has a stringent developer review process
+    /// (Table 1's vetted/unvetted split).
+    pub fn is_vetted(self) -> bool {
+        !matches!(self, IipId::AyetStudios | IipId::RankApp)
+    }
+
+    /// Home URL as listed in Table 1.
+    pub fn home_url(self) -> &'static str {
+        match self {
+            IipId::Fyber => "fyber.com",
+            IipId::OfferToro => "offertoro.com",
+            IipId::AdscendMedia => "adscendmedia.com",
+            IipId::HangMyAds => "hangmyads.com",
+            IipId::AdGem => "adgem.com",
+            IipId::AyetStudios => "ayetstudios.com",
+            IipId::RankApp => "rankapp.org",
+        }
+    }
+
+    /// Marketing name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            IipId::Fyber => "Fyber",
+            IipId::OfferToro => "OfferToro",
+            IipId::AdscendMedia => "AdscendMedia",
+            IipId::HangMyAds => "HangMyAds",
+            IipId::AdGem => "AdGem",
+            IipId::AyetStudios => "ayeT-Studios",
+            IipId::RankApp => "RankApp",
+        }
+    }
+}
+
+impl fmt::Display for IipId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Reverse-DNS Android package name, e.g. `com.example.game`.
+///
+/// Package names uniquely identify apps across every dataset in the
+/// study ("Unique apps are identified by their package name", §4.2).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PackageName(String);
+
+impl PackageName {
+    /// Creates a package name after validating the reverse-DNS shape:
+    /// at least two dot-separated segments, each starting with a letter
+    /// and containing only `[a-zA-Z0-9_]`.
+    pub fn new(name: impl Into<String>) -> crate::Result<Self> {
+        let name = name.into();
+        if Self::is_valid(&name) {
+            Ok(PackageName(name))
+        } else {
+            Err(crate::Error::InvalidPackageName(name))
+        }
+    }
+
+    /// Validation predicate used by [`PackageName::new`].
+    pub fn is_valid(name: &str) -> bool {
+        let segments: Vec<&str> = name.split('.').collect();
+        if segments.len() < 2 {
+            return false;
+        }
+        segments.iter().all(|seg| {
+            let mut chars = seg.chars();
+            match chars.next() {
+                Some(c) if c.is_ascii_alphabetic() => {}
+                _ => return false,
+            }
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        })
+    }
+
+    /// The raw package name string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Whether the package name contains one of the money-making
+    /// keywords the paper uses to spot affiliate apps on worker phones
+    /// (§3.2: "names of many apps contain keywords such as 'money',
+    /// 'reward', or 'cash'").
+    pub fn has_money_keyword(&self) -> bool {
+        const KEYWORDS: [&str; 5] = ["money", "reward", "cash", "earn", "rich"];
+        let lower = self.0.to_ascii_lowercase();
+        KEYWORDS.iter().any(|k| lower.contains(k))
+    }
+}
+
+impl fmt::Display for PackageName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for PackageName {
+    type Err = crate::Error;
+
+    fn from_str(s: &str) -> crate::Result<Self> {
+        PackageName::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_ids_display_with_prefix() {
+        assert_eq!(AppId(7).to_string(), "app-7");
+        assert_eq!(DeveloperId(0).to_string(), "dev-0");
+        assert_eq!(OfferId(42).to_string(), "offer-42");
+        assert_eq!(CampaignId(1).to_string(), "camp-1");
+        assert_eq!(DeviceId(9).to_string(), "device-9");
+        assert_eq!(WorkerId(3).to_string(), "worker-3");
+    }
+
+    #[test]
+    fn iip_vetting_matches_table1() {
+        let vetted: Vec<IipId> = IipId::ALL
+            .iter()
+            .copied()
+            .filter(|i| i.is_vetted())
+            .collect();
+        assert_eq!(vetted.len(), 5);
+        assert!(!IipId::RankApp.is_vetted());
+        assert!(!IipId::AyetStudios.is_vetted());
+        assert!(IipId::Fyber.is_vetted());
+    }
+
+    #[test]
+    fn iip_all_is_exhaustive_and_unique() {
+        let mut set = std::collections::BTreeSet::new();
+        for iip in IipId::ALL {
+            assert!(set.insert(iip));
+        }
+        assert_eq!(set.len(), 7);
+    }
+
+    #[test]
+    fn package_name_validation() {
+        assert!(PackageName::new("com.example.app").is_ok());
+        assert!(PackageName::new("eu.gcashapp").is_ok());
+        assert!(PackageName::new("proxima.makemoney.android").is_ok());
+        assert!(PackageName::new("single").is_err());
+        assert!(PackageName::new("").is_err());
+        assert!(PackageName::new("com.1bad").is_err());
+        assert!(PackageName::new("com..empty").is_err());
+        assert!(PackageName::new("com.ok.with_underscore").is_ok());
+        assert!(PackageName::new("com.bad-dash").is_err());
+    }
+
+    #[test]
+    fn money_keywords_match_paper_examples() {
+        // §3.2 names three concrete affiliate apps; the keyword
+        // heuristic must recognise the ones with money-words.
+        assert!(PackageName::new("eu.gcashapp").unwrap().has_money_keyword());
+        assert!(PackageName::new("proxima.makemoney.android")
+            .unwrap()
+            .has_money_keyword());
+        assert!(PackageName::new("com.mobvantage.cashforapps")
+            .unwrap()
+            .has_money_keyword());
+        assert!(!PackageName::new("com.ayet.pirate")
+            .unwrap()
+            .has_money_keyword());
+    }
+
+    #[test]
+    fn package_name_parses_from_str() {
+        let p: PackageName = "com.example.app".parse().unwrap();
+        assert_eq!(p.as_str(), "com.example.app");
+        assert!("nope".parse::<PackageName>().is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # iiscope-types
+//!
+//! Foundation crate for the `iiscope` workspace — the reproduction of
+//! *"Understanding Incentivized Mobile App Installs on Google Play
+//! Store"* (IMC 2020).
+//!
+//! Everything in the workspace is a deterministic simulation driven by a
+//! single world seed, so this crate concentrates the vocabulary shared
+//! by every subsystem:
+//!
+//! * [`ids`] — strongly-typed identifiers (package names, developer ids,
+//!   offer ids, device ids, …). Using newtypes instead of raw strings or
+//!   integers prevents the classic measurement-pipeline bug of joining
+//!   two datasets on the wrong key.
+//! * [`money`] — USD amounts in integer micro-dollars. Offer payouts in
+//!   the paper go as low as $0.02 and as high as $2.98 averages, and the
+//!   disbursement chain (IIP cut → affiliate cut → worker payout) must
+//!   add up exactly, so floating point is banned from the money path.
+//! * [`time`] — simulated time ([`time::SimTime`], [`time::SimDuration`]).
+//!   The paper's study window (March–June 2019, crawls every other day)
+//!   is a simulated timeline; wall-clock time never enters the model.
+//! * [`country`] / [`genre`] — closed enums for the geographic and
+//!   category dimensions reported in Table 4.
+//! * [`rng`] — labelled deterministic RNG fan-out plus the handful of
+//!   distributions (log-normal, Zipf, Bernoulli mixtures) used by the
+//!   population generators.
+//! * [`error`] — the shared error type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod country;
+pub mod error;
+pub mod genre;
+pub mod ids;
+pub mod money;
+pub mod rng;
+pub mod time;
+
+pub use country::Country;
+pub use error::{Error, Result};
+pub use genre::Genre;
+pub use ids::{AppId, CampaignId, DeveloperId, DeviceId, IipId, OfferId, PackageName, WorkerId};
+pub use money::Usd;
+pub use rng::SeedFork;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,298 @@
+//! Exact USD arithmetic in integer micro-dollars.
+//!
+//! Offer payouts in the study range from $0.02 (RankApp median, Table 4)
+//! to multi-dollar purchase offers (Table 3: $2.98 average), and the
+//! paper normalizes affiliate-app reward points into dollar amounts
+//! (§4.1). Every split in the disbursement chain — developer deposit →
+//! IIP cut → affiliate cut → worker payout — must reconcile exactly, so
+//! money is represented as a signed integer count of micro-dollars
+//! (1 USD = 1_000_000 micro).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A USD amount with micro-dollar resolution.
+///
+/// ```
+/// use iiscope_types::Usd;
+/// let payout = Usd::from_cents(52);
+/// assert_eq!(payout.to_string(), "$0.52");
+/// assert_eq!(payout * 9, Usd::from_cents(468));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Usd(i64);
+
+impl Usd {
+    /// Zero dollars.
+    pub const ZERO: Usd = Usd(0);
+    /// One micro-dollar — the resolution limit.
+    pub const MICRO: Usd = Usd(1);
+
+    /// Constructs from micro-dollars (1e-6 USD).
+    pub const fn from_micros(micros: i64) -> Usd {
+        Usd(micros)
+    }
+
+    /// Constructs from whole cents.
+    pub const fn from_cents(cents: i64) -> Usd {
+        Usd(cents * 10_000)
+    }
+
+    /// Constructs from whole dollars.
+    pub const fn from_dollars(dollars: i64) -> Usd {
+        Usd(dollars * 1_000_000)
+    }
+
+    /// Micro-dollar count.
+    pub const fn micros(self) -> i64 {
+        self.0
+    }
+
+    /// Value as floating-point dollars (analysis/reporting only; never
+    /// feed the result back into money arithmetic).
+    pub fn dollars_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True iff the amount is negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Splits the amount into a `percent` share and the exact remainder.
+    ///
+    /// Used for the payout chain of Figure 1: the IIP keeps a fraction
+    /// of the developer's payout and releases the rest to the affiliate
+    /// app, which keeps a fraction and releases the rest to the user.
+    /// The two parts always sum to `self` exactly (the share rounds
+    /// towards zero, the remainder absorbs the rounding).
+    pub fn split_percent(self, percent: u8) -> (Usd, Usd) {
+        let share = Usd(self.0 * i64::from(percent.min(100)) / 100);
+        (share, self - share)
+    }
+
+    /// Saturating checked addition (used by account balances that must
+    /// not wrap on adversarial inputs).
+    pub fn checked_add(self, other: Usd) -> Option<Usd> {
+        self.0.checked_add(other.0).map(Usd)
+    }
+
+    /// Parses strings like `$0.52`, `0.52`, `$2`, `2.98`.
+    ///
+    /// This is the inverse of `Usd`'s `Display` output for non-negative
+    /// amounts with ≤6 fraction digits and exists because the monitor
+    /// pipeline parses payouts out of intercepted offer-wall JSON.
+    pub fn parse(s: &str) -> crate::Result<Usd> {
+        let t = s.trim();
+        let (neg, t) = match t.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, t),
+        };
+        let t = t.strip_prefix('$').unwrap_or(t);
+        let bad = || crate::Error::InvalidMoney(s.to_string());
+        if t.is_empty() {
+            return Err(bad());
+        }
+        let (int_part, frac_part) = match t.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (t, ""),
+        };
+        if !int_part.chars().all(|c| c.is_ascii_digit())
+            || !frac_part.chars().all(|c| c.is_ascii_digit())
+            || int_part.is_empty()
+            || frac_part.len() > 6
+        {
+            return Err(bad());
+        }
+        let int: i64 = int_part.parse().map_err(|_| bad())?;
+        let mut frac: i64 = if frac_part.is_empty() {
+            0
+        } else {
+            frac_part.parse().map_err(|_| bad())?
+        };
+        for _ in frac_part.len()..6 {
+            frac *= 10;
+        }
+        let micros = int
+            .checked_mul(1_000_000)
+            .and_then(|m| m.checked_add(frac))
+            .ok_or_else(bad)?;
+        Ok(Usd(if neg { -micros } else { micros }))
+    }
+
+    /// Arithmetic mean of a slice, rounding toward zero. Returns
+    /// [`Usd::ZERO`] for an empty slice (the tables print `$0.00` when
+    /// an offer class is absent).
+    pub fn mean(values: &[Usd]) -> Usd {
+        if values.is_empty() {
+            return Usd::ZERO;
+        }
+        let total: i128 = values.iter().map(|v| i128::from(v.0)).sum();
+        Usd((total / values.len() as i128) as i64)
+    }
+
+    /// Median of a slice (lower median for even lengths, matching how
+    /// the paper reports "median offer payout" in Table 4).
+    pub fn median(values: &[Usd]) -> Usd {
+        if values.is_empty() {
+            return Usd::ZERO;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        sorted[(sorted.len() - 1) / 2]
+    }
+}
+
+impl Add for Usd {
+    type Output = Usd;
+    fn add(self, rhs: Usd) -> Usd {
+        Usd(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Usd {
+    fn add_assign(&mut self, rhs: Usd) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Usd {
+    type Output = Usd;
+    fn sub(self, rhs: Usd) -> Usd {
+        Usd(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Usd {
+    fn sub_assign(&mut self, rhs: Usd) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Usd {
+    type Output = Usd;
+    fn neg(self) -> Usd {
+        Usd(-self.0)
+    }
+}
+
+impl Mul<i64> for Usd {
+    type Output = Usd;
+    fn mul(self, rhs: i64) -> Usd {
+        Usd(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for Usd {
+    type Output = Usd;
+    fn div(self, rhs: i64) -> Usd {
+        Usd(self.0 / rhs)
+    }
+}
+
+impl Sum for Usd {
+    fn sum<I: Iterator<Item = Usd>>(iter: I) -> Usd {
+        iter.fold(Usd::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Usd {
+    /// Renders as `$D.CC` with two decimals (the tables' format); if the
+    /// amount has sub-cent precision, extends to as many digits as
+    /// needed (up to micro-dollars).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        let dollars = abs / 1_000_000;
+        let micros = abs % 1_000_000;
+        if micros.is_multiple_of(10_000) {
+            write!(f, "{sign}${dollars}.{:02}", micros / 10_000)
+        } else if micros.is_multiple_of(100) {
+            write!(f, "{sign}${dollars}.{:04}", micros / 100)
+        } else {
+            write!(f, "{sign}${dollars}.{micros:06}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_two_decimals() {
+        assert_eq!(Usd::from_cents(6).to_string(), "$0.06");
+        assert_eq!(Usd::from_cents(298).to_string(), "$2.98");
+        assert_eq!(Usd::from_dollars(0).to_string(), "$0.00");
+        assert_eq!((-Usd::from_cents(150)).to_string(), "-$1.50");
+    }
+
+    #[test]
+    fn display_subcent_precision() {
+        assert_eq!(Usd::from_micros(1_500).to_string(), "$0.0015");
+        assert_eq!(Usd::from_micros(1_501).to_string(), "$0.001501");
+    }
+
+    #[test]
+    fn parse_round_trips_table_values() {
+        for s in ["$0.02", "$0.06", "$0.52", "$2.98", "$1.71", "$0.40"] {
+            assert_eq!(Usd::parse(s).unwrap().to_string(), s);
+        }
+        assert_eq!(Usd::parse("0.52").unwrap(), Usd::from_cents(52));
+        assert_eq!(Usd::parse("2").unwrap(), Usd::from_dollars(2));
+        assert_eq!(Usd::parse("-$0.10").unwrap(), -Usd::from_cents(10));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "$", "$.5", "1.2345678", "$1,00", "abc", "$-1", "1e6"] {
+            assert!(Usd::parse(s).is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn split_percent_reconciles_exactly() {
+        let total = Usd::from_micros(1_000_001);
+        for pct in 0..=100u8 {
+            let (share, rest) = total.split_percent(pct);
+            assert_eq!(share + rest, total, "pct={pct}");
+            assert!(!share.is_negative() && !rest.is_negative());
+        }
+    }
+
+    #[test]
+    fn split_percent_clamps_above_100() {
+        let total = Usd::from_dollars(10);
+        let (share, rest) = total.split_percent(200);
+        assert_eq!(share, total);
+        assert_eq!(rest, Usd::ZERO);
+    }
+
+    #[test]
+    fn mean_and_median_match_hand_computation() {
+        let vals = [
+            Usd::from_cents(2),
+            Usd::from_cents(5),
+            Usd::from_cents(19),
+            Usd::from_cents(40),
+        ];
+        assert_eq!(Usd::mean(&vals), Usd::from_micros(165_000));
+        assert_eq!(Usd::median(&vals), Usd::from_cents(5)); // lower median
+        assert_eq!(Usd::mean(&[]), Usd::ZERO);
+        assert_eq!(Usd::median(&[]), Usd::ZERO);
+        assert_eq!(Usd::median(&vals[..3]), Usd::from_cents(5));
+    }
+
+    #[test]
+    fn sum_and_ops() {
+        let total: Usd = [Usd::from_cents(10), Usd::from_cents(15)].into_iter().sum();
+        assert_eq!(total, Usd::from_cents(25));
+        assert_eq!(total / 5, Usd::from_cents(5));
+        assert_eq!(total * 2, Usd::from_cents(50));
+        let mut acc = Usd::ZERO;
+        acc += Usd::from_cents(7);
+        acc -= Usd::from_cents(2);
+        assert_eq!(acc, Usd::from_cents(5));
+    }
+}

@@ -1,0 +1,549 @@
+//! An HTTP/1.1 subset: framing, headers, handler trait.
+//!
+//! Every service in the world — Play Store frontend, offer walls,
+//! attribution postbacks, the honey-app collector — speaks this
+//! protocol, and the monitoring proxy parses it out of intercepted
+//! plaintext ("we parse the HTTP responses that are intercepted by the
+//! mitmproxy", §4.1). The subset is deliberately strict:
+//!
+//! * request line + headers + `Content-Length`-delimited body
+//!   (no chunked transfer, no HTTP/2);
+//! * CRLF line endings, case-insensitive header names;
+//! * incremental parsing (a message split across deliveries
+//!   reassembles), with hard caps on header and body sizes.
+
+use iiscope_netsim::PeerInfo;
+use iiscope_types::{Error, Result, SimTime};
+use std::fmt;
+
+/// Maximum accepted header block (16 KiB).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum accepted body (8 MiB) — an APK download is the largest
+/// object in the study.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Request methods used by the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+}
+
+impl Method {
+    fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Method> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            other => Err(Error::Decode(format!("unsupported method {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Ordered, case-insensitive header map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers(Vec<(String, String)>);
+
+impl Headers {
+    /// Empty header set.
+    pub fn new() -> Headers {
+        Headers::default()
+    }
+
+    /// Appends a header (duplicates allowed, like real HTTP).
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.0.push((name.into(), value.into()));
+    }
+
+    /// First value for `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Replaces every occurrence of `name` with a single value.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.0.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.insert(name, value.into());
+    }
+
+    /// Iterates over all `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Request target as sent (path plus optional `?query`).
+    pub target: String,
+    /// Headers.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Builds a GET request for `target`.
+    pub fn get(target: impl Into<String>) -> Request {
+        Request {
+            method: Method::Get,
+            target: target.into(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Builds a POST with a body.
+    pub fn post(target: impl Into<String>, body: impl Into<Vec<u8>>) -> Request {
+        Request {
+            method: Method::Post,
+            target: target.into(),
+            headers: Headers::new(),
+            body: body.into(),
+        }
+    }
+
+    /// The path component (target up to `?`).
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((p, _)) => p,
+            None => &self.target,
+        }
+    }
+
+    /// Decoded query parameters, in order of appearance.
+    pub fn query(&self) -> Vec<(String, String)> {
+        let raw = match self.target.split_once('?') {
+            Some((_, q)) => q,
+            None => return Vec::new(),
+        };
+        raw.split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| match kv.split_once('=') {
+                Some((k, v)) => (pct_decode(k), pct_decode(v)),
+                None => (pct_decode(kv), String::new()),
+            })
+            .collect()
+    }
+
+    /// First query parameter named `key`.
+    pub fn query_param(&self, key: &str) -> Option<String> {
+        self.query()
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Serializes to wire bytes (sets `Content-Length`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut headers = self.headers.clone();
+        headers.set("Content-Length", self.body.len().to_string());
+        let mut out = format!("{} {} HTTP/1.1\r\n", self.method, self.target).into_bytes();
+        for (n, v) in headers.iter() {
+            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Attempts to parse one request from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` if incomplete, `Ok(Some((req, consumed)))` on
+    /// success, and `Err` on malformed or oversized input.
+    pub fn parse(buf: &[u8]) -> Result<Option<(Request, usize)>> {
+        let Some((head, body_start)) = split_head(buf)? else {
+            return Ok(None);
+        };
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let method = Method::parse(parts.next().unwrap_or(""))?;
+        let target = parts
+            .next()
+            .filter(|t| !t.is_empty())
+            .ok_or_else(|| Error::Decode("missing request target".into()))?
+            .to_string();
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(Error::Decode("bad HTTP version".into()));
+        }
+        let headers = parse_headers(lines)?;
+        match read_body(buf, body_start, &headers)? {
+            Some((body, consumed)) => Ok(Some((
+                Request {
+                    method,
+                    target,
+                    headers,
+                    body,
+                },
+                consumed,
+            ))),
+            None => Ok(None),
+        }
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A bare response with the given status.
+    pub fn status(status: u16) -> Response {
+        Response {
+            status,
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// 200 with a JSON body and content type.
+    pub fn ok_json(value: &crate::Json) -> Response {
+        let mut r = Response::status(200);
+        r.headers.set("Content-Type", "application/json");
+        r.body = value.to_string().into_bytes();
+        r
+    }
+
+    /// 200 with a plain-text body.
+    pub fn ok_text(text: impl Into<String>) -> Response {
+        let mut r = Response::status(200);
+        r.headers.set("Content-Type", "text/plain");
+        r.body = text.into().into_bytes();
+        r
+    }
+
+    /// 200 with opaque bytes (APK downloads).
+    pub fn ok_bytes(bytes: Vec<u8>, content_type: &str) -> Response {
+        let mut r = Response::status(200);
+        r.headers.set("Content-Type", content_type);
+        r.body = bytes;
+        r
+    }
+
+    /// 404.
+    pub fn not_found() -> Response {
+        Response::status(404)
+    }
+
+    /// Canonical reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            204 => "No Content",
+            302 => "Found",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// True for 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Body interpreted as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Body parsed as JSON.
+    pub fn body_json(&self) -> Result<crate::Json> {
+        let text = std::str::from_utf8(&self.body)
+            .map_err(|_| Error::Decode("body is not utf-8".into()))?;
+        Ok(crate::Json::parse(text)?)
+    }
+
+    /// Serializes to wire bytes (sets `Content-Length`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut headers = self.headers.clone();
+        headers.set("Content-Length", self.body.len().to_string());
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason()).into_bytes();
+        for (n, v) in headers.iter() {
+            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Attempts to parse one response from the front of `buf`
+    /// (same contract as [`Request::parse`]).
+    pub fn parse(buf: &[u8]) -> Result<Option<(Response, usize)>> {
+        let Some((head, body_start)) = split_head(buf)? else {
+            return Ok(None);
+        };
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let mut parts = status_line.splitn(3, ' ');
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(Error::Decode("bad HTTP version".into()));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::Decode("bad status code".into()))?;
+        let headers = parse_headers(lines)?;
+        match read_body(buf, body_start, &headers)? {
+            Some((body, consumed)) => Ok(Some((
+                Response {
+                    status,
+                    headers,
+                    body,
+                },
+                consumed,
+            ))),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Finds the end of the header block. Returns the head as UTF-8 text
+/// plus the byte offset where the body starts.
+fn split_head(buf: &[u8]) -> Result<Option<(&str, usize)>> {
+    let end = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    match end {
+        None if buf.len() > MAX_HEADER_BYTES => Err(Error::Decode("header block too large".into())),
+        None => Ok(None),
+        Some(pos) if pos > MAX_HEADER_BYTES => Err(Error::Decode("header block too large".into())),
+        Some(pos) => {
+            let head = std::str::from_utf8(&buf[..pos])
+                .map_err(|_| Error::Decode("headers are not utf-8".into()))?;
+            Ok(Some((head, pos + 4)))
+        }
+    }
+}
+
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers> {
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| Error::Decode(format!("malformed header line {line:?}")))?;
+        headers.insert(name.trim().to_string(), value.trim().to_string());
+    }
+    Ok(headers)
+}
+
+fn read_body(buf: &[u8], body_start: usize, headers: &Headers) -> Result<Option<(Vec<u8>, usize)>> {
+    let len: usize = match headers.get("Content-Length") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| Error::Decode(format!("bad Content-Length {v:?}")))?,
+        None => 0,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(Error::Decode("body too large".into()));
+    }
+    if buf.len() < body_start + len {
+        return Ok(None);
+    }
+    Ok(Some((
+        buf[body_start..body_start + len].to_vec(),
+        body_start + len,
+    )))
+}
+
+fn pct_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Context passed to request handlers.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestCtx {
+    /// The connecting client.
+    pub peer: PeerInfo,
+    /// Time of the request.
+    pub now: SimTime,
+}
+
+/// A request handler — what each simulated service implements.
+pub trait Handler: Send + Sync {
+    /// Produces the response for one request.
+    fn handle(&self, req: &Request, ctx: &RequestCtx) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request, &RequestCtx) -> Response + Send + Sync,
+{
+    fn handle(&self, req: &Request, ctx: &RequestCtx) -> Response {
+        self(req, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Json;
+
+    #[test]
+    fn request_round_trip() {
+        let mut req = Request::post("/v1/telemetry?device=7", b"{\"ok\":true}".to_vec());
+        req.headers.insert("Host", "collector.iiscope.net");
+        let wire = req.encode();
+        let (parsed, consumed) = Request::parse(&wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(parsed.method, Method::Post);
+        assert_eq!(parsed.path(), "/v1/telemetry");
+        assert_eq!(parsed.query_param("device").as_deref(), Some("7"));
+        assert_eq!(parsed.body, req.body);
+        assert_eq!(parsed.headers.get("host"), Some("collector.iiscope.net"));
+    }
+
+    #[test]
+    fn response_round_trip_json() {
+        let body = Json::obj([("offers", Json::arr([Json::Int(1)]))]);
+        let resp = Response::ok_json(&body);
+        let wire = resp.encode();
+        let (parsed, consumed) = Response::parse(&wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert!(parsed.is_success());
+        assert_eq!(parsed.body_json().unwrap(), body);
+        assert_eq!(parsed.headers.get("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_body() {
+        let req = Request::post("/x", vec![b'a'; 10]);
+        let wire = req.encode();
+        assert!(Request::parse(&wire[..wire.len() - 1]).unwrap().is_none());
+        assert!(Request::parse(&wire[..10]).unwrap().is_none());
+        assert!(Request::parse(&wire).unwrap().is_some());
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one() {
+        let a = Request::get("/a").encode();
+        let b = Request::get("/b").encode();
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        let (first, consumed) = Request::parse(&both).unwrap().unwrap();
+        assert_eq!(first.target, "/a");
+        assert_eq!(consumed, a.len());
+        let (second, _) = Request::parse(&both[consumed..]).unwrap().unwrap();
+        assert_eq!(second.target, "/b");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(Request::parse(b"BREW /pot HTTP/1.1\r\n\r\n").is_err());
+        assert!(Request::parse(b"GET /x HTTP/2\r\n\r\n").is_err());
+        assert!(Request::parse(b"GET  HTTP/1.1\r\n\r\n").is_err());
+        assert!(Response::parse(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+        assert!(Request::parse(b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
+        let huge = format!(
+            "GET /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(Request::parse(huge.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn oversized_headers_rejected_even_incomplete() {
+        let big = vec![b'a'; MAX_HEADER_BYTES + 10];
+        assert!(Request::parse(&big).is_err());
+    }
+
+    #[test]
+    fn query_decoding() {
+        let req = Request::get("/wall?country=US&desc=Install+%26+Register&flag");
+        let q = req.query();
+        assert_eq!(q[0], ("country".into(), "US".into()));
+        assert_eq!(q[1], ("desc".into(), "Install & Register".into()));
+        assert_eq!(q[2], ("flag".into(), String::new()));
+        assert_eq!(Request::get("/plain").query(), Vec::new());
+    }
+
+    #[test]
+    fn headers_case_insensitive_set_get() {
+        let mut h = Headers::new();
+        h.insert("X-Token", "a");
+        h.insert("x-token", "b");
+        assert_eq!(h.get("X-TOKEN"), Some("a"));
+        h.set("X-Token", "c");
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get("x-token"), Some("c"));
+    }
+
+    #[test]
+    fn reason_phrases() {
+        assert_eq!(Response::status(200).reason(), "OK");
+        assert_eq!(Response::status(429).reason(), "Too Many Requests");
+        assert_eq!(Response::status(999).reason(), "Unknown");
+        assert!(!Response::not_found().is_success());
+    }
+}

@@ -1,0 +1,43 @@
+//! # iiscope-wire
+//!
+//! Application wire formats for the iiscope world, layered over the
+//! turn-based connections of `iiscope-netsim`:
+//!
+//! * [`json`] — a from-scratch JSON value, parser and serializer. The
+//!   paper's monitoring pipeline "parse\[s\] the HTTP responses …
+//!   \[which\] typically include offer details in JSON format" (§4.1);
+//!   the offline dependency set has no `serde_json`, so we implement
+//!   the format ourselves (and proptest the round trip).
+//! * [`http`] — an HTTP/1.1 subset: request/response framing with
+//!   `Content-Length` bodies, case-insensitive headers, incremental
+//!   parsing. Every simulated service speaks it.
+//! * [`url`] — minimal URL splitting for the client.
+//! * [`tls`] — a TLS-*like* protocol: certificate chains, trust roots,
+//!   SNI, certificate pinning, encrypted+authenticated records, and a
+//!   MITM proxy that re-signs leaf certificates with an installed root
+//!   CA — the mechanism behind the paper's mitmproxy setup ("We decrypt
+//!   this traffic by installing a self-signed certificate … since none
+//!   of the offer walls uses certificate pinning", §4.1 fn 5).
+//!   **Not cryptography**: the primitives are hash-based toys that are
+//!   structurally faithful (chain validation, MAC-detected tampering,
+//!   pin failures) but offer zero security. The study needs the
+//!   *mechanics*, not the math.
+//! * [`client`] — a blocking HTTP(S) client with retries, used by the
+//!   crawler, the milkers, and the honey app's uploader.
+//! * [`server`] — adapters turning an [`http::Handler`] into a netsim
+//!   session factory, optionally behind TLS.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod tls;
+pub mod url;
+
+pub use client::HttpClient;
+pub use http::{Handler, Request, Response};
+pub use json::Json;
+pub use url::Url;

@@ -1,0 +1,254 @@
+//! Adapters that turn an [`crate::http::Handler`] into network
+//! services — plain HTTP or HTTPS.
+//!
+//! Every simulated service (Play Store frontend, offer walls, the
+//! telemetry collector, attribution postbacks) implements the small
+//! [`Handler`] trait; these factories do the transport plumbing.
+
+use crate::http::{Handler, Request, RequestCtx, Response};
+use crate::tls::session::{FixedIdentity, PlainService, TlsServerSession};
+use crate::tls::ServerIdentity;
+use iiscope_netsim::{PeerInfo, ServerIo, Session, SessionFactory};
+use iiscope_types::{SeedFork, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Plaintext HTTP engine shared by the plain and TLS paths: buffers
+/// bytes, parses complete requests, dispatches to the handler, encodes
+/// responses.
+pub struct HttpEngine {
+    handler: Arc<dyn Handler>,
+    buf: Vec<u8>,
+}
+
+impl HttpEngine {
+    /// Creates an engine for `handler`.
+    pub fn new(handler: Arc<dyn Handler>) -> HttpEngine {
+        HttpEngine {
+            handler,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Feeds bytes; returns encoded responses for every complete
+    /// request found.
+    pub fn feed(&mut self, data: &[u8], peer: PeerInfo, now: SimTime) -> Vec<u8> {
+        self.buf.extend_from_slice(data);
+        let mut out = Vec::new();
+        loop {
+            match Request::parse(&self.buf) {
+                Ok(Some((req, consumed))) => {
+                    self.buf.drain(..consumed);
+                    let ctx = RequestCtx { peer, now };
+                    let resp = self.handler.handle(&req, &ctx);
+                    out.extend_from_slice(&resp.encode());
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Malformed request: answer 400 and drop the buffer
+                    // (the connection is poisoned).
+                    out.extend_from_slice(&Response::status(400).encode());
+                    self.buf.clear();
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl PlainService for HttpEngine {
+    fn on_data(&mut self, data: &[u8], peer: PeerInfo, now: SimTime) -> Vec<u8> {
+        self.feed(data, peer, now)
+    }
+}
+
+/// Plain-HTTP session (no TLS).
+struct PlainHttpSession {
+    engine: HttpEngine,
+}
+
+impl Session for PlainHttpSession {
+    fn on_turn(&mut self, io: &mut ServerIo<'_>) {
+        let data = io.recv_all();
+        let peer = io.peer();
+        let now = io.now();
+        let out = self.engine.feed(&data, peer, now);
+        io.send(&out);
+    }
+}
+
+/// Factory for plain-HTTP services.
+pub struct HttpFactory {
+    handler: Arc<dyn Handler>,
+}
+
+impl HttpFactory {
+    /// Wraps a handler.
+    pub fn new(handler: Arc<dyn Handler>) -> HttpFactory {
+        HttpFactory { handler }
+    }
+}
+
+impl SessionFactory for HttpFactory {
+    fn open(&self, _peer: PeerInfo) -> Box<dyn Session> {
+        Box::new(PlainHttpSession {
+            engine: HttpEngine::new(Arc::clone(&self.handler)),
+        })
+    }
+}
+
+/// Factory for HTTPS services: TLS with a fixed identity wrapping the
+/// HTTP engine.
+pub struct HttpsFactory {
+    handler: Arc<dyn Handler>,
+    identity: Arc<FixedIdentity>,
+    seed: SeedFork,
+    counter: AtomicU64,
+}
+
+impl HttpsFactory {
+    /// Wraps a handler behind `identity`.
+    pub fn new(
+        handler: Arc<dyn Handler>,
+        identity: ServerIdentity,
+        seed: SeedFork,
+    ) -> HttpsFactory {
+        HttpsFactory {
+            handler,
+            identity: Arc::new(FixedIdentity(identity)),
+            seed,
+            counter: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SessionFactory for HttpsFactory {
+    fn open(&self, _peer: PeerInfo) -> Box<dyn Session> {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        Box::new(TlsServerSession::new(
+            self.identity.clone(),
+            Box::new(HttpEngine::new(Arc::clone(&self.handler))),
+            self.seed.fork_idx("session", n).seed(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Method;
+    use crate::Json;
+    use iiscope_netsim::{AsnId, AsnKind, HostAddr, Network};
+    use iiscope_types::Country;
+    use std::net::Ipv4Addr;
+
+    fn handler() -> Arc<dyn Handler> {
+        Arc::new(|req: &Request, ctx: &RequestCtx| -> Response {
+            match (req.method, req.path()) {
+                (Method::Get, "/ping") => Response::ok_text("pong"),
+                (Method::Get, "/whoami") => {
+                    Response::ok_text(ctx.peer.addr.country.code().to_string())
+                }
+                (Method::Post, "/echo") => {
+                    Response::ok_bytes(req.body.clone(), "application/octet-stream")
+                }
+                _ => Response::not_found(),
+            }
+        })
+    }
+
+    fn client_addr() -> HostAddr {
+        HostAddr {
+            ip: Ipv4Addr::new(192, 168, 1, 10),
+            asn: AsnId(3320),
+            asn_kind: AsnKind::Eyeball,
+            country: Country::De,
+        }
+    }
+
+    #[test]
+    fn plain_http_service_works() {
+        let net = Network::new(SeedFork::new(1));
+        let ip = Ipv4Addr::new(10, 0, 0, 1);
+        net.bind(ip, 80, Arc::new(HttpFactory::new(handler())))
+            .unwrap();
+        let mut conn = net.connect(client_addr(), ip, 80).unwrap();
+        conn.send(&Request::get("/ping").encode());
+        let reply = conn.roundtrip().unwrap();
+        let (resp, _) = Response::parse(&reply).unwrap().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_text(), "pong");
+    }
+
+    #[test]
+    fn handler_sees_peer_context() {
+        let net = Network::new(SeedFork::new(2));
+        let ip = Ipv4Addr::new(10, 0, 0, 2);
+        net.bind(ip, 80, Arc::new(HttpFactory::new(handler())))
+            .unwrap();
+        let mut conn = net.connect(client_addr(), ip, 80).unwrap();
+        conn.send(&Request::get("/whoami").encode());
+        let reply = conn.roundtrip().unwrap();
+        let (resp, _) = Response::parse(&reply).unwrap().unwrap();
+        assert_eq!(resp.body_text(), "DE");
+    }
+
+    #[test]
+    fn pipelined_requests_get_pipelined_responses() {
+        let net = Network::new(SeedFork::new(3));
+        let ip = Ipv4Addr::new(10, 0, 0, 3);
+        net.bind(ip, 80, Arc::new(HttpFactory::new(handler())))
+            .unwrap();
+        let mut conn = net.connect(client_addr(), ip, 80).unwrap();
+        let mut wire = Request::get("/ping").encode();
+        wire.extend_from_slice(&Request::post("/echo", b"xyz".to_vec()).encode());
+        conn.send(&wire);
+        let reply = conn.roundtrip().unwrap();
+        let (r1, used) = Response::parse(&reply).unwrap().unwrap();
+        let (r2, _) = Response::parse(&reply[used..]).unwrap().unwrap();
+        assert_eq!(r1.body_text(), "pong");
+        assert_eq!(r2.body, b"xyz");
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let net = Network::new(SeedFork::new(4));
+        let ip = Ipv4Addr::new(10, 0, 0, 4);
+        net.bind(ip, 80, Arc::new(HttpFactory::new(handler())))
+            .unwrap();
+        let mut conn = net.connect(client_addr(), ip, 80).unwrap();
+        conn.send(b"NONSENSE\r\n\r\n");
+        let reply = conn.roundtrip().unwrap();
+        let (resp, _) = Response::parse(&reply).unwrap().unwrap();
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn https_service_end_to_end() {
+        use crate::tls::{CertAuthority, TlsClient, TrustStore};
+        let seed = SeedFork::new(5);
+        let net = Network::new(seed.fork("net"));
+        let mut ca = CertAuthority::new("Root", seed.fork("ca"));
+        let identity = ServerIdentity::issue(&mut ca, "api.test", seed.fork("id"));
+        let mut roots = TrustStore::new();
+        roots.install_root(ca.root_cert());
+        let ip = Ipv4Addr::new(10, 0, 0, 5);
+        net.bind(
+            ip,
+            443,
+            Arc::new(HttpsFactory::new(handler(), identity, seed.fork("f"))),
+        )
+        .unwrap();
+
+        let conn = net.connect(client_addr(), ip, 443).unwrap();
+        let mut rng = SeedFork::new(6).rng();
+        let mut tls = TlsClient::connect(conn, "api.test", &roots, None, &mut rng).unwrap();
+        let body = Json::obj([("k", Json::Int(1))]);
+        let reply = tls
+            .request(&Request::post("/echo", body.to_string().into_bytes()).encode())
+            .unwrap();
+        let (resp, _) = Response::parse(&reply).unwrap().unwrap();
+        assert_eq!(resp.body_json().unwrap(), body);
+    }
+}

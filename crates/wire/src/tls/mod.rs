@@ -1,0 +1,36 @@
+//! A TLS-*like* protocol: structurally faithful, cryptographically a
+//! toy.
+//!
+//! The monitoring infrastructure of §4.1 hinges on transport security
+//! mechanics: "all offer walls use TLS encryption in their traffic. We
+//! decrypt this traffic by installing a self-signed certificate on the
+//! Android phone since none of the offer walls uses certificate
+//! pinning." To reproduce that pipeline honestly we need:
+//!
+//! * certificates, chains, trust stores, SNI — so installing the
+//!   monitor's root CA on a device *means something* ([`cert`]);
+//! * an encrypted, integrity-protected record layer — so captured
+//!   ciphertext is useless without a key position and fault-injected
+//!   corruption is *detected*, not silently consumed ([`record`]);
+//! * client/server handshake state machines ([`session`]);
+//! * a man-in-the-middle proxy that forges leaf certificates on the
+//!   fly and logs decrypted traffic ([`mitm`]) — failing exactly when
+//!   a client pins its expected key.
+//!
+//! # Non-goals
+//!
+//! **This is not cryptography.** Keys are 64-bit, "signatures" are hash
+//! mixes verifiable (and forgeable) with public values, and the cipher
+//! is an xorshift keystream. What is faithful is the *protocol
+//! structure*: who can read what, which validations run, and how
+//! failures surface. That is all the study's methodology depends on.
+
+pub mod cert;
+pub mod mitm;
+pub mod record;
+pub mod session;
+
+pub use cert::{CertAuthority, Certificate, KeyPair, TrustStore};
+pub use mitm::{Intercept, InterceptLog, MitmProxy};
+pub use record::{open_records, seal_records, RecordDecoder, RecordType};
+pub use session::{ServerIdentity, TlsClient, TlsServerSession};

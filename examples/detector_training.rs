@@ -1,0 +1,45 @@
+//! The §5.2 proposal end to end: "our proposed measurements can
+//! provide a ground truth of apps to help train machine learning
+//! models in detecting the lockstep behavior."
+//!
+//! This example runs the monitoring pipeline to obtain labels, builds
+//! Play-side features, trains the logistic-regression detector, and
+//! prints the held-out metrics and the learned feature weights.
+//!
+//! ```sh
+//! cargo run --release --example detector_training
+//! ```
+
+use iiscope::experiments::DetectorEval;
+use iiscope::{World, WorldConfig};
+
+const FEATURES: [&str; 6] = [
+    "block_concentration",
+    "suspicious_rate",
+    "burstiness",
+    "engagement_per_install",
+    "session_minutes",
+    "attributed_share",
+];
+
+fn main() {
+    let world = World::build(WorldConfig::small(606)).expect("world build");
+    println!("running the monitoring study to collect ground-truth labels…");
+    let artifacts = world.run_wild_study().expect("wild study");
+
+    let eval = DetectorEval::run(&world, &artifacts).expect("both classes present");
+    println!("{}", eval.render());
+
+    println!("learned weights (standardized feature space):");
+    for (name, w) in FEATURES.iter().zip(eval.detector.weights()) {
+        let bar_len = (w.abs() * 4.0).min(40.0) as usize;
+        let bar = if w >= 0.0 { "+" } else { "-" }.repeat(bar_len.max(1));
+        println!("  {name:<24} {w:>8.3}  {bar}");
+    }
+    println!();
+    println!(
+        "reading: positive weights push toward 'incentivized campaign'. \
+         Address concentration and device fraud signals dominate — the \
+         lockstep structure the paper proposed detecting."
+    );
+}

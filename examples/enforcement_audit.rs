@@ -1,0 +1,40 @@
+//! The §5.2 enforcement question, plus the ablation DESIGN.md calls
+//! out: how much better would the Play Store do with the paper's
+//! proposed lockstep detection turned up?
+//!
+//! Runs the same world twice — once with the calibrated "lax" default
+//! enforcement, once with the strict profile — and compares observed
+//! install-count decreases per app class.
+//!
+//! ```sh
+//! cargo run --release --example enforcement_audit
+//! ```
+
+use iiscope::experiments::Section5;
+use iiscope::subsystems::playstore::EnforcementConfig;
+use iiscope::{World, WorldConfig};
+
+fn run(label: &str, enforcement: EnforcementConfig) {
+    let mut cfg = WorldConfig::small(9);
+    cfg.enforcement = enforcement;
+    let world = World::build(cfg).expect("world build");
+    let artifacts = world.run_wild_study().expect("wild study");
+    let s5 = Section5::run(&world, &artifacts);
+    println!(
+        "=== {label} (total installs removed: {}) ===",
+        artifacts.enforcement_removed
+    );
+    println!("{}", s5.render());
+}
+
+fn main() {
+    run(
+        "default enforcement (calibrated to §5.2's laxity)",
+        EnforcementConfig::default(),
+    );
+    run(
+        "strict enforcement (paper's §5.2 proposal, dialed up)",
+        EnforcementConfig::strict(),
+    );
+    run("no enforcement", EnforcementConfig::disabled());
+}

@@ -1,0 +1,32 @@
+//! Quickstart: build a small world, buy incentivized installs for the
+//! honey app on three platforms, and print the §3.2 findings.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use iiscope::experiments::Section3;
+use iiscope::{World, WorldConfig};
+
+fn main() {
+    // One seed controls everything: same seed, same world, same report.
+    let world = World::build(WorldConfig::small(2020)).expect("world build");
+
+    println!("Publishing the honey app and purchasing installs…");
+    let study = world
+        .run_honey_study(world.study_start())
+        .expect("honey study");
+
+    for outcome in &study.outcomes {
+        println!(
+            "{}: purchased {}, delivered {} in {} ({} completions paid)",
+            outcome.iip,
+            outcome.purchased,
+            outcome.installs_delivered,
+            outcome.delivery_duration(),
+            outcome.completions_paid,
+        );
+    }
+    println!();
+    println!("{}", Section3::run(&world, study).render());
+}

@@ -1,0 +1,36 @@
+//! The §4 pipeline on a small world: milk offer walls through the MITM
+//! proxy from two vantage points, crawl the Play Store every round, and
+//! print the dataset summaries and the campaign-impact tables.
+//!
+//! ```sh
+//! cargo run --release --example wild_monitoring
+//! ```
+
+use iiscope::experiments::{Table3, Table4, Table5, Table6};
+use iiscope::{World, WorldConfig};
+
+fn main() {
+    let world = World::build(WorldConfig::small(77)).expect("world build");
+    println!(
+        "world: {} advertised apps, {} baseline apps, {}-day window",
+        world.cfg.advertised_apps, world.cfg.baseline_apps, world.cfg.monitoring_days
+    );
+
+    println!("running the longitudinal study…");
+    let artifacts = world.run_wild_study().expect("wild study");
+    let ds = &artifacts.dataset;
+    println!(
+        "dataset: {} offer observations → {} unique offers, {} unique descriptions, {} advertised apps, {} profile snapshots, {} chart snapshots",
+        ds.offers().len(),
+        ds.unique_offers().len(),
+        ds.unique_descriptions().len(),
+        ds.advertised_packages().len(),
+        ds.profiles().len(),
+        ds.charts().len(),
+    );
+    println!();
+    println!("{}", Table3::run(&world, &artifacts).render());
+    println!("{}", Table4::run(&world, &artifacts).render());
+    println!("{}", Table5::run(&world, &artifacts).render());
+    println!("{}", Table6::run(&world, &artifacts).render());
+}

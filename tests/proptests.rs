@@ -1,0 +1,331 @@
+//! Property-based tests over the core data structures and wire
+//! formats: round-trips, exactness invariants, and parser robustness.
+
+use iiscope::subsystems::netsim::{encode_frame, FrameDecoder};
+use iiscope::subsystems::playstore::InstallBin;
+use iiscope::subsystems::types::{rng as irng, SeedFork, Usd};
+use iiscope::subsystems::wire::http::{Request, Response};
+use iiscope::subsystems::wire::tls::{open_records, seal_records, RecordType};
+use iiscope::subsystems::wire::Json;
+use proptest::prelude::*;
+
+/// Arbitrary JSON value generator (bounded depth).
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(Json::Int),
+        // Finite floats only: JSON has no NaN/Inf.
+        (-1e15f64..1e15).prop_map(Json::Float),
+        "[a-zA-Z0-9 _\\-\\.\"\\\\/\u{00e9}\u{20ac}]{0,20}".prop_map(Json::str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::arr),
+            prop::collection::btree_map("[a-z]{1,8}", inner, 0..6)
+                .prop_map(|m| Json::Object(m.into_iter().collect())),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_round_trips(value in arb_json()) {
+        let compact = value.to_string();
+        let reparsed = Json::parse(&compact).expect("compact reparse");
+        prop_assert!(json_eq(&value, &reparsed), "{compact}");
+        let pretty = value.pretty();
+        let reparsed = Json::parse(&pretty).expect("pretty reparse");
+        prop_assert!(json_eq(&value, &reparsed));
+    }
+
+    #[test]
+    fn json_parser_never_panics(input in "\\PC{0,200}") {
+        let _ = Json::parse(&input);
+    }
+
+    #[test]
+    fn usd_display_parse_round_trips(micros in 0i64..10_000_000_000) {
+        let usd = Usd::from_micros(micros);
+        let text = usd.to_string();
+        prop_assert_eq!(Usd::parse(&text).unwrap(), usd, "{}", text);
+    }
+
+    #[test]
+    fn usd_split_is_exact(micros in 0i64..1_000_000_000, pct in 0u8..=100) {
+        let total = Usd::from_micros(micros);
+        let (share, rest) = total.split_percent(pct);
+        prop_assert_eq!(share + rest, total);
+        prop_assert!(!share.is_negative());
+        prop_assert!(!rest.is_negative());
+    }
+
+    #[test]
+    fn frames_survive_arbitrary_chunking(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..6),
+        chunk in 1usize..64,
+    ) {
+        let mut wire = bytes::BytesMut::new();
+        for p in &payloads {
+            encode_frame(&mut wire, p);
+        }
+        let mut dec = FrameDecoder::new();
+        for c in wire.chunks(chunk) {
+            dec.extend(c);
+        }
+        let frames = dec.drain_frames().unwrap();
+        prop_assert_eq!(frames.len(), payloads.len());
+        for (f, p) in frames.iter().zip(&payloads) {
+            prop_assert_eq!(f.as_ref(), &p[..]);
+        }
+    }
+
+    #[test]
+    fn tls_records_round_trip(key in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..5000)) {
+        let mut seq = 0;
+        let wire = seal_records(key, &mut seq, RecordType::AppData, &payload);
+        let mut recv = 0;
+        prop_assert_eq!(open_records(key, &mut recv, &wire).unwrap(), payload);
+        prop_assert_eq!(seq, recv);
+    }
+
+    #[test]
+    fn tls_single_bitflip_always_detected(
+        key in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 1..200),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut seq = 0;
+        let mut wire = seal_records(key.max(1), &mut seq, RecordType::AppData, &payload);
+        // Flip one bit in the body (skip the 3-byte header so the
+        // record still frames — header corruption is detected as a
+        // framing error instead).
+        let idx = 3 + flip_byte.index(wire.len() - 3);
+        wire[idx] ^= 1 << flip_bit;
+        let mut recv = 0;
+        prop_assert!(open_records(key.max(1), &mut recv, &wire).is_err());
+    }
+
+    #[test]
+    fn http_request_round_trips(
+        target in "/[a-z0-9/\\-_]{0,30}",
+        body in prop::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let req = Request::post(target.clone(), body.clone());
+        let wire = req.encode();
+        let (parsed, used) = Request::parse(&wire).unwrap().unwrap();
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(parsed.target, target);
+        prop_assert_eq!(parsed.body, body);
+    }
+
+    #[test]
+    fn http_response_parser_never_panics(input in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Response::parse(&input);
+        let _ = Request::parse(&input);
+    }
+
+    #[test]
+    fn install_bins_are_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(InstallBin::for_count(lo) <= InstallBin::for_count(hi));
+        prop_assert!(InstallBin::for_count(a).lower_bound() <= a);
+    }
+
+    #[test]
+    fn seed_fork_paths_are_stable_and_distinct(label in "[a-z]{1,12}", other in "[A-Z]{1,12}") {
+        let root = SeedFork::new(99);
+        prop_assert_eq!(root.fork(&label).seed(), root.fork(&label).seed());
+        prop_assert_ne!(root.fork(&label).seed(), root.fork(&other).seed());
+    }
+
+    #[test]
+    fn weighted_index_stays_in_bounds(weights in prop::collection::vec(0.0f64..10.0, 1..20), seed in any::<u64>()) {
+        let mut rng = SeedFork::new(seed).rng();
+        if let Some(i) = irng::weighted_index(&mut rng, &weights) {
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0);
+        } else {
+            prop_assert!(weights.iter().all(|w| *w <= 0.0));
+        }
+    }
+}
+
+/// Structural equality that treats Int(n) and Float(n.0) as the same
+/// number (the serializer may print either form for round floats).
+fn json_eq(a: &Json, b: &Json) -> bool {
+    match (a, b) {
+        (Json::Object(x), Json::Object(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|((ka, va), (kb, vb))| ka == kb && json_eq(va, vb))
+        }
+        (Json::Array(x), Json::Array(y)) => {
+            x.len() == y.len() && x.iter().zip(y.iter()).all(|(va, vb)| json_eq(va, vb))
+        }
+        (x, y) => match (x.as_f64(), y.as_f64()) {
+            (Some(fx), Some(fy)) => fx == fy,
+            _ => x == y,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSV export: RFC-4180 round-trip through an independent parser.
+// ---------------------------------------------------------------------------
+
+/// Minimal RFC-4180 parser used only to *check* the exporter: handles
+/// quoted fields, doubled quotes, and embedded commas/newlines/CRs.
+fn parse_csv(input: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut field)),
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' => {} // exporter never emits bare CR outside quotes
+                _ => field.push(c),
+            }
+        }
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+use iiscope::subsystems::monitor::crawler::ProfileSnapshot;
+use iiscope::subsystems::monitor::export::{charts_csv, offers_csv, profiles_csv};
+use iiscope::subsystems::monitor::parsers::{RawOffer, RewardValue, ScrapedOffer};
+use iiscope::subsystems::monitor::Dataset;
+use iiscope::subsystems::playstore::engagement::{EngagementLedger, InstallSignals};
+use iiscope::subsystems::types::{Country, IipId, SimTime};
+
+proptest! {
+    /// Every adversarial string placed in a CSV field must come back
+    /// byte-identical through an independent RFC-4180 parser — commas,
+    /// quotes, and embedded newlines included.
+    #[test]
+    fn csv_export_round_trips_adversarial_fields(
+        description in "[a-zA-Z0-9 ,\"\n\r\\.\\-]{0,40}",
+        affiliate in "[a-z\\.,\"]{1,20}",
+        title in "[a-zA-Z ,\"]{1,30}",
+    ) {
+        let mut ds = Dataset::new();
+        ds.add_offers([ScrapedOffer {
+            iip: IipId::Fyber,
+            raw: RawOffer {
+                offer_key: 7,
+                description: description.clone(),
+                reward: RewardValue::Usd(0.5),
+                package: "com.x.y".into(),
+                store_url: "https://play.iiscope/x?id=com.x.y".into(),
+            },
+            seen_at: SimTime::from_days(2),
+            affiliate: affiliate.clone(),
+            vantage: Country::Us,
+        }]);
+        ds.add_profile(ProfileSnapshot {
+            day: 2,
+            package: "com.x.y".into(),
+            title: title.clone(),
+            genre_id: "TOOLS".into(),
+            released_day: 1,
+            min_installs: 10,
+            developer_id: 1,
+            developer_name: "dev".into(),
+            developer_country: "US".into(),
+            developer_email: "d@x".into(),
+            developer_website: String::new(),
+            rating: 4.25,
+            rating_count: 12,
+        });
+
+        let offers = parse_csv(&offers_csv(&ds));
+        prop_assert_eq!(offers.len(), 2, "header + 1 data row");
+        prop_assert_eq!(offers[0].len(), offers[1].len(), "rectangular");
+        prop_assert_eq!(offers[1][4].as_str(), affiliate.as_str());
+        prop_assert_eq!(offers[1][6].as_str(), description.as_str());
+
+        let profiles = parse_csv(&profiles_csv(&ds));
+        prop_assert_eq!(profiles.len(), 2);
+        prop_assert_eq!(profiles[0].len(), profiles[1].len());
+        prop_assert_eq!(profiles[1][2].as_str(), title.as_str());
+        prop_assert_eq!(profiles[1][10].as_str(), "4.2", "rating printed to 1 decimal");
+
+        let charts = parse_csv(&charts_csv(&ds));
+        prop_assert_eq!(charts.len(), 1, "header only — no chart snapshots added");
+    }
+
+    /// The ledger's accounting identity: gross = public + filtered, no
+    /// matter how installs are recorded (per-event or bulk) or how many
+    /// enforcement passes run.
+    #[test]
+    fn ledger_accounting_identity_holds(
+        events in prop::collection::vec((0u64..30, any::<bool>(), any::<bool>()), 0..40),
+        bulk in 0u64..1000,
+        filter_n in 0u64..60,
+    ) {
+        let mut l = EngagementLedger::new();
+        let mut emulators = 0u64;
+        for (day, emulator, rooted) in &events {
+            let mut s = InstallSignals::clean(0x0A0B0C00);
+            s.emulator = *emulator;
+            s.rooted = *rooted;
+            if *emulator { emulators += 1; }
+            l.record_install(SimTime::from_days(*day), s, "tag");
+        }
+        l.record_installs_bulk(SimTime::from_days(0), bulk);
+        let gross = l.gross_installs();
+        prop_assert_eq!(gross, events.len() as u64 + bulk);
+
+        let removed = l.filter_installs(filter_n, |e| e.signals.emulator);
+        prop_assert!(removed <= filter_n);
+        prop_assert_eq!(removed, filter_n.min(emulators), "removes exactly min(n, matching)");
+        prop_assert_eq!(l.gross_installs(), gross, "filtering never changes gross");
+        prop_assert_eq!(l.public_installs() + l.filtered_installs(), gross);
+
+        // A second identical pass finds only the leftovers.
+        let second = l.filter_installs(filter_n, |e| e.signals.emulator);
+        prop_assert_eq!(removed + second, (2 * filter_n).min(emulators));
+
+        // The all-days trailing window agrees with the event count.
+        let w = l.trailing(SimTime::from_days(100), 100);
+        prop_assert_eq!(w.installs, gross, "day buckets count every install once");
+    }
+
+    /// Ratings clamp to 1..=5 stars, so the average always lies in
+    /// [1, 5] and the count matches the number of recordings.
+    #[test]
+    fn rating_average_stays_in_star_range(stars in prop::collection::vec(0u8..=9, 1..50)) {
+        let mut l = EngagementLedger::new();
+        for s in &stars {
+            l.record_rating(*s);
+        }
+        prop_assert_eq!(l.rating_count(), stars.len() as u64);
+        let avg = l.average_rating().expect("ratings exist");
+        prop_assert!((1.0..=5.0).contains(&avg), "average {avg} outside star range");
+    }
+}

@@ -1,0 +1,66 @@
+//! Robustness: the measurement pipeline must survive an imperfect
+//! network (drops and corruption), because every hop — telemetry
+//! uploads, proxied milking, crawls — crosses the fault-injected
+//! substrate. Dropped exchanges surface as retries; corrupted TLS
+//! records surface as MAC failures and are retried as transport
+//! errors. Results must remain *identical in kind* (same experiments
+//! computable), not byte-identical.
+
+use iiscope::experiments::Table3;
+use iiscope::subsystems::netsim::FaultPlan;
+use iiscope::{World, WorldConfig};
+
+fn small_quick(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::small(seed);
+    cfg.monitoring_days = 16;
+    cfg.crawl_cadence_days = 4;
+    cfg.advertised_apps = 40;
+    cfg.baseline_apps = 15;
+    cfg.honey_purchase = 60;
+    cfg
+}
+
+#[test]
+fn pipeline_survives_a_lossy_network() {
+    let world = World::build(small_quick(4_242)).expect("build");
+    // 2% drop + 0.5% corruption on every link, applied to *new*
+    // connections from here on (the world build itself ran clean).
+    world.net.set_default_fault(FaultPlan::lossy(0.02, 0.005));
+
+    let honey = world
+        .run_honey_study(world.study_start())
+        .expect("honey study under loss");
+    let delivered: u64 = honey.outcomes.iter().map(|o| o.installs_delivered).sum();
+    assert!(delivered >= 180, "delivered {delivered}");
+    // Telemetry still overwhelmingly arrives (the uploader retries).
+    assert!(
+        world.collector.len() as u64 >= delivered / 2,
+        "telemetry too thin: {} records for {delivered} installs",
+        world.collector.len()
+    );
+
+    let artifacts = world.run_wild_study().expect("wild study under loss");
+    assert!(
+        !artifacts.dataset.offers().is_empty(),
+        "milking found nothing under loss"
+    );
+    let t3 = Table3::run(&world, &artifacts);
+    assert!(t3.total_offers > 10, "unique offers {}", t3.total_offers);
+}
+
+#[test]
+fn heavy_loss_degrades_but_does_not_wedge() {
+    let world = World::build(small_quick(4_243)).expect("build");
+    world.net.set_default_fault(FaultPlan::lossy(0.12, 0.02));
+    // Even at 12% loss per exchange the study completes; individual
+    // uploads may fail permanently (bounded retries), which the driver
+    // tolerates per design.
+    let result = world.run_wild_study();
+    match result {
+        Ok(artifacts) => {
+            // Fine if thinner than the clean run.
+            assert!(artifacts.dataset.profiles().len() < 100_000);
+        }
+        Err(e) => panic!("wild study must not error under loss: {e}"),
+    }
+}
