@@ -46,5 +46,47 @@ fn bench_world_build(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_milk, bench_crawl, bench_world_build);
+/// Reduced wild-study config for the sequential/parallel comparison.
+/// Each iteration builds a fresh world (campaign escrow is consumed by
+/// a run, so the study is not re-runnable on the same world); compare
+/// against `build_small_world` to subtract the build cost.
+fn wild_cfg(parallelism: usize) -> WorldConfig {
+    let mut cfg = WorldConfig::small(9);
+    cfg.monitoring_days = 8;
+    cfg.crawl_cadence_days = 4;
+    cfg.advertised_apps = 25;
+    cfg.baseline_apps = 10;
+    cfg.parallelism = parallelism;
+    cfg
+}
+
+fn bench_wild_study(c: &mut Criterion) {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(2);
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("wild_study_sequential", |b| {
+        b.iter(|| {
+            let world = World::build(wild_cfg(1)).unwrap();
+            black_box(world.run_wild_study().unwrap())
+        })
+    });
+    g.bench_function("wild_study_parallel", |b| {
+        b.iter(|| {
+            let world = World::build(wild_cfg(workers)).unwrap();
+            black_box(world.run_wild_study().unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_milk,
+    bench_crawl,
+    bench_world_build,
+    bench_wild_study
+);
 criterion_main!(benches);

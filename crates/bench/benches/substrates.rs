@@ -180,6 +180,90 @@ fn bench_money(c: &mut Criterion) {
     g.finish();
 }
 
+/// A wild-study-shaped dataset: ~600 packages × repeated observations
+/// across 46 crawl days (the paper's 92-day window at cadence 2), with
+/// per-package profile timelines and chart snapshots.
+fn synthetic_dataset() -> iiscope_monitor::Dataset {
+    use iiscope_monitor::crawler::{ChartSnapshot, ProfileSnapshot};
+    use iiscope_monitor::parsers::{RawOffer, RewardValue, ScrapedOffer};
+    use iiscope_types::{Country, IipId, SimTime};
+
+    let mut ds = iiscope_monitor::Dataset::new();
+    for day in (0..92u64).step_by(2) {
+        let offers = (0..600)
+            .filter(|p| !(p + day as usize).is_multiple_of(3))
+            .map(|p| {
+                let iip = IipId::ALL[p % IipId::ALL.len()];
+                ScrapedOffer {
+                    iip,
+                    raw: RawOffer {
+                        offer_key: (p as u64) << 8 | (p as u64 % 5),
+                        description: format!("Install and reach level {}", p % 12),
+                        reward: RewardValue::Cents(5 + (p as i64 % 40)),
+                        package: format!("com.adv.app{p}"),
+                        store_url: format!(
+                            "https://play.iiscope/store/apps/details?id=com.adv.app{p}"
+                        ),
+                    },
+                    seen_at: SimTime::from_days(day),
+                    affiliate: "com.cash.app".into(),
+                    vantage: Country::Us,
+                }
+            });
+        ds.add_offers(offers);
+        for p in (0..600).step_by(4) {
+            ds.add_profile(ProfileSnapshot {
+                day,
+                package: format!("com.adv.app{p}"),
+                title: format!("App {p}"),
+                genre_id: "TOOLS".into(),
+                released_day: 1,
+                min_installs: 1_000 + day * 50,
+                developer_id: p as u64,
+                developer_name: format!("dev{p}"),
+                developer_country: "US".into(),
+                developer_email: format!("d{p}@example.com"),
+                developer_website: String::new(),
+                rating: 4.0,
+                rating_count: 100,
+            });
+        }
+        ds.add_chart(ChartSnapshot {
+            day,
+            chart: "topselling_free",
+            entries: (0..200)
+                .map(|r| (format!("com.adv.app{}", r * 3), r + 1))
+                .collect(),
+        });
+    }
+    ds
+}
+
+fn bench_dataset_queries(c: &mut Criterion) {
+    let ds = synthetic_dataset();
+    let pkg = "com.adv.app4";
+    let mut g = c.benchmark_group("substrates");
+    g.bench_function("dataset_queries/unique_offers", |b| {
+        b.iter(|| black_box(ds.unique_offers().len()))
+    });
+    g.bench_function("dataset_queries/observations", |b| {
+        b.iter(|| black_box(ds.observations().len()))
+    });
+    g.bench_function("dataset_queries/profile_series", |b| {
+        b.iter(|| black_box(ds.profile_series(black_box(pkg)).len()))
+    });
+    g.bench_function("dataset_queries/packages_on", |b| {
+        b.iter(|| black_box(ds.packages_on(iiscope_types::IipId::Fyber).len()))
+    });
+    g.bench_function("dataset_queries/packages_by_class", |b| {
+        b.iter(|| black_box(ds.packages_by_class(true).len()))
+    });
+    g.bench_function("dataset_queries/in_any_chart", |b| {
+        b.iter(|| black_box(ds.in_any_chart(black_box("com.adv.app9"), 10, 40)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_json,
@@ -191,5 +275,6 @@ criterion_group!(
     bench_charts,
     bench_rng,
     bench_money,
+    bench_dataset_queries,
 );
 criterion_main!(benches);

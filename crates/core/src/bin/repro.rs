@@ -1,11 +1,15 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale small|paper] [--seed N] [--export DIR]
+//! repro [--scale small|paper] [--seed N] [--parallel N] [--export DIR] [--timing]
 //! ```
 //!
 //! Builds the world, runs the §3 honey study and the §4 wild study,
 //! and prints the full report (the measured side of `EXPERIMENTS.md`).
+//! `--parallel N` fans the wild study's crawl days and the experiment
+//! suite over N worker threads — the report is bit-identical to the
+//! sequential run at any N. `--timing` prints a per-experiment timing
+//! table to stderr and dumps `BENCH_repro.json`.
 
 use iiscope_core::{experiments, World, WorldConfig};
 
@@ -13,6 +17,8 @@ fn main() {
     let mut scale = "paper".to_string();
     let mut seed = 42u64;
     let mut export: Option<String> = None;
+    let mut timing = false;
+    let mut parallel = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,6 +30,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--parallel" => {
+                parallel = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--timing" => timing = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -31,7 +45,7 @@ fn main() {
             }
         }
     }
-    let cfg = match scale.as_str() {
+    let mut cfg = match scale.as_str() {
         "paper" => WorldConfig::paper(seed),
         "small" => WorldConfig::small(seed),
         other => {
@@ -39,10 +53,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    cfg.parallelism = parallel;
 
     eprintln!(
-        "building world: {} advertised apps, {} baseline apps, {} days, seed {seed}",
-        cfg.advertised_apps, cfg.baseline_apps, cfg.monitoring_days
+        "building world: {} advertised apps, {} baseline apps, {} days, seed {seed}, {} worker(s)",
+        cfg.advertised_apps, cfg.baseline_apps, cfg.monitoring_days, cfg.parallelism
     );
     let world = World::build(cfg).expect("world build");
 
@@ -54,9 +69,9 @@ fn main() {
     eprintln!("running the Section 4 wild study (this is the long part)…");
     let t = std::time::Instant::now();
     let artifacts = world.run_wild_study().expect("wild study");
+    let wild_secs = t.elapsed().as_secs_f64();
     eprintln!(
-        "wild study done in {:.1}s: {} offer observations, {} unique offers, {} apps observed",
-        t.elapsed().as_secs_f64(),
+        "wild study done in {wild_secs:.1}s: {} offer observations, {} unique offers, {} apps observed",
         artifacts.offer_observations,
         artifacts.dataset.unique_offers().len(),
         artifacts.dataset.advertised_packages().len(),
@@ -68,10 +83,55 @@ fn main() {
         eprintln!("exported {rows} dataset rows to {dir}/");
     }
 
-    println!("{}", experiments::full_report(&world, &artifacts, honey));
+    let (report, timings) = experiments::full_report_timed(&world, &artifacts, honey);
+    if timing {
+        let total: f64 = timings.iter().map(|t| t.seconds).sum();
+        eprintln!("experiment timings ({total:.2}s total):");
+        for t in &timings {
+            eprintln!("  {:<14} {:>8.3}s", t.label, t.seconds);
+        }
+        let path = "BENCH_repro.json";
+        std::fs::write(
+            path,
+            bench_json(&scale, seed, parallel, wild_secs, &timings),
+        )
+        .expect("write BENCH_repro.json");
+        eprintln!("wrote {path}");
+    }
+    println!("{report}");
+}
+
+/// Hand-rolled JSON for the timing dump (the workspace carries no
+/// serializer dependency; every field is a number or a plain label).
+fn bench_json(
+    scale: &str,
+    seed: u64,
+    parallel: usize,
+    wild_secs: f64,
+    timings: &[experiments::ExperimentTiming],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"parallelism\": {parallel},\n"));
+    s.push_str(&format!("  \"wild_study_seconds\": {wild_secs:.3},\n"));
+    let total: f64 = timings.iter().map(|t| t.seconds).sum();
+    s.push_str(&format!("  \"experiment_seconds_total\": {total:.3},\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"label\": \"{}\", \"seconds\": {:.3}}}{comma}\n",
+            t.label, t.seconds
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
 }
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--scale small|paper] [--seed N] [--export DIR]");
+    eprintln!(
+        "usage: repro [--scale small|paper] [--seed N] [--parallel N] [--export DIR] [--timing]"
+    );
     std::process::exit(2);
 }

@@ -23,6 +23,13 @@ pub struct WorldConfig {
     pub milk_countries: Vec<Country>,
     /// Fuzzer scroll budget per wall tab.
     pub fuzzer_pages: usize,
+    /// Worker threads for the wild study's crawl-day fan-out (milking,
+    /// profile crawls, APK downloads) and the experiment suite. `1`
+    /// runs everything on the calling thread — the original sequential
+    /// path. Any value produces bit-identical studies under the
+    /// default (fault-free) network; robustness/ablation runs that
+    /// inject faults should stay at `1`.
+    pub parallelism: usize,
     /// Play-side enforcement profile.
     pub enforcement: EnforcementConfig,
     /// Top-chart ranking policy (ablation knob).
@@ -64,6 +71,7 @@ impl WorldConfig {
             honey_purchase: 500,
             milk_countries: Country::VANTAGE_POINTS.to_vec(),
             fuzzer_pages: 60,
+            parallelism: 1,
             enforcement: EnforcementConfig::default(),
             ranking: ChartRanking::EngagementWeighted,
             chart_size: 200,
@@ -105,5 +113,7 @@ mod tests {
         assert!(s.advertised_apps < p.advertised_apps);
         assert_eq!(s.monitoring_days % s.crawl_cadence_days, 0);
         assert!(!s.walls_pin_certificates);
+        assert_eq!(p.parallelism, 1, "presets default to the sequential path");
+        assert_eq!(s.parallelism, 1);
     }
 }

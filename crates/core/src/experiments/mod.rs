@@ -24,6 +24,7 @@ pub mod table6;
 pub mod table7;
 pub mod table8;
 
+use crate::wildsim::fan_out;
 use crate::{HoneyStudy, WildArtifacts, World};
 
 pub use detector_eval::DetectorEval;
@@ -43,97 +44,123 @@ pub use table6::Table6;
 pub use table7::Table7;
 pub use table8::Table8;
 
+/// Wall-clock timing of one experiment within a report run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentTiming {
+    /// Experiment label (e.g. `"Table 5"`).
+    pub label: &'static str,
+    /// Seconds spent computing and rendering it.
+    pub seconds: f64,
+}
+
 /// Runs every experiment and renders the full report — the content of
 /// `EXPERIMENTS.md`'s measured side.
 pub fn full_report(world: &World, artifacts: &WildArtifacts, honey: HoneyStudy) -> String {
-    let mut out = String::new();
-    let mut push = |label: &str, s: String| {
+    full_report_timed(world, artifacts, honey).0
+}
+
+/// Like [`full_report`], but also returns per-experiment wall-clock
+/// timings (`repro --timing` prints them and dumps `BENCH_repro.json`).
+///
+/// Experiments are independent reads of the world and artifacts — the
+/// one writer-shaped step, Table 2's live milking run, captures its
+/// intercepts through the per-thread log tap — so at
+/// `world.cfg.parallelism > 1` they run concurrently on scoped
+/// threads. Sections are joined in fixed report order either way; the
+/// report text is identical at every parallelism level.
+pub fn full_report_timed(
+    world: &World,
+    artifacts: &WildArtifacts,
+    honey: HoneyStudy,
+) -> (String, Vec<ExperimentTiming>) {
+    type Section<'a> = (&'static str, Box<dyn Fn() -> String + Send + Sync + 'a>);
+    let sections: Vec<Section> = vec![
+        (
+            "Section 3",
+            Box::new(move || Section3::run(world, honey.clone()).render()),
+        ),
+        ("Table 1", Box::new(|| Table1::run(world).render())),
+        (
+            "Table 2",
+            Box::new(|| {
+                Table2::run(world, world.cfg.milk_countries[0])
+                    .map(|t| t.render())
+                    .unwrap_or_else(|e| format!("Table 2 failed: {e}"))
+            }),
+        ),
+        (
+            "Table 3",
+            Box::new(|| Table3::run(world, artifacts).render()),
+        ),
+        (
+            "Table 4",
+            Box::new(|| Table4::run(world, artifacts).render()),
+        ),
+        (
+            "Table 5",
+            Box::new(|| Table5::run(world, artifacts).render()),
+        ),
+        (
+            "Table 6",
+            Box::new(|| Table6::run(world, artifacts).render()),
+        ),
+        (
+            "Table 7",
+            Box::new(|| Table7::run(world, artifacts).render()),
+        ),
+        (
+            "Table 8",
+            Box::new(|| Table8::run(world, artifacts).render()),
+        ),
+        (
+            "Figure 4",
+            Box::new(|| Figure4::run(world, artifacts).render()),
+        ),
+        (
+            "Figure 5",
+            Box::new(|| Figure5::run(world, artifacts).render()),
+        ),
+        (
+            "Figure 6",
+            Box::new(|| Figure6::run(world, artifacts).render()),
+        ),
+        (
+            "Monetization",
+            Box::new(|| Monetization::run(world, artifacts).render()),
+        ),
+        (
+            "Disclosure",
+            Box::new(|| Disclosure::run(world, artifacts).render()),
+        ),
+        (
+            "Detector",
+            Box::new(|| {
+                DetectorEval::run(world, artifacts)
+                    .map(|d| d.render())
+                    .unwrap_or_else(|| "Detector: degenerate classes".to_string())
+            }),
+        ),
+        (
+            "Section 5",
+            Box::new(|| Section5::run(world, artifacts).render()),
+        ),
+    ];
+
+    let rendered = fan_out(world.cfg.parallelism, sections.len(), |j| {
         let t = std::time::Instant::now();
+        let s = (sections[j].1)();
+        (s, t.elapsed().as_secs_f64())
+    });
+
+    let mut out = String::new();
+    let mut timings = Vec::with_capacity(sections.len());
+    for ((label, _), (s, seconds)) in sections.iter().zip(rendered) {
+        if seconds > 0.5 {
+            eprintln!("[{label}] computed in {seconds:.1}s");
+        }
         out.push_str(&s);
         out.push('\n');
-        let _ = (label, t); // rendering itself is trivial
-    };
-    let timed = |label: &str, f: &dyn Fn() -> String| -> String {
-        let t = std::time::Instant::now();
-        let s = f();
-        let elapsed = t.elapsed();
-        if elapsed.as_millis() > 500 {
-            eprintln!("[{label}] computed in {:.1}s", elapsed.as_secs_f64());
-        }
-        s
-    };
-    push(
-        "s3",
-        timed("Section 3", &|| {
-            Section3::run(world, honey.clone()).render()
-        }),
-    );
-    push("t1", timed("Table 1", &|| Table1::run(world).render()));
-    push(
-        "t2",
-        timed("Table 2", &|| {
-            Table2::run(world, world.cfg.milk_countries[0])
-                .map(|t| t.render())
-                .unwrap_or_else(|e| format!("Table 2 failed: {e}"))
-        }),
-    );
-    push(
-        "t3",
-        timed("Table 3", &|| Table3::run(world, artifacts).render()),
-    );
-    push(
-        "t4",
-        timed("Table 4", &|| Table4::run(world, artifacts).render()),
-    );
-    push(
-        "t5",
-        timed("Table 5", &|| Table5::run(world, artifacts).render()),
-    );
-    push(
-        "t6",
-        timed("Table 6", &|| Table6::run(world, artifacts).render()),
-    );
-    push(
-        "t7",
-        timed("Table 7", &|| Table7::run(world, artifacts).render()),
-    );
-    push(
-        "t8",
-        timed("Table 8", &|| Table8::run(world, artifacts).render()),
-    );
-    push(
-        "f4",
-        timed("Figure 4", &|| Figure4::run(world, artifacts).render()),
-    );
-    push(
-        "f5",
-        timed("Figure 5", &|| Figure5::run(world, artifacts).render()),
-    );
-    push(
-        "f6",
-        timed("Figure 6", &|| Figure6::run(world, artifacts).render()),
-    );
-    push(
-        "mon",
-        timed("Monetization", &|| {
-            Monetization::run(world, artifacts).render()
-        }),
-    );
-    push(
-        "dis",
-        timed("Disclosure", &|| Disclosure::run(world, artifacts).render()),
-    );
-    push(
-        "det",
-        timed("Detector", &|| {
-            DetectorEval::run(world, artifacts)
-                .map(|d| d.render())
-                .unwrap_or_else(|| "Detector: degenerate classes".to_string())
-        }),
-    );
-    push(
-        "s5",
-        timed("Section 5", &|| Section5::run(world, artifacts).render()),
-    );
-    out
+        timings.push(ExperimentTiming { label, seconds });
+    }
+    (out, timings)
 }

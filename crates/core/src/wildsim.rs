@@ -28,8 +28,46 @@ use iiscope_monitor::{Dataset, UiFuzzer};
 use iiscope_playstore::{InstallSignals, InstallSource};
 use iiscope_types::rng::chance;
 use iiscope_types::{AppId, CampaignId, DeviceId, IipId, Result, SimDuration, SimTime, Usd};
+use parking_lot::Mutex;
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `n_jobs` indexed jobs across `workers` scoped threads and
+/// returns the results **in job order** — the caller merges them as if
+/// they had run sequentially, which is what keeps the parallel study
+/// bit-identical to the `parallelism = 1` path. Workers pull jobs from
+/// an atomic cursor (work stealing), so scheduling is nondeterministic
+/// but invisible: each result lands in its job's slot.
+///
+/// `workers <= 1` (or a single job) runs inline on the calling thread.
+pub(crate) fn fan_out<T, F>(workers: usize, n_jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n_jobs <= 1 {
+        return (0..n_jobs).map(job).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers.min(n_jobs) {
+            s.spawn(|_| loop {
+                let j = cursor.fetch_add(1, Ordering::Relaxed);
+                if j >= n_jobs {
+                    break;
+                }
+                *slots[j].lock() = Some(job(j));
+            });
+        }
+    })
+    .expect("wild-study worker scope");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every job ran"))
+        .collect()
+}
 
 /// Everything the wild study produced.
 pub struct WildArtifacts {
@@ -206,25 +244,46 @@ impl World {
                 }
             }
 
-            // 5. Milk + crawl on cadence.
+            // 5. Milk + crawl on cadence. Every crawl-day unit — one
+            // (affiliate app × vantage country) milking run, one
+            // profile crawl — is independent, so at `parallelism > 1`
+            // the jobs fan out over scoped worker threads. Results are
+            // merged in plan order, and each milk run captures its own
+            // intercepts via the log tap, so the dataset ingests the
+            // exact stream the sequential path produces.
             if day % self.cfg.crawl_cadence_days == 0 {
-                for app in &self.affiliate_apps {
-                    for country in &self.cfg.milk_countries {
-                        let offers = self.infra.milk(app, *country, &fuzzer)?;
-                        for o in &offers {
-                            discovered.insert(o.raw.package.clone());
-                        }
-                        dataset.add_offers(offers);
+                let workers = self.cfg.parallelism;
+                let milk_jobs: Vec<(usize, usize)> = (0..self.affiliate_apps.len())
+                    .flat_map(|a| (0..self.cfg.milk_countries.len()).map(move |c| (a, c)))
+                    .collect();
+                let milked = fan_out(workers, milk_jobs.len(), |j| {
+                    let (a, c) = milk_jobs[j];
+                    self.infra
+                        .milk(&self.affiliate_apps[a], self.cfg.milk_countries[c], &fuzzer)
+                });
+                for offers in milked {
+                    let offers = offers?;
+                    for o in &offers {
+                        discovered.insert(o.raw.package.clone());
                     }
+                    dataset.add_offers(offers);
                 }
-                for pkg in discovered
+                let crawl_plan: Vec<&str> = discovered
                     .iter()
                     .map(String::as_str)
                     .chain(self.plan.baseline.iter().map(|b| b.package.as_str()))
-                {
+                    .collect();
+                let crawled = fan_out(workers, crawl_plan.len(), |j| {
+                    // Each job gets its own crawler (connection + RNG
+                    // fork); the snapshots it parses don't depend on
+                    // either, so per-job clients leave the data
+                    // unchanged.
+                    self.crawler_indexed(j as u64).profile(crawl_plan[j], t0)
+                });
+                for crawl in crawled {
                     // A failed crawl is a missing data point, not a
                     // dead study (the paper's crawler had outages too).
-                    if let Ok(Some(snap)) = crawler.profile(pkg, t0) {
+                    if let Ok(Some(snap)) = crawl {
                         dataset.add_profile(snap);
                     }
                 }
@@ -238,12 +297,16 @@ impl World {
 
         // APK downloads for the Figure 6 analysis.
         let mut apks = BTreeMap::new();
-        for pkg in discovered
+        let apk_plan: Vec<&str> = discovered
             .iter()
             .map(String::as_str)
             .chain(self.plan.baseline.iter().map(|b| b.package.as_str()))
-        {
-            if let Ok(Some(bytes)) = crawler.apk(pkg) {
+            .collect();
+        let fetched = fan_out(self.cfg.parallelism, apk_plan.len(), |j| {
+            self.crawler_indexed(j as u64).apk(apk_plan[j])
+        });
+        for (pkg, bytes) in apk_plan.iter().zip(fetched) {
+            if let Ok(Some(bytes)) = bytes {
                 apks.insert(pkg.to_string(), bytes);
             }
         }
@@ -477,6 +540,34 @@ mod tests {
             .map(|i| world.platforms[&i].settlement().gross())
             .sum();
         assert!(gross > iiscope_types::Usd::from_dollars(10), "{gross}");
+    }
+
+    #[test]
+    fn parallel_study_matches_sequential_bit_for_bit() {
+        let run = |parallelism: usize| {
+            let mut cfg = WorldConfig::small(77);
+            cfg.monitoring_days = 8;
+            cfg.crawl_cadence_days = 4;
+            cfg.advertised_apps = 25;
+            cfg.baseline_apps = 10;
+            cfg.parallelism = parallelism;
+            let world = World::build(cfg).unwrap();
+            world.run_wild_study().unwrap()
+        };
+        let seq = run(1);
+        let par = run(8);
+        assert_eq!(seq.offer_observations, par.offer_observations);
+        assert_eq!(seq.enforcement_removed, par.enforcement_removed);
+        assert_eq!(
+            format!("{:?}", seq.dataset.offers()),
+            format!("{:?}", par.dataset.offers()),
+            "raw offer stream must be identical"
+        );
+        assert_eq!(
+            format!("{:?}", seq.dataset.profiles()),
+            format!("{:?}", par.dataset.profiles()),
+        );
+        assert_eq!(seq.apks, par.apks);
     }
 
     #[test]

@@ -386,6 +386,18 @@ impl World {
         )
     }
 
+    /// A crawler with a labelled per-index RNG fork — the wild study's
+    /// parallel workers each get their own connection and seed stream.
+    pub fn crawler_indexed(&self, idx: u64) -> Crawler {
+        Crawler::new(
+            self.net.clone(),
+            self.crawler_from,
+            self.genuine_roots.clone(),
+            "play.iiscope",
+            self.seed.fork("crawler").fork_idx("worker", idx),
+        )
+    }
+
     /// Generates a worker audience for one platform (honey campaigns).
     pub fn audience_for(&self, iip: IipId, n_workers: usize) -> IipAudience {
         let mut registry = self.registry.lock();

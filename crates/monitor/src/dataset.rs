@@ -4,6 +4,14 @@
 //! offers from 922 unique advertised apps … a total of 1,128 unique
 //! offer descriptions". The analyses of §4.2–4.3 query it for campaign
 //! windows, per-IIP app sets, profile timelines and chart presence.
+//!
+//! Queries are backed by **incremental indices** maintained on insert:
+//! the experiment layer calls `unique_offers()` / `observations()` /
+//! `profile_series()` and friends 16+ times per report, so each
+//! accessor reads a pre-deduplicated, pre-sorted structure instead of
+//! re-scanning the raw observation log. The raw log itself is kept
+//! untouched (`offers()` still returns every observation in arrival
+//! order) and the accessor signatures are unchanged.
 
 use crate::crawler::{ChartSnapshot, ProfileSnapshot};
 use crate::parsers::ScrapedOffer;
@@ -42,12 +50,50 @@ impl CampaignObservation {
     }
 }
 
+/// `(day, rank)` timelines keyed by package, for one chart.
+type RankTimelines = BTreeMap<String, Vec<(u64, usize)>>;
+
+/// Incremental per-package aggregate behind [`Dataset::observations`].
+#[derive(Debug, Clone)]
+struct ObservationAgg {
+    iips: BTreeSet<IipId>,
+    first_seen: SimTime,
+    last_seen: SimTime,
+    /// Distinct `(iip, key)` pairs seen under this package.
+    keys: BTreeSet<(IipId, u64)>,
+}
+
 /// The dataset store.
 #[derive(Debug, Default)]
 pub struct Dataset {
     offers: Vec<ScrapedOffer>,
     profiles: Vec<ProfileSnapshot>,
     charts: Vec<ChartSnapshot>,
+
+    // Incremental indices, maintained by the `add_*` methods.
+    /// Dedup set over `(iip, offer_key)`.
+    seen_offer_keys: BTreeSet<(IipId, u64)>,
+    /// Rows in `offers` holding the first observation of each key, in
+    /// arrival order (what `unique_offers()` returns).
+    unique_offer_rows: Vec<usize>,
+    /// Distinct offer descriptions.
+    descriptions: BTreeSet<String>,
+    /// Distinct advertised packages.
+    packages: BTreeSet<String>,
+    /// Distinct packages per platform.
+    packages_by_iip: BTreeMap<IipId, BTreeSet<String>>,
+    /// Distinct packages on vetted ([1]) / unvetted ([0]) platforms.
+    packages_by_class: [BTreeSet<String>; 2],
+    /// Per-package campaign aggregates.
+    observations: BTreeMap<String, ObservationAgg>,
+    /// Rows in `profiles` per package, day-ascending (stable).
+    profile_rows: BTreeMap<String, Vec<usize>>,
+    /// `(day, rank)` per chart, per package.
+    chart_ranks: BTreeMap<&'static str, RankTimelines>,
+    /// Days each package appeared in any chart.
+    chart_days_by_package: BTreeMap<String, BTreeSet<u64>>,
+    /// Distinct chart crawl days.
+    chart_days: BTreeSet<u64>,
 }
 
 impl Dataset {
@@ -56,18 +102,79 @@ impl Dataset {
         Dataset::default()
     }
 
-    /// Appends scraped offers.
+    /// Appends scraped offers, updating every offer index (including
+    /// the `(iip, key)` dedup set — first observation wins).
     pub fn add_offers(&mut self, offers: impl IntoIterator<Item = ScrapedOffer>) {
-        self.offers.extend(offers);
+        for o in offers {
+            let row = self.offers.len();
+            if self.seen_offer_keys.insert((o.iip, o.raw.offer_key)) {
+                self.unique_offer_rows.push(row);
+            }
+            if !self.descriptions.contains(o.raw.description.as_str()) {
+                self.descriptions.insert(o.raw.description.clone());
+            }
+            let pkg = o.raw.package.as_str();
+            if !self.packages.contains(pkg) {
+                self.packages.insert(pkg.to_string());
+            }
+            let by_iip = self.packages_by_iip.entry(o.iip).or_default();
+            if !by_iip.contains(pkg) {
+                by_iip.insert(pkg.to_string());
+            }
+            let class = &mut self.packages_by_class[usize::from(o.iip.is_vetted())];
+            if !class.contains(pkg) {
+                class.insert(pkg.to_string());
+            }
+            match self.observations.get_mut(pkg) {
+                Some(agg) => {
+                    agg.iips.insert(o.iip);
+                    agg.first_seen = agg.first_seen.min(o.seen_at);
+                    agg.last_seen = agg.last_seen.max(o.seen_at);
+                    agg.keys.insert((o.iip, o.raw.offer_key));
+                }
+                None => {
+                    self.observations.insert(
+                        pkg.to_string(),
+                        ObservationAgg {
+                            iips: BTreeSet::from([o.iip]),
+                            first_seen: o.seen_at,
+                            last_seen: o.seen_at,
+                            keys: BTreeSet::from([(o.iip, o.raw.offer_key)]),
+                        },
+                    );
+                }
+            }
+            self.offers.push(o);
+        }
     }
 
-    /// Appends a profile snapshot.
+    /// Appends a profile snapshot, keeping the per-package timeline
+    /// day-sorted (stable: equal days stay in arrival order).
     pub fn add_profile(&mut self, snap: ProfileSnapshot) {
+        let row = self.profiles.len();
+        let rows = self.profile_rows.entry(snap.package.clone()).or_default();
+        let at = rows.partition_point(|&r| self.profiles[r].day <= snap.day);
+        rows.insert(at, row);
         self.profiles.push(snap);
     }
 
-    /// Appends a chart snapshot.
+    /// Appends a chart snapshot, updating the presence indices.
     pub fn add_chart(&mut self, snap: ChartSnapshot) {
+        self.chart_days.insert(snap.day);
+        for (pkg, rank) in &snap.entries {
+            let ranks = self
+                .chart_ranks
+                .entry(snap.chart)
+                .or_default()
+                .entry(pkg.clone())
+                .or_default();
+            let at = ranks.partition_point(|&(d, _)| d <= snap.day);
+            ranks.insert(at, (snap.day, *rank));
+            self.chart_days_by_package
+                .entry(pkg.clone())
+                .or_default()
+                .insert(snap.day);
+        }
         self.charts.push(snap);
     }
 
@@ -88,123 +195,95 @@ impl Dataset {
 
     /// Deduplicated offers: first observation of each `(iip, key)`.
     pub fn unique_offers(&self) -> Vec<&ScrapedOffer> {
-        let mut seen = BTreeSet::new();
-        let mut out = Vec::new();
-        for o in &self.offers {
-            if seen.insert((o.iip, o.raw.offer_key)) {
-                out.push(o);
-            }
-        }
-        out
+        self.unique_offer_rows
+            .iter()
+            .map(|&r| &self.offers[r])
+            .collect()
     }
 
     /// Unique offer descriptions (the paper counts 1,128).
     pub fn unique_descriptions(&self) -> BTreeSet<&str> {
-        self.offers
-            .iter()
-            .map(|o| o.raw.description.as_str())
-            .collect()
+        self.descriptions.iter().map(String::as_str).collect()
     }
 
     /// Unique advertised packages (the paper counts 922).
     pub fn advertised_packages(&self) -> BTreeSet<&str> {
-        self.offers.iter().map(|o| o.raw.package.as_str()).collect()
+        self.packages.iter().map(String::as_str).collect()
     }
 
     /// Packages advertised on a specific IIP.
     pub fn packages_on(&self, iip: IipId) -> BTreeSet<&str> {
-        self.offers
-            .iter()
-            .filter(|o| o.iip == iip)
-            .map(|o| o.raw.package.as_str())
-            .collect()
+        self.packages_by_iip
+            .get(&iip)
+            .map(|s| s.iter().map(String::as_str).collect())
+            .unwrap_or_default()
     }
 
     /// Packages advertised on any vetted (true) / unvetted (false)
     /// platform. Note an app can be in both sets (Table 5's N values
     /// overlap: 492 + 538 > 922).
     pub fn packages_by_class(&self, vetted: bool) -> BTreeSet<&str> {
-        self.offers
+        self.packages_by_class[usize::from(vetted)]
             .iter()
-            .filter(|o| o.iip.is_vetted() == vetted)
-            .map(|o| o.raw.package.as_str())
+            .map(String::as_str)
             .collect()
     }
 
     /// Per-app observation summaries, sorted by package.
     pub fn observations(&self) -> Vec<CampaignObservation> {
-        let mut map: BTreeMap<&str, CampaignObservation> = BTreeMap::new();
-        let mut keys: BTreeMap<&str, BTreeSet<(IipId, u64)>> = BTreeMap::new();
-        for o in &self.offers {
-            let pkg = o.raw.package.as_str();
-            let entry = map.entry(pkg).or_insert_with(|| CampaignObservation {
-                package: pkg.to_string(),
-                iips: BTreeSet::new(),
-                first_seen: o.seen_at,
-                last_seen: o.seen_at,
-                offer_count: 0,
-            });
-            entry.iips.insert(o.iip);
-            entry.first_seen = entry.first_seen.min(o.seen_at);
-            entry.last_seen = entry.last_seen.max(o.seen_at);
-            keys.entry(pkg)
-                .or_default()
-                .insert((o.iip, o.raw.offer_key));
-        }
-        map.into_iter()
-            .map(|(pkg, mut obs)| {
-                obs.offer_count = keys.get(pkg).map_or(0, BTreeSet::len);
-                obs
+        self.observations
+            .iter()
+            .map(|(pkg, agg)| CampaignObservation {
+                package: pkg.clone(),
+                iips: agg.iips.clone(),
+                first_seen: agg.first_seen,
+                last_seen: agg.last_seen,
+                offer_count: agg.keys.len(),
             })
             .collect()
     }
 
     /// Observation for one package.
     pub fn observation(&self, package: &str) -> Option<CampaignObservation> {
-        self.observations()
-            .into_iter()
-            .find(|o| o.package == package)
+        self.observations
+            .get(package)
+            .map(|agg| CampaignObservation {
+                package: package.to_string(),
+                iips: agg.iips.clone(),
+                first_seen: agg.first_seen,
+                last_seen: agg.last_seen,
+                offer_count: agg.keys.len(),
+            })
     }
 
     /// Profile timeline of one package, day-ascending.
     pub fn profile_series(&self, package: &str) -> Vec<&ProfileSnapshot> {
-        let mut v: Vec<&ProfileSnapshot> = self
-            .profiles
-            .iter()
-            .filter(|p| p.package == package)
-            .collect();
-        v.sort_by_key(|p| p.day);
-        v
+        self.profile_rows
+            .get(package)
+            .map(|rows| rows.iter().map(|&r| &self.profiles[r]).collect())
+            .unwrap_or_default()
     }
 
     /// Days on which `package` appeared in `chart`, with its rank.
     pub fn chart_presence(&self, package: &str, chart: &str) -> Vec<(u64, usize)> {
-        let mut v: Vec<(u64, usize)> = self
-            .charts
-            .iter()
-            .filter(|c| c.chart == chart)
-            .filter_map(|c| {
-                c.entries
-                    .iter()
-                    .find(|(p, _)| p == package)
-                    .map(|(_, rank)| (c.day, *rank))
-            })
-            .collect();
-        v.sort_unstable();
-        v
+        self.chart_ranks
+            .get(chart)
+            .and_then(|per_pkg| per_pkg.get(package))
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Whether `package` appeared in *any* chart in the day range
     /// `[from, to]`.
     pub fn in_any_chart(&self, package: &str, from: u64, to: u64) -> bool {
-        self.charts
-            .iter()
-            .any(|c| c.day >= from && c.day <= to && c.entries.iter().any(|(p, _)| p == package))
+        self.chart_days_by_package
+            .get(package)
+            .is_some_and(|days| days.range(from..=to).next().is_some())
     }
 
     /// Distinct crawl days present in the chart dataset.
     pub fn chart_days(&self) -> BTreeSet<u64> {
-        self.charts.iter().map(|c| c.day).collect()
+        self.chart_days.clone()
     }
 }
 
@@ -248,6 +327,37 @@ mod tests {
         assert_eq!(d.unique_offers().len(), 3);
         assert_eq!(d.unique_descriptions().len(), 2);
         assert_eq!(d.advertised_packages().len(), 2);
+    }
+
+    #[test]
+    fn dedup_keeps_first_seen_fields_across_crawl_days() {
+        // The same (iip, key) re-observed on a later crawl day with a
+        // drifted payout/description must not displace the first
+        // observation in the deduplicated view.
+        let mut d = Dataset::new();
+        d.add_offers([offer(
+            IipId::Fyber,
+            42,
+            "com.a.one",
+            10,
+            "Install and Register",
+        )]);
+        // Second crawl day: identical key, different payout and text.
+        let mut drifted = offer(IipId::Fyber, 42, "com.a.one", 12, "Install and win BIG");
+        drifted.raw.reward = RewardValue::Cents(99);
+        d.add_offers([drifted]);
+
+        assert_eq!(d.offers().len(), 2, "raw log keeps both observations");
+        let unique = d.unique_offers();
+        assert_eq!(unique.len(), 1);
+        assert_eq!(unique[0].seen_at, SimTime::from_days(10));
+        assert_eq!(unique[0].raw.reward, RewardValue::Cents(5));
+        assert_eq!(unique[0].raw.description, "Install and Register");
+        // The campaign window still spans both sightings.
+        let obs = d.observation("com.a.one").unwrap();
+        assert_eq!(obs.first_seen, SimTime::from_days(10));
+        assert_eq!(obs.last_seen, SimTime::from_days(12));
+        assert_eq!(obs.offer_count, 1);
     }
 
     #[test]
@@ -321,5 +431,42 @@ mod tests {
             vec![10, 12, 14]
         );
         assert!(d.profile_series("com.none").is_empty());
+    }
+
+    #[test]
+    fn indexed_accessors_match_a_rescan() {
+        // The incremental indices must agree with a straight rescan of
+        // the raw log (the pre-index implementation).
+        let mut d = dataset();
+        d.add_offers([
+            offer(IipId::AdGem, 20, "com.c.three", 16, "Install and Launch"),
+            offer(IipId::Fyber, 1, "com.a.one", 18, "Install and Register"),
+        ]);
+
+        let mut seen = BTreeSet::new();
+        let rescan_unique: Vec<&ScrapedOffer> = d
+            .offers()
+            .iter()
+            .filter(|o| seen.insert((o.iip, o.raw.offer_key)))
+            .collect();
+        let indexed = d.unique_offers();
+        assert_eq!(indexed.len(), rescan_unique.len());
+        for (a, b) in indexed.iter().zip(&rescan_unique) {
+            assert!(std::ptr::eq(*a, *b), "row identity/order drifted");
+        }
+
+        let rescan_packages: BTreeSet<&str> =
+            d.offers().iter().map(|o| o.raw.package.as_str()).collect();
+        assert_eq!(d.advertised_packages(), rescan_packages);
+
+        for iip in [IipId::Fyber, IipId::RankApp, IipId::AdGem] {
+            let rescan: BTreeSet<&str> = d
+                .offers()
+                .iter()
+                .filter(|o| o.iip == iip)
+                .map(|o| o.raw.package.as_str())
+                .collect();
+            assert_eq!(d.packages_on(iip), rescan);
+        }
     }
 }

@@ -62,20 +62,27 @@ impl MonitoringInfra {
     }
 
     /// Milks one affiliate app from one vantage point: drives the
-    /// fuzzer, then parses everything the proxy newly intercepted.
+    /// fuzzer under an intercept tap, then parses exactly what this
+    /// run's traffic produced.
+    ///
+    /// The tap ([`InterceptLog::tap_scope`]) captures the plaintext on
+    /// the calling thread instead of the shared log, so concurrent
+    /// milk jobs on different threads never see each other's pages —
+    /// this is what makes the wild study's crawl-day fan-out safe.
     pub fn milk(
         &self,
         app: &AffiliateApp,
         country: Country,
         fuzzer: &crate::UiFuzzer,
     ) -> Result<Vec<ScrapedOffer>> {
-        // Consume the log: anything left by earlier traffic was
-        // already parsed by its own milk call, and draining keeps
-        // long runs from hoarding every page body.
+        // Consume the log: anything left by earlier (non-milk) traffic
+        // is not ours to parse, and draining keeps long runs from
+        // hoarding every page body.
         let _stale = self.intercepts.take_all();
         let mut client = self.phone_client(country)?;
-        fuzzer.drive(app, &mut client)?;
-        Ok(parse_intercepts(&self.intercepts.take_all(), country))
+        let (run, intercepts) = self.intercepts.tap_scope(|| fuzzer.drive(app, &mut client));
+        run?;
+        Ok(parse_intercepts(&intercepts, country))
     }
 }
 

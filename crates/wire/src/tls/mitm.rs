@@ -48,15 +48,79 @@ pub struct InterceptLog {
     inner: Arc<Mutex<Vec<Intercept>>>,
 }
 
+thread_local! {
+    /// Active [`InterceptLog::tap_scope`] on this thread: the tapped
+    /// log's identity plus the private capture buffer.
+    static TAP: std::cell::RefCell<Option<(usize, Vec<Intercept>)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Clears the thread-local tap if `tap_scope`'s closure unwinds, so a
+/// caught panic can't leave a stale tap on a reused thread.
+struct TapGuard;
+
+impl Drop for TapGuard {
+    fn drop(&mut self) {
+        TAP.with(|t| t.borrow_mut().take());
+    }
+}
+
 impl InterceptLog {
     /// Creates an empty log.
     pub fn new() -> InterceptLog {
         InterceptLog::default()
     }
 
-    /// Appends one intercept.
+    /// Identity of the shared buffer, for tap matching.
+    fn key(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// Appends one intercept. Diverted into the thread-local tap
+    /// buffer instead when this thread is inside a [`tap_scope`] on
+    /// this log.
+    ///
+    /// [`tap_scope`]: InterceptLog::tap_scope
     pub fn push(&self, i: Intercept) {
-        self.inner.lock().push(i);
+        let passed_through = TAP.with(|t| {
+            let mut t = t.borrow_mut();
+            match t.as_mut() {
+                Some((key, buf)) if *key == self.key() => {
+                    buf.push(i);
+                    None
+                }
+                _ => Some(i),
+            }
+        });
+        if let Some(i) = passed_through {
+            self.inner.lock().push(i);
+        }
+    }
+
+    /// Runs `f` with a tap installed on this thread: every intercept
+    /// the thread pushes to *this* log during `f` lands in a private
+    /// buffer (returned alongside `f`'s result) instead of the shared
+    /// log. The whole netsim stack is synchronous — a proxy session
+    /// runs on the thread of the client that dialed it — so a tap
+    /// captures exactly the traffic caused by `f`, which is what lets
+    /// concurrent milking jobs keep their intercepts apart without
+    /// observing each other through the shared log.
+    ///
+    /// Taps do not nest (on the same thread), and pushes to *other*
+    /// logs pass through untouched.
+    pub fn tap_scope<R>(&self, f: impl FnOnce() -> R) -> (R, Vec<Intercept>) {
+        TAP.with(|t| {
+            let prev = t.borrow_mut().replace((self.key(), Vec::new()));
+            assert!(prev.is_none(), "nested InterceptLog::tap_scope");
+        });
+        let guard = TapGuard;
+        let out = f();
+        std::mem::forget(guard);
+        let captured = TAP
+            .with(|t| t.borrow_mut().take())
+            .map(|(_, buf)| buf)
+            .unwrap_or_default();
+        (out, captured)
     }
 
     /// Number of intercepts.
@@ -420,6 +484,92 @@ mod tests {
         let responses = s.proxy_log.responses_for("wall.fyber.iiscope");
         assert_eq!(responses, vec![b"A".to_vec(), b"B".to_vec()]);
         assert!(s.proxy_log.responses_for("other.example").is_empty());
+    }
+
+    #[test]
+    fn tap_scope_diverts_this_threads_traffic() {
+        let s = setup();
+        let mut rng = SeedFork::new(6).rng();
+        let ((), tapped) = s.proxy_log.tap_scope(|| {
+            let conn = s.net.connect(s.device, s.proxy_ip, 3128).unwrap();
+            let mut tls = TlsClient::connect(
+                conn,
+                "wall.fyber.iiscope",
+                &s.device_roots_with_mitm,
+                None,
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(tls.request(b"tapped").unwrap(), b"TAPPED");
+        });
+        assert_eq!(tapped.len(), 2, "request + response captured");
+        assert_eq!(tapped[0].plaintext, b"tapped");
+        assert_eq!(tapped[1].plaintext, b"TAPPED");
+        assert!(
+            s.proxy_log.is_empty(),
+            "tapped traffic must not reach the shared log"
+        );
+
+        // After the scope, traffic flows to the shared log again.
+        let conn = s.net.connect(s.device, s.proxy_ip, 3128).unwrap();
+        let mut tls = TlsClient::connect(
+            conn,
+            "wall.fyber.iiscope",
+            &s.device_roots_with_mitm,
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        tls.request(b"shared").unwrap();
+        assert_eq!(s.proxy_log.len(), 2);
+    }
+
+    #[test]
+    fn tap_scope_ignores_other_logs_and_other_threads() {
+        let s = setup();
+        let other = InterceptLog::new();
+        let ((), tapped) = other.tap_scope(|| {
+            // Pushes to a *different* log pass through untouched.
+            s.proxy_log.push(Intercept {
+                at: SimTime::EPOCH,
+                sni: "x".into(),
+                dir: Direction::ToServer,
+                plaintext: vec![1],
+            });
+            // A concurrent thread's pushes to the tapped log are not
+            // captured by this thread's tap.
+            let log = other.clone();
+            std::thread::spawn(move || {
+                log.push(Intercept {
+                    at: SimTime::EPOCH,
+                    sni: "y".into(),
+                    dir: Direction::ToServer,
+                    plaintext: vec![2],
+                });
+            })
+            .join()
+            .unwrap();
+        });
+        assert!(tapped.is_empty());
+        assert_eq!(s.proxy_log.len(), 1);
+        assert_eq!(other.len(), 1, "other thread's push hit the shared log");
+    }
+
+    #[test]
+    fn tap_scope_clears_on_unwind() {
+        let log = InterceptLog::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            log.tap_scope(|| panic!("boom"));
+        }));
+        assert!(caught.is_err());
+        // The tap is gone: a fresh push reaches the shared log.
+        log.push(Intercept {
+            at: SimTime::EPOCH,
+            sni: "z".into(),
+            dir: Direction::ToServer,
+            plaintext: vec![3],
+        });
+        assert_eq!(log.len(), 1);
     }
 
     #[test]

@@ -57,11 +57,11 @@ fn default_world_has_no_rating_offers() {
         "the calibrated world must not record incentivized ratings"
     );
     assert!(
-        !artifacts
-            .dataset
-            .offers()
-            .iter()
-            .any(|o| o.raw.description.to_ascii_lowercase().contains("star")),
+        !artifacts.dataset.offers().iter().any(|o| o
+            .raw
+            .description
+            .to_ascii_lowercase()
+            .contains("star")),
         "no rating offers on the walls by default"
     );
 }

@@ -1,0 +1,230 @@
+//! Vendored, dependency-free subset of `criterion` 0.5.
+//!
+//! The build environment has no registry access, so the workspace
+//! ships a minimal wall-clock harness with the same API shape:
+//! benchmark groups, `bench_function`, `Bencher::iter`, throughput
+//! annotation, and the `criterion_group!`/`criterion_main!` macros.
+//! Timing: per-sample batches sized from a short calibration run,
+//! reporting min/median/mean per iteration. No plots, no statistics
+//! beyond that — enough to compare hot paths release-to-release.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark context; holds the CLI substring filter.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>`: first non-flag argument
+        // filters benchmark ids. Flags (`--bench`, `--test`, ...) that
+        // cargo forwards to harness=false targets are ignored; under
+        // `--test` (compile-check mode) nothing runs.
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        if test_mode {
+            filter = Some("\u{0}never-matches\u{0}".to_string());
+        }
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Benches a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full_id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        // Calibrate: one timed pass to size sample batches.
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            pending_iters: 0,
+        };
+        f(&mut bencher);
+        if bencher.iters == 0 {
+            println!("{full_id:<50} (no iterations)");
+            return self;
+        }
+        let per_iter = bencher.elapsed.as_nanos().max(1) / bencher.iters as u128;
+        // Budget ~2s across samples (capped), ≥1 iteration per sample.
+        let samples = self.sample_size.clamp(10, 100);
+        let budget_ns = 2_000_000_000u128;
+        let iters_per_sample = (budget_ns / samples as u128 / per_iter).clamp(1, 1_000_000) as u64;
+        let mut times: Vec<u128> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+                pending_iters: iters_per_sample,
+            };
+            f(&mut b);
+            times.push(b.elapsed.as_nanos() / b.iters.max(1) as u128);
+        }
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<u128>() / times.len() as u128;
+        let tp = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let gbs = n as f64 / median.max(1) as f64; // bytes per ns = GB/s
+                format!("  {gbs:.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let meps = n as f64 * 1e3 / median.max(1) as f64;
+                format!("  {meps:.3} Melem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{full_id:<50} time: [{} {} {}]{tp}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Passed to the benchmark closure; times the routine.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+    // Fixed batch size during measurement; 0 during calibration,
+    // where `iter` runs a short self-timed batch instead.
+    pending_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, accumulating per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let batch = if self.pending_iters > 0 {
+            self.pending_iters
+        } else {
+            // Calibration: run until ~50ms or 50 iterations.
+            let start = Instant::now();
+            let mut n = 0u64;
+            while n < 50 && start.elapsed() < Duration::from_millis(50) {
+                black_box(routine());
+                n += 1;
+            }
+            self.elapsed += start.elapsed();
+            self.iters += n;
+            return;
+        };
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += batch;
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

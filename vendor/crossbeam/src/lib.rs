@@ -1,0 +1,69 @@
+//! Vendored, dependency-free subset of `crossbeam` 0.8.
+//!
+//! The build environment has no registry access, so the workspace
+//! ships the one API it uses — `crossbeam::thread::scope` /
+//! `Scope::spawn` — implemented over `std::thread::scope` (stable
+//! since 1.63, below the workspace MSRV). Differences from upstream:
+//! `scope` itself propagates child panics on join (upstream returns
+//! them in the `Result`); spawned closures still receive a `&Scope`
+//! argument for nested spawns.
+
+pub mod thread {
+    use std::marker::PhantomData;
+    use std::thread as std_thread;
+
+    /// A scope handle for spawning borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result; `Err` holds
+        /// the panic payload, as upstream.
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope so
+        /// it can spawn further threads, mirroring upstream's
+        /// signature (`|_| ...` at every current call site).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            let handle = self.inner.spawn(move || {
+                let scope = Scope { inner: inner_scope };
+                f(&scope)
+            });
+            ScopedJoinHandle {
+                inner: handle,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Creates a scope in which borrowing threads can be spawned; all
+    /// threads are joined before `scope` returns. Returns `Ok` like
+    /// upstream's signature; a panicking child re-raises on join.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+pub use thread::scope;

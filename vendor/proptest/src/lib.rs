@@ -1,0 +1,124 @@
+//! Vendored, dependency-free subset of `proptest` 1.x.
+//!
+//! The build environment has no registry access, so the workspace
+//! ships the slice of the API its property tests use: the `proptest!`
+//! macro, `prop_assert*`, `Strategy` with `prop_map` /
+//! `prop_recursive`, `Just`, `prop_oneof!`, `any::<T>()`, integer and
+//! float range strategies, the regex-subset string strategies the
+//! tests rely on, `prop::collection::{vec, btree_map}`, and
+//! `prop::sample::Index`.
+//!
+//! Semantics differ from upstream in one deliberate way: there is no
+//! shrinking. Cases are generated from a deterministic per-test seed
+//! (stable across runs; override the count with `PROPTEST_CASES`),
+//! and the first failing case reports its case number and assertion
+//! message.
+
+pub mod arbitrary;
+pub mod regex;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of upstream's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::collection::{btree_map, vec};
+    }
+    /// Sampling helpers.
+    pub mod sample {
+        pub use crate::strategy::sample::Index;
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body
+/// runs over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__pt_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, __pt_rng);)+
+                    let __pt_case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __pt_case()
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Uniform choice between several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,210 @@
+//! Generator for the regex subset the workspace's string strategies
+//! use: literal characters, character classes with ranges and escapes,
+//! `\PC` (any non-control character), and `{m,n}` / `{n}` / `?` / `*`
+//! / `+` repetition. No alternation or grouping — none of the
+//! patterns in this workspace need them.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Literal(char),
+    /// Expanded member set of a character class.
+    Class(Vec<char>),
+    /// `\PC`: any non-control character.
+    NotControl,
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Pool for `\PC`: printable ASCII plus a spread of non-control
+/// Unicode (accents, currency, CJK, an astral-plane symbol) so parser
+/// robustness tests see multi-byte input.
+const NOT_CONTROL_EXTRA: &[char] = &['\u{e9}', '\u{20ac}', '\u{4e2d}', '\u{1f980}', '\u{a0}'];
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut members = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let m = chars.next().expect("unterminated character class");
+                    match m {
+                        ']' => break,
+                        '\\' => {
+                            let e = chars.next().expect("dangling escape in class");
+                            let lit = unescape(e);
+                            members.push(lit);
+                            prev = Some(lit);
+                        }
+                        '-' => {
+                            // Range if we have a left end and a right end
+                            // follows; a trailing '-' is literal.
+                            match (prev, chars.peek().copied()) {
+                                (Some(lo), Some(hi)) if hi != ']' => {
+                                    chars.next();
+                                    let hi = if hi == '\\' {
+                                        unescape(chars.next().expect("dangling escape"))
+                                    } else {
+                                        hi
+                                    };
+                                    // `lo` was already pushed as a member;
+                                    // add the rest of the range.
+                                    let (lo_u, hi_u) = (lo as u32, hi as u32);
+                                    assert!(lo_u <= hi_u, "inverted class range");
+                                    for u in (lo_u + 1)..=hi_u {
+                                        if let Some(ch) = char::from_u32(u) {
+                                            members.push(ch);
+                                        }
+                                    }
+                                    prev = None;
+                                }
+                                _ => {
+                                    members.push('-');
+                                    prev = Some('-');
+                                }
+                            }
+                        }
+                        other => {
+                            members.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!members.is_empty(), "empty character class");
+                Atom::Class(members)
+            }
+            '\\' => {
+                let e = chars.next().expect("dangling escape");
+                if e == 'P' {
+                    let prop = chars.next().expect("\\P needs a property");
+                    assert_eq!(prop, 'C', "only \\PC is supported");
+                    Atom::NotControl
+                } else {
+                    Atom::Literal(unescape(e))
+                }
+            }
+            other => Atom::Literal(other),
+        };
+        // Optional repetition suffix.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for m in chars.by_ref() {
+                    if m == '}' {
+                        break;
+                    }
+                    spec.push(m);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition bound"),
+                        hi.trim().parse().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted repetition bounds");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn unescape(e: char) -> char {
+    match e {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn pick_not_control(rng: &mut TestRng) -> char {
+    // 7/8 printable ASCII, 1/8 from the Unicode extras.
+    if rng.below(8) < 7 {
+        char::from_u32(0x20 + rng.below(0x7f - 0x20) as u32).unwrap()
+    } else {
+        NOT_CONTROL_EXTRA[rng.below(NOT_CONTROL_EXTRA.len() as u64) as usize]
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = piece.min + rng.below(u64::from(piece.max - piece.min + 1)) as u32;
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(members) => out.push(members[rng.below(members.len() as u64) as usize]),
+                Atom::NotControl => out.push(pick_not_control(rng)),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_ranges_and_escapes() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        for _ in 0..200 {
+            let s = generate("/[a-z0-9/\\-_]{0,30}", &mut rng);
+            assert!(s.starts_with('/'));
+        }
+        for _ in 0..200 {
+            let s = generate("\\PC{0,200}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn adversarial_csv_class_includes_newlines() {
+        let mut rng = TestRng::new(9);
+        let mut seen_newline = false;
+        for _ in 0..500 {
+            let s = generate("[a-zA-Z0-9 ,\"\n\r\\.\\-]{0,40}", &mut rng);
+            seen_newline |= s.contains('\n');
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ,\"\n\r.-".contains(c)));
+        }
+        assert!(seen_newline, "newline member never generated");
+    }
+}

@@ -1,0 +1,96 @@
+//! The upstream `BlockRng` buffering discipline over the ChaCha12
+//! core. The straddle rules in `next_u64` (and the `generate_and_set`
+//! index resets) are load-bearing for bit-compatibility: upstream
+//! consumers interleave `next_u32`/`next_u64` calls and the committed
+//! seed-42 report depends on the exact consumption pattern.
+
+use crate::chacha::{ChaCha12Core, BUFFER_WORDS};
+
+/// Buffered ChaCha12 generator, equivalent to
+/// `BlockRng<ChaCha12Core>` from `rand_core` 0.6.
+#[derive(Clone)]
+pub struct BlockRng {
+    core: ChaCha12Core,
+    results: [u32; BUFFER_WORDS],
+    index: usize,
+}
+
+impl BlockRng {
+    /// Creates the generator with an empty buffer (first use refills).
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        BlockRng {
+            core: ChaCha12Core::from_seed(seed),
+            results: [0u32; BUFFER_WORDS],
+            index: BUFFER_WORDS,
+        }
+    }
+
+    fn generate_and_set(&mut self, index: usize) {
+        self.core.generate(&mut self.results);
+        self.index = index;
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        if self.index >= BUFFER_WORDS {
+            self.generate_and_set(0);
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let read_u64 = |results: &[u32], index: usize| {
+            u64::from(results[index + 1]) << 32 | u64::from(results[index])
+        };
+        let len = BUFFER_WORDS;
+        let index = self.index;
+        if index < len - 1 {
+            self.index += 2;
+            read_u64(&self.results, index)
+        } else if index >= len {
+            self.generate_and_set(2);
+            read_u64(&self.results, 0)
+        } else {
+            // One word left: take it as the low half, refill, take the
+            // first new word as the high half.
+            let x = u64::from(self.results[len - 1]);
+            self.generate_and_set(1);
+            let y = u64::from(self.results[0]);
+            (y << 32) | x
+        }
+    }
+
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut read_len = 0;
+        while read_len < dest.len() {
+            if self.index >= BUFFER_WORDS {
+                self.generate_and_set(0);
+            }
+            // fill_via_u32_chunks: copy whole little-endian words, then
+            // a trailing partial word if the destination ends mid-word.
+            let remainder = &self.results[self.index..];
+            let dest_tail = &mut dest[read_len..];
+            let mut consumed = 0;
+            let mut filled = 0;
+            for word in remainder {
+                if filled >= dest_tail.len() {
+                    break;
+                }
+                let bytes = word.to_le_bytes();
+                let take = (dest_tail.len() - filled).min(4);
+                dest_tail[filled..filled + take].copy_from_slice(&bytes[..take]);
+                filled += take;
+                consumed += 1;
+            }
+            self.index += consumed;
+            read_len += filled;
+        }
+    }
+}
+
+impl std::fmt::Debug for BlockRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockRng").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,73 @@
+//! Distributions: `Standard` plus the uniform-range samplers behind
+//! `gen_range`. All bit recipes follow `rand` 0.8.5 exactly.
+
+pub mod uniform;
+
+use crate::Rng;
+
+/// A type that can produce values of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The canonical distribution: full-width ints, `[0, 1)` floats,
+/// sign-bit bools.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($ty:ty => $method:ident),* $(,)?) => {
+        $(impl Distribution<$ty> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.$method() as $ty
+            }
+        })*
+    };
+}
+
+// Upstream: 8/16/32-bit ints truncate a u32 draw; 64-bit and pointer
+// sized ints take a u64 draw.
+standard_int! {
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    u64 => next_u64, i64 => next_u64,
+    usize => next_u64, isize => next_u64,
+}
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        // Upstream: high word first.
+        u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i128 {
+        rng.gen::<u128>() as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // Upstream compares the sign bit of a u32 draw.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53-bit "multiply" recipe: u64 >> 11, scaled by 2^-53.
+        let value = rng.next_u64() >> (64 - 53);
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        scale * (value as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> (32 - 24);
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        scale * (value as f32)
+    }
+}

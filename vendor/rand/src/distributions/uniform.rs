@@ -1,0 +1,147 @@
+//! Uniform range sampling, bit-compatible with `rand` 0.8.5's
+//! `UniformInt::sample_single_inclusive` (widening-multiply rejection)
+//! and `UniformFloat::sample_single` ([1,2) mantissa construction).
+
+use crate::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A type `gen_range` can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// Samples from the half-open range `[low, high)`.
+    fn sample_single<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Samples from the closed range `[low, high]`.
+    fn sample_single_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range types accepted by `gen_range`.
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+trait WideningMul: Sized {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    fn wmul(self, other: u32) -> (u32, u32) {
+        let t = u64::from(self) * u64::from(other);
+        ((t >> 32) as u32, t as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    fn wmul(self, other: u64) -> (u64, u64) {
+        let t = u128::from(self) * u128::from(other);
+        ((t >> 64) as u64, t as u64)
+    }
+}
+
+impl WideningMul for usize {
+    fn wmul(self, other: usize) -> (usize, usize) {
+        let (hi, lo) = (self as u64).wmul(other as u64);
+        (hi as usize, lo as usize)
+    }
+}
+
+// $ty: sampled type; $unsigned: same-width unsigned; $u_large: the
+// width actually drawn from the generator (u32 for sub-32-bit types).
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: Rng + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "gen_range: low >= high");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: Rng + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low <= high, "gen_range: low > high (inclusive)");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                // Wrapped to 0: the range covers the whole type.
+                if range == 0 {
+                    return rng.gen();
+                }
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    // Small types: exact modulus on the drawn width.
+                    let unsigned_max: $u_large = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    // Conservative power-of-two-free zone.
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.gen();
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl! { i8, u8, u32 }
+uniform_int_impl! { i16, u16, u32 }
+uniform_int_impl! { i32, u32, u32 }
+uniform_int_impl! { i64, u64, u64 }
+uniform_int_impl! { isize, usize, usize }
+uniform_int_impl! { u8, u8, u32 }
+uniform_int_impl! { u16, u16, u32 }
+uniform_int_impl! { u32, u32, u32 }
+uniform_int_impl! { u64, u64, u64 }
+uniform_int_impl! { usize, usize, usize }
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $mantissa_bits:expr, $bias:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: Rng + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                debug_assert!(low < high, "gen_range: low >= high");
+                let scale = high - low;
+                loop {
+                    // Value in [1, 2): exponent 0, random mantissa.
+                    let mantissa = rng.gen::<$uty>() >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits((($bias as $uty) << $mantissa_bits) | mantissa);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: Rng + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                // Upstream routes float inclusive ranges through
+                // `Uniform::new_inclusive`: a precomputed scale such
+                // that the largest mantissa draw lands exactly on
+                // `high`, shrunk while rounding overshoots.
+                debug_assert!(low <= high, "gen_range: low > high (inclusive)");
+                let max_rand = 1.0 - <$ty>::EPSILON / 2.0;
+                let mut scale = (high - low) / max_rand;
+                while scale * max_rand + low > high {
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+                let mantissa = rng.gen::<$uty>() >> $bits_to_discard;
+                let value1_2 = <$ty>::from_bits((($bias as $uty) << $mantissa_bits) | mantissa);
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + low
+            }
+        }
+    };
+}
+
+uniform_float_impl! { f64, u64, 64 - 52, 52, 1023u64 }
+uniform_float_impl! { f32, u32, 32 - 23, 23, 127u32 }

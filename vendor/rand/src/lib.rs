@@ -1,0 +1,141 @@
+//! Vendored, dependency-free subset of `rand` 0.8.
+//!
+//! The build environment has no registry access, so the workspace ships
+//! the slice of `rand` it actually uses as a local path crate. The
+//! number streams are **bit-compatible** with upstream `rand` 0.8 +
+//! `rand_chacha` 0.3 for every entry point the workspace calls:
+//!
+//! * `StdRng` is ChaCha12 behind the upstream `BlockRng` buffering
+//!   discipline (64-word buffer, the documented `next_u64` straddle
+//!   rules), seeded via the upstream `seed_from_u64` PCG32 expansion.
+//! * `Standard` float/int/bool sampling uses the upstream bit
+//!   recipes (`u64 >> 11` into 53-bit mantissa space, sign-bit bool).
+//! * `gen_range` reproduces `UniformInt::sample_single_inclusive`
+//!   (widening-multiply rejection zones) and
+//!   `UniformFloat::sample_single` ([1,2) mantissa trick) exactly.
+//!
+//! `docs/report_seed42.txt` — generated against the real crates —
+//! regenerates byte-identically on top of this implementation, which
+//! the integration suite asserts.
+
+pub mod distributions;
+pub mod rngs;
+
+mod block;
+mod chacha;
+
+use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: raw word output.
+///
+/// Mirrors `rand_core::RngCore` (minus the fallible `try_fill_bytes`,
+/// which nothing in this workspace calls).
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed type, typically a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the splittable PCG32
+    /// stream upstream uses, then seeds the generator.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // Upstream constants (rand_core 0.6 `seed_from_u64`).
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (including unsized `dyn RngCore`).
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // Upstream Bernoulli: compare against p scaled to 2^64.
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.gen::<u64>() < p_int
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

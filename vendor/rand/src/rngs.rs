@@ -1,0 +1,28 @@
+//! Named generators. `StdRng` is ChaCha12, as in `rand` 0.8.
+
+use crate::block::BlockRng;
+use crate::{RngCore, SeedableRng};
+
+/// The standard generator: ChaCha12 behind the upstream block buffer.
+#[derive(Clone, Debug)]
+pub struct StdRng(BlockRng);
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        StdRng(BlockRng::from_seed(seed))
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
