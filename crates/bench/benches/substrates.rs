@@ -92,6 +92,76 @@ fn bench_http(c: &mut Criterion) {
     g.finish();
 }
 
+/// A crawl-day-sized Fyber wall page (`n` offers) for the milking
+/// benches — the hot shape of the wild study.
+fn large_offer_wall_body(n: i64) -> String {
+    let offers: Vec<Json> = (0..n)
+        .map(|i| {
+            Json::obj([
+                ("offer_id", Json::Int(i)),
+                ("title", Json::str("Install and Reach level 10")),
+                ("payout_usd", Json::Float(0.52)),
+                ("package", Json::str(format!("com.adv.app{i}"))),
+                (
+                    "play_url",
+                    Json::str(format!(
+                        "https://play.iiscope/store/apps/details?id=com.adv.app{i}"
+                    )),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([(
+        "ofw",
+        Json::obj([("offers", Json::Array(offers)), ("count", Json::Int(n))]),
+    )])
+    .to_string()
+}
+
+/// The zero-copy fast path end to end: streaming wall parse vs the
+/// tree-building reference, raw scanner event throughput, and a full
+/// sealed-response "milk" (open TLS records → borrowed HTTP view →
+/// streaming wall parse) that never copies the body out of the slab.
+fn bench_wire_milking(c: &mut Criterion) {
+    use iiscope_monitor::{parse_wall_streaming, parse_wall_tree};
+    use iiscope_types::IipId;
+    use iiscope_wire::{JsonScanner, ResponseView};
+
+    let body = large_offer_wall_body(100);
+    let mut g = c.benchmark_group("wire_milking");
+    g.throughput(Throughput::Bytes(body.len() as u64));
+    g.bench_function("parse_wall_streaming_100", |b| {
+        b.iter(|| black_box(parse_wall_streaming(IipId::Fyber, &body).unwrap()))
+    });
+    g.bench_function("parse_wall_tree_100", |b| {
+        b.iter(|| black_box(parse_wall_tree(IipId::Fyber, &body).unwrap()))
+    });
+    g.bench_function("scan_events_100", |b| {
+        b.iter(|| {
+            let mut sc = JsonScanner::new(&body);
+            let mut n = 0usize;
+            while let Some(ev) = sc.next_event().unwrap() {
+                black_box(&ev);
+                n += 1;
+            }
+            n
+        })
+    });
+    let resp = Response::ok_text(body.clone());
+    let mut seq = 0;
+    let wire = seal_records(7, &mut seq, RecordType::AppData, &resp.encode());
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("milk_sealed_response_100", |b| {
+        b.iter(|| {
+            let mut recv = 0;
+            let plain = open_records(7, &mut recv, &wire).unwrap();
+            let (view, _) = ResponseView::parse(&plain).unwrap().unwrap();
+            black_box(parse_wall_streaming(IipId::Fyber, view.body_str().unwrap()).unwrap())
+        })
+    });
+    g.finish();
+}
+
 fn bench_framing(c: &mut Criterion) {
     let payload = vec![7u8; 4096];
     let mut wire = BytesMut::new();
@@ -269,6 +339,7 @@ criterion_group!(
     bench_json,
     bench_tls,
     bench_http,
+    bench_wire_milking,
     bench_framing,
     bench_stats,
     bench_libradar,

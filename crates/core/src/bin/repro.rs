@@ -12,6 +12,7 @@
 //! table to stderr and dumps `BENCH_repro.json`.
 
 use iiscope_core::{experiments, World, WorldConfig};
+use iiscope_types::wirestats;
 
 fn main() {
     let mut scale = "paper".to_string();
@@ -55,6 +56,10 @@ fn main() {
     };
     cfg.parallelism = parallel;
 
+    // Start the wire-layer counters from zero so the `--timing` dump
+    // reflects this run only (they are process-global atomics).
+    wirestats::reset();
+
     eprintln!(
         "building world: {} advertised apps, {} baseline apps, {} days, seed {seed}, {} worker(s)",
         cfg.advertised_apps, cfg.baseline_apps, cfg.monitoring_days, cfg.parallelism
@@ -97,6 +102,26 @@ fn main() {
         )
         .expect("write BENCH_repro.json");
         eprintln!("wrote {path}");
+
+        let counters = wirestats::snapshot();
+        eprintln!("wire-layer counters:");
+        for (name, value) in &counters {
+            eprintln!("  {name:<18} {value:>14}");
+        }
+        let milking = milking_bench();
+        eprintln!(
+            "wall milking: streaming {:.1} MB/s vs tree baseline {:.1} MB/s ({:.2}x)",
+            milking.streaming_mb_per_s,
+            milking.tree_mb_per_s,
+            milking.speedup()
+        );
+        let wire_path = "BENCH_wire.json";
+        std::fs::write(
+            wire_path,
+            wire_json(&scale, seed, parallel, &counters, &milking),
+        )
+        .expect("write BENCH_wire.json");
+        eprintln!("wrote {wire_path}");
     }
     println!("{report}");
 }
@@ -126,6 +151,103 @@ fn bench_json(
         ));
     }
     s.push_str("  ]\n}\n");
+    s
+}
+
+/// Result of the in-process wall-milking micro-bench.
+struct MilkingBench {
+    page_bytes: usize,
+    streaming_mb_per_s: f64,
+    tree_mb_per_s: f64,
+}
+
+impl MilkingBench {
+    fn speedup(&self) -> f64 {
+        self.streaming_mb_per_s / self.tree_mb_per_s
+    }
+}
+
+/// Times the schema-directed streaming wall parser against the
+/// tree-building reference (the pre-fast-path implementation) on a
+/// synthetic 100-offer Fyber page, so `BENCH_wire.json` records the
+/// baseline next to the counters. Wall-clock, but only ever written to
+/// the bench dump — the report is finished before this runs.
+fn milking_bench() -> MilkingBench {
+    use iiscope_monitor::{parse_wall_streaming, parse_wall_tree};
+    use iiscope_types::IipId;
+    use iiscope_wire::Json;
+
+    let offers: Vec<Json> = (0..100)
+        .map(|i| {
+            Json::obj([
+                ("offer_id", Json::Int(i)),
+                ("title", Json::str("Install and Reach level 10")),
+                ("payout_usd", Json::Float(0.52)),
+                ("package", Json::str(format!("com.adv.app{i}"))),
+                (
+                    "play_url",
+                    Json::str(format!(
+                        "https://play.iiscope/store/apps/details?id=com.adv.app{i}"
+                    )),
+                ),
+            ])
+        })
+        .collect();
+    let body = Json::obj([("ofw", Json::obj([("offers", Json::Array(offers))]))]).to_string();
+
+    const ITERS: usize = 500;
+    let mb_per_s = |f: &dyn Fn(&str)| {
+        f(&body); // warm-up
+        let t = std::time::Instant::now();
+        for _ in 0..ITERS {
+            f(&body);
+        }
+        (body.len() * ITERS) as f64 / t.elapsed().as_secs_f64() / 1e6
+    };
+    MilkingBench {
+        page_bytes: body.len(),
+        streaming_mb_per_s: mb_per_s(&|b| {
+            std::hint::black_box(parse_wall_streaming(IipId::Fyber, b).unwrap());
+        }),
+        tree_mb_per_s: mb_per_s(&|b| {
+            std::hint::black_box(parse_wall_tree(IipId::Fyber, b).unwrap());
+        }),
+    }
+}
+
+/// Hand-rolled JSON for the wire-layer counter dump. The counters are
+/// write-only relaxed atomics bumped by the zero-copy fast paths
+/// (frames delivered, buffers reused, JSON events streamed); nothing in
+/// the simulation ever reads them, so they cannot perturb the report.
+fn wire_json(
+    scale: &str,
+    seed: u64,
+    parallel: usize,
+    counters: &[(&'static str, u64)],
+    milking: &MilkingBench,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"parallelism\": {parallel},\n"));
+    s.push_str("  \"counters\": {\n");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        s.push_str(&format!("    \"{name}\": {value}{comma}\n"));
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"milking_bench\": {\n");
+    s.push_str(&format!("    \"page_bytes\": {},\n", milking.page_bytes));
+    s.push_str(&format!(
+        "    \"streaming_mb_per_s\": {:.1},\n",
+        milking.streaming_mb_per_s
+    ));
+    s.push_str(&format!(
+        "    \"tree_baseline_mb_per_s\": {:.1},\n",
+        milking.tree_mb_per_s
+    ));
+    s.push_str(&format!("    \"speedup\": {:.2}\n", milking.speedup()));
+    s.push_str("  }\n}\n");
     s
 }
 

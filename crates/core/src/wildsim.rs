@@ -73,8 +73,9 @@ where
 pub struct WildArtifacts {
     /// The longitudinal dataset (offers, profiles, charts).
     pub dataset: Dataset,
-    /// Downloaded APKs by package (observed advertised apps + baseline).
-    pub apks: BTreeMap<String, Vec<u8>>,
+    /// Downloaded APKs by package (observed advertised apps +
+    /// baseline); refcounted views of the download responses.
+    pub apks: BTreeMap<String, bytes::Bytes>,
     /// Total installs removed by enforcement over the window.
     pub enforcement_removed: u64,
     /// Star ratings recorded by incentivized RateApp completions

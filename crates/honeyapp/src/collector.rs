@@ -119,7 +119,7 @@ mod tests {
     fn ingestion_over_http() {
         let c = Collector::new();
         let payload = telemetry_payload(&device(), 7, TelemetryEvent::Open);
-        let req = Request::post("/v1/telemetry", payload.to_string().into_bytes());
+        let req = Request::post("/v1/telemetry", payload.to_bytes());
         let resp = c.handle(&req, &ctx(AsnKind::Datacenter));
         assert_eq!(resp.status, 204);
         assert_eq!(c.len(), 1);
@@ -159,7 +159,7 @@ mod tests {
         ] {
             let payload = telemetry_payload(&d, id, ev);
             c.handle(
-                &Request::post("/v1/telemetry", payload.to_string().into_bytes()),
+                &Request::post("/v1/telemetry", payload.to_bytes()),
                 &ctx(AsnKind::Eyeball),
             );
         }

@@ -8,6 +8,7 @@
 //! returns typed snapshots; APK downloads feed the §4.3.2 static
 //! analysis.
 
+use bytes::Bytes;
 use iiscope_netsim::{HostAddr, Network};
 use iiscope_playstore::ChartKind;
 use iiscope_types::{Result, SeedFork, SimTime};
@@ -143,8 +144,9 @@ impl Crawler {
         })
     }
 
-    /// Downloads an APK for static analysis.
-    pub fn apk(&mut self, package: &str) -> Result<Option<Vec<u8>>> {
+    /// Downloads an APK for static analysis. The returned bytes are a
+    /// refcounted view of the response slab, not a copy.
+    pub fn apk(&mut self, package: &str) -> Result<Option<Bytes>> {
         let url = format!("https://{}/apk?id={package}", self.play_host);
         let resp = self.client.get(&url)?;
         if resp.status == 404 {

@@ -80,7 +80,10 @@ impl UiFuzzer {
                 };
                 run.pages += 1;
                 // Scroll detection: stop when the page shows nothing.
-                match parse_wall(tab.iip, &resp.body_text()) {
+                // The body is parsed in place (a borrowed slice of the
+                // response slab) — no copy per page.
+                let parsed = resp.body_str().and_then(|b| parse_wall(tab.iip, b));
+                match parsed {
                     Ok(p) if p.offers.is_empty() && p.skipped == 0 => break,
                     Ok(_) => {}
                     Err(_) => {

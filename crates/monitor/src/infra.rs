@@ -15,7 +15,7 @@ use iiscope_devices::AffiliateApp;
 use iiscope_netsim::{Direction, HostAddr, Network};
 use iiscope_types::{Country, IipId, Result, SeedFork};
 use iiscope_wire::tls::{InterceptLog, TrustStore};
-use iiscope_wire::{HttpClient, Request, Response};
+use iiscope_wire::{HttpClient, RequestView, ResponseView};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -98,6 +98,12 @@ fn iip_for_sni(sni: &str) -> Option<IipId> {
 /// Requests and responses are paired per SNI in log order: the proxy
 /// appends the request before its response, so the most recent
 /// ToServer request for an SNI is the one a ToClient body answers.
+///
+/// The whole path works over borrowed views of the intercepted
+/// plaintext: header fields and bodies stay slices of the MITM tap's
+/// refcounted buffers, and the wall body is handed to [`parse_wall`]
+/// as `&str` without the old `body_text()` copy. `Content-Length` is
+/// validated once, inside the view parser; nothing here re-derives it.
 pub fn parse_intercepts(
     intercepts: &[iiscope_wire::tls::Intercept],
     vantage: Country,
@@ -110,20 +116,23 @@ pub fn parse_intercepts(
         };
         match i.dir {
             Direction::ToServer => {
-                if let Ok(Some((req, _))) = Request::parse(&i.plaintext) {
+                if let Ok(Some((req, _))) = RequestView::parse(&i.plaintext) {
                     if let Some(aff) = req.query_param("affiliate") {
                         last_affiliate.insert(i.sni.clone(), aff);
                     }
                 }
             }
             Direction::ToClient => {
-                let Ok(Some((resp, _))) = Response::parse(&i.plaintext) else {
+                let Ok(Some((resp, _))) = ResponseView::parse(&i.plaintext) else {
                     continue;
                 };
                 if !resp.is_success() {
                     continue;
                 }
-                let Ok(page) = parse_wall(iip, &resp.body_text()) else {
+                let Ok(body) = resp.body_str() else {
+                    continue; // non-UTF-8 body cannot be a wall page
+                };
+                let Ok(page) = parse_wall(iip, body) else {
                     continue;
                 };
                 let affiliate = last_affiliate.get(&i.sni).cloned().unwrap_or_default();

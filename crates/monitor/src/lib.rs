@@ -45,4 +45,6 @@ pub use export::export_csv;
 pub use fuzzer::{FuzzerConfig, UiFuzzer};
 pub use infra::MonitoringInfra;
 pub use normalize::RateBook;
-pub use parsers::{parse_wall, RawOffer, RewardValue, ScrapedOffer};
+pub use parsers::{
+    parse_wall, parse_wall_streaming, parse_wall_tree, RawOffer, RewardValue, ScrapedOffer,
+};

@@ -7,8 +7,22 @@
 //! `iiscope_iip::wall` — but the monitor only knows them the way the
 //! paper's authors did: by reverse-engineering captured traffic, so
 //! nothing here links against the wall implementation.
+//!
+//! Two implementations share each dialect's schema:
+//!
+//! * [`parse_wall`] — the milking hot path. It walks the body with the
+//!   streaming [`Scanner`], extracting the schema's five fields per
+//!   entry without building a value tree (escape-free strings are the
+//!   only per-offer allocations). Object keys repeat with last-wins
+//!   semantics at every level, exactly like the tree parser's
+//!   `BTreeMap` inserts.
+//! * [`parse_wall_tree`] — the original `Json::parse`-based reference.
+//!   Equivalence between the two is property-tested in
+//!   `tests/proptests.rs`; on any streaming error `parse_wall` defers
+//!   to the reference so error messages stay bit-identical.
 
-use iiscope_types::{Country, IipId, SimTime};
+use iiscope_types::{wirestats, Country, IipId, SimTime};
+use iiscope_wire::json::{Event, ParseError, Scanner};
 use iiscope_wire::Json;
 
 /// The reward currency as displayed by a wall.
@@ -73,7 +87,28 @@ fn int_field(v: &Json, key: &str) -> Option<i64> {
 ///
 /// Returns an error only when the page as a whole is unusable (not
 /// JSON / wrong envelope); individual bad entries are skipped.
+///
+/// This is the streaming fast path; it never builds a JSON tree. The
+/// rare failure cases re-run [`parse_wall_tree`] so callers see the
+/// reference implementation's exact errors.
 pub fn parse_wall(iip: IipId, body: &str) -> iiscope_types::Result<PageParse> {
+    match parse_wall_streaming(iip, body) {
+        Ok(page) => {
+            wirestats::add_walls_streamed(1);
+            wirestats::add_offers_streamed(page.offers.len() as u64);
+            Ok(page)
+        }
+        // Defensive: if the streaming walk rejects a page, defer to the
+        // reference parser for the verdict (and the exact error text).
+        // The equivalence proptests assert the two paths agree, so this
+        // re-parse only ever runs on genuinely malformed pages.
+        Err(_) => parse_wall_tree(iip, body),
+    }
+}
+
+/// The original tree-building reference parser, kept verbatim: parse
+/// the whole body with [`Json::parse`], then navigate the envelope.
+pub fn parse_wall_tree(iip: IipId, body: &str) -> iiscope_types::Result<PageParse> {
     let json =
         Json::parse(body).map_err(|e| iiscope_types::Error::Decode(format!("{iip} wall: {e}")))?;
     let entries: &[Json] = match iip {
@@ -182,6 +217,462 @@ fn parse_entry(iip: IipId, v: &Json) -> Option<RawOffer> {
             store_url: str_field(v, "gp_link")?,
         }),
     }
+}
+
+// ---------------------------------------------------------------------
+// Streaming schemas.
+// ---------------------------------------------------------------------
+
+/// Where a dialect keeps its entries array.
+#[derive(Clone, Copy)]
+enum Envelope {
+    /// `{outer: {inner: [entries]}}`
+    Nested(&'static str, &'static str),
+    /// `{key: [entries]}`
+    Flat(&'static str),
+    /// `{"status": "ok", key: [entries]}`
+    FlatWithStatus(&'static str),
+    /// `[entries]`
+    TopArray,
+}
+
+/// One extracted entry field: a key at the entry's top level, or
+/// inside a named sub-object.
+#[derive(Clone, Copy)]
+struct Field {
+    parent: Option<&'static str>,
+    name: &'static str,
+}
+
+const fn field(name: &'static str) -> Field {
+    Field { parent: None, name }
+}
+
+const fn sub(parent: &'static str, name: &'static str) -> Field {
+    Field {
+        parent: Some(parent),
+        name,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum RewardKind {
+    Usd,
+    Points,
+    Cents,
+}
+
+/// A dialect, described declaratively: the envelope plus the five
+/// fields [`RawOffer`] needs.
+struct Schema {
+    envelope: Envelope,
+    id: Field,
+    desc: Field,
+    reward: Field,
+    reward_kind: RewardKind,
+    package: Field,
+    url: Field,
+}
+
+fn schema(iip: IipId) -> Schema {
+    match iip {
+        IipId::Fyber => Schema {
+            envelope: Envelope::Nested("ofw", "offers"),
+            id: field("offer_id"),
+            desc: field("title"),
+            reward: field("payout_usd"),
+            reward_kind: RewardKind::Usd,
+            package: field("package"),
+            url: field("play_url"),
+        },
+        IipId::OfferToro => Schema {
+            envelope: Envelope::Nested("response", "offers"),
+            id: field("id"),
+            desc: field("offer_desc"),
+            reward: field("amount"),
+            reward_kind: RewardKind::Points,
+            package: field("package_name"),
+            url: field("link"),
+        },
+        IipId::AdscendMedia => Schema {
+            envelope: Envelope::Nested("adscend", "entries"),
+            id: field("uid"),
+            desc: field("description"),
+            reward: field("currency_count"),
+            reward_kind: RewardKind::Points,
+            package: sub("app", "bundle"),
+            url: sub("app", "market_url"),
+        },
+        IipId::HangMyAds => Schema {
+            envelope: Envelope::Flat("result"),
+            id: field("tid"),
+            desc: field("task"),
+            reward: field("points"),
+            reward_kind: RewardKind::Points,
+            package: field("pkg"),
+            url: field("url"),
+        },
+        IipId::AdGem => Schema {
+            envelope: Envelope::Nested("data", "wall"),
+            id: field("id"),
+            desc: field("text"),
+            reward: sub("reward", "points"),
+            reward_kind: RewardKind::Points,
+            package: field("bundle_id"),
+            url: field("store_link"),
+        },
+        IipId::AyetStudios => Schema {
+            envelope: Envelope::FlatWithStatus("offers"),
+            id: field("offer_key"),
+            desc: field("name"),
+            reward: field("payout"),
+            reward_kind: RewardKind::Points,
+            package: field("package_id"),
+            url: field("tracking_link"),
+        },
+        IipId::RankApp => Schema {
+            envelope: Envelope::TopArray,
+            id: field("rid"),
+            desc: field("task"),
+            reward: field("price_cents"),
+            reward_kind: RewardKind::Cents,
+            package: field("app"),
+            url: field("gp_link"),
+        },
+    }
+}
+
+/// Last-parsed value of each schema slot for the entry being streamed.
+/// Re-occurring keys overwrite — the same last-wins the tree parser
+/// gets from `BTreeMap::insert`.
+#[derive(Default)]
+struct EntryAcc {
+    id: Option<i64>,
+    desc: Option<String>,
+    reward_i: Option<i64>,
+    reward_f: Option<f64>,
+    package: Option<String>,
+    url: Option<String>,
+}
+
+impl EntryAcc {
+    fn finish(self, kind: RewardKind) -> Option<RawOffer> {
+        Some(RawOffer {
+            offer_key: self.id? as u64,
+            description: self.desc?,
+            reward: match kind {
+                RewardKind::Usd => RewardValue::Usd(self.reward_f?),
+                RewardKind::Points => RewardValue::Points(self.reward_i?),
+                RewardKind::Cents => RewardValue::Cents(self.reward_i?),
+            },
+            package: self.package?,
+            store_url: self.url?,
+        })
+    }
+}
+
+/// The streaming walk itself. Public so the equivalence proptests can
+/// target it without the tree-parser fallback in the way; production
+/// code calls [`parse_wall`].
+pub fn parse_wall_streaming(iip: IipId, body: &str) -> iiscope_types::Result<PageParse> {
+    let sch = schema(iip);
+    let mut sc = Scanner::new(body);
+    stream_document(&mut sc, &sch)
+        .map_err(|e| iiscope_types::Error::Decode(format!("{iip} wall: {e}")))?
+        .map(|(offers, skipped)| PageParse { offers, skipped })
+        .ok_or_else(|| bad_envelope(iip))
+}
+
+type Entries = (Vec<RawOffer>, usize);
+
+/// Walks the whole document (every byte is validated, matching
+/// `Json::parse`'s strictness); `Ok(None)` means valid JSON with the
+/// wrong envelope.
+fn stream_document(sc: &mut Scanner<'_>, sch: &Schema) -> Result<Option<Entries>, ParseError> {
+    let first = sc.next_event()?;
+    let result = match (sch.envelope, first) {
+        (Envelope::TopArray, Some(Event::StartArray)) => Some(parse_entries(sc, sch)?),
+        (_, Some(Event::StartObject)) if !matches!(sch.envelope, Envelope::TopArray) => {
+            stream_envelope_object(sc, sch)?
+        }
+        (_, Some(Event::StartArray | Event::StartObject)) => {
+            skip_after_start(sc)?;
+            None
+        }
+        // A scalar document can't hold the envelope; keep draining so
+        // trailing-garbage errors surface first, as the tree parser's
+        // up-front `Json::parse` would report them.
+        (_, Some(_)) => None,
+        (_, None) => unreachable!("scanner yields at least one event or errors"),
+    };
+    drain(sc)?;
+    Ok(result)
+}
+
+/// Scans the top-level envelope object of every non-array dialect.
+fn stream_envelope_object(
+    sc: &mut Scanner<'_>,
+    sch: &Schema,
+) -> Result<Option<Entries>, ParseError> {
+    let (entries_key, nested_inner, wants_status) = match sch.envelope {
+        Envelope::Nested(outer, inner) => (outer, Some(inner), false),
+        Envelope::Flat(key) => (key, None, false),
+        Envelope::FlatWithStatus(key) => (key, None, true),
+        Envelope::TopArray => unreachable!("handled by stream_document"),
+    };
+    let mut result: Option<Entries> = None;
+    let mut status: Option<String> = None;
+    loop {
+        match sc.next_event()? {
+            Some(Event::EndObject) => break,
+            Some(Event::Key(k)) => {
+                if k == entries_key {
+                    result = match nested_inner {
+                        Some(inner) => stream_inner_object(sc, sch, inner)?,
+                        None => stream_entries_value(sc, sch)?,
+                    };
+                } else if wants_status && k == "status" {
+                    status = next_string(sc)?;
+                } else {
+                    sc.skip_value()?;
+                }
+            }
+            ev => unreachable!("object scan got {ev:?}"),
+        }
+    }
+    if wants_status && status.as_deref() != Some("ok") {
+        return Ok(None);
+    }
+    Ok(result)
+}
+
+/// Consumes the value under the outer envelope key; entries live one
+/// object level down (`{inner: [entries]}`).
+fn stream_inner_object(
+    sc: &mut Scanner<'_>,
+    sch: &Schema,
+    inner: &str,
+) -> Result<Option<Entries>, ParseError> {
+    match sc.next_event()? {
+        Some(Event::StartObject) => {
+            let mut result = None;
+            loop {
+                match sc.next_event()? {
+                    Some(Event::EndObject) => return Ok(result),
+                    Some(Event::Key(k)) if k == inner => {
+                        result = stream_entries_value(sc, sch)?;
+                    }
+                    Some(Event::Key(_)) => sc.skip_value()?,
+                    ev => unreachable!("object scan got {ev:?}"),
+                }
+            }
+        }
+        Some(Event::StartArray) => {
+            skip_after_start(sc)?;
+            Ok(None)
+        }
+        Some(_) => Ok(None),
+        None => unreachable!("value follows a key"),
+    }
+}
+
+/// Consumes the value under the entries key; it must be an array.
+fn stream_entries_value(sc: &mut Scanner<'_>, sch: &Schema) -> Result<Option<Entries>, ParseError> {
+    match sc.next_event()? {
+        Some(Event::StartArray) => Ok(Some(parse_entries(sc, sch)?)),
+        Some(Event::StartObject) => {
+            skip_after_start(sc)?;
+            Ok(None)
+        }
+        Some(_) => Ok(None),
+        None => unreachable!("value follows a key"),
+    }
+}
+
+/// Streams the entries array (positioned just past its `[`).
+fn parse_entries(sc: &mut Scanner<'_>, sch: &Schema) -> Result<Entries, ParseError> {
+    let mut offers = Vec::new();
+    let mut skipped = 0usize;
+    loop {
+        match sc.next_event()? {
+            Some(Event::EndArray) => return Ok((offers, skipped)),
+            Some(Event::StartObject) => {
+                let mut acc = EntryAcc::default();
+                stream_entry_object(sc, sch, &mut acc)?;
+                match acc.finish(sch.reward_kind) {
+                    Some(offer) => offers.push(offer),
+                    None => skipped += 1,
+                }
+            }
+            Some(Event::StartArray) => {
+                skip_after_start(sc)?;
+                skipped += 1;
+            }
+            Some(_) => skipped += 1,
+            None => unreachable!("array items precede EndArray"),
+        }
+    }
+}
+
+/// Streams one entry object into the accumulator.
+fn stream_entry_object(
+    sc: &mut Scanner<'_>,
+    sch: &Schema,
+    acc: &mut EntryAcc,
+) -> Result<(), ParseError> {
+    loop {
+        match sc.next_event()? {
+            Some(Event::EndObject) => return Ok(()),
+            Some(Event::Key(k)) => {
+                let k: &str = &k;
+                if matches_top(sch.id, k) {
+                    acc.id = next_i64(sc)?;
+                } else if matches_top(sch.desc, k) {
+                    acc.desc = next_string(sc)?;
+                } else if matches_top(sch.reward, k) {
+                    match sch.reward_kind {
+                        RewardKind::Usd => acc.reward_f = next_f64(sc)?,
+                        RewardKind::Points | RewardKind::Cents => acc.reward_i = next_i64(sc)?,
+                    }
+                } else if matches_top(sch.package, k) {
+                    acc.package = next_string(sc)?;
+                } else if matches_top(sch.url, k) {
+                    acc.url = next_string(sc)?;
+                } else if is_parent(sch, k) {
+                    stream_sub_object(sc, sch, k, acc)?;
+                } else {
+                    sc.skip_value()?;
+                }
+            }
+            ev => unreachable!("object scan got {ev:?}"),
+        }
+    }
+}
+
+/// Streams a named sub-object (`"app"`, `"reward"`). A repeated parent
+/// key replaces the previous occurrence wholesale, so every slot under
+/// it resets first.
+fn stream_sub_object(
+    sc: &mut Scanner<'_>,
+    sch: &Schema,
+    parent: &str,
+    acc: &mut EntryAcc,
+) -> Result<(), ParseError> {
+    if matches_sub(sch.reward, parent, None) {
+        acc.reward_i = None;
+        acc.reward_f = None;
+    }
+    if matches_sub(sch.package, parent, None) {
+        acc.package = None;
+    }
+    if matches_sub(sch.url, parent, None) {
+        acc.url = None;
+    }
+    match sc.next_event()? {
+        Some(Event::StartObject) => loop {
+            match sc.next_event()? {
+                Some(Event::EndObject) => return Ok(()),
+                Some(Event::Key(k)) => {
+                    let k: &str = &k;
+                    if matches_sub(sch.reward, parent, Some(k)) {
+                        match sch.reward_kind {
+                            RewardKind::Usd => acc.reward_f = next_f64(sc)?,
+                            RewardKind::Points | RewardKind::Cents => acc.reward_i = next_i64(sc)?,
+                        }
+                    } else if matches_sub(sch.package, parent, Some(k)) {
+                        acc.package = next_string(sc)?;
+                    } else if matches_sub(sch.url, parent, Some(k)) {
+                        acc.url = next_string(sc)?;
+                    } else {
+                        sc.skip_value()?;
+                    }
+                }
+                ev => unreachable!("object scan got {ev:?}"),
+            }
+        },
+        Some(Event::StartArray) => skip_after_start(sc),
+        Some(_) => Ok(()),
+        None => unreachable!("value follows a key"),
+    }
+}
+
+fn matches_top(f: Field, key: &str) -> bool {
+    f.parent.is_none() && f.name == key
+}
+
+/// With `name == None`, asks whether `f` lives under `parent` at all;
+/// with `Some`, whether it is exactly `parent.name`.
+fn matches_sub(f: Field, parent: &str, name: Option<&str>) -> bool {
+    f.parent == Some(parent) && name.is_none_or(|n| f.name == n)
+}
+
+fn is_parent(sch: &Schema, key: &str) -> bool {
+    [sch.id, sch.desc, sch.reward, sch.package, sch.url]
+        .iter()
+        .any(|f| f.parent == Some(key))
+}
+
+// -- typed field readers: `Json::as_*` conversion rules on events ------
+
+fn next_i64(sc: &mut Scanner<'_>) -> Result<Option<i64>, ParseError> {
+    Ok(match sc.next_event()? {
+        Some(Event::Int(i)) => Some(i),
+        Some(Event::Float(f)) if f.fract() == 0.0 && f.abs() < 9e15 => Some(f as i64),
+        Some(Event::StartArray | Event::StartObject) => {
+            skip_after_start(sc)?;
+            None
+        }
+        _ => None,
+    })
+}
+
+fn next_f64(sc: &mut Scanner<'_>) -> Result<Option<f64>, ParseError> {
+    Ok(match sc.next_event()? {
+        Some(Event::Int(i)) => Some(i as f64),
+        Some(Event::Float(f)) => Some(f),
+        Some(Event::StartArray | Event::StartObject) => {
+            skip_after_start(sc)?;
+            None
+        }
+        _ => None,
+    })
+}
+
+fn next_string(sc: &mut Scanner<'_>) -> Result<Option<String>, ParseError> {
+    Ok(match sc.next_event()? {
+        Some(Event::Str(s)) => Some(s.into_owned()),
+        Some(Event::StartArray | Event::StartObject) => {
+            skip_after_start(sc)?;
+            None
+        }
+        _ => None,
+    })
+}
+
+/// Consumes events up to and including the `End` matching an already
+/// consumed `Start`.
+fn skip_after_start(sc: &mut Scanner<'_>) -> Result<(), ParseError> {
+    let mut depth = 1usize;
+    loop {
+        match sc.next_event()? {
+            Some(Event::StartArray | Event::StartObject) => depth += 1,
+            Some(Event::EndArray | Event::EndObject) => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(());
+                }
+            }
+            Some(_) => {}
+            None => unreachable!("container closes before document end"),
+        }
+    }
+}
+
+/// Consumes the rest of the document, surfacing any syntax or
+/// trailing-garbage error.
+fn drain(sc: &mut Scanner<'_>) -> Result<(), ParseError> {
+    while sc.next_event()?.is_some() {}
+    Ok(())
 }
 
 #[cfg(test)]

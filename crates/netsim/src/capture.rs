@@ -7,6 +7,7 @@
 //! assert on traffic shape, and the TLS layer demonstrates that
 //! captured ciphertext alone is useless without the MITM key position.
 
+use bytes::Bytes;
 use iiscope_types::SimTime;
 use parking_lot::Mutex;
 use std::net::Ipv4Addr;
@@ -38,7 +39,9 @@ pub struct CaptureRecord {
     /// Segment direction.
     pub dir: Direction,
     /// Raw bytes as seen on the wire (ciphertext when TLS is in use).
-    pub bytes: Vec<u8>,
+    /// A refcounted view of the delivery slab — recording a segment
+    /// does not copy it.
+    pub bytes: Bytes,
     /// Whether the fault injector dropped this segment (bytes then hold
     /// the would-have-been payload, mirroring smoltcp's "dropped packets
     /// still get traced" behaviour).
@@ -133,7 +136,7 @@ mod tests {
             server: Ipv4Addr::new(10, 0, 0, 2),
             port,
             dir,
-            bytes: vec![0; n],
+            bytes: vec![0; n].into(),
             dropped,
         }
     }

@@ -9,14 +9,22 @@
 //! while staying single-threaded and fully deterministic — exactly what
 //! the HTTP and TLS layers in `iiscope-wire` need, and it gives the
 //! capture log a faithful view of "what crossed the wire".
+//!
+//! Delivery is zero-copy: each direction materializes the payload into
+//! one ref-counted [`Bytes`] slab, and every observer downstream — the
+//! capture log, the server session, the TLS decoder — holds a refcount
+//! on that same slab instead of copying it. Residue a session leaves
+//! unconsumed is carried as whole segments; the common one-request-per-
+//! turn case hands the sender's allocation straight to the receiver.
 
 use crate::capture::{CaptureLog, CaptureRecord, Direction};
 use crate::clock::Clock;
 use crate::fault::{FaultPlan, Verdict};
 use crate::HostAddr;
-use bytes::BytesMut;
-use iiscope_types::{Error, Result, SimDuration, SimTime};
+use bytes::{Bytes, BytesMut};
+use iiscope_types::{wirestats, Error, Result, SimDuration, SimTime};
 use rand::rngs::StdRng;
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 /// What a server learns about the connecting client.
@@ -32,28 +40,93 @@ pub struct PeerInfo {
     pub opened_at: SimTime,
 }
 
+/// Receive-side segment queue: delivered-but-unconsumed bytes, kept as
+/// the original delivery slabs so a single-segment take is free.
+#[derive(Debug, Default)]
+pub(crate) struct RecvBuf {
+    segs: VecDeque<Bytes>,
+}
+
+impl RecvBuf {
+    pub(crate) fn new() -> RecvBuf {
+        RecvBuf::default()
+    }
+
+    fn len(&self) -> usize {
+        self.segs.iter().map(Bytes::len).sum()
+    }
+
+    fn push(&mut self, seg: Bytes) {
+        if !seg.is_empty() {
+            self.segs.push_back(seg);
+        }
+    }
+
+    /// Takes everything buffered as one contiguous [`Bytes`]. With a
+    /// single segment queued — the overwhelmingly common case of one
+    /// request per turn — this is the sender's own slab, refcounted.
+    fn take_all(&mut self) -> Bytes {
+        match self.segs.len() {
+            0 => Bytes::new(),
+            1 => {
+                wirestats::add_buffers_reused(1);
+                self.segs.pop_front().unwrap()
+            }
+            _ => {
+                wirestats::add_buffers_coalesced(1);
+                let mut joined = Vec::with_capacity(self.len());
+                for seg in self.segs.drain(..) {
+                    joined.extend_from_slice(&seg);
+                }
+                Bytes::from(joined)
+            }
+        }
+    }
+
+    /// Linearizes the queue (if needed) and returns a view of it.
+    fn contiguous(&mut self) -> &[u8] {
+        if self.segs.len() > 1 {
+            let all = self.take_all();
+            self.segs.push_back(all);
+        }
+        self.segs.front().map(|b| &b[..]).unwrap_or(&[])
+    }
+}
+
 /// Server-side I/O surface handed to a [`Session`] on every turn.
 pub struct ServerIo<'a> {
-    incoming: &'a mut BytesMut,
+    incoming: &'a mut RecvBuf,
     outgoing: &'a mut BytesMut,
     peer: PeerInfo,
     now: SimTime,
 }
 
 impl ServerIo<'_> {
-    /// Takes every byte delivered so far and not yet consumed.
-    pub fn recv_all(&mut self) -> Vec<u8> {
-        self.incoming.split().to_vec()
+    /// Takes every byte delivered so far and not yet consumed, as one
+    /// shared slab (zero-copy when the turn delivered a single
+    /// segment).
+    pub fn recv_all(&mut self) -> Bytes {
+        self.incoming.take_all()
     }
 
-    /// Peeks at the delivered-but-unconsumed bytes.
-    pub fn peek(&self) -> &[u8] {
-        self.incoming
+    /// Peeks at the delivered-but-unconsumed bytes. Takes `&mut self`
+    /// because multiple residue segments must be linearized to present
+    /// one slice.
+    pub fn peek(&mut self) -> &[u8] {
+        self.incoming.contiguous()
     }
 
     /// Queues reply bytes for the client.
     pub fn send(&mut self, bytes: &[u8]) {
         self.outgoing.extend_from_slice(bytes);
+    }
+
+    /// Direct access to the reply buffer, letting encoders (TLS record
+    /// sealing, HTTP response writing) build the reply in place instead
+    /// of assembling a separate buffer and copying it in via
+    /// [`ServerIo::send`].
+    pub fn outgoing(&mut self) -> &mut BytesMut {
+        self.outgoing
     }
 
     /// The connecting client's info.
@@ -110,7 +183,7 @@ pub struct ClientConn {
     pub(crate) capture: CaptureLog,
     pub(crate) peer: PeerInfo,
     pub(crate) out_buf: BytesMut,
-    pub(crate) server_residue: BytesMut,
+    pub(crate) server_residue: RecvBuf,
 }
 
 impl std::fmt::Debug for ClientConn {
@@ -136,19 +209,20 @@ impl ClientConn {
     }
 
     /// Performs one exchange: delivers queued bytes to the server
-    /// session and returns the session's reply bytes.
+    /// session and returns the session's reply bytes. The returned
+    /// slab is shared with the capture log, not copied into it.
     ///
     /// Errors with [`Error::Network`] when the fault injector drops the
     /// request or the reply; the queued request bytes are consumed
     /// either way (retries must re-send, exactly like a real client
     /// re-issuing an HTTP request).
-    pub fn roundtrip(&mut self) -> Result<Vec<u8>> {
-        let mut request = self.out_buf.split().to_vec();
+    pub fn roundtrip(&mut self) -> Result<Bytes> {
+        let mut request = self.out_buf.split();
         let verdict = self.fault.apply(&mut self.rng, &mut request);
         match verdict {
             Verdict::Dropped(reason) => {
                 self.clock.advance(TIMEOUT);
-                self.record(Direction::ToServer, request, true);
+                self.record(Direction::ToServer, request.freeze(), true);
                 return Err(Error::Network(format!(
                     "request dropped ({reason:?}) conn {}",
                     self.conn_id
@@ -156,12 +230,15 @@ impl ClientConn {
             }
             Verdict::Delivered { latency, .. } => {
                 self.clock.advance(latency);
-                self.record(Direction::ToServer, request.clone(), false);
             }
         }
+        let request = request.freeze();
+        wirestats::add_bytes_delivered(request.len() as u64);
+        self.record(Direction::ToServer, request.clone(), false);
 
-        // Deliver to the server session.
-        self.server_residue.extend_from_slice(&request);
+        // Deliver to the server session: the capture record and the
+        // session's receive queue share the request slab.
+        self.server_residue.push(request);
         let mut outgoing = BytesMut::new();
         let mut io = ServerIo {
             incoming: &mut self.server_residue,
@@ -171,12 +248,12 @@ impl ClientConn {
         };
         self.session.on_turn(&mut io);
 
-        let mut reply = outgoing.to_vec();
+        let mut reply = outgoing;
         let verdict = self.fault.apply(&mut self.rng, &mut reply);
         match verdict {
             Verdict::Dropped(reason) => {
                 self.clock.advance(TIMEOUT);
-                self.record(Direction::ToClient, reply, true);
+                self.record(Direction::ToClient, reply.freeze(), true);
                 Err(Error::Network(format!(
                     "reply dropped ({reason:?}) conn {}",
                     self.conn_id
@@ -184,13 +261,15 @@ impl ClientConn {
             }
             Verdict::Delivered { latency, .. } => {
                 self.clock.advance(latency);
+                let reply = reply.freeze();
+                wirestats::add_bytes_delivered(reply.len() as u64);
                 self.record(Direction::ToClient, reply.clone(), false);
                 Ok(reply)
             }
         }
     }
 
-    fn record(&self, dir: Direction, bytes: Vec<u8>, dropped: bool) {
+    fn record(&self, dir: Direction, bytes: Bytes, dropped: bool) {
         self.capture.push(CaptureRecord {
             at: self.clock.now(),
             conn_id: self.conn_id,
@@ -242,7 +321,7 @@ mod tests {
                 opened_at: SimTime::EPOCH,
             },
             out_buf: BytesMut::new(),
-            server_residue: BytesMut::new(),
+            server_residue: RecvBuf::new(),
         }
     }
 
@@ -267,6 +346,18 @@ mod tests {
         assert_eq!(log[0].bytes, b"xy");
         assert_eq!(log[1].dir, Direction::ToClient);
         assert_eq!(log[1].bytes, b"echo:xy");
+    }
+
+    #[test]
+    fn capture_shares_the_delivery_slab() {
+        let mut c = conn(FaultPlan::perfect());
+        c.send(b"shared?");
+        let reply = c.roundtrip().unwrap();
+        let log = c.capture.snapshot();
+        assert!(
+            log[1].bytes.shares_allocation(&reply),
+            "reply capture must alias the delivered slab"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::addr::HostAddr;
 use crate::capture::CaptureLog;
 use crate::clock::Clock;
-use crate::conn::{ClientConn, PeerInfo, SessionFactory};
+use crate::conn::{ClientConn, PeerInfo, RecvBuf, SessionFactory};
 use crate::fault::FaultPlan;
 use bytes::BytesMut;
 use iiscope_types::{Error, Result, SeedFork};
@@ -177,7 +177,7 @@ impl Network {
             capture: self.inner.capture.clone(),
             peer,
             out_buf: BytesMut::new(),
-            server_residue: BytesMut::new(),
+            server_residue: RecvBuf::new(),
         })
     }
 

@@ -24,6 +24,9 @@
 //! * [`rng`] — labelled deterministic RNG fan-out plus the handful of
 //!   distributions (log-normal, Zipf, Bernoulli mixtures) used by the
 //!   population generators.
+//! * [`wirestats`] — relaxed process-wide counters for the zero-copy
+//!   wire path (buffer reuse, streaming-parse volume); reporting only,
+//!   never read by the simulation.
 //! * [`error`] — the shared error type.
 
 #![forbid(unsafe_code)]
@@ -36,6 +39,7 @@ pub mod ids;
 pub mod money;
 pub mod rng;
 pub mod time;
+pub mod wirestats;
 
 pub use country::Country;
 pub use error::{Error, Result};

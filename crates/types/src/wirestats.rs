@@ -1,0 +1,89 @@
+//! Process-wide wire-path counters.
+//!
+//! The zero-copy fast path (netsim delivery → TLS records → HTTP views
+//! → streaming JSON) is justified by *measured* allocation behaviour,
+//! so every layer reports what it did with its buffers here. Counters
+//! are relaxed atomics: they never synchronize the simulation (ordering
+//! between workers is irrelevant — only totals are reported) and they
+//! cannot perturb determinism because no simulated decision reads them.
+//!
+//! They sit in `iiscope-types` rather than `iiscope-wire` because the
+//! bottom of the stack (`iiscope-netsim`) reports delivery-buffer reuse
+//! and must not depend on the protocol crates above it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One relaxed counter.
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident / $inc:ident / $key:literal;)*) => {
+        $( $(#[$doc])* pub static $name: AtomicU64 = AtomicU64::new(0); )*
+
+        $(
+            $(#[$doc])*
+            #[inline]
+            pub fn $inc(n: u64) {
+                $name.fetch_add(n, Ordering::Relaxed);
+            }
+        )*
+
+        /// Snapshot of every counter, in declaration order, as
+        /// `(json_key, value)` pairs.
+        pub fn snapshot() -> Vec<(&'static str, u64)> {
+            vec![$( ($key, $name.load(Ordering::Relaxed)), )*]
+        }
+
+        /// Resets every counter to zero (tests and `--timing` runs).
+        pub fn reset() {
+            $( $name.store(0, Ordering::Relaxed); )*
+        }
+    };
+}
+
+counters! {
+    /// Payload bytes moved through netsim connection delivery.
+    BYTES_DELIVERED / add_bytes_delivered / "bytes_delivered";
+    /// Delivery buffers handed to a session as a single shared slab
+    /// (zero-copy: the receiver reuses the sender's allocation).
+    BUFFERS_REUSED / add_buffers_reused / "delivery_buffers_reused";
+    /// Delivery buffers that had to be coalesced from multiple
+    /// segments (one copy to linearize residue + new bytes).
+    BUFFERS_COALESCED / add_buffers_coalesced / "delivery_buffers_coalesced";
+    /// TLS records sealed (client→wire and server→wire).
+    RECORDS_SEALED / add_records_sealed / "tls_records_sealed";
+    /// TLS records opened (wire→plaintext).
+    RECORDS_OPENED / add_records_opened / "tls_records_opened";
+    /// Plaintext bytes framed into TLS records.
+    BYTES_SEALED / add_bytes_sealed / "tls_bytes_sealed";
+    /// Plaintext record payloads passed through without coalescing
+    /// (single-record turns: the decrypt buffer IS the app payload).
+    RECORD_PASSTHROUGH / add_record_passthrough / "tls_single_record_passthrough";
+    /// HTTP messages parsed through the borrowed-view fast path
+    /// (no per-header `String`, body stays a slice of the delivery
+    /// buffer).
+    HTTP_VIEW_PARSES / add_http_view_parses / "http_view_parses";
+    /// JSON events yielded by the streaming scanner.
+    JSON_EVENTS / add_json_events / "json_scanner_events";
+    /// Offer-wall pages parsed via the streaming scanner.
+    WALLS_STREAMED / add_walls_streamed / "walls_streamed";
+    /// Offers extracted by the streaming wall parser.
+    OFFERS_STREAMED / add_offers_streamed / "offers_streamed";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reports_increments_in_order() {
+        reset();
+        add_bytes_delivered(10);
+        add_buffers_reused(2);
+        add_offers_streamed(7);
+        let snap = snapshot();
+        assert_eq!(snap[0], ("bytes_delivered", 10));
+        assert_eq!(snap[1], ("delivery_buffers_reused", 2));
+        assert_eq!(snap.last().unwrap(), &("offers_streamed", 7));
+        reset();
+        assert!(snapshot().iter().all(|&(_, v)| v == 0));
+    }
+}

@@ -80,13 +80,18 @@ impl HttpClient {
     /// POST a JSON body to `url`.
     pub fn post_json(&mut self, url: &str, body: &Json) -> Result<Response> {
         let url = Url::parse(url)?;
-        let mut req = Request::post(url.target.clone(), body.to_string().into_bytes());
+        let mut req = Request::post(url.target.clone(), body.to_bytes());
         req.headers.set("Content-Type", "application/json");
         self.dispatch(req, &url)
     }
 
     /// POST raw bytes to `url`.
-    pub fn post_bytes(&mut self, url: &str, body: Vec<u8>, content_type: &str) -> Result<Response> {
+    pub fn post_bytes(
+        &mut self,
+        url: &str,
+        body: impl Into<bytes::Bytes>,
+        content_type: &str,
+    ) -> Result<Response> {
         let url = Url::parse(url)?;
         let mut req = Request::post(url.target.clone(), body);
         req.headers.set("Content-Type", content_type);
@@ -129,7 +134,9 @@ impl HttpClient {
             conn.send(&req.encode());
             conn.roundtrip()?
         };
-        match Response::parse(&reply)? {
+        // Zero-copy parse: the response body stays a slice of the
+        // reply slab shared with the connection's capture log.
+        match Response::parse_bytes(&reply)? {
             Some((resp, _)) => Ok(resp),
             // An empty or partial reply (proxy stall, upstream died) is
             // worth retrying on a fresh connection.

@@ -11,9 +11,20 @@
 //! * CRLF line endings, case-insensitive header names;
 //! * incremental parsing (a message split across deliveries
 //!   reassembles), with hard caps on header and body sizes.
+//!
+//! Two parsing tiers share one grammar:
+//!
+//! * [`Request::parse`]/[`Response::parse`] build owned messages;
+//!   [`Request::parse_bytes`]/[`Response::parse_bytes`] do the same but
+//!   keep the body as a slice of the caller's shared delivery slab.
+//! * [`RequestView`]/[`ResponseView`] borrow *everything* — header
+//!   names, values and body are slices into the input buffer, with no
+//!   `String` per header — which is what the monitor's intercept
+//!   parsers use on the per-crawl-day hot path.
 
+use bytes::{BufMut, Bytes, BytesMut};
 use iiscope_netsim::PeerInfo;
-use iiscope_types::{Error, Result, SimTime};
+use iiscope_types::{wirestats, Error, Result, SimTime};
 use std::fmt;
 
 /// Maximum accepted header block (16 KiB).
@@ -108,8 +119,9 @@ pub struct Request {
     pub target: String,
     /// Headers.
     pub headers: Headers,
-    /// Body bytes.
-    pub body: Vec<u8>,
+    /// Body bytes — a shared slab; parsed requests keep a slice of the
+    /// delivery buffer rather than a copy.
+    pub body: Bytes,
 }
 
 impl Request {
@@ -119,12 +131,12 @@ impl Request {
             method: Method::Get,
             target: target.into(),
             headers: Headers::new(),
-            body: Vec::new(),
+            body: Bytes::new(),
         }
     }
 
     /// Builds a POST with a body.
-    pub fn post(target: impl Into<String>, body: impl Into<Vec<u8>>) -> Request {
+    pub fn post(target: impl Into<String>, body: impl Into<Bytes>) -> Request {
         Request {
             method: Method::Post,
             target: target.into(),
@@ -135,79 +147,58 @@ impl Request {
 
     /// The path component (target up to `?`).
     pub fn path(&self) -> &str {
-        match self.target.split_once('?') {
-            Some((p, _)) => p,
-            None => &self.target,
-        }
+        path_of(&self.target)
     }
 
     /// Decoded query parameters, in order of appearance.
     pub fn query(&self) -> Vec<(String, String)> {
-        let raw = match self.target.split_once('?') {
-            Some((_, q)) => q,
-            None => return Vec::new(),
-        };
-        raw.split('&')
-            .filter(|kv| !kv.is_empty())
-            .map(|kv| match kv.split_once('=') {
-                Some((k, v)) => (pct_decode(k), pct_decode(v)),
-                None => (pct_decode(kv), String::new()),
-            })
-            .collect()
+        query_of(&self.target)
     }
 
     /// First query parameter named `key`.
     pub fn query_param(&self, key: &str) -> Option<String> {
-        self.query()
-            .into_iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
+        query_param_of(&self.target, key)
+    }
+
+    /// Serializes onto the end of `out` (sets `Content-Length`).
+    pub fn encode_into(&self, out: &mut BytesMut) {
+        out.reserve(64 + self.body.len());
+        out.put_slice(self.method.as_str().as_bytes());
+        out.put_u8(b' ');
+        out.put_slice(self.target.as_bytes());
+        out.put_slice(b" HTTP/1.1\r\n");
+        encode_headers(out, &self.headers, self.body.len());
+        out.put_slice(&self.body);
     }
 
     /// Serializes to wire bytes (sets `Content-Length`).
-    pub fn encode(&self) -> Vec<u8> {
-        let mut headers = self.headers.clone();
-        headers.set("Content-Length", self.body.len().to_string());
-        let mut out = format!("{} {} HTTP/1.1\r\n", self.method, self.target).into_bytes();
-        for (n, v) in headers.iter() {
-            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
-        }
-        out.extend_from_slice(b"\r\n");
-        out.extend_from_slice(&self.body);
-        out
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(64 + self.body.len());
+        self.encode_into(&mut out);
+        out.freeze()
     }
 
     /// Attempts to parse one request from the front of `buf`.
     ///
     /// Returns `Ok(None)` if incomplete, `Ok(Some((req, consumed)))` on
-    /// success, and `Err` on malformed or oversized input.
+    /// success, and `Err` on malformed or oversized input. The body is
+    /// copied out of `buf`; prefer [`Request::parse_bytes`] when the
+    /// input is already a shared slab.
     pub fn parse(buf: &[u8]) -> Result<Option<(Request, usize)>> {
-        let Some((head, body_start)) = split_head(buf)? else {
-            return Ok(None);
-        };
-        let mut lines = head.split("\r\n");
-        let request_line = lines.next().unwrap_or("");
-        let mut parts = request_line.split(' ');
-        let method = Method::parse(parts.next().unwrap_or(""))?;
-        let target = parts
-            .next()
-            .filter(|t| !t.is_empty())
-            .ok_or_else(|| Error::Decode("missing request target".into()))?
-            .to_string();
-        if parts.next() != Some("HTTP/1.1") {
-            return Err(Error::Decode("bad HTTP version".into()));
+        match parse_request_view(buf)? {
+            Some((view, consumed)) => Ok(Some((view.to_owned(Bytes::copy_from_slice), consumed))),
+            None => Ok(None),
         }
-        let headers = parse_headers(lines)?;
-        match read_body(buf, body_start, &headers)? {
-            Some((body, consumed)) => Ok(Some((
-                Request {
-                    method,
-                    target,
-                    headers,
-                    body,
-                },
-                consumed,
-            ))),
+    }
+
+    /// Like [`Request::parse`], but the parsed body is a zero-copy
+    /// slice of `buf`'s allocation.
+    pub fn parse_bytes(buf: &Bytes) -> Result<Option<(Request, usize)>> {
+        match parse_request_view(buf)? {
+            Some((view, consumed)) => {
+                let body = buf.slice(consumed - view.body.len()..consumed);
+                Ok(Some((view.to_owned(move |_| body), consumed)))
+            }
             None => Ok(None),
         }
     }
@@ -220,8 +211,9 @@ pub struct Response {
     pub status: u16,
     /// Headers.
     pub headers: Headers,
-    /// Body bytes.
-    pub body: Vec<u8>,
+    /// Body bytes — a shared slab; parsed responses keep a slice of the
+    /// delivery buffer rather than a copy.
+    pub body: Bytes,
 }
 
 impl Response {
@@ -230,7 +222,7 @@ impl Response {
         Response {
             status,
             headers: Headers::new(),
-            body: Vec::new(),
+            body: Bytes::new(),
         }
     }
 
@@ -238,7 +230,7 @@ impl Response {
     pub fn ok_json(value: &crate::Json) -> Response {
         let mut r = Response::status(200);
         r.headers.set("Content-Type", "application/json");
-        r.body = value.to_string().into_bytes();
+        r.body = value.to_bytes();
         r
     }
 
@@ -246,15 +238,15 @@ impl Response {
     pub fn ok_text(text: impl Into<String>) -> Response {
         let mut r = Response::status(200);
         r.headers.set("Content-Type", "text/plain");
-        r.body = text.into().into_bytes();
+        r.body = text.into().into();
         r
     }
 
     /// 200 with opaque bytes (APK downloads).
-    pub fn ok_bytes(bytes: Vec<u8>, content_type: &str) -> Response {
+    pub fn ok_bytes(bytes: impl Into<Bytes>, content_type: &str) -> Response {
         let mut r = Response::status(200);
         r.headers.set("Content-Type", content_type);
-        r.body = bytes;
+        r.body = bytes.into();
         r
     }
 
@@ -265,18 +257,7 @@ impl Response {
 
     /// Canonical reason phrase for the status code.
     pub fn reason(&self) -> &'static str {
-        match self.status {
-            200 => "OK",
-            204 => "No Content",
-            302 => "Found",
-            400 => "Bad Request",
-            401 => "Unauthorized",
-            403 => "Forbidden",
-            404 => "Not Found",
-            429 => "Too Many Requests",
-            500 => "Internal Server Error",
-            _ => "Unknown",
-        }
+        reason_of(self.status)
     }
 
     /// True for 2xx.
@@ -284,59 +265,333 @@ impl Response {
         (200..300).contains(&self.status)
     }
 
-    /// Body interpreted as UTF-8 (lossy).
+    /// Body interpreted as UTF-8 (lossy). Allocates; the parse paths
+    /// that only need to *read* text should use [`Response::body_str`].
     pub fn body_text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
     }
 
+    /// Body as borrowed UTF-8 — no copy.
+    pub fn body_str(&self) -> Result<&str> {
+        std::str::from_utf8(&self.body).map_err(|_| Error::Decode("body is not utf-8".into()))
+    }
+
     /// Body parsed as JSON.
     pub fn body_json(&self) -> Result<crate::Json> {
-        let text = std::str::from_utf8(&self.body)
-            .map_err(|_| Error::Decode("body is not utf-8".into()))?;
-        Ok(crate::Json::parse(text)?)
+        Ok(crate::Json::parse(self.body_str()?)?)
+    }
+
+    /// Serializes onto the end of `out` (sets `Content-Length`).
+    pub fn encode_into(&self, out: &mut BytesMut) {
+        out.reserve(64 + self.body.len());
+        out.put_slice(b"HTTP/1.1 ");
+        let mut status_buf = [0u8; 3];
+        let status_str = if (100..1000).contains(&self.status) {
+            status_buf[0] = b'0' + (self.status / 100) as u8;
+            status_buf[1] = b'0' + (self.status / 10 % 10) as u8;
+            status_buf[2] = b'0' + (self.status % 10) as u8;
+            std::str::from_utf8(&status_buf).expect("digits")
+        } else {
+            // Out-of-range codes never occur in the world but keep the
+            // encoder total.
+            return self.encode_into_slow(out);
+        };
+        out.put_slice(status_str.as_bytes());
+        out.put_u8(b' ');
+        out.put_slice(self.reason().as_bytes());
+        out.put_slice(b"\r\n");
+        encode_headers(out, &self.headers, self.body.len());
+        out.put_slice(&self.body);
+    }
+
+    fn encode_into_slow(&self, out: &mut BytesMut) {
+        out.put_slice(format!("{} {}\r\n", self.status, self.reason()).as_bytes());
+        encode_headers(out, &self.headers, self.body.len());
+        out.put_slice(&self.body);
     }
 
     /// Serializes to wire bytes (sets `Content-Length`).
-    pub fn encode(&self) -> Vec<u8> {
-        let mut headers = self.headers.clone();
-        headers.set("Content-Length", self.body.len().to_string());
-        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason()).into_bytes();
-        for (n, v) in headers.iter() {
-            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
-        }
-        out.extend_from_slice(b"\r\n");
-        out.extend_from_slice(&self.body);
-        out
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(64 + self.body.len());
+        self.encode_into(&mut out);
+        out.freeze()
     }
 
     /// Attempts to parse one response from the front of `buf`
     /// (same contract as [`Request::parse`]).
     pub fn parse(buf: &[u8]) -> Result<Option<(Response, usize)>> {
-        let Some((head, body_start)) = split_head(buf)? else {
-            return Ok(None);
-        };
-        let mut lines = head.split("\r\n");
-        let status_line = lines.next().unwrap_or("");
-        let mut parts = status_line.splitn(3, ' ');
-        if parts.next() != Some("HTTP/1.1") {
-            return Err(Error::Decode("bad HTTP version".into()));
-        }
-        let status: u16 = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| Error::Decode("bad status code".into()))?;
-        let headers = parse_headers(lines)?;
-        match read_body(buf, body_start, &headers)? {
-            Some((body, consumed)) => Ok(Some((
-                Response {
-                    status,
-                    headers,
-                    body,
-                },
-                consumed,
-            ))),
+        match parse_response_view(buf)? {
+            Some((view, consumed)) => Ok(Some((view.to_owned(Bytes::copy_from_slice), consumed))),
             None => Ok(None),
         }
+    }
+
+    /// Like [`Response::parse`], but the parsed body is a zero-copy
+    /// slice of `buf`'s allocation.
+    pub fn parse_bytes(buf: &Bytes) -> Result<Option<(Response, usize)>> {
+        match parse_response_view(buf)? {
+            Some((view, consumed)) => {
+                let body = buf.slice(consumed - view.body.len()..consumed);
+                Ok(Some((view.to_owned(move |_| body), consumed)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Borrowed views — the monitor's intercept-parsing fast path.
+// ---------------------------------------------------------------------
+
+/// Borrowed header list: names and values are slices into the input
+/// buffer; the only allocation is the backing `Vec` of pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderView<'a>(Vec<(&'a str, &'a str)>);
+
+impl<'a> HeaderView<'a> {
+    /// First value for `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&'a str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|&(_, v)| v)
+    }
+
+    /// Iterates over all `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'a str, &'a str)> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn to_headers(&self) -> Headers {
+        let mut h = Headers::new();
+        for (n, v) in self.iter() {
+            h.insert(n, v);
+        }
+        h
+    }
+}
+
+/// A fully-borrowed parsed request: target, headers and body are
+/// slices into the delivery buffer.
+#[derive(Debug, Clone)]
+pub struct RequestView<'a> {
+    /// Method.
+    pub method: Method,
+    /// Request target as sent.
+    pub target: &'a str,
+    /// Borrowed headers.
+    pub headers: HeaderView<'a>,
+    /// Borrowed body.
+    pub body: &'a [u8],
+}
+
+impl<'a> RequestView<'a> {
+    /// Parses one request from the front of `buf` without copying any
+    /// of it (same completeness contract as [`Request::parse`]).
+    pub fn parse(buf: &'a [u8]) -> Result<Option<(RequestView<'a>, usize)>> {
+        let parsed = parse_request_view(buf)?;
+        if parsed.is_some() {
+            wirestats::add_http_view_parses(1);
+        }
+        Ok(parsed)
+    }
+
+    /// The path component (target up to `?`).
+    pub fn path(&self) -> &'a str {
+        path_of(self.target)
+    }
+
+    /// First query parameter named `key`.
+    pub fn query_param(&self, key: &str) -> Option<String> {
+        query_param_of(self.target, key)
+    }
+
+    fn to_owned(&self, make_body: impl FnOnce(&[u8]) -> Bytes) -> Request {
+        Request {
+            method: self.method,
+            target: self.target.to_string(),
+            headers: self.headers.to_headers(),
+            body: make_body(self.body),
+        }
+    }
+}
+
+/// A fully-borrowed parsed response.
+#[derive(Debug, Clone)]
+pub struct ResponseView<'a> {
+    /// Status code.
+    pub status: u16,
+    /// Borrowed headers.
+    pub headers: HeaderView<'a>,
+    /// Borrowed body.
+    pub body: &'a [u8],
+}
+
+impl<'a> ResponseView<'a> {
+    /// Parses one response from the front of `buf` without copying any
+    /// of it (same completeness contract as [`Response::parse`]).
+    pub fn parse(buf: &'a [u8]) -> Result<Option<(ResponseView<'a>, usize)>> {
+        let parsed = parse_response_view(buf)?;
+        if parsed.is_some() {
+            wirestats::add_http_view_parses(1);
+        }
+        Ok(parsed)
+    }
+
+    /// True for 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Body as borrowed UTF-8 — no copy.
+    pub fn body_str(&self) -> Result<&'a str> {
+        std::str::from_utf8(self.body).map_err(|_| Error::Decode("body is not utf-8".into()))
+    }
+
+    fn to_owned(&self, make_body: impl FnOnce(&[u8]) -> Bytes) -> Response {
+        Response {
+            status: self.status,
+            headers: self.headers.to_headers(),
+            body: make_body(self.body),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared grammar.
+// ---------------------------------------------------------------------
+
+fn path_of(target: &str) -> &str {
+    match target.split_once('?') {
+        Some((p, _)) => p,
+        None => target,
+    }
+}
+
+fn query_of(target: &str) -> Vec<(String, String)> {
+    let raw = match target.split_once('?') {
+        Some((_, q)) => q,
+        None => return Vec::new(),
+    };
+    raw.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (pct_decode(k), pct_decode(v)),
+            None => (pct_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+fn query_param_of(target: &str, key: &str) -> Option<String> {
+    let raw = match target.split_once('?') {
+        Some((_, q)) => q,
+        None => return None,
+    };
+    raw.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (kv, ""),
+        })
+        .find(|&(k, _)| pct_decode(k) == key)
+        .map(|(_, v)| pct_decode(v))
+}
+
+fn reason_of(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        302 => "Found",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn encode_headers(out: &mut BytesMut, headers: &Headers, body_len: usize) {
+    for (n, v) in headers.iter() {
+        if n.eq_ignore_ascii_case("Content-Length") {
+            continue;
+        }
+        out.put_slice(n.as_bytes());
+        out.put_slice(b": ");
+        out.put_slice(v.as_bytes());
+        out.put_slice(b"\r\n");
+    }
+    out.put_slice(b"Content-Length: ");
+    out.put_slice(body_len.to_string().as_bytes());
+    out.put_slice(b"\r\n\r\n");
+}
+
+fn parse_request_view(buf: &[u8]) -> Result<Option<(RequestView<'_>, usize)>> {
+    let Some((head, body_start)) = split_head(buf)? else {
+        return Ok(None);
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = Method::parse(parts.next().unwrap_or(""))?;
+    let target = parts
+        .next()
+        .filter(|t| !t.is_empty())
+        .ok_or_else(|| Error::Decode("missing request target".into()))?;
+    if parts.next() != Some("HTTP/1.1") {
+        return Err(Error::Decode("bad HTTP version".into()));
+    }
+    let headers = parse_header_views(lines)?;
+    match read_body_range(buf, body_start, &headers)? {
+        Some(consumed) => Ok(Some((
+            RequestView {
+                method,
+                target,
+                headers,
+                body: &buf[body_start..consumed],
+            },
+            consumed,
+        ))),
+        None => Ok(None),
+    }
+}
+
+fn parse_response_view(buf: &[u8]) -> Result<Option<(ResponseView<'_>, usize)>> {
+    let Some((head, body_start)) = split_head(buf)? else {
+        return Ok(None);
+    };
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.splitn(3, ' ');
+    if parts.next() != Some("HTTP/1.1") {
+        return Err(Error::Decode("bad HTTP version".into()));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::Decode("bad status code".into()))?;
+    let headers = parse_header_views(lines)?;
+    match read_body_range(buf, body_start, &headers)? {
+        Some(consumed) => Ok(Some((
+            ResponseView {
+                status,
+                headers,
+                body: &buf[body_start..consumed],
+            },
+            consumed,
+        ))),
+        None => Ok(None),
     }
 }
 
@@ -356,8 +611,8 @@ fn split_head(buf: &[u8]) -> Result<Option<(&str, usize)>> {
     }
 }
 
-fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers> {
-    let mut headers = Headers::new();
+fn parse_header_views<'a>(lines: impl Iterator<Item = &'a str>) -> Result<HeaderView<'a>> {
+    let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
@@ -365,12 +620,19 @@ fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers> {
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| Error::Decode(format!("malformed header line {line:?}")))?;
-        headers.insert(name.trim().to_string(), value.trim().to_string());
+        headers.push((name.trim(), value.trim()));
     }
-    Ok(headers)
+    Ok(HeaderView(headers))
 }
 
-fn read_body(buf: &[u8], body_start: usize, headers: &Headers) -> Result<Option<(Vec<u8>, usize)>> {
+/// Validates `Content-Length` (this is the single authoritative check —
+/// downstream consumers must not re-derive it) and returns the total
+/// consumed length when the body is fully buffered.
+fn read_body_range(
+    buf: &[u8],
+    body_start: usize,
+    headers: &HeaderView<'_>,
+) -> Result<Option<usize>> {
     let len: usize = match headers.get("Content-Length") {
         Some(v) => v
             .parse()
@@ -383,10 +645,7 @@ fn read_body(buf: &[u8], body_start: usize, headers: &Headers) -> Result<Option<
     if buf.len() < body_start + len {
         return Ok(None);
     }
-    Ok(Some((
-        buf[body_start..body_start + len].to_vec(),
-        body_start + len,
-    )))
+    Ok(Some(body_start + len))
 }
 
 fn pct_decode(s: &str) -> String {
@@ -477,19 +736,62 @@ mod tests {
     }
 
     #[test]
+    fn parse_bytes_shares_the_input_slab() {
+        let resp = Response::ok_text("zero copy body");
+        let wire = resp.encode();
+        let (parsed, _) = Response::parse_bytes(&wire).unwrap().unwrap();
+        assert_eq!(parsed.body, b"zero copy body");
+        assert!(
+            parsed.body.shares_allocation(&wire),
+            "body must be a slice of the wire buffer"
+        );
+        let req = Request::post("/a", b"req body".to_vec());
+        let rwire = req.encode();
+        let (rparsed, _) = Request::parse_bytes(&rwire).unwrap().unwrap();
+        assert!(rparsed.body.shares_allocation(&rwire));
+    }
+
+    #[test]
+    fn views_borrow_headers_and_body() {
+        let mut resp = Response::ok_text("view body");
+        resp.headers.insert("X-Custom", "yes");
+        let wire = resp.encode();
+        let (view, consumed) = ResponseView::parse(&wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(view.status, 200);
+        assert_eq!(view.headers.get("x-custom"), Some("yes"));
+        assert_eq!(view.body, b"view body");
+        assert_eq!(view.body_str().unwrap(), "view body");
+
+        let req = Request::get("/offers?affiliate=com.cash.app&page=2");
+        let rwire = req.encode();
+        let (rview, _) = RequestView::parse(&rwire).unwrap().unwrap();
+        assert_eq!(rview.path(), "/offers");
+        assert_eq!(
+            rview.query_param("affiliate").as_deref(),
+            Some("com.cash.app")
+        );
+        assert_eq!(rview.query_param("page").as_deref(), Some("2"));
+        assert_eq!(rview.query_param("missing"), None);
+    }
+
+    #[test]
     fn incremental_parse_waits_for_body() {
         let req = Request::post("/x", vec![b'a'; 10]);
         let wire = req.encode();
         assert!(Request::parse(&wire[..wire.len() - 1]).unwrap().is_none());
         assert!(Request::parse(&wire[..10]).unwrap().is_none());
         assert!(Request::parse(&wire).unwrap().is_some());
+        assert!(RequestView::parse(&wire[..wire.len() - 1])
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn pipelined_requests_consume_exactly_one() {
         let a = Request::get("/a").encode();
         let b = Request::get("/b").encode();
-        let mut both = a.clone();
+        let mut both = a.to_vec();
         both.extend_from_slice(&b);
         let (first, consumed) = Request::parse(&both).unwrap().unwrap();
         assert_eq!(first.target, "/a");
@@ -510,6 +812,7 @@ mod tests {
             MAX_BODY_BYTES + 1
         );
         assert!(Request::parse(huge.as_bytes()).is_err());
+        assert!(RequestView::parse(huge.as_bytes()).is_err());
     }
 
     #[test]
@@ -526,6 +829,10 @@ mod tests {
         assert_eq!(q[1], ("desc".into(), "Install & Register".into()));
         assert_eq!(q[2], ("flag".into(), String::new()));
         assert_eq!(Request::get("/plain").query(), Vec::new());
+        assert_eq!(
+            req.query_param("desc").as_deref(),
+            Some("Install & Register")
+        );
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod tls;
 pub mod url;
 
 pub use client::HttpClient;
-pub use http::{Handler, Request, Response};
-pub use json::Json;
+pub use http::{Handler, Request, RequestView, Response, ResponseView};
+pub use json::{Event as JsonEvent, Json, Scanner as JsonScanner};
 pub use url::Url;

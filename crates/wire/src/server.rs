@@ -8,17 +8,22 @@
 use crate::http::{Handler, Request, RequestCtx, Response};
 use crate::tls::session::{FixedIdentity, PlainService, TlsServerSession};
 use crate::tls::ServerIdentity;
+use bytes::{Buf, Bytes, BytesMut};
 use iiscope_netsim::{PeerInfo, ServerIo, Session, SessionFactory};
 use iiscope_types::{SeedFork, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Plaintext HTTP engine shared by the plain and TLS paths: buffers
-/// bytes, parses complete requests, dispatches to the handler, encodes
-/// responses.
+/// Plaintext HTTP engine shared by the plain and TLS paths: parses
+/// complete requests, dispatches to the handler, encodes responses.
+///
+/// When a delivery starts on a request boundary (the common case — the
+/// client sends whole requests per turn), requests are parsed straight
+/// out of the shared delivery slab with zero-copy bodies; only a
+/// request split across deliveries falls back to the reassembly buffer.
 pub struct HttpEngine {
     handler: Arc<dyn Handler>,
-    buf: Vec<u8>,
+    buf: BytesMut,
 }
 
 impl HttpEngine {
@@ -26,40 +31,73 @@ impl HttpEngine {
     pub fn new(handler: Arc<dyn Handler>) -> HttpEngine {
         HttpEngine {
             handler,
-            buf: Vec::new(),
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Feeds one delivery; encodes responses for every complete request
+    /// onto `out`.
+    pub fn feed_into(&mut self, data: &Bytes, peer: PeerInfo, now: SimTime, out: &mut BytesMut) {
+        let ctx = RequestCtx { peer, now };
+        if self.buf.is_empty() {
+            // Fast path: request bodies are refcounted slices of
+            // `data`; nothing is copied unless a request is incomplete.
+            let mut rest = data.clone();
+            loop {
+                match Request::parse_bytes(&rest) {
+                    Ok(Some((req, consumed))) => {
+                        rest = rest.slice(consumed..);
+                        let resp = self.handler.handle(&req, &ctx);
+                        resp.encode_into(out);
+                    }
+                    Ok(None) => {
+                        self.buf.extend_from_slice(&rest);
+                        return;
+                    }
+                    Err(_) => {
+                        // Malformed request: answer 400 and drop the
+                        // buffer (the connection is poisoned).
+                        Response::status(400).encode_into(out);
+                        self.buf.clear();
+                        return;
+                    }
+                }
+            }
+        }
+        // Reassembly path: a previous delivery left a partial request.
+        self.buf.extend_from_slice(data);
+        loop {
+            match Request::parse(&self.buf) {
+                Ok(Some((req, consumed))) => {
+                    self.buf.advance(consumed);
+                    let resp = self.handler.handle(&req, &ctx);
+                    resp.encode_into(out);
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    Response::status(400).encode_into(out);
+                    self.buf.clear();
+                    return;
+                }
+            }
         }
     }
 
     /// Feeds bytes; returns encoded responses for every complete
-    /// request found.
-    pub fn feed(&mut self, data: &[u8], peer: PeerInfo, now: SimTime) -> Vec<u8> {
-        self.buf.extend_from_slice(data);
-        let mut out = Vec::new();
-        loop {
-            match Request::parse(&self.buf) {
-                Ok(Some((req, consumed))) => {
-                    self.buf.drain(..consumed);
-                    let ctx = RequestCtx { peer, now };
-                    let resp = self.handler.handle(&req, &ctx);
-                    out.extend_from_slice(&resp.encode());
-                }
-                Ok(None) => break,
-                Err(_) => {
-                    // Malformed request: answer 400 and drop the buffer
-                    // (the connection is poisoned).
-                    out.extend_from_slice(&Response::status(400).encode());
-                    self.buf.clear();
-                    break;
-                }
-            }
-        }
-        out
+    /// request found. Copying convenience wrapper around
+    /// [`HttpEngine::feed_into`].
+    pub fn feed(&mut self, data: &[u8], peer: PeerInfo, now: SimTime) -> Bytes {
+        let mut out = BytesMut::new();
+        self.feed_into(&Bytes::copy_from_slice(data), peer, now, &mut out);
+        out.freeze()
     }
 }
 
 impl PlainService for HttpEngine {
-    fn on_data(&mut self, data: &[u8], peer: PeerInfo, now: SimTime) -> Vec<u8> {
-        self.feed(data, peer, now)
+    fn on_data(&mut self, data: Bytes, peer: PeerInfo, now: SimTime) -> Bytes {
+        let mut out = BytesMut::new();
+        self.feed_into(&data, peer, now, &mut out);
+        out.freeze()
     }
 }
 
@@ -73,8 +111,7 @@ impl Session for PlainHttpSession {
         let data = io.recv_all();
         let peer = io.peer();
         let now = io.now();
-        let out = self.engine.feed(&data, peer, now);
-        io.send(&out);
+        self.engine.feed_into(&data, peer, now, io.outgoing());
     }
 }
 
@@ -201,8 +238,9 @@ mod tests {
         net.bind(ip, 80, Arc::new(HttpFactory::new(handler())))
             .unwrap();
         let mut conn = net.connect(client_addr(), ip, 80).unwrap();
-        let mut wire = Request::get("/ping").encode();
-        wire.extend_from_slice(&Request::post("/echo", b"xyz".to_vec()).encode());
+        let mut wire = BytesMut::new();
+        Request::get("/ping").encode_into(&mut wire);
+        Request::post("/echo", b"xyz".to_vec()).encode_into(&mut wire);
         conn.send(&wire);
         let reply = conn.roundtrip().unwrap();
         let (r1, used) = Response::parse(&reply).unwrap().unwrap();

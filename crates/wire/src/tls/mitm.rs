@@ -21,6 +21,7 @@
 
 use super::cert::{CertAuthority, KeyPair, TrustStore};
 use super::session::{IdentityProvider, PlainService, ServerIdentity, TlsClient, TlsServerSession};
+use bytes::Bytes;
 #[cfg(test)]
 use iiscope_netsim::HostAddr;
 use iiscope_netsim::{Direction, Network, PeerInfo, Session, SessionFactory};
@@ -38,8 +39,10 @@ pub struct Intercept {
     pub sni: String,
     /// Direction relative to the device.
     pub dir: Direction,
-    /// Decrypted bytes (HTTP on every service in this world).
-    pub plaintext: Vec<u8>,
+    /// Decrypted bytes (HTTP on every service in this world). A
+    /// refcounted view of the record layer's decrypt buffer — logging
+    /// an exchange does not copy it.
+    pub plaintext: Bytes,
 }
 
 /// Shared, append-only log of decrypted traffic.
@@ -140,7 +143,7 @@ impl InterceptLog {
 
     /// Server→device plaintext bodies for one SNI — the offer-wall
     /// responses the parsers want.
-    pub fn responses_for(&self, sni: &str) -> Vec<Vec<u8>> {
+    pub fn responses_for(&self, sni: &str) -> Vec<Bytes> {
         self.inner
             .lock()
             .iter()
@@ -197,19 +200,19 @@ impl PlainService for Forwarder {
         self.sni = Some(sni.to_string());
     }
 
-    fn on_data(&mut self, data: &[u8], peer: PeerInfo, now: SimTime) -> Vec<u8> {
+    fn on_data(&mut self, data: Bytes, peer: PeerInfo, now: SimTime) -> Bytes {
         let sni = match &self.sni {
             Some(s) => s.clone(),
-            None => return Vec::new(),
+            None => return Bytes::new(),
         };
         if data.is_empty() {
-            return Vec::new();
+            return Bytes::new();
         }
         self.log.push(Intercept {
             at: now,
             sni: sni.clone(),
             dir: Direction::ToServer,
-            plaintext: data.to_vec(),
+            plaintext: data.clone(),
         });
         // Lazily dial upstream on first use — *as the client*: the
         // proxy is transparent w.r.t. egress (mitmproxy runs beside
@@ -218,19 +221,19 @@ impl PlainService for Forwarder {
         if self.upstream.is_none() {
             let conn = match self.net.connect_host(peer.addr, &sni, self.upstream_port) {
                 Ok(c) => c,
-                Err(_) => return Vec::new(), // upstream unreachable: stall
+                Err(_) => return Bytes::new(), // upstream unreachable: stall
             };
             match TlsClient::connect(conn, &sni, &self.upstream_roots, None, &mut self.rng) {
                 Ok(tls) => self.upstream = Some(tls),
-                Err(_) => return Vec::new(),
+                Err(_) => return Bytes::new(),
             }
         }
-        let reply = match self.upstream.as_mut().expect("just set").request(data) {
+        let reply = match self.upstream.as_mut().expect("just set").request(&data) {
             Ok(r) => r,
             Err(_) => {
                 // Upstream died mid-session; force a re-dial next turn.
                 self.upstream = None;
-                return Vec::new();
+                return Bytes::new();
             }
         };
         self.log.push(Intercept {
@@ -326,8 +329,8 @@ mod tests {
 
     struct UpperPlain;
     impl PlainService for UpperPlain {
-        fn on_data(&mut self, data: &[u8], _p: PeerInfo, _n: SimTime) -> Vec<u8> {
-            data.to_ascii_uppercase()
+        fn on_data(&mut self, data: Bytes, _p: PeerInfo, _n: SimTime) -> Bytes {
+            data.to_ascii_uppercase().into()
         }
     }
 
@@ -482,7 +485,7 @@ mod tests {
         tls.request(b"a").unwrap();
         tls.request(b"b").unwrap();
         let responses = s.proxy_log.responses_for("wall.fyber.iiscope");
-        assert_eq!(responses, vec![b"A".to_vec(), b"B".to_vec()]);
+        assert_eq!(responses, vec![Bytes::from(b"A"), Bytes::from(b"B")]);
         assert!(s.proxy_log.responses_for("other.example").is_empty());
     }
 
@@ -534,7 +537,7 @@ mod tests {
                 at: SimTime::EPOCH,
                 sni: "x".into(),
                 dir: Direction::ToServer,
-                plaintext: vec![1],
+                plaintext: vec![1].into(),
             });
             // A concurrent thread's pushes to the tapped log are not
             // captured by this thread's tap.
@@ -544,7 +547,7 @@ mod tests {
                     at: SimTime::EPOCH,
                     sni: "y".into(),
                     dir: Direction::ToServer,
-                    plaintext: vec![2],
+                    plaintext: vec![2].into(),
                 });
             })
             .join()
@@ -567,7 +570,7 @@ mod tests {
             at: SimTime::EPOCH,
             sni: "z".into(),
             dir: Direction::ToServer,
-            plaintext: vec![3],
+            plaintext: vec![3].into(),
         });
         assert_eq!(log.len(), 1);
     }

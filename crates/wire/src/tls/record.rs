@@ -17,9 +17,17 @@
 //!   records fail their MAC.
 //! * Large payloads are split across records of at most
 //!   [`MAX_RECORD_PLAINTEXT`] bytes, like real TLS fragmentation.
+//!
+//! Buffer discipline: sealing encrypts in place inside the output
+//! buffer (one write per plaintext byte), and the decoder makes exactly
+//! one copy per record — ciphertext into the buffer that decryption
+//! mutates and that is then frozen into the record's shared plaintext
+//! slab. Consumed wire bytes are dropped by advancing an offset, not by
+//! a `drain` memmove.
 
 use super::cert::{fnv64, mix};
-use iiscope_types::{Error, Result};
+use bytes::{BufMut, Bytes, BytesMut};
+use iiscope_types::{wirestats, Error, Result};
 
 /// Maximum plaintext bytes carried by one record.
 pub const MAX_RECORD_PLAINTEXT: usize = 16 * 1024 - 64;
@@ -78,10 +86,17 @@ fn mac(key: u64, seq: u64, rtype: RecordType, plaintext: &[u8]) -> u64 {
     fnv64(plaintext) ^ mix(key ^ seq.wrapping_mul(0x9E37) ^ u64::from(rtype.to_byte()))
 }
 
-/// Seals `plaintext` into one or more records, advancing `*seq` once
-/// per record.
-pub fn seal_records(key: u64, seq: &mut u64, rtype: RecordType, plaintext: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(plaintext.len() + 32);
+/// Seals `plaintext` into one or more records appended to `out`,
+/// advancing `*seq` once per record. Encryption happens in place in
+/// `out`: the plaintext chunk is written once and XORed where it lies.
+pub fn seal_records_into(
+    out: &mut BytesMut,
+    key: u64,
+    seq: &mut u64,
+    rtype: RecordType,
+    plaintext: &[u8],
+) {
+    out.reserve(plaintext.len() + 16);
     let chunks: Vec<&[u8]> = if plaintext.is_empty() {
         vec![&[][..]]
     } else {
@@ -89,15 +104,24 @@ pub fn seal_records(key: u64, seq: &mut u64, rtype: RecordType, plaintext: &[u8]
     };
     for chunk in chunks {
         let record_mac = mac(key, *seq, rtype, chunk);
-        let mut body = chunk.to_vec();
-        keystream_xor(key, *seq, &mut body);
-        body.extend_from_slice(&record_mac.to_be_bytes());
-        out.push(rtype.to_byte());
-        out.extend_from_slice(&(body.len() as u16).to_be_bytes());
-        out.extend_from_slice(&body);
+        out.put_u8(rtype.to_byte());
+        out.put_u16((chunk.len() + 8) as u16);
+        let body_start = out.len();
+        out.put_slice(chunk);
+        keystream_xor(key, *seq, &mut out[body_start..]);
+        out.put_u64(record_mac);
         *seq += 1;
+        wirestats::add_records_sealed(1);
     }
-    out
+    wirestats::add_bytes_sealed(plaintext.len() as u64);
+}
+
+/// Seals `plaintext` into one or more records, advancing `*seq` once
+/// per record.
+pub fn seal_records(key: u64, seq: &mut u64, rtype: RecordType, plaintext: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(plaintext.len() + 32);
+    seal_records_into(&mut out, key, seq, rtype, plaintext);
+    out.freeze()
 }
 
 /// A decoded record.
@@ -105,14 +129,16 @@ pub fn seal_records(key: u64, seq: &mut u64, rtype: RecordType, plaintext: &[u8]
 pub struct Record {
     /// Content type.
     pub rtype: RecordType,
-    /// Decrypted, authenticated plaintext.
-    pub plaintext: Vec<u8>,
+    /// Decrypted, authenticated plaintext — a shared slab that
+    /// downstream taps (intercept log, HTTP parser) alias rather than
+    /// copy.
+    pub plaintext: Bytes,
 }
 
 /// Incremental record decoder for one direction of a connection.
 #[derive(Debug, Default)]
 pub struct RecordDecoder {
-    buf: Vec<u8>,
+    buf: BytesMut,
 }
 
 impl RecordDecoder {
@@ -130,6 +156,7 @@ impl RecordDecoder {
     /// Advances `*seq` on success. A MAC failure is fatal for the
     /// connection (as in TLS).
     pub fn next_record(&mut self, key: u64, seq: &mut u64) -> Result<Option<Record>> {
+        use bytes::Buf;
         if self.buf.len() < 3 {
             return Ok(None);
         }
@@ -141,18 +168,22 @@ impl RecordDecoder {
         if self.buf.len() < 3 + len {
             return Ok(None);
         }
-        let mut body = self.buf[3..3 + len - 8].to_vec();
         let wire_mac =
             u64::from_be_bytes(self.buf[3 + len - 8..3 + len].try_into().expect("8 bytes"));
-        self.buf.drain(..3 + len);
+        self.buf.advance(3);
+        // The one copy of the decode path: ciphertext moves into the
+        // buffer that decryption mutates and the record then owns.
+        let mut body = self.buf.split_to(len - 8);
+        self.buf.advance(8);
         keystream_xor(key, *seq, &mut body);
         if mac(key, *seq, rtype, &body) != wire_mac {
             return Err(Error::Network("bad record MAC".into()));
         }
         *seq += 1;
+        wirestats::add_records_opened(1);
         Ok(Some(Record {
             rtype,
-            plaintext: body,
+            plaintext: body.freeze(),
         }))
     }
 
@@ -172,18 +203,44 @@ impl RecordDecoder {
 }
 
 /// One-shot helper: decodes a complete byte run into records,
-/// concatenating app-data plaintext. Errors on alerts.
-pub fn open_records(key: u64, seq: &mut u64, bytes: &[u8]) -> Result<Vec<u8>> {
-    let mut dec = RecordDecoder::new();
-    dec.extend(bytes);
-    let mut plaintext = Vec::new();
-    for record in dec.drain(key, seq)? {
-        match record.rtype {
-            RecordType::AppData => plaintext.extend_from_slice(&record.plaintext),
+/// concatenating app-data plaintext. Errors on alerts. A single-record
+/// run — every offer-wall-sized exchange — returns the decrypt buffer
+/// itself, uncopied.
+pub fn open_records(key: u64, seq: &mut u64, bytes: &[u8]) -> Result<Bytes> {
+    // Decoded in place over `bytes` rather than through a
+    // `RecordDecoder`: the input is already complete, so the wire run
+    // never needs to be staged in a stream buffer — each record costs
+    // exactly one copy (ciphertext into the buffer decryption mutates).
+    let mut parts: Vec<Bytes> = Vec::new();
+    let mut pos = 0;
+    while bytes.len() - pos >= 3 {
+        let rtype = RecordType::from_byte(bytes[pos])?;
+        let len = u16::from_be_bytes([bytes[pos + 1], bytes[pos + 2]]) as usize;
+        if len < 8 {
+            return Err(Error::Network("record shorter than its MAC".into()));
+        }
+        if bytes.len() - pos < 3 + len {
+            break; // trailing partial record
+        }
+        let wire_mac = u64::from_be_bytes(
+            bytes[pos + 3 + len - 8..pos + 3 + len]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        let mut body = bytes[pos + 3..pos + 3 + len - 8].to_vec();
+        pos += 3 + len;
+        keystream_xor(key, *seq, &mut body);
+        if mac(key, *seq, rtype, &body) != wire_mac {
+            return Err(Error::Network("bad record MAC".into()));
+        }
+        *seq += 1;
+        wirestats::add_records_opened(1);
+        match rtype {
+            RecordType::AppData => parts.push(Bytes::from(body)),
             RecordType::Alert => {
                 return Err(Error::Network(format!(
                     "tls alert: {}",
-                    String::from_utf8_lossy(&record.plaintext)
+                    String::from_utf8_lossy(&body)
                 )))
             }
             RecordType::Handshake => {
@@ -191,10 +248,23 @@ pub fn open_records(key: u64, seq: &mut u64, bytes: &[u8]) -> Result<Vec<u8>> {
             }
         }
     }
-    if dec.pending() > 0 {
+    if pos != bytes.len() {
         return Err(Error::Network("trailing partial record".into()));
     }
-    Ok(plaintext)
+    Ok(match parts.len() {
+        0 => Bytes::new(),
+        1 => {
+            wirestats::add_record_passthrough(1);
+            parts.pop().expect("one part")
+        }
+        _ => {
+            let mut joined = Vec::with_capacity(parts.iter().map(Bytes::len).sum());
+            for p in &parts {
+                joined.extend_from_slice(p);
+            }
+            Bytes::from(joined)
+        }
+    })
 }
 
 #[cfg(test)]
@@ -228,7 +298,7 @@ mod tests {
         let wire = seal_records(0, &mut seq, RecordType::Handshake, b"client_hello");
         assert!(wire.windows(12).any(|w| w == b"client_hello"));
         // … but still MACed:
-        let mut tampered = wire.clone();
+        let mut tampered = wire.to_vec();
         let n = tampered.len();
         tampered[n - 9] ^= 0xFF; // flip a plaintext byte, keep MAC bytes
         let mut dec = RecordDecoder::new();
@@ -241,7 +311,7 @@ mod tests {
     fn corruption_detected() {
         let key = 7;
         let mut seq = 0;
-        let mut wire = seal_records(key, &mut seq, RecordType::AppData, b"payload");
+        let mut wire = seal_records(key, &mut seq, RecordType::AppData, b"payload").to_vec();
         wire[5] ^= 0x10;
         let mut recv_seq = 0;
         let err = open_records(key, &mut recv_seq, &wire).unwrap_err();
@@ -261,7 +331,7 @@ mod tests {
         let key = 9;
         let mut seq = 0;
         let r1 = seal_records(key, &mut seq, RecordType::AppData, b"first");
-        let mut replayed = r1.clone();
+        let mut replayed = r1.to_vec();
         replayed.extend_from_slice(&r1);
         let mut recv_seq = 0;
         // First copy opens fine, replayed copy fails under seq=1.
@@ -321,5 +391,19 @@ mod tests {
         dec.extend(&[99, 0, 8, 0, 0, 0, 0, 0, 0, 0, 0]);
         let mut seq = 0;
         assert!(dec.next_record(0, &mut seq).is_err());
+    }
+
+    #[test]
+    fn seal_into_appends_to_existing_buffer() {
+        let mut out = BytesMut::new();
+        out.extend_from_slice(b"prior");
+        let mut seq = 0;
+        seal_records_into(&mut out, 5, &mut seq, RecordType::AppData, b"payload");
+        assert_eq!(&out[..5], b"prior");
+        let mut recv_seq = 0;
+        assert_eq!(
+            open_records(5, &mut recv_seq, &out[5..]).unwrap(),
+            b"payload"
+        );
     }
 }

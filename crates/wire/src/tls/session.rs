@@ -18,10 +18,11 @@
 //! asked for, which is precisely the §4.1 interception trick.
 
 use super::cert::{mix, Certificate, KeyPair, TrustStore};
-use super::record::{seal_records, RecordDecoder, RecordType};
+use super::record::{seal_records, seal_records_into, RecordDecoder, RecordType};
 use crate::Json;
+use bytes::Bytes;
 use iiscope_netsim::{ClientConn, PeerInfo, ServerIo, Session};
-use iiscope_types::{Error, Result, SimTime};
+use iiscope_types::{wirestats, Error, Result, SimTime};
 use rand::Rng;
 
 /// Derives the shared session key from both randoms and the leaf key.
@@ -79,8 +80,9 @@ impl IdentityProvider for FixedIdentity {
 /// The plaintext application layer living inside a TLS session.
 pub trait PlainService: Send {
     /// Called once per turn with the decrypted bytes; returns the bytes
-    /// to encrypt back.
-    fn on_data(&mut self, data: &[u8], peer: PeerInfo, now: SimTime) -> Vec<u8>;
+    /// to encrypt back. `data` is a shared slab (the record layer's
+    /// decrypt buffer) — services and intercept taps alias it freely.
+    fn on_data(&mut self, data: Bytes, peer: PeerInfo, now: SimTime) -> Bytes;
 
     /// Called once when the handshake completes, with the client's SNI.
     fn on_handshake(&mut self, _sni: &str) {}
@@ -198,7 +200,7 @@ impl TlsClient {
 
     /// Sends application bytes and returns the decrypted reply bytes of
     /// the same turn.
-    pub fn request(&mut self, plaintext: &[u8]) -> Result<Vec<u8>> {
+    pub fn request(&mut self, plaintext: &[u8]) -> Result<Bytes> {
         let wire = seal_records(self.key, &mut self.send_seq, RecordType::AppData, plaintext);
         self.conn.send(&wire);
         let reply = self.conn.roundtrip()?;
@@ -262,8 +264,13 @@ impl TlsServerSession {
     }
 
     fn fatal(&mut self, io: &mut ServerIo<'_>, key: u64, send_seq: &mut u64, reason: &str) {
-        let wire = seal_records(key, send_seq, RecordType::Alert, reason.as_bytes());
-        io.send(&wire);
+        seal_records_into(
+            io.outgoing(),
+            key,
+            send_seq,
+            RecordType::Alert,
+            reason.as_bytes(),
+        );
         self.state = ServerState::Dead;
     }
 }
@@ -334,13 +341,13 @@ impl Session for TlsServerSession {
                         Json::arr(identity.chain.iter().map(Certificate::to_json)),
                     ),
                 ]);
-                let wire = seal_records(
+                seal_records_into(
+                    io.outgoing(),
                     0,
                     &mut send_seq,
                     RecordType::Handshake,
                     reply.to_string().as_bytes(),
                 );
-                io.send(&wire);
                 self.service.on_handshake(&sni);
                 let key = derive_key(client_random, server_random, identity.keys.public);
                 self.state = ServerState::Established {
@@ -354,11 +361,11 @@ impl Session for TlsServerSession {
                 mut recv_seq,
                 mut send_seq,
             } => {
-                let mut plaintext = Vec::new();
+                let mut parts: Vec<Bytes> = Vec::new();
                 loop {
                     match self.decoder.next_record(key, &mut recv_seq) {
                         Ok(Some(r)) if r.rtype == RecordType::AppData => {
-                            plaintext.extend_from_slice(&r.plaintext);
+                            parts.push(r.plaintext);
                         }
                         Ok(Some(_)) => {
                             self.fatal(io, key, &mut send_seq, "unexpected_message");
@@ -371,9 +378,30 @@ impl Session for TlsServerSession {
                         }
                     }
                 }
-                let reply = self.service.on_data(&plaintext, io.peer(), io.now());
-                let wire = seal_records(key, &mut send_seq, RecordType::AppData, &reply);
-                io.send(&wire);
+                // Single-record turns — every offer-wall-sized exchange
+                // — hand the decrypt buffer straight to the service.
+                let plaintext = match parts.len() {
+                    0 => Bytes::new(),
+                    1 => {
+                        wirestats::add_record_passthrough(1);
+                        parts.pop().expect("one part")
+                    }
+                    _ => {
+                        let mut joined = Vec::with_capacity(parts.iter().map(Bytes::len).sum());
+                        for p in &parts {
+                            joined.extend_from_slice(p);
+                        }
+                        Bytes::from(joined)
+                    }
+                };
+                let reply = self.service.on_data(plaintext, io.peer(), io.now());
+                seal_records_into(
+                    io.outgoing(),
+                    key,
+                    &mut send_seq,
+                    RecordType::AppData,
+                    &reply,
+                );
                 self.state = ServerState::Established {
                     key,
                     recv_seq,
@@ -396,10 +424,10 @@ mod tests {
     /// Plain echo service for tests.
     struct EchoPlain;
     impl PlainService for EchoPlain {
-        fn on_data(&mut self, data: &[u8], _peer: PeerInfo, _now: SimTime) -> Vec<u8> {
+        fn on_data(&mut self, data: Bytes, _peer: PeerInfo, _now: SimTime) -> Bytes {
             let mut out = b"tls-echo:".to_vec();
-            out.extend_from_slice(data);
-            out
+            out.extend_from_slice(&data);
+            out.into()
         }
     }
 

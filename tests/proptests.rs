@@ -97,7 +97,9 @@ proptest! {
         flip_bit in 0u8..8,
     ) {
         let mut seq = 0;
-        let mut wire = seal_records(key.max(1), &mut seq, RecordType::AppData, &payload);
+        // Sealed records come back as shared `Bytes`; copy out to a
+        // mutable buffer for tampering.
+        let mut wire = seal_records(key.max(1), &mut seq, RecordType::AppData, &payload).to_vec();
         // Flip one bit in the body (skip the 3-byte header so the
         // record still frames — header corruption is detected as a
         // framing error instead).
@@ -148,6 +150,151 @@ proptest! {
             prop_assert!(weights[i] > 0.0);
         } else {
             prop_assert!(weights.iter().all(|w| *w <= 0.0));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming scanner vs the tree-building reference parser.
+//
+// `JsonScanner` is an independent reimplementation of the grammar (it
+// shares no lexer with `Json::parse`), so agreement here is meaningful:
+// both parsers must accept the same documents, build the same trees,
+// and reject the same garbage with the *same* error text and offset.
+// ---------------------------------------------------------------------------
+
+use iiscope::subsystems::monitor::parsers::{parse_wall, parse_wall_streaming, parse_wall_tree};
+use iiscope::subsystems::wire::json::ParseError;
+use iiscope::subsystems::wire::JsonScanner;
+
+/// Parses one document with the streaming scanner, including the
+/// trailing-garbage check (which fires on the event pull *after* the
+/// document completes).
+fn scan_parse(input: &str) -> Result<Json, ParseError> {
+    let mut sc = JsonScanner::new(input);
+    let value = sc.parse_value()?;
+    match sc.next_event()? {
+        None => Ok(value),
+        Some(ev) => panic!("event {ev:?} after a complete document"),
+    }
+}
+
+/// Longest prefix of `s` up to `idx` that ends on a char boundary.
+fn truncate_at_char(s: &str, idx: &prop::sample::Index) -> usize {
+    if s.is_empty() {
+        return 0;
+    }
+    let mut cut = idx.index(s.len() + 1).min(s.len());
+    while !s.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    cut
+}
+
+/// A structurally valid Fyber-dialect wall page with fuzzed field
+/// values (the schema reader must cope with any id/title/payout).
+fn arb_fyber_wall() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        (
+            any::<i64>(),
+            "[a-zA-Z \"\\\\]{0,12}",
+            -1e6f64..1e6,
+            "[a-z\\.]{1,15}",
+        ),
+        0..8,
+    )
+    .prop_map(|offers| {
+        let arr: Vec<Json> = offers
+            .into_iter()
+            .map(|(id, title, payout, pkg)| {
+                Json::obj([
+                    ("offer_id", Json::Int(id)),
+                    ("title", Json::str(title)),
+                    ("payout_usd", Json::Float(payout)),
+                    ("package", Json::str(pkg.clone())),
+                    (
+                        "play_url",
+                        Json::str(format!("https://play.iiscope/store/apps/details?id={pkg}")),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([("ofw", Json::obj([("offers", Json::Array(arr))]))]).to_string()
+    })
+}
+
+proptest! {
+    /// Round-tripped documents: the scanner rebuilds exactly the tree
+    /// the reference parser builds, compact or pretty.
+    #[test]
+    fn scanner_matches_reference_on_round_trips(value in arb_json()) {
+        for text in [value.to_string(), value.pretty()] {
+            let reference = Json::parse(&text).expect("reference parse");
+            let streamed = scan_parse(&text).expect("scanner parse");
+            prop_assert_eq!(&streamed, &reference, "{}", text);
+        }
+    }
+
+    /// Adversarial input: on *any* string the two parsers agree on
+    /// Ok-ness, agree on the value, and report bit-identical errors
+    /// (message and byte offset) — and neither panics.
+    #[test]
+    fn scanner_matches_reference_on_arbitrary_input(input in "\\PC{0,200}") {
+        prop_assert_eq!(scan_parse(&input), Json::parse(&input), "{:?}", input);
+    }
+
+    /// The depth cap is honored identically: deep-nested bodies are
+    /// rejected cleanly by both parsers, shallow ones accepted by both.
+    #[test]
+    fn scanner_depth_cap_matches_reference(depth in 1usize..300) {
+        let input = "[".repeat(depth) + &"]".repeat(depth);
+        let reference = Json::parse(&input);
+        prop_assert_eq!(scan_parse(&input), reference.clone());
+        if depth > iiscope::subsystems::wire::json::MAX_DEPTH + 1 {
+            prop_assert!(reference.is_err(), "depth {depth} must trip the cap");
+        }
+        // Truncated deep nesting (all-open, no close) errors cleanly too.
+        let open_only = "[".repeat(depth);
+        prop_assert_eq!(scan_parse(&open_only), Json::parse(&open_only));
+    }
+
+    /// The schema-directed streaming wall parser against the tree
+    /// reference, over valid pages, truncations of valid pages, and
+    /// arbitrary garbage, for every IIP dialect:
+    ///   * the public `parse_wall` (streaming + fallback) is
+    ///     bit-identical to `parse_wall_tree` — values and error text;
+    ///   * whenever the pure streaming path succeeds it matches the
+    ///     tree result (the fallback never masks a divergence);
+    ///   * nothing panics.
+    #[test]
+    fn wall_parsers_agree_everywhere(
+        iip_idx in 0usize..IipId::ALL.len(),
+        body in prop_oneof![
+            arb_fyber_wall(),
+            arb_json().prop_map(|v| v.to_string()),
+            "\\PC{0,120}",
+        ],
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let iip = IipId::ALL[iip_idx];
+        let cut = truncate_at_char(&body, &cut);
+        for s in [body.as_str(), &body[..cut]] {
+            let fast = parse_wall(iip, s);
+            let reference = parse_wall_tree(iip, s);
+            match (&fast, &reference) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "{:?}", s),
+                (Err(x), Err(y)) => {
+                    prop_assert_eq!(x.to_string(), y.to_string(), "{:?}", s)
+                }
+                _ => prop_assert!(
+                    false,
+                    "fast path and reference disagree on Ok-ness for {s:?}: {fast:?} vs {reference:?}"
+                ),
+            }
+            if let Ok(page) = parse_wall_streaming(iip, s) {
+                let tree = reference.expect("streaming Ok implies tree Ok");
+                prop_assert_eq!(page, tree, "{:?}", s);
+            }
         }
     }
 }

@@ -2,12 +2,19 @@
 //!
 //! The build environment has no registry access, so the workspace
 //! ships the slice of the API it uses. Semantics match upstream for
-//! every exercised method; the implementation trades upstream's
-//! shared-buffer O(1) splits for simple copies over a `Vec<u8>` with a
-//! consumed-prefix offset, which is ample for the synchronous netsim.
+//! every exercised method, including the part that matters for the
+//! zero-copy wire path: [`Bytes`] is a ref-counted view over a shared
+//! allocation, so `clone`, [`Bytes::slice`] and [`Bytes::split_to`]
+//! are O(1) and never copy payload bytes. [`BytesMut`] remains a
+//! uniquely-owned `Vec` with a consumed-prefix offset; [`BytesMut::split`]
+//! is O(1) (it takes the allocation) and [`BytesMut::freeze`] moves the
+//! allocation into an `Arc` without copying when nothing has been
+//! consumed from the front.
 
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
 
 fn debug_bytes(bytes: &[u8], f: &mut fmt::Formatter<'_>) -> fmt::Result {
     write!(f, "b\"")?;
@@ -21,10 +28,15 @@ fn debug_bytes(bytes: &[u8], f: &mut fmt::Formatter<'_>) -> fmt::Result {
     write!(f, "\"")
 }
 
-/// Immutable byte buffer (here: an owned, cheap-to-clone `Vec`).
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+/// Immutable, ref-counted view into a shared byte allocation.
+///
+/// Cloning and slicing adjust `(offset, len)` over the same
+/// `Arc<Vec<u8>>` — no payload bytes move.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -35,32 +47,117 @@ impl Bytes {
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes {
-            data: data.to_vec(),
-        }
+        Bytes::from(data.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// Returns a sub-view of the same allocation — O(1), no copy.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes — O(1), both halves
+    /// keep sharing the allocation.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len, "split_to past end");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off,
+            len: at,
+        };
+        self.off += at;
+        self.len -= at;
+        head
+    }
+
+    /// Shortens the view to `len` bytes — O(1).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len {
+            self.len = len;
+        }
+    }
+
+    /// Whether two handles view the same allocation (used by tests and
+    /// buffer-reuse accounting; not part of upstream's public API).
+    pub fn shares_allocation(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes {
+            data: Arc::new(Vec::new()),
+            off: 0,
+            len: 0,
+        }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
+    }
+}
+
+impl<T: AsRef<[u8]>> PartialEq<T> for Bytes {
+    fn eq(&self, other: &T) -> bool {
+        self.as_slice() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == *other.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
@@ -72,12 +169,41 @@ impl fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Bytes {
-        Bytes { data }
+        let len = data.len();
+        Bytes {
+            data: Arc::new(data),
+            off: 0,
+            len,
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(data: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(buf: BytesMut) -> Bytes {
+        buf.freeze()
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(data: &[u8; N]) -> Bytes {
         Bytes::copy_from_slice(data)
     }
 }
@@ -111,22 +237,31 @@ impl BytesMut {
         }
     }
 
-    fn compact(&mut self) {
-        if self.off > 0 {
-            self.data.drain(..self.off);
+    /// Drops the allocation's consumed prefix when it is free to do so
+    /// (everything consumed) — keeps `off` from growing unboundedly on
+    /// long-lived stream buffers without a memmove on the hot path.
+    fn reclaim(&mut self) {
+        if self.off > 0 && self.off == self.data.len() {
+            self.data.clear();
             self.off = 0;
         }
     }
 
     /// Ensures room for `additional` more bytes.
     pub fn reserve(&mut self, additional: usize) {
-        self.compact();
+        self.reclaim();
+        if self.off > 0 && self.data.len() + additional > self.data.capacity() {
+            // About to reallocate anyway: reclaim the consumed prefix
+            // instead of growing past it.
+            self.data.drain(..self.off);
+            self.off = 0;
+        }
         self.data.reserve(additional);
     }
 
     /// Appends a slice.
     pub fn extend_from_slice(&mut self, src: &[u8]) {
-        self.compact();
+        self.reclaim();
         self.data.extend_from_slice(src);
     }
 
@@ -135,20 +270,27 @@ impl BytesMut {
         assert!(at <= self.len(), "split_to past end");
         let head = self.data[self.off..self.off + at].to_vec();
         self.off += at;
+        self.reclaim();
         BytesMut { data: head, off: 0 }
     }
 
     /// Splits off and returns the entire contents, leaving the buffer
-    /// empty (capacity semantics differ from upstream; contents match).
+    /// empty — O(1), the allocation moves to the returned half.
     pub fn split(&mut self) -> BytesMut {
-        let len = self.len();
-        self.split_to(len)
+        BytesMut {
+            data: std::mem::take(&mut self.data),
+            off: std::mem::take(&mut self.off),
+        }
     }
 
-    /// Freezes into an immutable [`Bytes`].
+    /// Freezes into an immutable [`Bytes`]. O(1) unless a consumed
+    /// prefix must be dropped first.
     pub fn freeze(mut self) -> Bytes {
-        self.compact();
-        Bytes { data: self.data }
+        if self.off > 0 {
+            self.data.drain(..self.off);
+            self.off = 0;
+        }
+        Bytes::from(self.data)
     }
 
     /// Length in bytes.
@@ -172,6 +314,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data[self.off..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data[self.off..]
     }
 }
 
@@ -202,6 +350,18 @@ impl Buf for BytesMut {
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance past end");
         self.off += cnt;
+        self.reclaim();
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len, "advance past end");
+        self.off += cnt;
+        self.len -= cnt;
     }
 }
 
@@ -211,6 +371,10 @@ pub trait BufMut {
     fn put_slice(&mut self, src: &[u8]);
     /// Appends a big-endian `u32`.
     fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
     /// Appends one byte.
     fn put_u8(&mut self, v: u8);
 }
@@ -222,7 +386,74 @@ impl BufMut for BytesMut {
     fn put_u32(&mut self, v: u32) {
         self.extend_from_slice(&v.to_be_bytes())
     }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes())
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes())
+    }
     fn put_u8(&mut self, v: u8) {
         self.extend_from_slice(&[v])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_the_allocation() {
+        let b = Bytes::from(b"hello offer wall".to_vec());
+        let c = b.clone();
+        assert!(b.shares_allocation(&c));
+        let s = b.slice(6..11);
+        assert_eq!(s, b"offer");
+        assert!(s.shares_allocation(&b));
+    }
+
+    #[test]
+    fn split_to_is_shared_and_exact() {
+        let mut b = Bytes::from(b"abcdef".to_vec());
+        let head = b.split_to(2);
+        assert_eq!(head, b"ab");
+        assert_eq!(b, b"cdef");
+        assert!(head.shares_allocation(&b));
+    }
+
+    #[test]
+    fn bytes_mut_split_is_take_all() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"payload");
+        let taken = m.split();
+        assert_eq!(&taken[..], b"payload");
+        assert!(m.is_empty());
+        m.extend_from_slice(b"next");
+        assert_eq!(&m[..], b"next");
+    }
+
+    #[test]
+    fn freeze_keeps_contents_after_advance() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"xxhello");
+        m.advance(2);
+        assert_eq!(m.freeze(), b"hello");
+    }
+
+    #[test]
+    fn deref_mut_edits_in_place() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"abc");
+        m[1] ^= 0xFF;
+        assert_eq!(m[1], b'b' ^ 0xFF);
+    }
+
+    #[test]
+    fn eq_is_by_contents_across_views() {
+        let a = Bytes::from(b"same".to_vec());
+        let b = Bytes::from(b"xsame".to_vec()).slice(1..);
+        assert_eq!(a, b);
+        assert!(!a.shares_allocation(&b));
+        assert_eq!(a, b"same");
+        assert_eq!(b"same".to_vec(), a);
     }
 }
