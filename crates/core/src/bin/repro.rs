@@ -12,7 +12,7 @@
 //! table to stderr and dumps `BENCH_repro.json`.
 
 use iiscope_core::{experiments, World, WorldConfig};
-use iiscope_types::wirestats;
+use iiscope_types::{chaosstats, wirestats};
 
 fn main() {
     let mut scale = "paper".to_string();
@@ -56,9 +56,10 @@ fn main() {
     };
     cfg.parallelism = parallel;
 
-    // Start the wire-layer counters from zero so the `--timing` dump
-    // reflects this run only (they are process-global atomics).
+    // Start the wire- and chaos-layer counters from zero so the
+    // `--timing` dumps reflect this run only (process-global atomics).
     wirestats::reset();
+    chaosstats::reset();
 
     eprintln!(
         "building world: {} advertised apps, {} baseline apps, {} days, seed {seed}, {} worker(s)",
@@ -122,6 +123,19 @@ fn main() {
         )
         .expect("write BENCH_wire.json");
         eprintln!("wrote {wire_path}");
+
+        let chaos_counters = chaosstats::snapshot();
+        eprintln!("chaos-layer counters (all zero on a clean network):");
+        for (name, value) in &chaos_counters {
+            eprintln!("  {name:<18} {value:>14}");
+        }
+        let chaos_path = "BENCH_chaos.json";
+        std::fs::write(
+            chaos_path,
+            chaos_json(&scale, seed, parallel, &chaos_counters),
+        )
+        .expect("write BENCH_chaos.json");
+        eprintln!("wrote {chaos_path}");
     }
     println!("{report}");
 }
@@ -247,6 +261,26 @@ fn wire_json(
         milking.tree_mb_per_s
     ));
     s.push_str(&format!("    \"speedup\": {:.2}\n", milking.speedup()));
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Hand-rolled JSON for the chaos-layer counter dump: per-hop fault
+/// verdicts (drops by reason, stalls, corruptions, truncations,
+/// garbage payloads) and the consumers' degradation ledger (retries,
+/// give-ups, backoff budget, abandoned milks/crawls/uploads, partial
+/// walls). Every counter is zero on the default fault-free network —
+/// the dump exists so fault-armed runs leave an auditable trail.
+fn chaos_json(scale: &str, seed: u64, parallel: usize, counters: &[(&'static str, u64)]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"parallelism\": {parallel},\n"));
+    s.push_str("  \"counters\": {\n");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        s.push_str(&format!("    \"{name}\": {value}{comma}\n"));
+    }
     s.push_str("  }\n}\n");
     s
 }

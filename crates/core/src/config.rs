@@ -26,9 +26,10 @@ pub struct WorldConfig {
     /// Worker threads for the wild study's crawl-day fan-out (milking,
     /// profile crawls, APK downloads) and the experiment suite. `1`
     /// runs everything on the calling thread — the original sequential
-    /// path. Any value produces bit-identical studies under the
-    /// default (fault-free) network; robustness/ablation runs that
-    /// inject faults should stay at `1`.
+    /// path. Any value produces bit-identical studies, fault plan or
+    /// not: every connection's fault stream is seeded from the client's
+    /// own lineage and fault delays accrue to connection-local clock
+    /// skew, so worker scheduling cannot reorder the randomness.
     pub parallelism: usize,
     /// Play-side enforcement profile.
     pub enforcement: EnforcementConfig,

@@ -21,10 +21,14 @@
 //!   generated from these.
 //! * [`report`] — fixed-width table rendering shared by the
 //!   experiment binaries.
+//! * [`chaos`] — the deterministic chaos harness: the adversarial
+//!   fault grid, the one-call study runner, and the monotone
+//!   telemetry-survival scenario behind `tests/chaos.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod experiments;
 pub mod honeystudy;

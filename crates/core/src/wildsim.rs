@@ -27,7 +27,9 @@ use iiscope_devices::{IipBehaviorProfile, WorkerKind};
 use iiscope_monitor::{Dataset, UiFuzzer};
 use iiscope_playstore::{InstallSignals, InstallSource};
 use iiscope_types::rng::chance;
-use iiscope_types::{AppId, CampaignId, DeviceId, IipId, Result, SimDuration, SimTime, Usd};
+use iiscope_types::{
+    chaosstats, AppId, CampaignId, DeviceId, Error, IipId, Result, SimDuration, SimTime, Usd,
+};
 use parking_lot::Mutex;
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -263,7 +265,19 @@ impl World {
                         .milk(&self.affiliate_apps[a], self.cfg.milk_countries[c], &fuzzer)
                 });
                 for offers in milked {
-                    let offers = offers?;
+                    // A milking run lost to the network (retries
+                    // exhausted, MITM path down, wall stalled) is a
+                    // missed observation round for that app × vantage,
+                    // not a dead study. Anything else — a parser bug, a
+                    // state-machine violation — still aborts.
+                    let offers = match offers {
+                        Ok(offers) => offers,
+                        Err(Error::Network(_)) => {
+                            chaosstats::add_milks_abandoned(1);
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    };
                     for o in &offers {
                         discovered.insert(o.raw.package.clone());
                     }
@@ -284,13 +298,16 @@ impl World {
                 for crawl in crawled {
                     // A failed crawl is a missing data point, not a
                     // dead study (the paper's crawler had outages too).
-                    if let Ok(Some(snap)) = crawl {
-                        dataset.add_profile(snap);
+                    match crawl {
+                        Ok(Some(snap)) => dataset.add_profile(snap),
+                        Ok(None) => {}
+                        Err(_) => chaosstats::add_crawls_abandoned(1),
                     }
                 }
                 for kind in iiscope_playstore::ChartKind::ALL {
-                    if let Ok(snap) = crawler.chart(kind, self.cfg.chart_size, t0) {
-                        dataset.add_chart(snap);
+                    match crawler.chart(kind, self.cfg.chart_size, t0) {
+                        Ok(snap) => dataset.add_chart(snap),
+                        Err(_) => chaosstats::add_crawls_abandoned(1),
                     }
                 }
             }
@@ -307,8 +324,12 @@ impl World {
             self.crawler_indexed(j as u64).apk(apk_plan[j])
         });
         for (pkg, bytes) in apk_plan.iter().zip(fetched) {
-            if let Ok(Some(bytes)) = bytes {
-                apks.insert(pkg.to_string(), bytes);
+            match bytes {
+                Ok(Some(bytes)) => {
+                    apks.insert(pkg.to_string(), bytes);
+                }
+                Ok(None) => {}
+                Err(_) => chaosstats::add_crawls_abandoned(1),
             }
         }
 

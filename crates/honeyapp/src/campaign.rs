@@ -28,7 +28,8 @@ use iiscope_netsim::Network;
 use iiscope_playstore::{InstallSource, PlayStore};
 use iiscope_types::rng::exponential;
 use iiscope_types::{
-    AppId, DeveloperId, Error, IipId, PackageName, Result, SeedFork, SimDuration, SimTime, Usd,
+    chaosstats, AppId, DeveloperId, Error, IipId, PackageName, Result, SeedFork, SimDuration,
+    SimTime, Usd,
 };
 use iiscope_wire::tls::TrustStore;
 use iiscope_wire::HttpClient;
@@ -244,10 +245,10 @@ impl CampaignDriver {
         day2.sort_by_key(|(at, d, _)| (*at, d.id));
         for (at, device, click) in day2 {
             self.net.clock().advance_to(at);
-            self.upload(device, TelemetryEvent::Open, at)?;
+            self.try_upload(device, TelemetryEvent::Open, at)?;
             self.store.record_session(self.honey_app, at, 60)?;
             if click {
-                self.upload(device, TelemetryEvent::RecordClick, at)?;
+                self.try_upload(device, TelemetryEvent::RecordClick, at)?;
             }
         }
 
@@ -330,7 +331,7 @@ impl CampaignDriver {
         let mut rng = self.seed.fork_idx("open-delay", salt).rng();
         let open_at = install_at + SimDuration::from_secs(10 + rng.gen_range(0..110));
         self.net.clock().advance_to(open_at);
-        self.upload(device, TelemetryEvent::Open, open_at)?;
+        self.try_upload(device, TelemetryEvent::Open, open_at)?;
         self.mediator
             .track(tag, device.id, ConversionEvent::Opened, open_at, suspicious)?;
         let session_secs = plan.work_secs.clamp(20, 900);
@@ -338,9 +339,23 @@ impl CampaignDriver {
             .record_session(self.honey_app, open_at, session_secs)?;
         if plan.extra_engagement {
             let click_at = open_at + SimDuration::from_secs(5);
-            self.upload(device, TelemetryEvent::RecordClick, click_at)?;
+            self.try_upload(device, TelemetryEvent::RecordClick, click_at)?;
         }
         Ok(())
+    }
+
+    /// An upload the campaign survives losing: a network-level failure
+    /// (retries exhausted, stalled exchange, outage) only means this
+    /// device's telemetry never lands — exactly what §3.2 measured as
+    /// the telemetry gap. Any other failure class still aborts.
+    fn try_upload(&self, device: &Device, event: TelemetryEvent, at: SimTime) -> Result<()> {
+        match self.upload(device, event, at) {
+            Err(Error::Network(_)) => {
+                chaosstats::add_uploads_abandoned(1);
+                Ok(())
+            }
+            other => other,
+        }
     }
 
     /// One telemetry upload over the real simulated network path

@@ -94,6 +94,7 @@ mod tests {
                     country: Country::Us,
                 },
                 opened_at: SimTime::EPOCH,
+                link: iiscope_types::SeedFork::new(1),
             },
             now: SimTime::from_secs(99),
         }

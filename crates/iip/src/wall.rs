@@ -239,6 +239,7 @@ mod tests {
                     country,
                 },
                 opened_at: SimTime::EPOCH,
+                link: iiscope_types::SeedFork::new(1),
             },
             now: SimTime::EPOCH,
         }

@@ -13,7 +13,7 @@ use iiscope_netsim::{HostAddr, Network};
 use iiscope_playstore::ChartKind;
 use iiscope_types::{Result, SeedFork, SimTime};
 use iiscope_wire::tls::TrustStore;
-use iiscope_wire::{HttpClient, Json};
+use iiscope_wire::{HttpClient, Json, RetryPolicy};
 
 /// One crawl of one app profile.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,7 +73,8 @@ impl Crawler {
         seed: SeedFork,
     ) -> Crawler {
         Crawler {
-            client: HttpClient::new(net, from, roots, seed).with_retries(4),
+            client: HttpClient::new(net, from, roots, seed)
+                .with_retry_policy(RetryPolicy::exponential(4)),
             play_host: play_host.into(),
         }
     }

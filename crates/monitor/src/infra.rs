@@ -13,9 +13,10 @@
 use crate::parsers::{parse_wall, ScrapedOffer};
 use iiscope_devices::AffiliateApp;
 use iiscope_netsim::{Direction, HostAddr, Network};
+use iiscope_types::chaosstats;
 use iiscope_types::{Country, IipId, Result, SeedFork};
 use iiscope_wire::tls::{InterceptLog, TrustStore};
-use iiscope_wire::{HttpClient, RequestView, ResponseView};
+use iiscope_wire::{HttpClient, RequestView, ResponseView, RetryPolicy};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -54,7 +55,7 @@ impl MonitoringInfra {
             self.seed.fork("phone").fork(country.code()),
         )
         .via_proxy(self.proxy.0, self.proxy.1)
-        .with_retries(4);
+        .with_retry_policy(RetryPolicy::exponential(4));
         for (host, key) in &self.pins {
             client = client.with_pin(host.clone(), *key);
         }
@@ -123,16 +124,23 @@ pub fn parse_intercepts(
                 }
             }
             Direction::ToClient => {
+                // A wall response that reached the tap but cannot be
+                // parsed — truncated framing, garbage bytes, a body
+                // that is not the expected JSON — is counted as a
+                // partial wall so chaos sweeps can see the damage.
                 let Ok(Some((resp, _))) = ResponseView::parse(&i.plaintext) else {
+                    chaosstats::add_walls_partial(1);
                     continue;
                 };
                 if !resp.is_success() {
                     continue;
                 }
                 let Ok(body) = resp.body_str() else {
+                    chaosstats::add_walls_partial(1);
                     continue; // non-UTF-8 body cannot be a wall page
                 };
                 let Ok(page) = parse_wall(iip, body) else {
+                    chaosstats::add_walls_partial(1);
                     continue;
                 };
                 let affiliate = last_affiliate.get(&i.sni).cloned().unwrap_or_default();

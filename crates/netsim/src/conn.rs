@@ -3,12 +3,20 @@
 //! A connection joins a client to a per-connection server [`Session`].
 //! The client writes bytes and calls [`ClientConn::roundtrip`]; the
 //! network applies the link's [`crate::FaultPlan`] to the request,
-//! advances the shared clock by the sampled latency, hands the bytes to
-//! the session, applies faults to the reply, and returns it. This
-//! models a request/response exchange over a reliable-ish transport
-//! while staying single-threaded and fully deterministic — exactly what
-//! the HTTP and TLS layers in `iiscope-wire` need, and it gives the
-//! capture log a faithful view of "what crossed the wire".
+//! hands the bytes to the session, applies faults to the reply, and
+//! returns it. This models a request/response exchange over a
+//! reliable-ish transport while staying single-threaded and fully
+//! deterministic — exactly what the HTTP and TLS layers in
+//! `iiscope-wire` need, and it gives the capture log a faithful view
+//! of "what crossed the wire".
+//!
+//! Latency and timeouts accumulate in a per-connection **skew** over
+//! the shared clock rather than advancing the clock itself: each link
+//! observes its own local time (`shared now + skew`). On a clean link
+//! the skew stays zero, and under faults the cost of drops and stalls
+//! stays confined to the connection that suffered them — which is what
+//! makes parallel fan-out byte-identical to sequential runs even while
+//! faults are firing (no cross-thread clock races).
 //!
 //! Delivery is zero-copy: each direction materializes the payload into
 //! one ref-counted [`Bytes`] slab, and every observer downstream — the
@@ -22,7 +30,7 @@ use crate::clock::Clock;
 use crate::fault::{FaultPlan, Verdict};
 use crate::HostAddr;
 use bytes::{Bytes, BytesMut};
-use iiscope_types::{wirestats, Error, Result, SimDuration, SimTime};
+use iiscope_types::{wirestats, Error, Result, SeedFork, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
@@ -38,6 +46,11 @@ pub struct PeerInfo {
     pub addr: HostAddr,
     /// Instant the connection was opened.
     pub opened_at: SimTime,
+    /// Seed lineage of the connection's link. Sessions that open
+    /// further connections on the client's behalf (the MITM proxy's
+    /// upstream dials) fork from it so their fault streams derive from
+    /// the originating client, not from global connection order.
+    pub link: SeedFork,
 }
 
 /// Receive-side segment queue: delivered-but-unconsumed bytes, kept as
@@ -166,8 +179,9 @@ where
     }
 }
 
-/// How long a client waits before declaring a dropped exchange dead.
-/// Advancing the clock on timeouts keeps retry loops from being free.
+/// How long a client waits before declaring a dropped or stalled
+/// exchange dead. Charging the timeout to the connection's local time
+/// keeps retry loops from being free.
 pub const TIMEOUT: SimDuration = SimDuration::from_secs(30);
 
 /// The client end of an established connection.
@@ -180,6 +194,7 @@ pub struct ClientConn {
     pub(crate) fault: FaultPlan,
     pub(crate) rng: StdRng,
     pub(crate) clock: Clock,
+    pub(crate) skew: SimDuration,
     pub(crate) capture: CaptureLog,
     pub(crate) peer: PeerInfo,
     pub(crate) out_buf: BytesMut,
@@ -208,30 +223,43 @@ impl ClientConn {
         self.conn_id
     }
 
+    /// The connection's local time: the shared clock plus whatever
+    /// latency and timeout skew this link has accumulated. Zero skew
+    /// (and thus `== clock.now()`) on a clean link.
+    pub fn local_now(&self) -> SimTime {
+        self.clock.now() + self.skew
+    }
+
     /// Performs one exchange: delivers queued bytes to the server
     /// session and returns the session's reply bytes. The returned
     /// slab is shared with the capture log, not copied into it.
     ///
-    /// Errors with [`Error::Network`] when the fault injector drops the
-    /// request or the reply; the queued request bytes are consumed
-    /// either way (retries must re-send, exactly like a real client
-    /// re-issuing an HTTP request).
+    /// Errors with [`Error::Network`] when the fault injector drops or
+    /// stalls the request or the reply; the queued request bytes are
+    /// consumed either way (retries must re-send, exactly like a real
+    /// client re-issuing an HTTP request). A request-direction stall
+    /// still delivers to the server — the exchange was *accepted then
+    /// never answered*, so server side effects happen and a retry can
+    /// legitimately duplicate them.
     pub fn roundtrip(&mut self) -> Result<Bytes> {
         let mut request = self.out_buf.split();
-        let verdict = self.fault.apply(&mut self.rng, &mut request);
-        match verdict {
+        let now = self.local_now();
+        let verdict = self.fault.apply(&mut self.rng, now, &mut request);
+        let request_stalled = match verdict {
             Verdict::Dropped(reason) => {
-                self.clock.advance(TIMEOUT);
+                self.skew = self.skew + TIMEOUT;
                 self.record(Direction::ToServer, request.freeze(), true);
                 return Err(Error::Network(format!(
                     "request dropped ({reason:?}) conn {}",
                     self.conn_id
                 )));
             }
+            Verdict::Stalled => true,
             Verdict::Delivered { latency, .. } => {
-                self.clock.advance(latency);
+                self.skew = self.skew + latency;
+                false
             }
-        }
+        };
         let request = request.freeze();
         wirestats::add_bytes_delivered(request.len() as u64);
         self.record(Direction::ToServer, request.clone(), false);
@@ -240,27 +268,48 @@ impl ClientConn {
         // session's receive queue share the request slab.
         self.server_residue.push(request);
         let mut outgoing = BytesMut::new();
+        let server_now = self.local_now();
         let mut io = ServerIo {
             incoming: &mut self.server_residue,
             outgoing: &mut outgoing,
             peer: self.peer,
-            now: self.clock.now(),
+            now: server_now,
         };
         self.session.on_turn(&mut io);
 
+        if request_stalled {
+            // Accepted-then-never-answered: the server processed the
+            // request but its answer never reaches us.
+            self.skew = self.skew + TIMEOUT;
+            self.record(Direction::ToClient, outgoing.freeze(), true);
+            return Err(Error::Network(format!(
+                "request stalled conn {}",
+                self.conn_id
+            )));
+        }
+
         let mut reply = outgoing;
-        let verdict = self.fault.apply(&mut self.rng, &mut reply);
+        let now = self.local_now();
+        let verdict = self.fault.apply(&mut self.rng, now, &mut reply);
         match verdict {
             Verdict::Dropped(reason) => {
-                self.clock.advance(TIMEOUT);
+                self.skew = self.skew + TIMEOUT;
                 self.record(Direction::ToClient, reply.freeze(), true);
                 Err(Error::Network(format!(
                     "reply dropped ({reason:?}) conn {}",
                     self.conn_id
                 )))
             }
+            Verdict::Stalled => {
+                self.skew = self.skew + TIMEOUT;
+                self.record(Direction::ToClient, reply.freeze(), true);
+                Err(Error::Network(format!(
+                    "reply stalled conn {}",
+                    self.conn_id
+                )))
+            }
             Verdict::Delivered { latency, .. } => {
-                self.clock.advance(latency);
+                self.skew = self.skew + latency;
                 let reply = reply.freeze();
                 wirestats::add_bytes_delivered(reply.len() as u64);
                 self.record(Direction::ToClient, reply.clone(), false);
@@ -271,7 +320,7 @@ impl ClientConn {
 
     fn record(&self, dir: Direction, bytes: Bytes, dropped: bool) {
         self.capture.push(CaptureRecord {
-            at: self.clock.now(),
+            at: self.local_now(),
             conn_id: self.conn_id,
             client: self.client_ip,
             server: self.server_ip,
@@ -315,10 +364,12 @@ mod tests {
             fault,
             rng: SeedFork::new(11).rng(),
             clock: Clock::new(),
+            skew: SimDuration::ZERO,
             capture: CaptureLog::new(),
             peer: PeerInfo {
                 addr,
                 opened_at: SimTime::EPOCH,
+                link: SeedFork::new(11),
             },
             out_buf: BytesMut::new(),
             server_residue: RecvBuf::new(),
@@ -361,25 +412,59 @@ mod tests {
     }
 
     #[test]
-    fn drop_advances_clock_and_errors() {
+    fn drop_advances_local_time_and_errors() {
         let mut c = conn(FaultPlan::lossy(1.0, 0.0));
         c.send(b"doomed");
-        let before = c.clock.now();
+        let before = c.local_now();
         let err = c.roundtrip().unwrap_err();
         assert_eq!(err.kind(), "network");
-        assert_eq!(c.clock.now() - before, TIMEOUT);
+        assert_eq!(c.local_now() - before, TIMEOUT);
+        // The shared clock is untouched: fault cost is link-local.
+        assert_eq!(c.clock.now(), SimTime::EPOCH);
         // Queued bytes were consumed; a bare retry sends nothing.
         assert!(c.out_buf.is_empty());
     }
 
     #[test]
-    fn latency_advances_clock_per_direction() {
+    fn latency_advances_local_time_per_direction() {
         let fault = FaultPlan::perfect().with_latency(SimDuration::from_secs(2), SimDuration::ZERO);
         let mut c = conn(fault);
         c.send(b"p");
-        let t0 = c.clock.now();
+        let t0 = c.local_now();
         c.roundtrip().unwrap();
-        assert_eq!(c.clock.now() - t0, SimDuration::from_secs(4)); // 2 each way
+        assert_eq!(c.local_now() - t0, SimDuration::from_secs(4)); // 2 each way
+        assert_eq!(c.clock.now(), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn stalled_request_still_reaches_the_server() {
+        /// Counts turns so the test can observe the server-side effect
+        /// of an exchange the client saw fail.
+        struct CountTurns(std::sync::Arc<std::sync::atomic::AtomicU32>);
+        impl Session for CountTurns {
+            fn on_turn(&mut self, io: &mut ServerIo<'_>) {
+                let _ = io.recv_all();
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                io.send(b"never-seen");
+            }
+        }
+        let turns = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut c = conn(FaultPlan::perfect().with_stall(1.0));
+        c.session = Box::new(CountTurns(std::sync::Arc::clone(&turns)));
+        c.send(b"accepted");
+        let before = c.local_now();
+        let err = c.roundtrip().unwrap_err();
+        assert_eq!(err.kind(), "network");
+        assert!(err.to_string().contains("stalled"));
+        // The server processed the request even though the client
+        // never got an answer — the duplicate-on-retry hazard.
+        assert_eq!(turns.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(c.local_now() - before, TIMEOUT);
+        // The undelivered reply is captured as dropped.
+        let log = c.capture.snapshot();
+        assert_eq!(log.len(), 2);
+        assert!(!log[0].dropped);
+        assert!(log[1].dropped);
     }
 
     /// A session that buffers input until it has seen a full 4-byte

@@ -14,8 +14,11 @@
 //!   allocation, and per-host IPv4 assignment.
 //! * [`clock`] — a shared simulated clock; connection latency advances
 //!   it deterministically.
-//! * [`fault`] — smoltcp-style fault injection (drop chance, corruption
-//!   chance, latency model, size limits).
+//! * [`fault`] — deterministic fault injection: memoryless drop and
+//!   corruption chances, Gilbert–Elliott bursty loss, scheduled outage
+//!   windows, stalls, truncation/garbage payloads, bandwidth caps and
+//!   a latency model — every decision drawn from the per-link seeded
+//!   RNG so failures replay from `(seed, plan)`.
 //! * [`frame`] — length-delimited framing over [`bytes`], the base
 //!   codec under the wire protocols in `iiscope-wire`.
 //! * [`conn`] — turn-based duplex connections: a client writes bytes,
@@ -44,7 +47,7 @@ pub mod network;
 pub use addr::{AsnId, AsnKind, AsnRegistry, Block24, HostAddr};
 pub use capture::{CaptureLog, CaptureRecord, Direction};
 pub use clock::Clock;
-pub use conn::{ClientConn, PeerInfo, ServerIo, Session, SessionFactory};
-pub use fault::FaultPlan;
+pub use conn::{ClientConn, PeerInfo, ServerIo, Session, SessionFactory, TIMEOUT};
+pub use fault::{DropReason, FaultPlan, GilbertElliott, OutageWindow, Verdict};
 pub use frame::{encode_frame, FrameDecoder, FrameError};
 pub use network::{Network, ServiceBinding};

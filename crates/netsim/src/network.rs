@@ -13,7 +13,7 @@ use crate::clock::Clock;
 use crate::conn::{ClientConn, PeerInfo, RecvBuf, SessionFactory};
 use crate::fault::FaultPlan;
 use bytes::BytesMut;
-use iiscope_types::{Error, Result, SeedFork};
+use iiscope_types::{Error, Result, SeedFork, SimDuration};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -138,8 +138,53 @@ impl Network {
         self.connect(client, ip, port)
     }
 
-    /// Connects `client` to `ip:port`.
+    /// Like [`Network::connect_host`], but with a caller-supplied link
+    /// seed (see [`Network::connect_seeded`]).
+    pub fn connect_host_seeded(
+        &self,
+        client: HostAddr,
+        hostname: &str,
+        port: u16,
+        link: SeedFork,
+    ) -> Result<ClientConn> {
+        let ip = self.lookup(hostname)?;
+        self.connect_seeded(client, ip, port, link)
+    }
+
+    /// Connects `client` to `ip:port`, deriving the link's fault RNG
+    /// from the global connection counter. Fine for tests and
+    /// single-threaded callers; clients that must stay byte-identical
+    /// across parallel schedules use [`Network::connect_seeded`].
     pub fn connect(&self, client: HostAddr, ip: Ipv4Addr, port: u16) -> Result<ClientConn> {
+        let world = self.inner.seed;
+        self.open(client, ip, port, |conn_id| world.fork_idx("conn", conn_id))
+    }
+
+    /// Connects `client` to `ip:port` with a caller-supplied link seed.
+    ///
+    /// The fault RNG (and the link lineage handed to the server via
+    /// [`PeerInfo::link`]) derive from `link` alone, so the verdict
+    /// sequence a connection experiences is a pure function of the
+    /// caller's seed — independent of how many connections other
+    /// threads opened first. This is what keeps chaos runs
+    /// byte-identical between sequential and parallel schedules.
+    pub fn connect_seeded(
+        &self,
+        client: HostAddr,
+        ip: Ipv4Addr,
+        port: u16,
+        link: SeedFork,
+    ) -> Result<ClientConn> {
+        self.open(client, ip, port, |_conn_id| link)
+    }
+
+    fn open(
+        &self,
+        client: HostAddr,
+        ip: Ipv4Addr,
+        port: u16,
+        link_for: impl FnOnce(u64) -> SeedFork,
+    ) -> Result<ClientConn> {
         let binding = ServiceBinding { ip, port };
         let factory = {
             let services = self.inner.services.lock();
@@ -152,9 +197,11 @@ impl Network {
             }
         };
         let conn_id = self.inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let link = link_for(conn_id);
         let peer = PeerInfo {
             addr: client,
             opened_at: self.inner.clock.now(),
+            link,
         };
         let session = factory.open(peer);
         let fault = self
@@ -172,8 +219,9 @@ impl Network {
             port,
             session,
             fault,
-            rng: self.inner.seed.fork_idx("conn", conn_id).rng(),
+            rng: link.rng(),
             clock: self.inner.clock.clone(),
+            skew: SimDuration::ZERO,
             capture: self.inner.capture.clone(),
             peer,
             out_buf: BytesMut::new(),

@@ -170,6 +170,7 @@ mod tests {
                     country: Country::Us,
                 },
                 opened_at: now,
+                link: iiscope_types::SeedFork::new(1),
             },
             now,
         };

@@ -27,11 +27,15 @@
 //! * [`wirestats`] — relaxed process-wide counters for the zero-copy
 //!   wire path (buffer reuse, streaming-parse volume); reporting only,
 //!   never read by the simulation.
+//! * [`chaosstats`] — the same pattern for the chaos subsystem: fault
+//!   injections and graceful-degradation events (retries, give-ups,
+//!   abandoned milkings), dumped as `BENCH_chaos.json`.
 //! * [`error`] — the shared error type.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaosstats;
 pub mod country;
 pub mod error;
 pub mod genre;

@@ -9,17 +9,93 @@
 //! * proxy mode — connect every TLS session to a fixed proxy endpoint
 //!   while keeping the real hostname as SNI, which is how the monitored
 //!   phone's traffic reaches the MITM proxy (§4.1, Figure 3);
-//! * bounded retries over the fault-injected substrate.
+//! * a [`RetryPolicy`] governing retries over the fault-injected
+//!   substrate: a budget charged once per exchange, optional
+//!   exponential backoff with seeded jitter, and a per-exchange
+//!   deadline — all error-class-aware (only transport losses retry).
 
 use crate::http::{Request, Response};
 use crate::tls::{TlsClient, TrustStore};
 use crate::url::Url;
 use crate::Json;
-use iiscope_netsim::{ClientConn, HostAddr, Network};
-use iiscope_types::{Error, Result, SeedFork};
+use iiscope_netsim::{ClientConn, HostAddr, Network, TIMEOUT};
+use iiscope_types::{chaosstats, Error, Result, SeedFork, SimDuration};
 use rand::rngs::StdRng;
+use rand::Rng;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+
+/// How an [`HttpClient`] retries a failed exchange.
+///
+/// The budget is charged **exactly once per exchange attempt**, no
+/// matter how many faults fire inside it (a corrupted handshake *and*
+/// a dropped reply in one attempt still cost one unit). Backoff time
+/// is accounted against the per-exchange deadline and the
+/// [`chaosstats`] counters rather than advancing any clock: the
+/// turn-based simulation has no idle waiting, so backoff exists to
+/// bound an exchange, not to reschedule it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Number of *re*-attempts after the first (total attempts =
+    /// `budget + 1`).
+    pub budget: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: SimDuration,
+    /// Cap on a single backoff step.
+    pub max_backoff: SimDuration,
+    /// Multiply each backoff by a seeded uniform factor in `[0.5, 1.5)`
+    /// (decorrelates retry storms across clients).
+    pub jitter: bool,
+    /// Give up once the exchange's accounted time (timeouts + backoff)
+    /// reaches this bound, even with budget left.
+    pub deadline: Option<SimDuration>,
+}
+
+impl RetryPolicy {
+    /// Retry immediately up to `budget` times: no backoff, no deadline.
+    /// The legacy bare-retry-budget behaviour.
+    pub fn immediate(budget: u32) -> RetryPolicy {
+        RetryPolicy {
+            budget,
+            base_backoff: SimDuration::ZERO,
+            max_backoff: SimDuration::ZERO,
+            jitter: false,
+            deadline: None,
+        }
+    }
+
+    /// Exponential backoff with seeded jitter and a deadline sized so
+    /// the whole exchange stays bounded: 2 s base doubling to a 60 s
+    /// cap, giving up after 10 simulated minutes of accounted time.
+    pub fn exponential(budget: u32) -> RetryPolicy {
+        RetryPolicy {
+            budget,
+            base_backoff: SimDuration::from_secs(2),
+            max_backoff: SimDuration::from_secs(60),
+            jitter: true,
+            deadline: Some(SimDuration::from_mins(10)),
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based). Draws from `rng`
+    /// only when jitter is enabled *and* the step is non-zero, so
+    /// zero-backoff policies consume no RNG.
+    fn backoff_step(&self, retry: u32, rng: &mut impl Rng) -> SimDuration {
+        let base = self.base_backoff.secs();
+        if base == 0 {
+            return SimDuration::ZERO;
+        }
+        let exp = base.saturating_mul(1u64 << (retry - 1).min(32));
+        let capped = exp.min(self.max_backoff.secs().max(base));
+        let secs = if self.jitter {
+            let factor: f64 = 0.5 + rng.gen::<f64>();
+            (capped as f64 * factor).round() as u64
+        } else {
+            capped
+        };
+        SimDuration::from_secs(secs)
+    }
+}
 
 /// A reusable HTTP(S) client bound to one simulated host.
 pub struct HttpClient {
@@ -28,8 +104,14 @@ pub struct HttpClient {
     roots: TrustStore,
     pins: HashMap<String, u64>,
     proxy: Option<(Ipv4Addr, u16)>,
-    retries: u32,
+    retry: RetryPolicy,
     rng: StdRng,
+    /// Seed lineage for this client's links: connection `n` gets
+    /// `links.fork_idx("conn", n)`, making its fault stream a pure
+    /// function of the client seed — independent of global connection
+    /// order, hence stable across parallel schedules.
+    links: SeedFork,
+    conn_seq: u64,
 }
 
 impl HttpClient {
@@ -41,8 +123,10 @@ impl HttpClient {
             roots,
             pins: HashMap::new(),
             proxy: None,
-            retries: 2,
+            retry: RetryPolicy::immediate(2),
             rng: seed.fork("http-client").rng(),
+            links: seed.fork("links"),
+            conn_seq: 0,
         }
     }
 
@@ -59,9 +143,16 @@ impl HttpClient {
         self
     }
 
-    /// Sets the retry budget for dropped exchanges.
+    /// Sets the retry budget for dropped exchanges (immediate retries,
+    /// no backoff — shorthand for [`RetryPolicy::immediate`]).
     pub fn with_retries(mut self, retries: u32) -> HttpClient {
-        self.retries = retries;
+        self.retry = RetryPolicy::immediate(retries);
+        self
+    }
+
+    /// Sets the full retry policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> HttpClient {
+        self.retry = policy;
         self
     }
 
@@ -98,28 +189,61 @@ impl HttpClient {
         self.dispatch(req, &url)
     }
 
-    /// Sends a prepared request to a parsed URL, with retries.
+    /// Sends a prepared request to a parsed URL, governed by the
+    /// client's [`RetryPolicy`].
+    ///
+    /// The budget is decremented once per exchange attempt — an
+    /// attempt that suffers several faults (say a corrupted request
+    /// *and* a dropped reply) still costs a single unit. Between
+    /// attempts, backoff time is computed (with seeded jitter) and
+    /// charged against the deadline; when the accounted exchange time
+    /// passes the deadline the client gives up with budget to spare.
     pub fn dispatch(&mut self, mut req: Request, url: &Url) -> Result<Response> {
         req.headers.set("Host", url.host.clone());
+        let policy = self.retry;
+        let mut elapsed = SimDuration::ZERO;
         let mut last_err = Error::Network("no attempt made".into());
-        for _attempt in 0..=self.retries {
+        for attempt in 0..=policy.budget {
+            if attempt > 0 {
+                chaosstats::add_retries(1);
+                let backoff = policy.backoff_step(attempt, &mut self.rng);
+                if backoff > SimDuration::ZERO {
+                    chaosstats::add_backoff_secs(backoff.secs());
+                    elapsed = elapsed + backoff;
+                }
+                if let Some(deadline) = policy.deadline {
+                    if elapsed >= deadline {
+                        chaosstats::add_deadline_exceeded(1);
+                        return Err(last_err);
+                    }
+                }
+            }
             match self.attempt(&req, url) {
                 Ok(resp) => return Ok(resp),
                 // Only transport-level losses are worth retrying;
                 // validation failures (denied) are deterministic.
-                Err(e @ Error::Network(_)) => last_err = e,
+                Err(e @ Error::Network(_)) => {
+                    // A failed exchange costs (at least) the link
+                    // timeout of local time; account it toward the
+                    // deadline.
+                    elapsed = elapsed + TIMEOUT;
+                    last_err = e;
+                }
                 Err(e) => return Err(e),
             }
         }
+        chaosstats::add_give_ups(1);
         Err(last_err)
     }
 
-    fn connect(&self, url: &Url) -> Result<ClientConn> {
+    fn connect(&mut self, url: &Url) -> Result<ClientConn> {
+        let link = self.links.fork_idx("conn", self.conn_seq);
+        self.conn_seq += 1;
         match (self.proxy, url.is_tls()) {
-            (Some((ip, port)), true) => self.net.connect(self.from, ip, port),
+            (Some((ip, port)), true) => self.net.connect_seeded(self.from, ip, port, link),
             _ => self
                 .net
-                .connect_host(self.from, &url.host, url.effective_port()),
+                .connect_host_seeded(self.from, &url.host, url.effective_port(), link),
         }
     }
 
@@ -152,7 +276,7 @@ mod tests {
     use crate::server::{HttpFactory, HttpsFactory};
     use crate::tls::{CertAuthority, ServerIdentity};
     use iiscope_netsim::{AsnId, AsnKind, FaultPlan};
-    use iiscope_types::Country;
+    use iiscope_types::{Country, SimDuration};
     use std::sync::Arc;
 
     fn handler() -> Arc<dyn Handler> {
@@ -273,6 +397,72 @@ mod tests {
             .with_pin("secure.test", r.server_key);
         let mut correct = correct;
         assert!(correct.get("https://secure.test/hello").is_ok());
+    }
+
+    #[test]
+    fn retry_budget_charged_once_per_exchange() {
+        // Regression pin for retry accounting: an exchange that
+        // suffers multiple faults (here every TLS handshake is
+        // corrupted, so the attempt fails after a damaged request AND
+        // a useless reply) must decrement the budget exactly once.
+        // With a budget of 3 the client opens exactly 4 connections —
+        // never 2 or 3 (double-charging), never 5+ (free retries).
+        let r = rig();
+        r.net.set_default_fault(FaultPlan::lossy(0.0, 1.0));
+        let before = r.net.metrics().connections;
+        let mut c = HttpClient::new(r.net.clone(), client_addr(), r.roots, SeedFork::new(8))
+            .with_retries(3);
+        let err = c.get("https://secure.test/json").unwrap_err();
+        assert_eq!(err.kind(), "network");
+        assert_eq!(r.net.metrics().connections - before, 4);
+    }
+
+    #[test]
+    fn corrupted_then_dropped_exchange_charges_once() {
+        // Both fault classes fire within single exchanges (corruption
+        // on every delivery, half the deliveries dropped): the attempt
+        // count still equals budget + 1.
+        let r = rig();
+        r.net.set_default_fault(FaultPlan::lossy(0.5, 1.0));
+        let before = r.net.metrics().connections;
+        let mut c = HttpClient::new(r.net.clone(), client_addr(), r.roots, SeedFork::new(9))
+            .with_retries(5);
+        assert!(c.get("https://secure.test/json").is_err());
+        assert_eq!(r.net.metrics().connections - before, 6);
+    }
+
+    #[test]
+    fn deadline_gives_up_with_budget_to_spare() {
+        let r = rig();
+        r.net.set_default_fault(FaultPlan::lossy(1.0, 0.0));
+        let policy = RetryPolicy {
+            budget: 500,
+            base_backoff: SimDuration::from_secs(60),
+            max_backoff: SimDuration::from_secs(60),
+            jitter: false,
+            deadline: Some(SimDuration::from_secs(300)),
+        };
+        let before = r.net.metrics().connections;
+        let mut c = HttpClient::new(r.net.clone(), client_addr(), r.roots, SeedFork::new(10))
+            .with_retry_policy(policy);
+        assert!(c.get("http://plain.test/hello").is_err());
+        // Each failed attempt accounts TIMEOUT (30 s) plus a 60 s
+        // backoff; the 300 s deadline allows exactly 4 attempts.
+        assert_eq!(r.net.metrics().connections - before, 4);
+    }
+
+    #[test]
+    fn exponential_policy_survives_loss_like_immediate() {
+        let r = rig();
+        r.net.set_default_fault(FaultPlan::lossy(0.3, 0.0));
+        let mut c = HttpClient::new(r.net.clone(), client_addr(), r.roots, SeedFork::new(11))
+            .with_retry_policy(RetryPolicy::exponential(25));
+        for _ in 0..10 {
+            assert_eq!(
+                c.get("http://plain.test/hello").unwrap().body_text(),
+                "world"
+            );
+        }
     }
 
     #[test]

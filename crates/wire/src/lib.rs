@@ -22,8 +22,10 @@
 //!   structurally faithful (chain validation, MAC-detected tampering,
 //!   pin failures) but offer zero security. The study needs the
 //!   *mechanics*, not the math.
-//! * [`client`] — a blocking HTTP(S) client with retries, used by the
-//!   crawler, the milkers, and the honey app's uploader.
+//! * [`client`] — a blocking HTTP(S) client with a [`RetryPolicy`]
+//!   (budget, exponential backoff with seeded jitter, per-exchange
+//!   deadline), used by the crawler, the milkers, and the honey app's
+//!   uploader.
 //! * [`server`] — adapters turning an [`http::Handler`] into a netsim
 //!   session factory, optionally behind TLS.
 
@@ -37,7 +39,7 @@ pub mod server;
 pub mod tls;
 pub mod url;
 
-pub use client::HttpClient;
+pub use client::{HttpClient, RetryPolicy};
 pub use http::{Handler, Request, RequestView, Response, ResponseView};
 pub use json::{Event as JsonEvent, Json, Scanner as JsonScanner};
 pub use url::Url;

@@ -193,6 +193,9 @@ struct Forwarder {
     sni: Option<String>,
     upstream: Option<TlsClient>,
     rng: rand::rngs::StdRng,
+    /// Upstream re-dials this forwarder has made, indexing the dial's
+    /// link seed off the device connection's lineage.
+    dial_seq: u64,
 }
 
 impl PlainService for Forwarder {
@@ -218,8 +221,16 @@ impl PlainService for Forwarder {
         // proxy is transparent w.r.t. egress (mitmproxy runs beside
         // the phone; the VPN vantage address is what services see),
         // which keeps geo-targeted offers visible per vantage point.
+        // The dial's link seed forks off the device connection's
+        // lineage, so the upstream fault stream is a pure function of
+        // the originating client — not of global connection order.
         if self.upstream.is_none() {
-            let conn = match self.net.connect_host(peer.addr, &sni, self.upstream_port) {
+            let link = peer.link.fork_idx("mitm-upstream", self.dial_seq);
+            self.dial_seq += 1;
+            let conn = match self
+                .net
+                .connect_host_seeded(peer.addr, &sni, self.upstream_port, link)
+            {
                 Ok(c) => c,
                 Err(_) => return Bytes::new(), // upstream unreachable: stall
             };
@@ -310,6 +321,7 @@ impl SessionFactory for MitmProxy {
             sni: None,
             upstream: None,
             rng: self.seed.fork_idx("fwd-rng", n).rng(),
+            dial_seq: 0,
         };
         Box::new(TlsServerSession::new(
             Arc::clone(&self.provider),

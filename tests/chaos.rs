@@ -1,0 +1,119 @@
+//! The chaos harness: sweep adversarial fault schedules × seeds
+//! through small worlds and check the five invariants every point of
+//! the grid must uphold:
+//!
+//! 1. **no panics** — every `run_chaos` returns (a panic or error at
+//!    any grid point fails the sweep);
+//! 2. **no hangs** — the shared clock ends inside a fixed sim-time
+//!    budget: faults accrue connection-local skew, never shared time,
+//!    so no fault plan can stretch the study schedule;
+//! 3. **byte-identical reruns** — the same `(seed, plan)` reproduces
+//!    the same outcome down to the report digest;
+//! 4. **monotone degradation** — in the coupled telemetry scenario, a
+//!    strictly higher drop rate never delivers *more* distinct
+//!    installs;
+//! 5. **report computability** — the full experiment report renders at
+//!    every grid point (that is what `run_chaos` digests).
+//!
+//! The in-suite sweep covers the first three grid plans; the full
+//! grid runs behind `--ignored` (CI's nightly profile).
+
+use iiscope::chaos::{fault_grid, run_chaos, telemetry_survival, ChaosOutcome};
+use iiscope::subsystems::types::time::study;
+
+/// Sim-time budget (in days past the study start) no chaos run may
+/// exceed: the 8 monitoring days plus the honey study's sequential
+/// deliveries and quiet gaps. Faults cannot widen this — they only
+/// consume connection-local skew.
+const SIM_BUDGET_DAYS: u64 = 40;
+
+fn check_invariants(name: &str, seed: u64, outcome: &ChaosOutcome) {
+    assert!(
+        outcome.end_clock_days <= study::STUDY_START.days() + SIM_BUDGET_DAYS,
+        "{name}/{seed}: clock ran to day {} (budget {})",
+        outcome.end_clock_days,
+        study::STUDY_START.days() + SIM_BUDGET_DAYS
+    );
+    assert!(
+        outcome.report_digest != 0,
+        "{name}/{seed}: empty report digest"
+    );
+    assert!(
+        outcome.honey_delivered <= 3 * 40 * 2,
+        "{name}/{seed}: faults must not conjure installs ({})",
+        outcome.honey_delivered
+    );
+}
+
+#[test]
+fn smoke_grid_upholds_all_invariants() {
+    let grid = fault_grid();
+    for (name, plan) in &grid[..3] {
+        for seed in [42u64, 1337, 9001] {
+            let a = run_chaos(seed, plan, 1)
+                .unwrap_or_else(|e| panic!("{name}/{seed}: study died: {e}"));
+            check_invariants(name, seed, &a);
+            let b = run_chaos(seed, plan, 1).expect("rerun");
+            assert_eq!(a, b, "{name}/{seed}: rerun must be byte-identical");
+        }
+    }
+}
+
+#[test]
+fn light_loss_still_measures_the_ecosystem() {
+    let (name, plan) = &fault_grid()[0];
+    let outcome = run_chaos(42, plan, 1).expect("drop-light run");
+    check_invariants(name, 42, &outcome);
+    assert!(outcome.honey_delivered > 0, "honey campaigns delivered");
+    assert!(
+        outcome.telemetry_installs > 0,
+        "telemetry reached the collector"
+    );
+    assert!(outcome.offer_observations > 0, "milking recovered offers");
+    assert!(outcome.profile_snapshots > 0, "profile crawls landed");
+}
+
+#[test]
+fn parallel_study_matches_sequential_under_faults() {
+    let (_, plan) = &fault_grid()[0];
+    let seq = run_chaos(4242, plan, 1).expect("sequential");
+    let par = run_chaos(4242, plan, 8).expect("8 workers");
+    assert_eq!(
+        seq, par,
+        "worker scheduling must be invisible even with faults armed"
+    );
+}
+
+#[test]
+fn degradation_is_monotone_in_the_drop_rate() {
+    for seed in [5u64, 6, 7] {
+        let chain: Vec<usize> = [0.0, 0.15, 0.35, 0.6]
+            .iter()
+            .map(|&p| telemetry_survival(seed, p, 40))
+            .collect();
+        assert_eq!(chain[0], 40, "clean network loses nothing (seed {seed})");
+        for w in chain.windows(2) {
+            assert!(
+                w[0] >= w[1],
+                "seed {seed}: more loss delivered more telemetry: {chain:?}"
+            );
+        }
+    }
+}
+
+/// The full grid × seed matrix — every fault family, three seeds,
+/// rerun each point for byte-identity. Nightly-profile sized; run with
+/// `cargo test --test chaos -- --ignored`.
+#[test]
+#[ignore]
+fn full_grid_upholds_all_invariants() {
+    for (name, plan) in &fault_grid() {
+        for seed in [42u64, 1337, 9001] {
+            let a = run_chaos(seed, plan, 1)
+                .unwrap_or_else(|e| panic!("{name}/{seed}: study died: {e}"));
+            check_invariants(name, seed, &a);
+            let b = run_chaos(seed, plan, 1).expect("rerun");
+            assert_eq!(a, b, "{name}/{seed}: rerun must be byte-identical");
+        }
+    }
+}

@@ -476,3 +476,75 @@ proptest! {
         prop_assert!((1.0..=5.0).contains(&avg), "average {avg} outside star range");
     }
 }
+
+use iiscope::subsystems::netsim::{DropReason, FaultPlan, GilbertElliott, OutageWindow, Verdict};
+use iiscope::subsystems::types::{SimDuration, SimTime as ChaosTime};
+
+proptest! {
+    /// The Gilbert–Elliott constructor must clamp arbitrary rates into
+    /// [0, 1] — a plan built from hostile inputs is always a valid
+    /// probability model.
+    #[test]
+    fn gilbert_elliott_rates_always_clamp(
+        p_enter in -3.0f64..4.0,
+        p_exit in -3.0f64..4.0,
+        loss_good in -3.0f64..4.0,
+        loss_bad in -3.0f64..4.0,
+    ) {
+        let ge = GilbertElliott::new(p_enter, p_exit, loss_good, loss_bad);
+        for rate in [ge.p_enter(), ge.p_exit(), ge.loss_good(), ge.loss_bad()] {
+            prop_assert!((0.0..=1.0).contains(&rate), "rate {rate} escaped [0,1]");
+        }
+    }
+
+    /// Inside a scheduled outage window *nothing* is delivered — no
+    /// seed, payload size or competing fault knob may sneak one
+    /// through.
+    #[test]
+    fn outage_windows_never_deliver(
+        seed in any::<u64>(),
+        offset_secs in 0u64..86_400,
+        len in 0usize..64,
+    ) {
+        let from = ChaosTime::from_days(10);
+        let until = ChaosTime::from_days(11);
+        let mut plan = FaultPlan::lossy(0.3, 0.2)
+            .with_stall(0.2)
+            .with_outage(OutageWindow::new(from, until));
+        let mut rng = SeedFork::new(seed).rng();
+        let mut payload = bytes::BytesMut::new();
+        payload.extend_from_slice(&vec![7u8; len]);
+        let now = from + SimDuration::from_secs(offset_secs);
+        prop_assert_eq!(
+            plan.apply(&mut rng, now, &mut payload),
+            Verdict::Dropped(DropReason::Outage)
+        );
+    }
+
+    /// Determinism root: the same `(seed, plan)` must produce the same
+    /// verdict sequence, whatever mix of fault features is armed.
+    #[test]
+    fn same_seed_and_plan_give_identical_verdicts(
+        seed in any::<u64>(),
+        drop_chance in 0.0f64..0.5,
+        corrupt_chance in 0.0f64..0.5,
+        stall_chance in 0.0f64..0.3,
+    ) {
+        let run = || -> Vec<Verdict> {
+            let mut plan = FaultPlan::lossy(drop_chance, corrupt_chance)
+                .with_stall(stall_chance)
+                .with_burst(GilbertElliott::new(0.1, 0.3, 0.01, 0.5))
+                .with_truncation(0.1)
+                .with_garbage(0.05);
+            let mut rng = SeedFork::new(seed).rng();
+            (0..50u64)
+                .map(|i| {
+                    let mut payload = bytes::BytesMut::new();
+                    payload.extend_from_slice(&[i as u8; 16]);
+                    plan.apply(&mut rng, ChaosTime::from_secs(i), &mut payload)
+                })
+                .collect()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -308,6 +308,13 @@ impl BytesMut {
         self.data.clear();
         self.off = 0;
     }
+
+    /// Shortens the buffer to `len` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.data.truncate(self.off + len);
+        }
+    }
 }
 
 impl Deref for BytesMut {
