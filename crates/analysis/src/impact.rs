@@ -6,6 +6,7 @@
 //! position.
 
 use iiscope_monitor::{Dataset, ProfileSnapshot};
+use iiscope_types::Sym;
 
 /// Whether an app's public install count increased between the first
 /// and last snapshot within `[from_day, to_day]`.
@@ -47,11 +48,27 @@ pub fn chart_appearance(
     from_day: u64,
     to_day: u64,
 ) -> Option<bool> {
-    let appeared_before = from_day > 0 && dataset.in_any_chart(package, 0, from_day - 1);
+    let Some(sym) = dataset.pkg_sym(package) else {
+        // Never observed anywhere: no pre-campaign presence, no
+        // appearance.
+        return Some(false);
+    };
+    chart_appearance_sym(dataset, sym, from_day, to_day)
+}
+
+/// Symbol-keyed [`chart_appearance`] — the experiment tables join on
+/// interned package symbols.
+pub fn chart_appearance_sym(
+    dataset: &Dataset,
+    package: Sym,
+    from_day: u64,
+    to_day: u64,
+) -> Option<bool> {
+    let appeared_before = from_day > 0 && dataset.in_any_chart_sym(package, 0, from_day - 1);
     if appeared_before {
         return None;
     }
-    Some(dataset.in_any_chart(package, from_day, to_day))
+    Some(dataset.in_any_chart_sym(package, from_day, to_day))
 }
 
 #[cfg(test)]

@@ -36,6 +36,6 @@ pub mod stats;
 pub use classify::{classify_description, ActivityKind, OfferType};
 pub use crunchbase::{CompanyRecord, CrunchbaseDb, FundingRound, RoundKind};
 pub use detector::{AppFeatures, DetectorMetrics, LockstepDetector};
-pub use impact::{chart_appearance, install_decreased, install_increased};
+pub use impact::{chart_appearance, chart_appearance_sym, install_decreased, install_increased};
 pub use libradar::detect_libraries;
 pub use stats::{chi2_2x2, Chi2Result};

@@ -334,6 +334,86 @@ fn bench_dataset_queries(c: &mut Criterion) {
     g.finish();
 }
 
+/// The interned columnar core against the `String`-keyed shapes it
+/// replaced: full ingest (interned `Dataset` vs the kept
+/// `StringIndexedIngest` reference) and the experiment-side campaign
+/// join (`Sym` bitset walk vs string-set walk + `BTreeMap` lookups).
+fn bench_dataset_intern(c: &mut Criterion) {
+    use iiscope_monitor::parsers::{RawOffer, RewardValue, ScrapedOffer};
+    use iiscope_monitor::StringIndexedIngest;
+    use iiscope_types::{Country, IipId, SimTime};
+
+    // The offer stream of `synthetic_dataset`, flattened so each
+    // ingest iteration replays the whole 46-crawl-day window.
+    let offers: Vec<ScrapedOffer> = (0..92u64)
+        .step_by(2)
+        .flat_map(|day| {
+            (0..600)
+                .filter(move |p| !(p + day as usize).is_multiple_of(3))
+                .map(move |p| {
+                    let iip = IipId::ALL[p % IipId::ALL.len()];
+                    ScrapedOffer {
+                        iip,
+                        raw: RawOffer {
+                            offer_key: (p as u64) << 8 | (p as u64 % 5),
+                            description: format!("Install and reach level {}", p % 12),
+                            reward: RewardValue::Cents(5 + (p as i64 % 40)),
+                            package: format!("com.adv.app{p}"),
+                            store_url: format!(
+                                "https://play.iiscope/store/apps/details?id=com.adv.app{p}"
+                            ),
+                        },
+                        seen_at: SimTime::from_days(day),
+                        affiliate: "com.cash.app".into(),
+                        vantage: Country::Us,
+                    }
+                })
+        })
+        .collect();
+    let ds = synthetic_dataset();
+
+    let mut g = c.benchmark_group("substrates");
+    g.throughput(Throughput::Elements(offers.len() as u64));
+    g.bench_function("dataset_intern/ingest_interned", |b| {
+        b.iter(|| {
+            let mut ds = iiscope_monitor::Dataset::new();
+            ds.add_offers(offers.iter().cloned());
+            black_box(ds.unique_offers().len())
+        })
+    });
+    g.bench_function("dataset_intern/ingest_string_baseline", |b| {
+        b.iter(|| {
+            let mut ds = StringIndexedIngest::new();
+            ds.add_offers(offers.iter().cloned());
+            black_box(ds.unique_offers())
+        })
+    });
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("dataset_intern/campaign_join_sym", |b| {
+        b.iter(|| {
+            let mut days = 0u64;
+            for sym in ds.class_syms(true).iter() {
+                if let Some(obs) = ds.campaign(black_box(sym)) {
+                    days += obs.duration_days();
+                }
+            }
+            black_box(days)
+        })
+    });
+    g.bench_function("dataset_intern/campaign_join_string", |b| {
+        b.iter(|| {
+            let mut days = 0u64;
+            for pkg in ds.packages_by_class(true) {
+                if let Some(obs) = ds.observation(black_box(pkg)) {
+                    days += obs.duration_days();
+                }
+            }
+            black_box(days)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_json,
@@ -347,5 +427,6 @@ criterion_group!(
     bench_rng,
     bench_money,
     bench_dataset_queries,
+    bench_dataset_intern,
 );
 criterion_main!(benches);

@@ -136,6 +136,23 @@ fn main() {
         )
         .expect("write BENCH_chaos.json");
         eprintln!("wrote {chaos_path}");
+
+        let dataset = dataset_bench(&artifacts.dataset);
+        eprintln!(
+            "dataset ingest: interned {:.0}k offers/s vs String-keyed baseline {:.0}k offers/s ({:.2}x); {} package syms in {} slab bytes",
+            dataset.interned_k_offers_per_s,
+            dataset.string_k_offers_per_s,
+            dataset.speedup(),
+            dataset.stats.package_symbols,
+            dataset.stats.package_slab_bytes,
+        );
+        let dataset_path = "BENCH_dataset.json";
+        std::fs::write(
+            dataset_path,
+            dataset_json(&scale, seed, parallel, wild_secs, &dataset),
+        )
+        .expect("write BENCH_dataset.json");
+        eprintln!("wrote {dataset_path}");
     }
     println!("{report}");
 }
@@ -261,6 +278,124 @@ fn wire_json(
         milking.tree_mb_per_s
     ));
     s.push_str(&format!("    \"speedup\": {:.2}\n", milking.speedup()));
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Result of the in-process dataset-ingest micro-bench plus the live
+/// run's intern-table statistics.
+struct DatasetBench {
+    stats: iiscope_monitor::InternStats,
+    offers: usize,
+    interned_k_offers_per_s: f64,
+    string_k_offers_per_s: f64,
+}
+
+impl DatasetBench {
+    fn speedup(&self) -> f64 {
+        self.interned_k_offers_per_s / self.string_k_offers_per_s
+    }
+}
+
+/// Times the interned columnar `Dataset` ingest against the
+/// `String`-keyed reference (the pre-interning index maintenance, kept
+/// as `StringIndexedIngest`) on a synthetic 20k-offer stream, and reads
+/// the intern-table statistics off the live run's dataset. Wall-clock,
+/// but only ever written to the bench dump — the report is finished
+/// before this runs.
+fn dataset_bench(live: &iiscope_monitor::Dataset) -> DatasetBench {
+    use iiscope_monitor::{Dataset, RawOffer, RewardValue, ScrapedOffer, StringIndexedIngest};
+    use iiscope_types::{Country, IipId, SimTime};
+
+    // Shaped like a wild-study stream: heavy package/description reuse
+    // across pages, partial offer-key dedup across crawl days.
+    let offers: Vec<ScrapedOffer> = (0..20_000)
+        .map(|i| ScrapedOffer {
+            iip: IipId::ALL[i % IipId::ALL.len()],
+            raw: RawOffer {
+                offer_key: (i as u64) % 4_000,
+                description: format!("Install and reach level {}", i % 40),
+                reward: RewardValue::Cents(52),
+                package: format!("com.adv.app{}", i % 500),
+                store_url: format!(
+                    "https://play.iiscope/store/apps/details?id=com.adv.app{}",
+                    i % 500
+                ),
+            },
+            seen_at: SimTime::from_days((i as u64) % 92),
+            affiliate: "com.cash.app".to_string(),
+            vantage: Country::Us,
+        })
+        .collect();
+
+    const ITERS: usize = 20;
+    let k_offers_per_s = |f: &dyn Fn(&[ScrapedOffer])| {
+        f(&offers); // warm-up
+        let t = std::time::Instant::now();
+        for _ in 0..ITERS {
+            f(&offers);
+        }
+        (offers.len() * ITERS) as f64 / t.elapsed().as_secs_f64() / 1e3
+    };
+    DatasetBench {
+        stats: live.intern_stats(),
+        offers: offers.len(),
+        interned_k_offers_per_s: k_offers_per_s(&|o| {
+            let mut ds = Dataset::new();
+            ds.add_offers(o.to_vec());
+            std::hint::black_box(ds.unique_offers().len());
+        }),
+        string_k_offers_per_s: k_offers_per_s(&|o| {
+            let mut ds = StringIndexedIngest::new();
+            ds.add_offers(o.to_vec());
+            std::hint::black_box(ds.unique_offers());
+        }),
+    }
+}
+
+/// Hand-rolled JSON for the dataset dump: the live run's intern-table
+/// statistics, the ingest micro-bench, and the wild-study wall time.
+fn dataset_json(
+    scale: &str,
+    seed: u64,
+    parallel: usize,
+    wild_secs: f64,
+    b: &DatasetBench,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"parallelism\": {parallel},\n"));
+    s.push_str(&format!("  \"wild_study_seconds\": {wild_secs:.3},\n"));
+    s.push_str("  \"intern_stats\": {\n");
+    s.push_str(&format!(
+        "    \"package_symbols\": {},\n",
+        b.stats.package_symbols
+    ));
+    s.push_str(&format!(
+        "    \"package_slab_bytes\": {},\n",
+        b.stats.package_slab_bytes
+    ));
+    s.push_str(&format!(
+        "    \"description_symbols\": {},\n",
+        b.stats.description_symbols
+    ));
+    s.push_str(&format!(
+        "    \"description_slab_bytes\": {}\n",
+        b.stats.description_slab_bytes
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"ingest_bench\": {\n");
+    s.push_str(&format!("    \"offers\": {},\n", b.offers));
+    s.push_str(&format!(
+        "    \"interned_k_offers_per_s\": {:.1},\n",
+        b.interned_k_offers_per_s
+    ));
+    s.push_str(&format!(
+        "    \"string_baseline_k_offers_per_s\": {:.1},\n",
+        b.string_k_offers_per_s
+    ));
+    s.push_str(&format!("    \"speedup\": {:.2}\n", b.speedup()));
     s.push_str("  }\n}\n");
     s
 }

@@ -37,7 +37,7 @@ pub fn avg_campaign_days(ds: &Dataset) -> u64 {
 /// O(dataset) and must not be recomputed per app.
 pub fn baseline_window(ds: &Dataset, package: &str, avg_days: u64) -> Option<(u64, u64)> {
     let first = first_profile(ds, package)?.day;
-    let mut chart_days = ds.chart_days().into_iter();
+    let mut chart_days = ds.chart_days().iter().copied();
     let (d0, d1) = (chart_days.next(), chart_days.next());
     let start = match (d0, d1) {
         (Some(a), Some(b)) if a >= first => b,

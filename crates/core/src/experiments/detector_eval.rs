@@ -84,8 +84,8 @@ impl DetectorEval {
 /// signal — represent them with an all-organic feature vector instead
 /// of dropping them.
 fn features_for(world: &World, pkg: &str) -> Option<AppFeatures> {
-    let app = world.app_ids.get(pkg)?;
-    let snap = world.store.detector_snapshot(*app)?;
+    let app = world.app_id(pkg)?;
+    let snap = world.store.detector_snapshot(app)?;
     Some(AppFeatures::from_snapshot(&snap).unwrap_or(AppFeatures {
         block_concentration: 0.0,
         suspicious_rate: 0.0,

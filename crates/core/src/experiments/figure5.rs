@@ -29,17 +29,17 @@ pub struct CaseStudy {
 
 impl CaseStudy {
     fn compute(ds: &Dataset, package: &str, chart: &'static str) -> CaseStudy {
-        let campaign = ds
-            .observation(package)
+        let sym = ds.pkg_sym(package);
+        let campaign = sym
+            .and_then(|s| ds.campaign(s))
             .map(|o| (o.first_seen.days(), o.last_seen.days()));
+        let ranks = sym
+            .map(|s| ds.chart_presence_sym(s, chart))
+            .unwrap_or_default();
         let mut presence = Vec::new();
         let mut absent = Vec::new();
-        for day in ds.chart_days() {
-            let rank = ds
-                .chart_presence(package, chart)
-                .into_iter()
-                .find(|(d, _)| *d == day)
-                .map(|(_, r)| r);
+        for &day in ds.chart_days() {
+            let rank = ranks.iter().find(|&&(d, _)| d == day).map(|&(_, r)| r);
             // Chart size on that day for the percentile axis.
             let size = ds
                 .charts()

@@ -8,7 +8,7 @@ use crate::world::World;
 use crate::WildArtifacts;
 use iiscope_analysis::libradar::count_libraries;
 use iiscope_analysis::{classify_description, stats, OfferType};
-use std::collections::BTreeSet;
+use iiscope_types::SymSet;
 
 /// One CDF series.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,50 +50,45 @@ impl Figure6 {
     /// Runs the static analysis over the downloaded APKs.
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Figure6 {
         let ds = &artifacts.dataset;
-        // Classify each advertised package by its observed offers.
-        let mut activity_pkgs = BTreeSet::new();
-        let mut no_activity_pkgs = BTreeSet::new();
-        for o in ds.unique_offers() {
-            let class = classify_description(&o.raw.description);
-            if class == OfferType::NoActivity {
-                no_activity_pkgs.insert(o.raw.package.clone());
+        // Classify each advertised package by its observed offers —
+        // one pass over the deduplicated offer column into bitsets.
+        let mut activity = SymSet::default();
+        let mut any_no_activity = SymSet::default();
+        for (o, pkg, _) in ds.unique_offers_with_syms() {
+            if classify_description(&o.raw.description) == OfferType::NoActivity {
+                any_no_activity.insert(pkg);
             } else {
-                activity_pkgs.insert(o.raw.package.clone());
+                activity.insert(pkg);
             }
         }
-        // Apps with any activity offer count as activity apps.
-        for p in &activity_pkgs {
-            no_activity_pkgs.remove(p);
-        }
-        let vetted_pkgs = ds.packages_by_class(true);
-        let unvetted_pkgs = ds.packages_by_class(false);
-        let baseline_pkgs: BTreeSet<&str> = world
-            .plan
-            .baseline
-            .iter()
-            .map(|b| b.package.as_str())
-            .collect();
 
+        // Every series below is sorted/thresholded before rendering,
+        // so sym-order visits are invisible in the output.
         let counts_for = |pkgs: &mut dyn Iterator<Item = &str>| -> Vec<usize> {
             pkgs.filter_map(|p| artifacts.apks.get(p).map(|bytes| count_libraries(bytes)))
                 .collect()
         };
+        let sym_counts = |pkgs: &mut dyn Iterator<Item = iiscope_types::Sym>| -> Vec<usize> {
+            counts_for(&mut pkgs.map(|s| ds.pkg_name(s)))
+        };
+        let activity_counts = sym_counts(&mut activity.iter());
+        // Apps with any activity offer count as activity apps.
+        let no_activity_counts =
+            sym_counts(&mut any_no_activity.iter().filter(|&s| !activity.contains(s)));
+        let vetted_counts = sym_counts(&mut ds.class_syms(true).iter());
+        let unvetted_counts = sym_counts(&mut ds.class_syms(false).iter());
+        let baseline_counts =
+            counts_for(&mut world.plan.baseline.iter().map(|b| b.package.as_str()));
         Figure6 {
             by_offer_type: [
-                LibSeries::new(
-                    "Activity offers",
-                    counts_for(&mut activity_pkgs.iter().map(String::as_str)),
-                ),
-                LibSeries::new(
-                    "No activity offers",
-                    counts_for(&mut no_activity_pkgs.iter().map(String::as_str)),
-                ),
-                LibSeries::new("Baseline", counts_for(&mut baseline_pkgs.iter().copied())),
+                LibSeries::new("Activity offers", activity_counts),
+                LibSeries::new("No activity offers", no_activity_counts),
+                LibSeries::new("Baseline", baseline_counts.clone()),
             ],
             by_iip_type: [
-                LibSeries::new("Vetted", counts_for(&mut vetted_pkgs.iter().copied())),
-                LibSeries::new("Unvetted", counts_for(&mut unvetted_pkgs.iter().copied())),
-                LibSeries::new("Baseline", counts_for(&mut baseline_pkgs.iter().copied())),
+                LibSeries::new("Vetted", vetted_counts),
+                LibSeries::new("Unvetted", unvetted_counts),
+                LibSeries::new("Baseline", baseline_counts),
             ],
         }
     }

@@ -15,7 +15,7 @@ use crate::WildArtifacts;
 use iiscope_analysis::classify::is_arbitrage;
 use iiscope_analysis::libradar::count_libraries;
 use iiscope_analysis::stats::frac_at_least;
-use std::collections::BTreeSet;
+use iiscope_types::SymSet;
 
 /// The reproduced §4.3.2/§4.3.3 monetization summary.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,40 +39,44 @@ impl Monetization {
     /// Computes the summary.
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Monetization {
         let ds = &artifacts.dataset;
-        let arbitrage_pkgs: BTreeSet<&str> = ds
-            .unique_offers()
-            .into_iter()
-            .filter(|o| is_arbitrage(&o.raw.description))
-            .map(|o| o.raw.package.as_str())
-            .collect();
-        let share = |pkgs: &BTreeSet<&str>| {
+        // One pass over the deduplicated offer column classifies every
+        // advertised package into the arbitrage / activity bitsets.
+        let mut arbitrage = SymSet::default();
+        let mut activity = SymSet::default();
+        for (o, pkg, _) in ds.unique_offers_with_syms() {
+            if is_arbitrage(&o.raw.description) {
+                arbitrage.insert(pkg);
+            }
+            if iiscope_analysis::classify_description(&o.raw.description).is_activity() {
+                activity.insert(pkg);
+            }
+        }
+        let share = |pkgs: &SymSet| {
             if pkgs.is_empty() {
                 return 0.0;
             }
-            pkgs.iter().filter(|p| arbitrage_pkgs.contains(*p)).count() as f64 / pkgs.len() as f64
+            pkgs.iter().filter(|&s| arbitrage.contains(s)).count() as f64 / pkgs.len() as f64
         };
-        let all = ds.advertised_packages();
-        let vetted = ds.packages_by_class(true);
-        let unvetted = ds.packages_by_class(false);
 
         // Activity-offer apps with ≥5 ad libraries (from downloaded
-        // APKs).
-        let activity_pkgs: BTreeSet<&str> = ds
-            .unique_offers()
-            .into_iter()
-            .filter(|o| iiscope_analysis::classify_description(&o.raw.description).is_activity())
-            .map(|o| o.raw.package.as_str())
-            .collect();
-        let counts: Vec<usize> = activity_pkgs
+        // APKs). `frac_at_least` is a threshold count, so sym-order
+        // iteration is invisible.
+        let counts: Vec<usize> = activity
             .iter()
-            .filter_map(|p| artifacts.apks.get(*p).map(|b| count_libraries(b)))
+            .filter_map(|s| {
+                artifacts
+                    .apks
+                    .get(ds.pkg_name(s))
+                    .map(|b| count_libraries(b))
+            })
             .collect();
 
-        // Public companies among matched developers of advertised apps.
+        // Public companies among matched developers of advertised apps
+        // (a counter plus a re-sorted brand list — order-insensitive).
         let mut public_companies = 0;
         let mut public_brands = Vec::new();
-        for pkg in &all {
-            let Some(profile) = crate::experiments::common::first_profile(ds, pkg) else {
+        for sym in ds.advertised_syms().iter() {
+            let Some(profile) = ds.first_profile_sym(sym) else {
                 continue;
             };
             let website = if profile.developer_website.is_empty() {
@@ -86,11 +90,12 @@ impl Monetization {
             {
                 if company.is_public {
                     public_companies += 1;
+                    let pkg = ds.pkg_name(sym);
                     if world
                         .plan
                         .apps
                         .iter()
-                        .any(|a| a.package.as_str() == *pkg && a.brand.is_some())
+                        .any(|a| a.package.as_str() == pkg && a.brand.is_some())
                     {
                         public_brands.push(profile.title.clone());
                     }
@@ -100,9 +105,9 @@ impl Monetization {
         public_brands.sort();
 
         Monetization {
-            arbitrage_share: share(&all),
-            arbitrage_share_vetted: share(&vetted),
-            arbitrage_share_unvetted: share(&unvetted),
+            arbitrage_share: share(ds.advertised_syms()),
+            arbitrage_share_vetted: share(ds.class_syms(true)),
+            arbitrage_share_unvetted: share(ds.class_syms(false)),
             activity_apps_ge5_libs: frac_at_least(&counts, 5),
             public_companies,
             public_brands,

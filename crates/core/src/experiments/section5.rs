@@ -48,13 +48,15 @@ impl Section5 {
     /// Scans every profile timeline for downward bin moves.
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Section5 {
         let ds = &artifacts.dataset;
-        let scan = |packages: &mut dyn Iterator<Item = &str>| -> Section5Row {
+        // The row is a pair of counters, so visit order is invisible —
+        // the class sets scan in sym order, the baseline in plan order.
+        let scan = |syms: &mut dyn Iterator<Item = iiscope_types::Sym>| -> Section5Row {
             let mut row = Section5Row {
                 stable: 0,
                 decreased: 0,
             };
-            for pkg in packages {
-                let series = ds.profile_series(pkg);
+            for sym in syms {
+                let series = ds.profile_series_sym(sym);
                 if series.is_empty() {
                     continue;
                 }
@@ -67,9 +69,15 @@ impl Section5 {
             row
         };
         Section5 {
-            baseline: scan(&mut world.plan.baseline.iter().map(|b| b.package.as_str())),
-            vetted: scan(&mut ds.packages_by_class(true).into_iter()),
-            unvetted: scan(&mut ds.packages_by_class(false).into_iter()),
+            baseline: scan(
+                &mut world
+                    .plan
+                    .baseline
+                    .iter()
+                    .filter_map(|b| ds.pkg_sym(b.package.as_str())),
+            ),
+            vetted: scan(&mut ds.class_syms(true).iter()),
+            unvetted: scan(&mut ds.class_syms(false).iter()),
         }
     }
 

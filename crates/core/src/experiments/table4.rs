@@ -5,7 +5,7 @@
 //! difference between campaign start (first offer sighting) and the
 //! profile's release day.
 
-use crate::experiments::common::{first_profile, offer_usd};
+use crate::experiments::common::offer_usd;
 use crate::report::{pct, TextTable};
 use crate::world::World;
 use crate::WildArtifacts;
@@ -60,11 +60,6 @@ impl Table4 {
             IipId::OfferToro,
         ];
         let all_unique = ds.unique_offers();
-        let observations: std::collections::BTreeMap<String, _> = ds
-            .observations()
-            .into_iter()
-            .map(|o| (o.package.clone(), o))
-            .collect();
         let rows = order
             .into_iter()
             .map(|iip| {
@@ -74,21 +69,24 @@ impl Table4 {
                     .iter()
                     .filter(|o| classify_description(&o.raw.description) == OfferType::NoActivity)
                     .count();
-                let packages = ds.packages_on(iip);
+                // Sym-order iteration: every aggregate below is either
+                // a set re-collect or sorted before use, so symbol
+                // order never reaches the output.
+                let packages = ds.iip_syms(iip);
                 let mut developers = BTreeSet::new();
                 let mut countries = BTreeSet::new();
                 let mut genres = BTreeSet::new();
                 let mut installs = Vec::new();
                 let mut ages = Vec::new();
-                for pkg in &packages {
-                    let Some(profile) = first_profile(ds, pkg) else {
+                for sym in packages.iter() {
+                    let Some(profile) = ds.first_profile_sym(sym) else {
                         continue;
                     };
                     developers.insert(profile.developer_id);
-                    countries.insert(profile.developer_country.clone());
-                    genres.insert(profile.genre_id.clone());
+                    countries.insert(profile.developer_country.as_str());
+                    genres.insert(profile.genre_id.as_str());
                     installs.push(profile.min_installs);
-                    if let Some(obs) = observations.get(*pkg) {
+                    if let Some(obs) = ds.campaign(sym) {
                         let start_day = obs.first_seen.days();
                         ages.push(start_day.saturating_sub(profile.released_day));
                     }

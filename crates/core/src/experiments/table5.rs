@@ -52,21 +52,18 @@ impl Table5 {
     /// Computes the table from crawl timelines.
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Table5 {
         let ds = &artifacts.dataset;
-        let observations: std::collections::BTreeMap<String, _> = ds
-            .observations()
-            .into_iter()
-            .map(|o| (o.package.clone(), o))
-            .collect();
+        // Sym-order iteration over the class bitsets; the row is a
+        // pair of counters, so iteration order is invisible.
         let class_row = |vetted: bool| -> Table5Row {
             let mut row = Table5Row {
                 no_increase: 0,
                 increase: 0,
             };
-            for pkg in ds.packages_by_class(vetted) {
-                let Some(obs) = observations.get(pkg) else {
+            for sym in ds.class_syms(vetted).iter() {
+                let Some(obs) = ds.campaign(sym) else {
                     continue;
                 };
-                let series = ds.profile_series(pkg);
+                let series = ds.profile_series_sym(sym);
                 match install_increased(&series, obs.first_seen.days(), obs.last_seen.days()) {
                     Some(true) => row.increase += 1,
                     Some(false) => row.no_increase += 1,

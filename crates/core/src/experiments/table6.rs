@@ -7,7 +7,7 @@ use crate::experiments::common::baseline_window;
 use crate::report::{count_pct, TextTable};
 use crate::world::World;
 use crate::WildArtifacts;
-use iiscope_analysis::{chart_appearance, chi2_2x2, Chi2Result};
+use iiscope_analysis::{chart_appearance, chart_appearance_sym, chi2_2x2, Chi2Result};
 
 /// One app-set row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,22 +55,19 @@ impl Table6 {
     /// Computes the table.
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Table6 {
         let ds = &artifacts.dataset;
-        let observations: std::collections::BTreeMap<String, _> = ds
-            .observations()
-            .into_iter()
-            .map(|o| (o.package.clone(), o))
-            .collect();
+        // Sym-order iteration over the class bitsets; the row is a
+        // triple of counters, so iteration order is invisible.
         let class_row = |vetted: bool| -> Table6Row {
             let mut row = Table6Row {
                 not_present: 0,
                 present: 0,
                 excluded: 0,
             };
-            for pkg in ds.packages_by_class(vetted) {
-                let Some(obs) = observations.get(pkg) else {
+            for sym in ds.class_syms(vetted).iter() {
+                let Some(obs) = ds.campaign(sym) else {
                     continue;
                 };
-                match chart_appearance(ds, pkg, obs.first_seen.days(), obs.last_seen.days()) {
+                match chart_appearance_sym(ds, sym, obs.first_seen.days(), obs.last_seen.days()) {
                     Some(true) => row.present += 1,
                     Some(false) => row.not_present += 1,
                     None => row.excluded += 1,

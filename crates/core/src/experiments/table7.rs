@@ -7,7 +7,7 @@
 //! simply out of the comparison, exactly as in the paper — and then
 //! checks for funding rounds closing after the campaign window.
 
-use crate::experiments::common::{baseline_window, first_profile};
+use crate::experiments::common::baseline_window;
 use crate::report::{count_pct, TextTable};
 use crate::world::World;
 use crate::WildArtifacts;
@@ -74,8 +74,8 @@ impl Table7 {
     /// Computes the table.
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Table7 {
         let ds = &artifacts.dataset;
-        let check = |pkg: &str, after: SimTime| -> Option<bool> {
-            let profile = first_profile(ds, pkg)?;
+        let check_sym = |sym: iiscope_types::Sym, after: SimTime| -> Option<bool> {
+            let profile = ds.first_profile_sym(sym)?;
             let website = if profile.developer_website.is_empty() {
                 None
             } else {
@@ -88,22 +88,18 @@ impl Table7 {
                 company.raised_between(after, after + SimDuration::from_days(FUNDING_HORIZON_DAYS)),
             )
         };
-        let observations: std::collections::BTreeMap<String, _> = ds
-            .observations()
-            .into_iter()
-            .map(|o| (o.package.clone(), o))
-            .collect();
+        let check = |pkg: &str, after: SimTime| check_sym(ds.pkg_sym(pkg)?, after);
         let class_row = |vetted: bool| -> Table7Row {
             let mut row = Table7Row {
                 funded: 0,
                 not_funded: 0,
                 unmatched: 0,
             };
-            for pkg in ds.packages_by_class(vetted) {
-                let Some(obs) = observations.get(pkg) else {
+            for sym in ds.class_syms(vetted).iter() {
+                let Some(obs) = ds.campaign(sym) else {
                     continue;
                 };
-                match check(pkg, obs.last_seen) {
+                match check_sym(sym, obs.last_seen) {
                     Some(true) => row.funded += 1,
                     Some(false) => row.not_funded += 1,
                     None => row.unmatched += 1,

@@ -6,13 +6,13 @@
 //! raising funding need to aggressively acquire new users, and thus
 //! are willing to pay more").
 
-use crate::experiments::common::{first_profile, offer_usd};
+use crate::experiments::common::offer_usd;
 use crate::report::{pct, TextTable};
 use crate::world::World;
 use crate::WildArtifacts;
 use iiscope_analysis::{classify_description, OfferType};
 use iiscope_monitor::RateBook;
-use iiscope_types::{SimDuration, Usd};
+use iiscope_types::{SimDuration, SymSet, Usd};
 
 /// The reproduced Table 8.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,17 +35,12 @@ impl Table8 {
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Table8 {
         let ds = &artifacts.dataset;
         let book = RateBook::from_catalog(&world.affiliate_apps);
-        let observations: std::collections::BTreeMap<String, _> = ds
-            .observations()
-            .into_iter()
-            .map(|o| (o.package.clone(), o))
-            .collect();
-        let mut funded_pkgs = Vec::new();
-        for pkg in ds.packages_by_class(true) {
-            let Some(obs) = observations.get(pkg) else {
+        let mut funded = SymSet::default();
+        for sym in ds.class_syms(true).iter() {
+            let Some(obs) = ds.campaign(sym) else {
                 continue;
             };
-            let Some(profile) = first_profile(ds, pkg) else {
+            let Some(profile) = ds.first_profile_sym(sym) else {
                 continue;
             };
             let website = if profile.developer_website.is_empty() {
@@ -63,36 +58,34 @@ impl Table8 {
                 obs.last_seen,
                 obs.last_seen + SimDuration::from_days(super::table7::FUNDING_HORIZON_DAYS),
             ) {
-                funded_pkgs.push(pkg.to_string());
+                funded.insert(sym);
             }
         }
 
-        let mut no_act_apps = 0usize;
-        let mut act_apps = 0usize;
+        // One pass over the deduplicated offer column with bitset
+        // probes, instead of the old funded-apps × unique-offers
+        // rescan. The per-class payout means are exact integer sums,
+        // so visit order is invisible.
+        let mut no_act_seen = SymSet::default();
+        let mut act_seen = SymSet::default();
         let mut no_act_payouts = Vec::new();
         let mut act_payouts = Vec::new();
-        let unique = ds.unique_offers();
-        for pkg in &funded_pkgs {
-            let offers: Vec<_> = unique
-                .iter()
-                .filter(|o| o.iip.is_vetted() && o.raw.package == *pkg)
-                .collect();
-            let mut has_no_act = false;
-            let mut has_act = false;
-            for o in offers {
-                let usd = offer_usd(&book, o).unwrap_or(Usd::ZERO);
-                if classify_description(&o.raw.description) == OfferType::NoActivity {
-                    has_no_act = true;
-                    no_act_payouts.push(usd);
-                } else {
-                    has_act = true;
-                    act_payouts.push(usd);
-                }
+        for (o, pkg, _) in ds.unique_offers_with_syms() {
+            if !o.iip.is_vetted() || !funded.contains(pkg) {
+                continue;
             }
-            no_act_apps += usize::from(has_no_act);
-            act_apps += usize::from(has_act);
+            let usd = offer_usd(&book, o).unwrap_or(Usd::ZERO);
+            if classify_description(&o.raw.description) == OfferType::NoActivity {
+                no_act_seen.insert(pkg);
+                no_act_payouts.push(usd);
+            } else {
+                act_seen.insert(pkg);
+                act_payouts.push(usd);
+            }
         }
-        let n = funded_pkgs.len();
+        let no_act_apps = no_act_seen.len();
+        let act_apps = act_seen.len();
+        let n = funded.len();
         Table8 {
             funded_apps: n,
             no_activity_apps: if n == 0 {

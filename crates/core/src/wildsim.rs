@@ -32,7 +32,7 @@ use iiscope_types::{
 };
 use parking_lot::Mutex;
 use rand::Rng;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `n_jobs` indexed jobs across `workers` scoped threads and
@@ -112,7 +112,11 @@ struct OfferRt {
 impl World {
     /// Runs the full wild study and returns its artifacts.
     pub fn run_wild_study(&self) -> Result<WildArtifacts> {
-        let mut dataset = Dataset::new();
+        // Seed the dataset's symbol space from the world's interner:
+        // every planned package keeps its generation-order symbol, and
+        // ingest (sequential, after the plan-order merge) only appends
+        // — so symbol numbering is independent of `parallelism`.
+        let mut dataset = Dataset::with_interner(self.syms.clone());
         let mut rng = self.seed.fork("wildsim").rng();
         let fuzzer = UiFuzzer::new(iiscope_monitor::FuzzerConfig {
             max_scroll_pages: self.cfg.fuzzer_pages,
@@ -133,7 +137,6 @@ impl World {
             }
         }
         let mut active: Vec<OfferRt> = Vec::new();
-        let mut discovered: BTreeSet<String> = BTreeSet::new();
         let mut enforcement_removed = 0u64;
         let mut incentivized_ratings = 0u64;
         let mut device_base = 10_000_000u64;
@@ -148,7 +151,9 @@ impl World {
                     let app = &self.plan.apps[ai];
                     let c = &app.campaigns[ci];
                     let o = &c.offers[oi];
-                    let dev = self.dev_ids[app.package.as_str()];
+                    let dev = self
+                        .dev_id(app.package.as_str())
+                        .expect("planned app is registered");
                     let platform = &self.platforms[&c.iip];
                     let (campaign_id, tag) = platform.create_campaign(
                         iiscope_iip::CampaignSpec {
@@ -175,7 +180,9 @@ impl World {
                         0.0
                     };
                     active.push(OfferRt {
-                        app_id: self.app_ids[app.package.as_str()],
+                        app_id: self
+                            .app_id(app.package.as_str())
+                            .expect("planned app is published"),
                         iip: c.iip,
                         campaign_id,
                         tag,
@@ -278,23 +285,27 @@ impl World {
                         }
                         Err(e) => return Err(e),
                     };
-                    for o in &offers {
-                        discovered.insert(o.raw.package.clone());
-                    }
                     dataset.add_offers(offers);
                 }
-                let crawl_plan: Vec<&str> = discovered
-                    .iter()
-                    .map(String::as_str)
-                    .chain(self.plan.baseline.iter().map(|b| b.package.as_str()))
-                    .collect();
-                let crawled = fan_out(workers, crawl_plan.len(), |j| {
-                    // Each job gets its own crawler (connection + RNG
-                    // fork); the snapshots it parses don't depend on
-                    // either, so per-job clients leave the data
-                    // unchanged.
-                    self.crawler_indexed(j as u64).profile(crawl_plan[j], t0)
-                });
+                // The dataset's advertised index *is* the discovery
+                // set (every milked offer lands there), in the same
+                // lexicographic order the old side-channel set kept —
+                // the crawl plan, and with it the per-job RNG forks,
+                // are unchanged.
+                let crawled = {
+                    let crawl_plan: Vec<&str> = dataset
+                        .advertised_packages()
+                        .into_iter()
+                        .chain(self.plan.baseline.iter().map(|b| b.package.as_str()))
+                        .collect();
+                    fan_out(workers, crawl_plan.len(), |j| {
+                        // Each job gets its own crawler (connection +
+                        // RNG fork); the snapshots it parses don't
+                        // depend on either, so per-job clients leave
+                        // the data unchanged.
+                        self.crawler_indexed(j as u64).profile(crawl_plan[j], t0)
+                    })
+                };
                 for crawl in crawled {
                     // A failed crawl is a missing data point, not a
                     // dead study (the paper's crawler had outages too).
@@ -315,9 +326,9 @@ impl World {
 
         // APK downloads for the Figure 6 analysis.
         let mut apks = BTreeMap::new();
-        let apk_plan: Vec<&str> = discovered
-            .iter()
-            .map(String::as_str)
+        let apk_plan: Vec<&str> = dataset
+            .advertised_packages()
+            .into_iter()
             .chain(self.plan.baseline.iter().map(|b| b.package.as_str()))
             .collect();
         let fetched = fan_out(self.cfg.parallelism, apk_plan.len(), |j| {

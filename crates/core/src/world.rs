@@ -16,8 +16,8 @@ use iiscope_playstore::PlayStore;
 use iiscope_types::rng::{chance, sample_k};
 use iiscope_types::time::study;
 use iiscope_types::{
-    AppId, Country, DeveloperId, Genre, IipId, PackageName, Result, SeedFork, SimDuration, SimTime,
-    Usd,
+    AppId, Country, DeveloperId, Genre, IipId, Interner, PackageName, Result, SeedFork,
+    SimDuration, SimTime, SymMap, Usd,
 };
 use iiscope_wire::server::HttpsFactory;
 use iiscope_wire::tls::{CertAuthority, MitmProxy, ServerIdentity, TrustStore};
@@ -84,10 +84,15 @@ pub struct World {
     /// The generated population plan (ground truth for calibration
     /// tests; experiments must go through crawled/milked data).
     pub plan: WildPlan,
-    /// Published app ids by package.
-    pub app_ids: BTreeMap<String, AppId>,
-    /// Store developer ids by package.
-    pub dev_ids: BTreeMap<String, DeveloperId>,
+    /// Package-name symbol table, numbered in generation order (honey
+    /// app, then planned apps, then baseline). The wild study seeds
+    /// its [`iiscope_monitor::Dataset`] from a clone of this, so world
+    /// and dataset agree on every planned package's symbol.
+    pub syms: Interner,
+    /// Published app ids by package symbol.
+    pub app_ids: SymMap<AppId>,
+    /// Store developer ids by package symbol.
+    pub dev_ids: SymMap<DeveloperId>,
     /// Per-app organic activity rates.
     pub organic: BTreeMap<AppId, OrganicProfile>,
     /// Honey-app handles.
@@ -208,6 +213,8 @@ impl World {
         };
 
         // --- Honey app -----------------------------------------------------
+        let mut syms = Interner::new();
+        syms.intern(HONEY_PACKAGE);
         let honey_dev = store.register_developer(
             "iiscope research",
             Country::Us,
@@ -235,8 +242,8 @@ impl World {
 
         // --- Population ------------------------------------------------------
         let plan = wildgen::generate(&cfg, seed.fork("plan"));
-        let mut app_ids = BTreeMap::new();
-        let mut dev_ids = BTreeMap::new();
+        let mut app_ids = SymMap::default();
+        let mut dev_ids = SymMap::default();
         let mut organic = BTreeMap::new();
         let mut crunchbase = CrunchbaseDb::new();
         let mut rng = seed.fork("world-build").rng();
@@ -262,8 +269,9 @@ impl World {
                 app.released,
                 apk,
             )?;
-            app_ids.insert(app.package.as_str().to_string(), id);
-            dev_ids.insert(app.package.as_str().to_string(), dev);
+            let sym = syms.intern(app.package.as_str());
+            app_ids.insert(sym, id);
+            dev_ids.insert(sym, dev);
             let mut org = organic_profile(app.pre_installs, app.genre, &mut rng);
             if app.package.as_str() == crate::wildgen::CASE_STUDY_TREBEL
                 || app.package.as_str() == crate::wildgen::CASE_STUDY_WOF
@@ -328,8 +336,9 @@ impl World {
                 b.released,
                 apk,
             )?;
-            app_ids.insert(b.package.as_str().to_string(), id);
-            dev_ids.insert(b.package.as_str().to_string(), dev);
+            let sym = syms.intern(b.package.as_str());
+            app_ids.insert(sym, id);
+            dev_ids.insert(sym, dev);
             organic.insert(id, organic_profile(b.pre_installs, b.genre, &mut rng));
             store_bulk_installs(&store, id, b.released, b.pre_installs);
             if b.crunchbase_matched {
@@ -361,6 +370,7 @@ impl World {
             genuine_roots,
             crunchbase,
             plan,
+            syms,
             app_ids,
             dev_ids,
             organic,
@@ -373,6 +383,16 @@ impl World {
             registry: Mutex::new(registry),
             affiliate_apps,
         })
+    }
+
+    /// Published app id by package name.
+    pub fn app_id(&self, package: &str) -> Option<AppId> {
+        self.app_ids.get(self.syms.get(package)?).copied()
+    }
+
+    /// Store developer id by package name.
+    pub fn dev_id(&self, package: &str) -> Option<DeveloperId> {
+        self.dev_ids.get(self.syms.get(package)?).copied()
     }
 
     /// A fresh crawler client (researchers' machine, genuine roots).

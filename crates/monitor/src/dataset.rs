@@ -5,17 +5,22 @@
 //! offer descriptions". The analyses of §4.2–4.3 query it for campaign
 //! windows, per-IIP app sets, profile timelines and chart presence.
 //!
-//! Queries are backed by **incremental indices** maintained on insert:
-//! the experiment layer calls `unique_offers()` / `observations()` /
-//! `profile_series()` and friends 16+ times per report, so each
-//! accessor reads a pre-deduplicated, pre-sorted structure instead of
-//! re-scanning the raw observation log. The raw log itself is kept
-//! untouched (`offers()` still returns every observation in arrival
-//! order) and the accessor signatures are unchanged.
+//! Queries are backed by **incremental columnar indices** maintained
+//! on insert. Package names and offer descriptions are interned into
+//! dense [`Sym`]bols at ingest (ingest is sequential — after the
+//! parallel milking fan-out merges in plan order — so symbol numbering
+//! is a pure function of the seeded simulation at any parallelism).
+//! The dedup indices that used to be four `BTreeSet<String>`s per
+//! package are bitsets over the symbol space ([`SymSet`]), and the
+//! per-package aggregates (`observations`, profile timelines, chart
+//! presence) are dense `Vec`s indexed by symbol ([`SymMap`]). Strings
+//! are resolved back — and sorted lexicographically where output
+//! order demands it — only at the report/CSV boundary, so accessor
+//! signatures and values are unchanged from the string-keyed store.
 
 use crate::crawler::{ChartSnapshot, ProfileSnapshot};
 use crate::parsers::ScrapedOffer;
-use iiscope_types::{IipId, SimTime};
+use iiscope_types::{IipId, Interner, SimTime, Sym, SymMap, SymSet};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-app summary of everything the monitor saw.
@@ -50,8 +55,44 @@ impl CampaignObservation {
     }
 }
 
-/// `(day, rank)` timelines keyed by package, for one chart.
-type RankTimelines = BTreeMap<String, Vec<(u64, usize)>>;
+/// Borrowed per-app summary for the symbol-keyed join paths — the
+/// zero-clone view behind [`Dataset::campaign`]. The experiment
+/// tables join on [`Sym`] through this; [`CampaignObservation`] (with
+/// its owned `String` and cloned sets) remains the report-boundary
+/// shape.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignRef<'a> {
+    /// The advertised package.
+    pub package: Sym,
+    /// IIPs the app was seen on.
+    pub iips: &'a BTreeSet<IipId>,
+    /// First offer sighting.
+    pub first_seen: SimTime,
+    /// Last offer sighting.
+    pub last_seen: SimTime,
+    /// Distinct offers ((iip, key) pairs).
+    pub offer_count: usize,
+}
+
+impl CampaignRef<'_> {
+    /// Campaign duration in days.
+    pub fn duration_days(&self) -> u64 {
+        (self.last_seen - self.first_seen).days()
+    }
+}
+
+/// Interner sizes for the bench dumps (`BENCH_dataset.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternStats {
+    /// Distinct package symbols.
+    pub package_symbols: usize,
+    /// Bytes in the package slab.
+    pub package_slab_bytes: usize,
+    /// Distinct description symbols.
+    pub description_symbols: usize,
+    /// Bytes in the description slab.
+    pub description_slab_bytes: usize,
+}
 
 /// Incremental per-package aggregate behind [`Dataset::observations`].
 #[derive(Debug, Clone)]
@@ -70,36 +111,54 @@ pub struct Dataset {
     profiles: Vec<ProfileSnapshot>,
     charts: Vec<ChartSnapshot>,
 
+    /// Package symbol space (offers ∪ profiles ∪ charts, plus any
+    /// seed the world handed to [`Dataset::with_interner`]).
+    pkg_syms: Interner,
+    /// Description symbol space — interning *is* the dedup index.
+    desc_syms: Interner,
+    /// Package symbol of each row in `offers` (columnar).
+    offer_pkg: Vec<Sym>,
+    /// Description symbol of each row in `offers` (columnar).
+    offer_desc: Vec<Sym>,
+
     // Incremental indices, maintained by the `add_*` methods.
     /// Dedup set over `(iip, offer_key)`.
     seen_offer_keys: BTreeSet<(IipId, u64)>,
     /// Rows in `offers` holding the first observation of each key, in
     /// arrival order (what `unique_offers()` returns).
     unique_offer_rows: Vec<usize>,
-    /// Distinct offer descriptions.
-    descriptions: BTreeSet<String>,
     /// Distinct advertised packages.
-    packages: BTreeSet<String>,
-    /// Distinct packages per platform.
-    packages_by_iip: BTreeMap<IipId, BTreeSet<String>>,
+    advertised: SymSet,
+    /// Distinct packages per platform, indexed by `iip as usize`.
+    by_iip: [SymSet; IipId::ALL.len()],
     /// Distinct packages on vetted ([1]) / unvetted ([0]) platforms.
-    packages_by_class: [BTreeSet<String>; 2],
+    by_class: [SymSet; 2],
     /// Per-package campaign aggregates.
-    observations: BTreeMap<String, ObservationAgg>,
+    observations: SymMap<ObservationAgg>,
     /// Rows in `profiles` per package, day-ascending (stable).
-    profile_rows: BTreeMap<String, Vec<usize>>,
+    profile_rows: SymMap<Vec<usize>>,
     /// `(day, rank)` per chart, per package.
-    chart_ranks: BTreeMap<&'static str, RankTimelines>,
-    /// Days each package appeared in any chart.
-    chart_days_by_package: BTreeMap<String, BTreeSet<u64>>,
+    chart_ranks: BTreeMap<&'static str, SymMap<Vec<(u64, usize)>>>,
+    /// Days each package appeared in any chart, ascending.
+    chart_days_by_package: SymMap<Vec<u64>>,
     /// Distinct chart crawl days.
     chart_days: BTreeSet<u64>,
 }
 
 impl Dataset {
-    /// Empty dataset.
+    /// Empty dataset with empty symbol tables.
     pub fn new() -> Dataset {
         Dataset::default()
+    }
+
+    /// Empty dataset whose package symbol space starts from `seed` —
+    /// the world's generation-order interner, so dataset symbols agree
+    /// with world symbols for every pre-planned name.
+    pub fn with_interner(seed: Interner) -> Dataset {
+        Dataset {
+            pkg_syms: seed,
+            ..Dataset::default()
+        }
     }
 
     /// Appends scraped offers, updating every offer index (including
@@ -110,40 +169,25 @@ impl Dataset {
             if self.seen_offer_keys.insert((o.iip, o.raw.offer_key)) {
                 self.unique_offer_rows.push(row);
             }
-            if !self.descriptions.contains(o.raw.description.as_str()) {
-                self.descriptions.insert(o.raw.description.clone());
-            }
-            let pkg = o.raw.package.as_str();
-            if !self.packages.contains(pkg) {
-                self.packages.insert(pkg.to_string());
-            }
-            let by_iip = self.packages_by_iip.entry(o.iip).or_default();
-            if !by_iip.contains(pkg) {
-                by_iip.insert(pkg.to_string());
-            }
-            let class = &mut self.packages_by_class[usize::from(o.iip.is_vetted())];
-            if !class.contains(pkg) {
-                class.insert(pkg.to_string());
-            }
-            match self.observations.get_mut(pkg) {
-                Some(agg) => {
-                    agg.iips.insert(o.iip);
-                    agg.first_seen = agg.first_seen.min(o.seen_at);
-                    agg.last_seen = agg.last_seen.max(o.seen_at);
-                    agg.keys.insert((o.iip, o.raw.offer_key));
-                }
-                None => {
-                    self.observations.insert(
-                        pkg.to_string(),
-                        ObservationAgg {
-                            iips: BTreeSet::from([o.iip]),
-                            first_seen: o.seen_at,
-                            last_seen: o.seen_at,
-                            keys: BTreeSet::from([(o.iip, o.raw.offer_key)]),
-                        },
-                    );
-                }
-            }
+            let desc = self.desc_syms.intern(&o.raw.description);
+            let pkg = self.pkg_syms.intern(&o.raw.package);
+            self.advertised.insert(pkg);
+            self.by_iip[o.iip as usize].insert(pkg);
+            self.by_class[usize::from(o.iip.is_vetted())].insert(pkg);
+            let agg = self
+                .observations
+                .get_or_insert_with(pkg, || ObservationAgg {
+                    iips: BTreeSet::new(),
+                    first_seen: o.seen_at,
+                    last_seen: o.seen_at,
+                    keys: BTreeSet::new(),
+                });
+            agg.iips.insert(o.iip);
+            agg.first_seen = agg.first_seen.min(o.seen_at);
+            agg.last_seen = agg.last_seen.max(o.seen_at);
+            agg.keys.insert((o.iip, o.raw.offer_key));
+            self.offer_pkg.push(pkg);
+            self.offer_desc.push(desc);
             self.offers.push(o);
         }
     }
@@ -152,7 +196,8 @@ impl Dataset {
     /// day-sorted (stable: equal days stay in arrival order).
     pub fn add_profile(&mut self, snap: ProfileSnapshot) {
         let row = self.profiles.len();
-        let rows = self.profile_rows.entry(snap.package.clone()).or_default();
+        let pkg = self.pkg_syms.intern(&snap.package);
+        let rows = self.profile_rows.get_or_insert_with(pkg, Vec::new);
         let at = rows.partition_point(|&r| self.profiles[r].day <= snap.day);
         rows.insert(at, row);
         self.profiles.push(snap);
@@ -161,19 +206,17 @@ impl Dataset {
     /// Appends a chart snapshot, updating the presence indices.
     pub fn add_chart(&mut self, snap: ChartSnapshot) {
         self.chart_days.insert(snap.day);
+        let per_pkg = self.chart_ranks.entry(snap.chart).or_default();
         for (pkg, rank) in &snap.entries {
-            let ranks = self
-                .chart_ranks
-                .entry(snap.chart)
-                .or_default()
-                .entry(pkg.clone())
-                .or_default();
+            let sym = self.pkg_syms.intern(pkg);
+            let ranks = per_pkg.get_or_insert_with(sym, Vec::new);
             let at = ranks.partition_point(|&(d, _)| d <= snap.day);
             ranks.insert(at, (snap.day, *rank));
-            self.chart_days_by_package
-                .entry(pkg.clone())
-                .or_default()
-                .insert(snap.day);
+            let days = self.chart_days_by_package.get_or_insert_with(sym, Vec::new);
+            let at = days.partition_point(|&d| d < snap.day);
+            if days.get(at) != Some(&snap.day) {
+                days.insert(at, snap.day);
+            }
         }
         self.charts.push(snap);
     }
@@ -201,40 +244,83 @@ impl Dataset {
             .collect()
     }
 
+    /// Deduplicated offers with their package and description symbols
+    /// — the columnar view the experiment joins run on.
+    pub fn unique_offers_with_syms(&self) -> impl Iterator<Item = (&ScrapedOffer, Sym, Sym)> + '_ {
+        self.unique_offer_rows
+            .iter()
+            .map(|&r| (&self.offers[r], self.offer_pkg[r], self.offer_desc[r]))
+    }
+
     /// Unique offer descriptions (the paper counts 1,128).
     pub fn unique_descriptions(&self) -> BTreeSet<&str> {
-        self.descriptions.iter().map(String::as_str).collect()
+        self.desc_syms.iter().map(|(_, s)| s).collect()
     }
 
     /// Unique advertised packages (the paper counts 922).
     pub fn advertised_packages(&self) -> BTreeSet<&str> {
-        self.packages.iter().map(String::as_str).collect()
+        self.resolve_set(&self.advertised)
     }
 
     /// Packages advertised on a specific IIP.
     pub fn packages_on(&self, iip: IipId) -> BTreeSet<&str> {
-        self.packages_by_iip
-            .get(&iip)
-            .map(|s| s.iter().map(String::as_str).collect())
-            .unwrap_or_default()
+        self.resolve_set(&self.by_iip[iip as usize])
     }
 
     /// Packages advertised on any vetted (true) / unvetted (false)
     /// platform. Note an app can be in both sets (Table 5's N values
     /// overlap: 492 + 538 > 922).
     pub fn packages_by_class(&self, vetted: bool) -> BTreeSet<&str> {
-        self.packages_by_class[usize::from(vetted)]
-            .iter()
-            .map(String::as_str)
-            .collect()
+        self.resolve_set(&self.by_class[usize::from(vetted)])
+    }
+
+    fn resolve_set(&self, set: &SymSet) -> BTreeSet<&str> {
+        set.iter().map(|s| self.pkg_syms.resolve(s)).collect()
+    }
+
+    /// The package symbol table (shared with the world's interner when
+    /// built via [`Dataset::with_interner`]).
+    pub fn package_interner(&self) -> &Interner {
+        &self.pkg_syms
+    }
+
+    /// Symbol of a package name, if it was ever observed or seeded.
+    pub fn pkg_sym(&self, package: &str) -> Option<Sym> {
+        self.pkg_syms.get(package)
+    }
+
+    /// The package name behind a symbol.
+    pub fn pkg_name(&self, sym: Sym) -> &str {
+        self.pkg_syms.resolve(sym)
+    }
+
+    /// Advertised packages as a bitset over the symbol space.
+    pub fn advertised_syms(&self) -> &SymSet {
+        &self.advertised
+    }
+
+    /// Per-class advertised packages as a bitset.
+    pub fn class_syms(&self, vetted: bool) -> &SymSet {
+        &self.by_class[usize::from(vetted)]
+    }
+
+    /// Per-IIP advertised packages as a bitset.
+    pub fn iip_syms(&self, iip: IipId) -> &SymSet {
+        &self.by_iip[iip as usize]
     }
 
     /// Per-app observation summaries, sorted by package.
     pub fn observations(&self) -> Vec<CampaignObservation> {
-        self.observations
+        let mut named: Vec<(&str, &ObservationAgg)> = self
+            .observations
             .iter()
-            .map(|(pkg, agg)| CampaignObservation {
-                package: pkg.clone(),
+            .map(|(sym, agg)| (self.pkg_syms.resolve(sym), agg))
+            .collect();
+        named.sort_unstable_by_key(|(name, _)| *name);
+        named
+            .into_iter()
+            .map(|(name, agg)| CampaignObservation {
+                package: name.to_string(),
                 iips: agg.iips.clone(),
                 first_seen: agg.first_seen,
                 last_seen: agg.last_seen,
@@ -245,45 +331,111 @@ impl Dataset {
 
     /// Observation for one package.
     pub fn observation(&self, package: &str) -> Option<CampaignObservation> {
-        self.observations
-            .get(package)
-            .map(|agg| CampaignObservation {
-                package: package.to_string(),
-                iips: agg.iips.clone(),
-                first_seen: agg.first_seen,
-                last_seen: agg.last_seen,
-                offer_count: agg.keys.len(),
-            })
+        let sym = self.pkg_syms.get(package)?;
+        self.observations.get(sym).map(|agg| CampaignObservation {
+            package: package.to_string(),
+            iips: agg.iips.clone(),
+            first_seen: agg.first_seen,
+            last_seen: agg.last_seen,
+            offer_count: agg.keys.len(),
+        })
+    }
+
+    /// Borrowed observation summary for one package symbol.
+    pub fn campaign(&self, sym: Sym) -> Option<CampaignRef<'_>> {
+        self.observations.get(sym).map(|agg| CampaignRef {
+            package: sym,
+            iips: &agg.iips,
+            first_seen: agg.first_seen,
+            last_seen: agg.last_seen,
+            offer_count: agg.keys.len(),
+        })
+    }
+
+    /// All borrowed observation summaries, in symbol order. Use for
+    /// order-insensitive aggregation; [`Dataset::observations`] is the
+    /// lexicographically-sorted report-boundary view.
+    pub fn campaigns(&self) -> impl Iterator<Item = CampaignRef<'_>> + '_ {
+        self.observations.iter().map(|(sym, agg)| CampaignRef {
+            package: sym,
+            iips: &agg.iips,
+            first_seen: agg.first_seen,
+            last_seen: agg.last_seen,
+            offer_count: agg.keys.len(),
+        })
     }
 
     /// Profile timeline of one package, day-ascending.
     pub fn profile_series(&self, package: &str) -> Vec<&ProfileSnapshot> {
-        self.profile_rows
+        self.pkg_syms
             .get(package)
+            .map(|sym| self.profile_series_sym(sym))
+            .unwrap_or_default()
+    }
+
+    /// Profile timeline of one package symbol, day-ascending.
+    pub fn profile_series_sym(&self, sym: Sym) -> Vec<&ProfileSnapshot> {
+        self.profile_rows
+            .get(sym)
             .map(|rows| rows.iter().map(|&r| &self.profiles[r]).collect())
             .unwrap_or_default()
     }
 
+    /// First profile snapshot of one package symbol (crawl-day order).
+    pub fn first_profile_sym(&self, sym: Sym) -> Option<&ProfileSnapshot> {
+        self.profile_rows
+            .get(sym)
+            .and_then(|rows| rows.first())
+            .map(|&r| &self.profiles[r])
+    }
+
     /// Days on which `package` appeared in `chart`, with its rank.
     pub fn chart_presence(&self, package: &str, chart: &str) -> Vec<(u64, usize)> {
+        self.pkg_syms
+            .get(package)
+            .map(|sym| self.chart_presence_sym(sym, chart).to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Borrowed `(day, rank)` timeline of one package symbol in
+    /// `chart`.
+    pub fn chart_presence_sym(&self, sym: Sym, chart: &str) -> &[(u64, usize)] {
         self.chart_ranks
             .get(chart)
-            .and_then(|per_pkg| per_pkg.get(package))
-            .cloned()
+            .and_then(|per_pkg| per_pkg.get(sym))
+            .map(Vec::as_slice)
             .unwrap_or_default()
     }
 
     /// Whether `package` appeared in *any* chart in the day range
     /// `[from, to]`.
     pub fn in_any_chart(&self, package: &str, from: u64, to: u64) -> bool {
-        self.chart_days_by_package
+        self.pkg_syms
             .get(package)
-            .is_some_and(|days| days.range(from..=to).next().is_some())
+            .is_some_and(|sym| self.in_any_chart_sym(sym, from, to))
+    }
+
+    /// Symbol-keyed variant of [`Dataset::in_any_chart`].
+    pub fn in_any_chart_sym(&self, sym: Sym, from: u64, to: u64) -> bool {
+        self.chart_days_by_package.get(sym).is_some_and(|days| {
+            days.get(days.partition_point(|&d| d < from))
+                .is_some_and(|&d| d <= to)
+        })
     }
 
     /// Distinct crawl days present in the chart dataset.
-    pub fn chart_days(&self) -> BTreeSet<u64> {
-        self.chart_days.clone()
+    pub fn chart_days(&self) -> &BTreeSet<u64> {
+        &self.chart_days
+    }
+
+    /// Symbol-table sizes for the bench dumps.
+    pub fn intern_stats(&self) -> InternStats {
+        InternStats {
+            package_symbols: self.pkg_syms.len(),
+            package_slab_bytes: self.pkg_syms.slab_bytes(),
+            description_symbols: self.desc_syms.len(),
+            description_slab_bytes: self.desc_syms.slab_bytes(),
+        }
     }
 }
 
@@ -384,6 +536,41 @@ mod tests {
     }
 
     #[test]
+    fn sym_accessors_mirror_string_accessors() {
+        let d = dataset();
+        let sym = d.pkg_sym("com.a.one").expect("interned");
+        assert_eq!(d.pkg_name(sym), "com.a.one");
+        let obs = d.observation("com.a.one").unwrap();
+        let by_sym = d.campaign(sym).expect("observed");
+        assert_eq!(by_sym.first_seen, obs.first_seen);
+        assert_eq!(by_sym.last_seen, obs.last_seen);
+        assert_eq!(by_sym.offer_count, obs.offer_count);
+        assert_eq!(by_sym.iips, &obs.iips);
+        assert_eq!(d.advertised_syms().len(), d.advertised_packages().len());
+        assert!(d.class_syms(true).contains(sym));
+        assert!(d.iip_syms(IipId::Fyber).contains(sym));
+        // The columnar unique view carries matching symbols.
+        for (o, pkg, desc) in d.unique_offers_with_syms() {
+            assert_eq!(d.pkg_name(pkg), o.raw.package);
+            assert_eq!(d.pkg_sym(&o.raw.package), Some(pkg));
+            assert!(!d.pkg_name(pkg).is_empty());
+            let _ = desc;
+        }
+        assert_eq!(d.campaigns().count(), d.observations().len());
+    }
+
+    #[test]
+    fn seeded_interner_preserves_world_numbering() {
+        let mut seed = Interner::new();
+        let pre = seed.intern("com.planned.app");
+        let d = Dataset::with_interner(seed);
+        assert_eq!(d.pkg_sym("com.planned.app"), Some(pre));
+        // Seeded-but-unobserved names are not advertised.
+        assert!(d.advertised_packages().is_empty());
+        assert!(!d.advertised_syms().contains(pre));
+    }
+
+    #[test]
     fn chart_queries() {
         let mut d = dataset();
         d.add_chart(ChartSnapshot {
@@ -431,6 +618,8 @@ mod tests {
             vec![10, 12, 14]
         );
         assert!(d.profile_series("com.none").is_empty());
+        let sym = d.pkg_sym("com.a.one").unwrap();
+        assert_eq!(d.first_profile_sym(sym).unwrap().day, 10);
     }
 
     #[test]
@@ -468,5 +657,10 @@ mod tests {
                 .collect();
             assert_eq!(d.packages_on(iip), rescan);
         }
+
+        let stats = d.intern_stats();
+        assert_eq!(stats.package_symbols, 3);
+        assert_eq!(stats.description_symbols, 2);
+        assert!(stats.package_slab_bytes > 0);
     }
 }

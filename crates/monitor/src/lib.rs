@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod crawler;
 pub mod dataset;
 pub mod export;
@@ -39,8 +40,9 @@ pub mod infra;
 pub mod normalize;
 pub mod parsers;
 
+pub use baseline::StringIndexedIngest;
 pub use crawler::{ChartSnapshot, Crawler, ProfileSnapshot};
-pub use dataset::{CampaignObservation, Dataset};
+pub use dataset::{CampaignObservation, CampaignRef, Dataset, InternStats};
 pub use export::export_csv;
 pub use fuzzer::{FuzzerConfig, UiFuzzer};
 pub use infra::MonitoringInfra;

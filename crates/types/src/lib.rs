@@ -24,6 +24,11 @@
 //! * [`rng`] — labelled deterministic RNG fan-out plus the handful of
 //!   distributions (log-normal, Zipf, Bernoulli mixtures) used by the
 //!   population generators.
+//! * [`sym`] — deterministic arena-backed string interning
+//!   ([`sym::Interner`], [`sym::Sym`]) plus the dense columnar
+//!   containers ([`sym::SymSet`], [`sym::SymMap`]) the analytics join
+//!   paths run on. Symbol numbers are first-insertion ranks, never
+//!   hash-dependent, so interned pipelines stay seed-deterministic.
 //! * [`wirestats`] — relaxed process-wide counters for the zero-copy
 //!   wire path (buffer reuse, streaming-parse volume); reporting only,
 //!   never read by the simulation.
@@ -42,6 +47,7 @@ pub mod genre;
 pub mod ids;
 pub mod money;
 pub mod rng;
+pub mod sym;
 pub mod time;
 pub mod wirestats;
 
@@ -51,4 +57,5 @@ pub use genre::Genre;
 pub use ids::{AppId, CampaignId, DeveloperId, DeviceId, IipId, OfferId, PackageName, WorkerId};
 pub use money::Usd;
 pub use rng::SeedFork;
+pub use sym::{Interner, Sym, SymMap, SymSet};
 pub use time::{SimDuration, SimTime};

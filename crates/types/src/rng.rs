@@ -243,7 +243,7 @@ mod tests {
         assert!(samples.iter().all(|x| *x > 0.0));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let med = {
-            let mut s = samples.clone();
+            let mut s = samples;
             s.sort_by(|a, b| a.partial_cmp(b).unwrap());
             s[s.len() / 2]
         };

@@ -249,7 +249,7 @@ proptest! {
     fn scanner_depth_cap_matches_reference(depth in 1usize..300) {
         let input = "[".repeat(depth) + &"]".repeat(depth);
         let reference = Json::parse(&input);
-        prop_assert_eq!(scan_parse(&input), reference.clone());
+        prop_assert_eq!(&scan_parse(&input), &reference);
         if depth > iiscope::subsystems::wire::json::MAX_DEPTH + 1 {
             prop_assert!(reference.is_err(), "depth {depth} must trip the cap");
         }
@@ -546,5 +546,74 @@ proptest! {
                 .collect()
         };
         prop_assert_eq!(run(), run());
+    }
+}
+
+// Symbol interner: round-trip, dedup, and stable first-insertion
+// numbering — the invariants the seed-42 oracle leans on when the
+// dataset joins on `Sym` instead of `String`.
+proptest! {
+    /// `resolve(intern(s)) == s` for every string in an arbitrary
+    /// insertion multiset, and re-interning is the identity on `Sym`.
+    #[test]
+    fn interner_round_trips_and_dedups(
+        strings in prop::collection::vec("[a-z0-9\\.]{0,24}", 0..64),
+    ) {
+        use iiscope::subsystems::types::Interner;
+        let mut interner = Interner::new();
+        let syms: Vec<_> = strings.iter().map(|s| interner.intern(s)).collect();
+        for (s, &sym) in strings.iter().zip(&syms) {
+            prop_assert_eq!(interner.resolve(sym), s.as_str());
+            prop_assert_eq!(interner.intern(s), sym);
+            prop_assert_eq!(interner.get(s), Some(sym));
+        }
+        // One symbol per distinct string, nothing more.
+        let distinct: std::collections::BTreeSet<&str> =
+            strings.iter().map(|s| s.as_str()).collect();
+        prop_assert_eq!(interner.len(), distinct.len());
+        // The slab holds exactly the distinct strings.
+        prop_assert_eq!(
+            interner.slab_bytes(),
+            distinct.iter().map(|s| s.len()).sum::<usize>()
+        );
+    }
+
+    /// Numbering is the first-insertion rank — a function of the
+    /// first-occurrence sequence alone, never of capacity, duplicate
+    /// pattern, or hash layout.
+    #[test]
+    fn interner_numbering_is_first_insertion_rank(
+        strings in prop::collection::vec("[a-z]{0,12}", 0..64),
+    ) {
+        use iiscope::subsystems::types::Interner;
+        let mut interner = Interner::new();
+        for s in &strings {
+            interner.intern(s);
+        }
+        // Expected numbering: order-preserving dedup of the input.
+        let mut first_occurrence: Vec<&str> = Vec::new();
+        for s in &strings {
+            if !first_occurrence.contains(&s.as_str()) {
+                first_occurrence.push(s);
+            }
+        }
+        for (rank, s) in first_occurrence.iter().enumerate() {
+            prop_assert_eq!(interner.get(s).map(|sym| sym.index()), Some(rank));
+        }
+        // Replaying only the first occurrences (no duplicates, and a
+        // different starting capacity) reproduces the same table.
+        let mut replay = Interner::with_capacity(first_occurrence.len(), 8);
+        for s in &first_occurrence {
+            replay.intern(s);
+        }
+        prop_assert_eq!(&interner, &replay);
+        let via_iter: Vec<(u32, &str)> =
+            interner.iter().map(|(sym, s)| (sym.0, s)).collect();
+        let expected: Vec<(u32, &str)> = first_occurrence
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as u32, s))
+            .collect();
+        prop_assert_eq!(via_iter, expected);
     }
 }
