@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--scale small|paper] [--seed N] [--parallel N] [--export DIR] [--timing]
+//!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //! ```
 //!
 //! Builds the world, runs the §3 honey study and the §4 wild study,
@@ -10,8 +11,21 @@
 //! suite over N worker threads — the report is bit-identical to the
 //! sequential run at any N. `--timing` prints a per-experiment timing
 //! table to stderr and dumps `BENCH_repro.json`.
+//!
+//! `--checkpoint-dir DIR` durably snapshots the wild study into `DIR`
+//! every `--checkpoint-every N` sim days (default: the crawl cadence).
+//! `--resume` restores the newest *valid* snapshot from `DIR` —
+//! corrupt or torn snapshots are detected by CRC, logged, and skipped
+//! back to the last good one — and the finished run is byte-identical
+//! to an uninterrupted one, at any worker count.
+//!
+//! Exit codes: `0` success, `1` study/pipeline error, `2` usage error
+//! (including bad flag combinations), `3` checkpoint directory
+//! unreadable, `4` snapshots present but none valid, `5` a valid
+//! snapshot exists but its seed/config does not match this run.
 
-use iiscope_core::{experiments, World, WorldConfig};
+use iiscope_core::wildsim::{CheckpointPolicy, WildRunOptions};
+use iiscope_core::{checkpoint, experiments, World, WorldConfig};
 use iiscope_types::{chaosstats, wirestats};
 
 fn main() {
@@ -20,6 +34,9 @@ fn main() {
     let mut export: Option<String> = None;
     let mut timing = false;
     let mut parallel = 1usize;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut resume = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,6 +55,15 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage())
             }
+            "--checkpoint-dir" => checkpoint_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--checkpoint-every" => {
+                checkpoint_every = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--resume" => resume = true,
             "--timing" => timing = true,
             "--help" | "-h" => usage(),
             other => {
@@ -56,6 +82,34 @@ fn main() {
     };
     cfg.parallelism = parallel;
 
+    // Flag-combination checks (exit 2, one line, no backtrace).
+    if resume && checkpoint_dir.is_none() {
+        eprintln!("repro: --resume requires --checkpoint-dir");
+        std::process::exit(2);
+    }
+    if checkpoint_every.is_some() && checkpoint_dir.is_none() {
+        eprintln!("repro: --checkpoint-every requires --checkpoint-dir");
+        std::process::exit(2);
+    }
+    if checkpoint_every == Some(0) {
+        eprintln!("repro: --checkpoint-every must be at least 1 day");
+        std::process::exit(2);
+    }
+
+    let policy = checkpoint_dir.as_ref().map(|dir| CheckpointPolicy {
+        dir: std::path::PathBuf::from(dir),
+        every_days: checkpoint_every.unwrap_or(cfg.crawl_cadence_days),
+    });
+    if let Some(policy) = &policy {
+        if let Err(e) = std::fs::create_dir_all(&policy.dir) {
+            eprintln!(
+                "repro: checkpoint dir {} unusable: {e}",
+                policy.dir.display()
+            );
+            std::process::exit(3);
+        }
+    }
+
     // Start the wire- and chaos-layer counters from zero so the
     // `--timing` dumps reflect this run only (process-global atomics).
     wirestats::reset();
@@ -65,17 +119,99 @@ fn main() {
         "building world: {} advertised apps, {} baseline apps, {} days, seed {seed}, {} worker(s)",
         cfg.advertised_apps, cfg.baseline_apps, cfg.monitoring_days, cfg.parallelism
     );
-    let world = World::build(cfg).expect("world build");
+    let world = match World::build(cfg) {
+        Ok(world) => world,
+        Err(e) => {
+            eprintln!("repro: world build failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     eprintln!("running the Section 3 honey-app study…");
-    let honey = world
-        .run_honey_study(world.study_start())
-        .expect("honey study");
+    let honey = match world.run_honey_study(world.study_start()) {
+        Ok(honey) => honey,
+        Err(e) => {
+            eprintln!("repro: honey study failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Resolve --resume into a validated snapshot (exit 3/4/5 on the
+    // failure modes) before the long run starts.
+    let snapshot = if resume {
+        let dir = policy.as_ref().expect("checked above").dir.clone();
+        let scan = match checkpoint::load_latest(&dir) {
+            Ok(scan) => scan,
+            Err(e) => {
+                eprintln!("repro: {e}");
+                std::process::exit(3);
+            }
+        };
+        match scan.snapshot {
+            Some((snap, path)) => {
+                if let Err(why) = snap.check_compatible(&world.cfg) {
+                    eprintln!("repro: cannot resume from {}: {why}", path.display());
+                    std::process::exit(5);
+                }
+                eprintln!(
+                    "resuming from {} (sim day {}, {} corrupt snapshot(s) skipped)",
+                    path.display(),
+                    snap.day,
+                    scan.skipped.len()
+                );
+                Some(snap)
+            }
+            None if scan.candidates > 0 => {
+                eprintln!(
+                    "repro: {} snapshot file(s) in {} but none valid; \
+                     delete the directory or fix the files to proceed",
+                    scan.candidates,
+                    dir.display()
+                );
+                std::process::exit(4);
+            }
+            None => {
+                eprintln!(
+                    "no snapshots in {}; starting fresh (first checkpointed run)",
+                    dir.display()
+                );
+                None
+            }
+        }
+    } else {
+        None
+    };
 
     eprintln!("running the Section 4 wild study (this is the long part)…");
     let t = std::time::Instant::now();
-    let artifacts = world.run_wild_study().expect("wild study");
+    let artifacts = match world.run_wild_study_with(WildRunOptions {
+        checkpoint: policy,
+        resume: snapshot,
+        crash: None,
+    }) {
+        Ok(artifacts) => artifacts,
+        Err(e) => {
+            eprintln!("repro: wild study failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let wild_secs = t.elapsed().as_secs_f64();
+    let ckpt = artifacts.checkpoints;
+    if ckpt.snapshots_written > 0 {
+        eprintln!(
+            "wrote {} snapshot(s): last {:.1} KB, {:.1} KB total, {:.3}s total write time",
+            ckpt.snapshots_written,
+            ckpt.last_bytes as f64 / 1e3,
+            ckpt.total_bytes as f64 / 1e3,
+            ckpt.total_write_secs
+        );
+    }
+    if let Some(day) = ckpt.resumed_from_day {
+        eprintln!(
+            "resumed from sim day {day}: replay + verification took {:.3}s",
+            ckpt.replay_secs
+        );
+    }
     eprintln!(
         "wild study done in {wild_secs:.1}s: {} offer observations, {} unique offers, {} apps observed",
         artifacts.offer_observations,
@@ -153,6 +289,11 @@ fn main() {
         )
         .expect("write BENCH_dataset.json");
         eprintln!("wrote {dataset_path}");
+
+        let ckpt_path = "BENCH_checkpoint.json";
+        std::fs::write(ckpt_path, checkpoint_json(&scale, seed, parallel, &ckpt))
+            .expect("write BENCH_checkpoint.json");
+        eprintln!("wrote {ckpt_path}");
     }
     println!("{report}");
 }
@@ -420,9 +561,57 @@ fn chaos_json(scale: &str, seed: u64, parallel: usize, counters: &[(&'static str
     s
 }
 
+/// Hand-rolled JSON for the checkpoint cost dump: how many durable
+/// snapshots the run wrote, how large they were, how long the fsync'd
+/// writes took, and — on a resumed run — which sim day the run
+/// re-entered at and how long the deterministic replay + byte
+/// verification took.
+fn checkpoint_json(
+    scale: &str,
+    seed: u64,
+    parallel: usize,
+    ckpt: &iiscope_core::checkpoint::CheckpointStats,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"parallelism\": {parallel},\n"));
+    s.push_str(&format!(
+        "  \"snapshots_written\": {},\n",
+        ckpt.snapshots_written
+    ));
+    s.push_str(&format!(
+        "  \"last_snapshot_bytes\": {},\n",
+        ckpt.last_bytes
+    ));
+    s.push_str(&format!(
+        "  \"total_snapshot_bytes\": {},\n",
+        ckpt.total_bytes
+    ));
+    s.push_str(&format!(
+        "  \"total_write_secs\": {:.6},\n",
+        ckpt.total_write_secs
+    ));
+    match ckpt.resumed_from_day {
+        Some(day) => s.push_str(&format!("  \"resumed_from_day\": {day},\n")),
+        None => s.push_str("  \"resumed_from_day\": null,\n"),
+    }
+    s.push_str(&format!("  \"replay_secs\": {:.6}\n", ckpt.replay_secs));
+    s.push_str("}\n");
+    s
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale small|paper] [--seed N] [--parallel N] [--export DIR] [--timing]"
+        "usage: repro [--scale small|paper] [--seed N] [--parallel N] [--export DIR] [--timing]\n\
+         \x20            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n\
+         \n\
+         --checkpoint-dir DIR   durably snapshot the wild study into DIR\n\
+         --checkpoint-every N   snapshot every N sim days (default: crawl cadence)\n\
+         --resume               restore the newest valid snapshot from DIR\n\
+         \n\
+         exit codes: 0 ok, 1 study error, 2 usage, 3 checkpoint dir unreadable,\n\
+         \x20           4 snapshots present but none valid, 5 snapshot/config mismatch"
     );
     std::process::exit(2);
 }

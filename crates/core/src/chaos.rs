@@ -18,17 +18,23 @@
 //! containment, byte-identical reruns at equal seeds, monotone
 //! degradation, and report computability at every grid point.
 
+use crate::checkpoint;
 use crate::config::WorldConfig;
+use crate::wildsim::{CheckpointPolicy, WildRunOptions};
 use crate::world::World;
 use iiscope_honeyapp::app::telemetry_payload;
 use iiscope_honeyapp::{Collector, TelemetryEvent};
+use iiscope_monitor::export::{charts_csv, offers_csv, profiles_csv};
 use iiscope_netsim::{AsnId, AsnKind, FaultPlan, GilbertElliott, HostAddr, Network, OutageWindow};
 use iiscope_types::time::study;
-use iiscope_types::{Country, DeviceId, Result, SeedFork, SimDuration};
+use iiscope_types::{
+    chaosstats, wirestats, Country, DeviceId, Error, Result, SeedFork, SimDuration,
+};
 use iiscope_wire::server::HttpsFactory;
 use iiscope_wire::tls::{CertAuthority, ServerIdentity, TrustStore};
 use iiscope_wire::HttpClient;
 use std::net::Ipv4Addr;
+use std::path::Path;
 use std::sync::Arc;
 
 /// The condensed result of one chaos run — everything the invariant
@@ -122,6 +128,114 @@ pub fn run_chaos(seed: u64, plan: &FaultPlan, parallelism: usize) -> Result<Chao
         report_digest: fnv64(report.as_bytes()),
         end_clock_days: world.net.clock().now().days(),
     })
+}
+
+/// Deterministic kill-point injection: the wild study terminates with
+/// [`Error::Interrupted`] at the top of sim day `kill_day`, before
+/// anything of that day (including the clock advance) has run — the
+/// closest simulable analogue of `kill -9` at a day boundary. Paired
+/// with checkpointing and resume, it turns "does the pipeline survive
+/// a crash at day k?" into a pure function of `(seed, k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Sim day the process dies at.
+    pub kill_day: u64,
+}
+
+/// Digest of everything a run publishes: the rendered report and the
+/// three exported CSVs. Two runs are byte-identical iff their
+/// `RunDigest`s are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDigest {
+    /// FNV-1a of the full rendered report.
+    pub report: u64,
+    /// FNV-1a of `offers.csv`.
+    pub offers_csv: u64,
+    /// FNV-1a of `profiles.csv`.
+    pub profiles_csv: u64,
+    /// FNV-1a of `charts.csv`.
+    pub charts_csv: u64,
+}
+
+fn reset_counters() {
+    chaosstats::reset();
+    wirestats::reset();
+}
+
+fn digest_world(
+    world: &World,
+    artifacts: &crate::WildArtifacts,
+    honey: crate::HoneyStudy,
+) -> RunDigest {
+    let report = crate::experiments::full_report(world, artifacts, honey);
+    RunDigest {
+        report: fnv64(report.as_bytes()),
+        offers_csv: fnv64(offers_csv(&artifacts.dataset).as_bytes()),
+        profiles_csv: fnv64(profiles_csv(&artifacts.dataset).as_bytes()),
+        charts_csv: fnv64(charts_csv(&artifacts.dataset).as_bytes()),
+    }
+}
+
+/// Runs the full pipeline straight through (no crash, no
+/// checkpointing) and digests its published output. The baseline every
+/// crash-resume run is compared against.
+pub fn straight_digest(cfg: WorldConfig) -> Result<RunDigest> {
+    reset_counters();
+    let world = World::build(cfg)?;
+    let honey = world.run_honey_study(world.study_start())?;
+    let artifacts = world.run_wild_study()?;
+    Ok(digest_world(&world, &artifacts, honey))
+}
+
+/// The crash-resume harness: runs the pipeline with checkpointing
+/// until a simulated process death at `kill_day`, then re-enters like
+/// a fresh process would — rebuild the world from config, rerun the
+/// honey study, load the newest valid snapshot from `dir` (corrupt
+/// ones are skipped), resume the wild study — and digests the output.
+/// A crash at day 0 leaves no snapshot and resumes from scratch.
+///
+/// The hard invariant the test suite sweeps: for every `kill_day`, the
+/// returned digest equals [`straight_digest`] of the same config.
+pub fn crash_resume_digest(cfg: WorldConfig, kill_day: u64, dir: &Path) -> Result<RunDigest> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| Error::InvalidState(format!("checkpoint dir {}: {e}", dir.display())))?;
+
+    // First life: run with checkpointing armed until the kill-point.
+    reset_counters();
+    {
+        let world = World::build(cfg.clone())?;
+        let _honey = world.run_honey_study(world.study_start())?;
+        let crashed = world.run_wild_study_with(WildRunOptions {
+            checkpoint: Some(CheckpointPolicy {
+                dir: dir.to_path_buf(),
+                every_days: cfg.crawl_cadence_days,
+            }),
+            resume: None,
+            crash: Some(CrashPlan { kill_day }),
+        });
+        match crashed {
+            Err(Error::Interrupted(_)) => {}
+            Ok(_) => {
+                return Err(Error::InvalidState(format!(
+                    "kill day {kill_day} never fired (monitoring window too short?)"
+                )))
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Second life: fresh process semantics — nothing survives but the
+    // config, the seed and the checkpoint directory.
+    reset_counters();
+    let world = World::build(cfg)?;
+    let honey = world.run_honey_study(world.study_start())?;
+    let scan = checkpoint::load_latest(dir).map_err(|e| Error::InvalidState(e.to_string()))?;
+    let artifacts = world.run_wild_study_with(WildRunOptions {
+        checkpoint: None,
+        resume: scan.snapshot.map(|(snap, _)| snap),
+        crash: None,
+    })?;
+    Ok(digest_world(&world, &artifacts, honey))
 }
 
 /// The monotone-degradation scenario: `devices` fixed clients each

@@ -1,0 +1,775 @@
+//! Crash-safe checkpointing for the wild study.
+//!
+//! The paper's pipeline ran unattended for four months; ours loses the
+//! whole run to any interruption of the in-memory day loop. This
+//! module snapshots pipeline state at crawl-day boundaries into
+//! durable files and restores the newest *valid* snapshot on resume.
+//!
+//! A snapshot does **not** serialize the world (Play Store ledgers,
+//! IIP escrow, collector): the day loop splits into *sim* steps
+//! (campaign starts, organic activity, delivery, enforcement, ends)
+//! that are cheap, purely in-memory, and consume only the single
+//! `"wildsim"` RNG, and *measurement* steps (milking, crawls) that are
+//! expensive but world-read-only with independent seed lineages. So a
+//! resume rebuilds the world from config (a pure function of the
+//! seed), replays the sim steps up to the snapshot day — regenerating
+//! Play/IIP state and the RNG bit-exactly — and restores only what
+//! replay cannot reproduce: the dataset (with both interner tables, so
+//! symbol numbering survives), the chart crawler's client state, the
+//! chaos/wire counter ledgers. The snapshot's encoded sim section
+//! doubles as a verification oracle: the replayed sim state must match
+//! it byte-for-byte or the resume is refused.
+//!
+//! Durability: snapshots are written to a temp file, fsynced, atomically
+//! renamed into place, and the directory fsynced — a torn write leaves
+//! either the previous snapshot set intact or a partial temp file that
+//! is never considered. Corruption (bit flips, truncation) is caught by
+//! the CRC framing of [`iiscope_types::frame`]; a corrupt newest
+//! snapshot is logged and skipped back to the previous valid one.
+
+use crate::chaos::fnv64;
+use crate::config::WorldConfig;
+use iiscope_monitor::parsers::{RawOffer, RewardValue, ScrapedOffer};
+use iiscope_monitor::{ChartSnapshot, ProfileSnapshot};
+use iiscope_playstore::ChartKind;
+use iiscope_types::frame::{Dec, Enc, FrameError, FrameReader, FrameWriter};
+use iiscope_types::{Country, IipId, Interner, SimTime};
+use iiscope_wire::ClientState;
+use rand::rngs::RngState;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Payload schema revision carried in the META section. Bump on any
+/// layout change; decoding rejects unknown versions instead of
+/// guessing.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const SEC_META: u8 = 1;
+const SEC_SIM: u8 = 2;
+const SEC_SYMS: u8 = 3;
+const SEC_OFFERS: u8 = 4;
+const SEC_PROFILES: u8 = 5;
+const SEC_CHARTS: u8 = 6;
+const SEC_CRAWLER: u8 = 7;
+const SEC_COUNTERS: u8 = 8;
+
+/// A named counter ledger (`chaosstats`/`wirestats` snapshot form).
+pub type Ledger = Vec<(String, u64)>;
+
+/// A decoded checkpoint snapshot: the measurement-side state restored
+/// verbatim, plus the opaque sim-section bytes the deterministic
+/// replay is verified against.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Last fully completed sim day.
+    pub day: u64,
+    /// World seed the run was started with.
+    pub seed: u64,
+    /// Fingerprint of the result-relevant configuration.
+    pub fingerprint: u64,
+    /// Encoded sim-side state (RNG position, offer runtimes, pending
+    /// schedule, counters, clock) — compared byte-for-byte against the
+    /// replayed state on resume, never decoded.
+    pub sim_bytes: Vec<u8>,
+    /// Chart crawler HTTP-client state (RNG + connection lineage).
+    pub crawler: ClientState,
+    /// Package symbol table at snapshot time, rank order.
+    pub pkg_syms: Interner,
+    /// Description symbol table at snapshot time, rank order.
+    pub desc_syms: Interner,
+    /// Raw offer log, arrival order.
+    pub offers: Vec<ScrapedOffer>,
+    /// Raw profile log, arrival order.
+    pub profiles: Vec<ProfileSnapshot>,
+    /// Raw chart log, arrival order.
+    pub charts: Vec<ChartSnapshot>,
+    /// Chaos counter ledger at snapshot time.
+    pub chaos_counters: Ledger,
+    /// Wire counter ledger at snapshot time.
+    pub wire_counters: Ledger,
+}
+
+/// Cumulative cost of checkpoint writes (and the resume replay) over a
+/// run — surfaced by `repro --timing` as `BENCH_checkpoint.json`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointStats {
+    /// Snapshots written this run.
+    pub snapshots_written: u64,
+    /// Size of the newest snapshot, bytes.
+    pub last_bytes: u64,
+    /// Sum of all snapshot sizes, bytes.
+    pub total_bytes: u64,
+    /// Wall-clock seconds spent encoding + durably writing snapshots.
+    pub total_write_secs: f64,
+    /// Day the run resumed from, when it did.
+    pub resumed_from_day: Option<u64>,
+    /// Wall-clock seconds the resume replay + verification took.
+    pub replay_secs: f64,
+}
+
+/// Fingerprint of every configuration field that influences study
+/// *results*. `parallelism` is deliberately excluded: the study is
+/// bit-identical across worker counts, so a snapshot written at 8
+/// workers legitimately resumes at 1 and vice versa.
+pub fn config_fingerprint(cfg: &WorldConfig) -> u64 {
+    let relevant = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        cfg.advertised_apps,
+        cfg.baseline_apps,
+        cfg.monitoring_days,
+        cfg.crawl_cadence_days,
+        cfg.honey_purchase,
+        cfg.milk_countries,
+        cfg.fuzzer_pages,
+        cfg.enforcement,
+        cfg.ranking,
+        cfg.chart_size,
+        cfg.walls_pin_certificates,
+        cfg.companion_marketing,
+        cfg.rating_offers,
+    );
+    fnv64(relevant.as_bytes())
+}
+
+impl Snapshot {
+    /// Refuses a snapshot written under a different seed or a
+    /// result-relevant configuration change.
+    pub fn check_compatible(&self, cfg: &WorldConfig) -> Result<(), String> {
+        if self.seed != cfg.seed {
+            return Err(format!(
+                "snapshot seed {} != configured seed {}",
+                self.seed, cfg.seed
+            ));
+        }
+        let want = config_fingerprint(cfg);
+        if self.fingerprint != want {
+            return Err(format!(
+                "snapshot config fingerprint {:#018x} != current {:#018x} \
+                 (result-relevant configuration changed since checkpoint)",
+                self.fingerprint, want
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serializes the snapshot into a frame file.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new();
+
+        let mut meta = Enc::new();
+        meta.u8(SEC_META)
+            .u32(SNAPSHOT_VERSION)
+            .u64(self.seed)
+            .u64(self.fingerprint)
+            .u64(self.day);
+        w.record(meta.bytes());
+
+        let mut sim = Enc::new();
+        sim.u8(SEC_SIM).bytes_field(&self.sim_bytes);
+        w.record(sim.bytes());
+
+        let mut syms = Enc::new();
+        syms.u8(SEC_SYMS);
+        enc_interner(&mut syms, &self.pkg_syms);
+        enc_interner(&mut syms, &self.desc_syms);
+        w.record(syms.bytes());
+
+        let mut offers = Enc::new();
+        offers.u8(SEC_OFFERS).u64(self.offers.len() as u64);
+        for o in &self.offers {
+            enc_offer(&mut offers, o);
+        }
+        w.record(offers.bytes());
+
+        let mut profiles = Enc::new();
+        profiles.u8(SEC_PROFILES).u64(self.profiles.len() as u64);
+        for p in &self.profiles {
+            enc_profile(&mut profiles, p);
+        }
+        w.record(profiles.bytes());
+
+        let mut charts = Enc::new();
+        charts.u8(SEC_CHARTS).u64(self.charts.len() as u64);
+        for c in &self.charts {
+            enc_chart(&mut charts, c);
+        }
+        w.record(charts.bytes());
+
+        let mut crawler = Enc::new();
+        crawler.u8(SEC_CRAWLER);
+        enc_rng(&mut crawler, &self.crawler.rng);
+        crawler.u64(self.crawler.conn_seq);
+        w.record(crawler.bytes());
+
+        let mut counters = Enc::new();
+        counters.u8(SEC_COUNTERS);
+        enc_ledger(&mut counters, &self.chaos_counters);
+        enc_ledger(&mut counters, &self.wire_counters);
+        w.record(counters.bytes());
+
+        w.finish()
+    }
+
+    /// Deserializes and fully validates a frame file. Total: corrupt or
+    /// adversarial bytes return `Err`, never panic, never wrong data.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, FrameError> {
+        let mut reader = FrameReader::new(bytes)?;
+        let mut meta: Option<(u64, u64, u64)> = None;
+        let mut sim_bytes: Option<Vec<u8>> = None;
+        let mut syms: Option<(Interner, Interner)> = None;
+        let mut offers: Option<Vec<ScrapedOffer>> = None;
+        let mut profiles: Option<Vec<ProfileSnapshot>> = None;
+        let mut charts: Option<Vec<ChartSnapshot>> = None;
+        let mut crawler: Option<ClientState> = None;
+        let mut counters: Option<(Ledger, Ledger)> = None;
+
+        while let Some(payload) = reader.next_record()? {
+            let mut d = Dec::new(payload);
+            match d.u8()? {
+                SEC_META => {
+                    let version = d.u32()?;
+                    if version != SNAPSHOT_VERSION {
+                        return Err(FrameError::Codec("unsupported snapshot version"));
+                    }
+                    meta = Some((d.u64()?, d.u64()?, d.u64()?));
+                    d.finish()?;
+                }
+                SEC_SIM => {
+                    sim_bytes = Some(d.bytes_field()?.to_vec());
+                    d.finish()?;
+                }
+                SEC_SYMS => {
+                    let pkg = dec_interner(&mut d)?;
+                    let desc = dec_interner(&mut d)?;
+                    d.finish()?;
+                    syms = Some((pkg, desc));
+                }
+                SEC_OFFERS => {
+                    let n = d.u64()?;
+                    let mut v = Vec::new();
+                    for _ in 0..n {
+                        v.push(dec_offer(&mut d)?);
+                    }
+                    d.finish()?;
+                    offers = Some(v);
+                }
+                SEC_PROFILES => {
+                    let n = d.u64()?;
+                    let mut v = Vec::new();
+                    for _ in 0..n {
+                        v.push(dec_profile(&mut d)?);
+                    }
+                    d.finish()?;
+                    profiles = Some(v);
+                }
+                SEC_CHARTS => {
+                    let n = d.u64()?;
+                    let mut v = Vec::new();
+                    for _ in 0..n {
+                        v.push(dec_chart(&mut d)?);
+                    }
+                    d.finish()?;
+                    charts = Some(v);
+                }
+                SEC_CRAWLER => {
+                    let rng = dec_rng(&mut d)?;
+                    let conn_seq = d.u64()?;
+                    d.finish()?;
+                    crawler = Some(ClientState { rng, conn_seq });
+                }
+                SEC_COUNTERS => {
+                    let chaos = dec_ledger(&mut d)?;
+                    let wire = dec_ledger(&mut d)?;
+                    d.finish()?;
+                    counters = Some((chaos, wire));
+                }
+                _ => return Err(FrameError::Codec("unknown snapshot section")),
+            }
+        }
+
+        let (seed, fingerprint, day) = meta.ok_or(FrameError::Codec("missing META section"))?;
+        let (pkg_syms, desc_syms) = syms.ok_or(FrameError::Codec("missing SYMS section"))?;
+        let (chaos_counters, wire_counters) =
+            counters.ok_or(FrameError::Codec("missing COUNTERS section"))?;
+        Ok(Snapshot {
+            day,
+            seed,
+            fingerprint,
+            sim_bytes: sim_bytes.ok_or(FrameError::Codec("missing SIM section"))?,
+            crawler: crawler.ok_or(FrameError::Codec("missing CRAWLER section"))?,
+            pkg_syms,
+            desc_syms,
+            offers: offers.ok_or(FrameError::Codec("missing OFFERS section"))?,
+            profiles: profiles.ok_or(FrameError::Codec("missing PROFILES section"))?,
+            charts: charts.ok_or(FrameError::Codec("missing CHARTS section"))?,
+            chaos_counters,
+            wire_counters,
+        })
+    }
+}
+
+fn enc_rng(e: &mut Enc, s: &RngState) {
+    for k in s.key {
+        e.u32(k);
+    }
+    e.u64(s.counter).u64(s.index as u64);
+}
+
+fn dec_rng(d: &mut Dec) -> Result<RngState, FrameError> {
+    let mut key = [0u32; 8];
+    for k in &mut key {
+        *k = d.u32()?;
+    }
+    let counter = d.u64()?;
+    let index = d.u64()?;
+    if index > 64 {
+        return Err(FrameError::Codec("rng buffer index out of range"));
+    }
+    Ok(RngState {
+        key,
+        counter,
+        index: index as usize,
+    })
+}
+
+fn enc_interner(e: &mut Enc, interner: &Interner) {
+    e.u64(interner.len() as u64);
+    for (_, s) in interner.iter() {
+        e.str(s);
+    }
+}
+
+fn dec_interner(d: &mut Dec) -> Result<Interner, FrameError> {
+    let n = d.u64()?;
+    let mut interner = Interner::new();
+    for _ in 0..n {
+        interner.intern(d.str()?);
+    }
+    if interner.len() as u64 != n {
+        return Err(FrameError::Codec("interner table has duplicate strings"));
+    }
+    Ok(interner)
+}
+
+fn enc_ledger(e: &mut Enc, ledger: &[(String, u64)]) {
+    e.u64(ledger.len() as u64);
+    for (key, value) in ledger {
+        e.str(key).u64(*value);
+    }
+}
+
+fn dec_ledger(d: &mut Dec) -> Result<Ledger, FrameError> {
+    let n = d.u64()?;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let key = d.str()?.to_string();
+        out.push((key, d.u64()?));
+    }
+    Ok(out)
+}
+
+fn enc_offer(e: &mut Enc, o: &ScrapedOffer) {
+    e.u8(o.iip as u8).u64(o.raw.offer_key);
+    e.str(&o.raw.description);
+    match o.raw.reward {
+        RewardValue::Usd(v) => e.u8(0).f64(v),
+        RewardValue::Points(v) => e.u8(1).i64(v),
+        RewardValue::Cents(v) => e.u8(2).i64(v),
+    };
+    e.str(&o.raw.package).str(&o.raw.store_url);
+    e.u64(o.seen_at.secs());
+    e.str(&o.affiliate).str(o.vantage.code());
+}
+
+fn dec_offer(d: &mut Dec) -> Result<ScrapedOffer, FrameError> {
+    let iip = iip_from_index(d.u8()?)?;
+    let offer_key = d.u64()?;
+    let description = d.str()?.to_string();
+    let reward = match d.u8()? {
+        0 => RewardValue::Usd(d.f64()?),
+        1 => RewardValue::Points(d.i64()?),
+        2 => RewardValue::Cents(d.i64()?),
+        _ => return Err(FrameError::Codec("unknown reward tag")),
+    };
+    let package = d.str()?.to_string();
+    let store_url = d.str()?.to_string();
+    let seen_at = SimTime::from_secs(d.u64()?);
+    let affiliate = d.str()?.to_string();
+    let vantage = country_from_code(d.str()?)?;
+    Ok(ScrapedOffer {
+        iip,
+        raw: RawOffer {
+            offer_key,
+            description,
+            reward,
+            package,
+            store_url,
+        },
+        seen_at,
+        affiliate,
+        vantage,
+    })
+}
+
+fn enc_profile(e: &mut Enc, p: &ProfileSnapshot) {
+    e.u64(p.day);
+    e.str(&p.package).str(&p.title).str(&p.genre_id);
+    e.u64(p.released_day)
+        .u64(p.min_installs)
+        .u64(p.developer_id);
+    e.str(&p.developer_name)
+        .str(&p.developer_country)
+        .str(&p.developer_email)
+        .str(&p.developer_website);
+    e.f64(p.rating).u64(p.rating_count);
+}
+
+fn dec_profile(d: &mut Dec) -> Result<ProfileSnapshot, FrameError> {
+    Ok(ProfileSnapshot {
+        day: d.u64()?,
+        package: d.str()?.to_string(),
+        title: d.str()?.to_string(),
+        genre_id: d.str()?.to_string(),
+        released_day: d.u64()?,
+        min_installs: d.u64()?,
+        developer_id: d.u64()?,
+        developer_name: d.str()?.to_string(),
+        developer_country: d.str()?.to_string(),
+        developer_email: d.str()?.to_string(),
+        developer_website: d.str()?.to_string(),
+        rating: d.f64()?,
+        rating_count: d.u64()?,
+    })
+}
+
+fn enc_chart(e: &mut Enc, c: &ChartSnapshot) {
+    e.u64(c.day).str(c.chart).u64(c.entries.len() as u64);
+    for (pkg, rank) in &c.entries {
+        e.str(pkg).u64(*rank as u64);
+    }
+}
+
+fn dec_chart(d: &mut Dec) -> Result<ChartSnapshot, FrameError> {
+    let day = d.u64()?;
+    let chart = chart_id_from_str(d.str()?)?;
+    let n = d.u64()?;
+    let mut entries = Vec::new();
+    for _ in 0..n {
+        let pkg = d.str()?.to_string();
+        entries.push((pkg, d.u64()? as usize));
+    }
+    Ok(ChartSnapshot {
+        day,
+        chart,
+        entries,
+    })
+}
+
+fn iip_from_index(idx: u8) -> Result<IipId, FrameError> {
+    IipId::ALL
+        .get(idx as usize)
+        .copied()
+        .ok_or(FrameError::Codec("IIP index out of range"))
+}
+
+fn country_from_code(code: &str) -> Result<Country, FrameError> {
+    Country::ALL
+        .iter()
+        .find(|c| c.code() == code)
+        .copied()
+        .ok_or(FrameError::Codec("unknown country code"))
+}
+
+fn chart_id_from_str(s: &str) -> Result<&'static str, FrameError> {
+    ChartKind::ALL
+        .iter()
+        .find(|k| k.id() == s)
+        .map(|k| k.id())
+        .ok_or(FrameError::Codec("unknown chart id"))
+}
+
+/// Snapshot file name for a sim day: `snap-000042.ckpt`.
+pub fn snapshot_path(dir: &Path, day: u64) -> PathBuf {
+    dir.join(format!("snap-{day:06}.ckpt"))
+}
+
+fn day_from_path(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("snap-")?.strip_suffix(".ckpt")?;
+    digits.parse().ok()
+}
+
+/// Durably writes `bytes` as the day-`day` snapshot in `dir`:
+/// write-to-temp + fsync + atomic rename + directory fsync, so a crash
+/// mid-write can only lose the snapshot being written, never damage an
+/// existing one.
+pub fn write_durable(dir: &Path, day: u64, bytes: &[u8]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let finals = snapshot_path(dir, day);
+    let tmp = dir.join(format!("snap-{day:06}.ckpt.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &finals)?;
+    // Persist the rename itself. Directory fsync is POSIX-only; other
+    // platforms settle for the file fsync above.
+    #[cfg(unix)]
+    {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(finals)
+}
+
+/// What a checkpoint-directory scan found.
+#[derive(Debug)]
+pub struct Scan {
+    /// Newest snapshot that decoded and validated, with its path.
+    pub snapshot: Option<(Snapshot, PathBuf)>,
+    /// Files that looked like snapshots but failed validation, newest
+    /// first, with the reason each was skipped.
+    pub skipped: Vec<(PathBuf, String)>,
+    /// Snapshot-named files present in the directory.
+    pub candidates: usize,
+}
+
+/// Why a checkpoint directory could not be scanned at all.
+#[derive(Debug)]
+pub enum ScanError {
+    /// The directory could not be read (missing, permissions, not a
+    /// directory).
+    Unreadable(String),
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Unreadable(why) => write!(f, "checkpoint dir unreadable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// Scans `dir` for the newest valid snapshot, skipping (and logging)
+/// corrupt or partial ones. A directory with no snapshot files at all
+/// yields `snapshot: None, candidates: 0` — a fresh start, which is
+/// what a crash-restart loop sees on its very first boot.
+pub fn load_latest(dir: &Path) -> Result<Scan, ScanError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| ScanError::Unreadable(format!("{}: {e}", dir.display())))?;
+    let mut days: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| ScanError::Unreadable(format!("{}: {e}", dir.display())))?;
+        let path = entry.path();
+        if let Some(day) = day_from_path(&path) {
+            days.push((day, path));
+        }
+    }
+    days.sort_by_key(|d| std::cmp::Reverse(d.0));
+    let candidates = days.len();
+    let mut skipped = Vec::new();
+    for (_, path) in days {
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "checkpoint: skipping unreadable snapshot {}: {e}",
+                    path.display()
+                );
+                skipped.push((path, e.to_string()));
+                continue;
+            }
+        };
+        match Snapshot::decode(&bytes) {
+            Ok(snapshot) => {
+                return Ok(Scan {
+                    snapshot: Some((snapshot, path)),
+                    skipped,
+                    candidates,
+                })
+            }
+            Err(e) => {
+                eprintln!(
+                    "checkpoint: skipping corrupt snapshot {}: {e}",
+                    path.display()
+                );
+                skipped.push((path, e.to_string()));
+            }
+        }
+    }
+    Ok(Scan {
+        snapshot: None,
+        skipped,
+        candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut pkg_syms = Interner::new();
+        pkg_syms.intern("com.a.one");
+        pkg_syms.intern("com.b.two");
+        let mut desc_syms = Interner::new();
+        desc_syms.intern("Install and Register");
+        Snapshot {
+            day: 6,
+            seed: 42,
+            fingerprint: 0xABCD,
+            sim_bytes: vec![1, 2, 3, 4, 5],
+            crawler: ClientState {
+                rng: RngState {
+                    key: [9; 8],
+                    counter: 12,
+                    index: 3,
+                },
+                conn_seq: 77,
+            },
+            pkg_syms,
+            desc_syms,
+            offers: vec![ScrapedOffer {
+                iip: IipId::Fyber,
+                raw: RawOffer {
+                    offer_key: 11,
+                    description: "Install and Register".into(),
+                    reward: RewardValue::Usd(0.25),
+                    package: "com.a.one".into(),
+                    store_url: "https://play.iiscope/store/apps/details?id=com.a.one".into(),
+                },
+                seen_at: SimTime::from_days(1502),
+                affiliate: "com.cash.app".into(),
+                vantage: Country::Us,
+            }],
+            profiles: vec![ProfileSnapshot {
+                day: 1502,
+                package: "com.a.one".into(),
+                title: "One".into(),
+                genre_id: "TOOLS".into(),
+                released_day: 1400,
+                min_installs: 1000,
+                developer_id: 7,
+                developer_name: "Acme".into(),
+                developer_country: "US".into(),
+                developer_email: "a@acme.us".into(),
+                developer_website: String::new(),
+                rating: 4.25,
+                rating_count: 31,
+            }],
+            charts: vec![ChartSnapshot {
+                day: 1502,
+                chart: ChartKind::ALL[0].id(),
+                entries: vec![("com.a.one".into(), 1)],
+            }],
+            chaos_counters: vec![("retries".into(), 3)],
+            wire_counters: vec![("bytes_delivered".into(), 912)],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = sample_snapshot();
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back.day, snap.day);
+        assert_eq!(back.seed, snap.seed);
+        assert_eq!(back.fingerprint, snap.fingerprint);
+        assert_eq!(back.sim_bytes, snap.sim_bytes);
+        assert_eq!(back.crawler, snap.crawler);
+        assert_eq!(back.pkg_syms, snap.pkg_syms);
+        assert_eq!(back.desc_syms, snap.desc_syms);
+        assert_eq!(back.offers, snap.offers);
+        assert_eq!(back.profiles, snap.profiles);
+        assert_eq!(back.charts, snap.charts);
+        assert_eq!(back.chaos_counters, snap.chaos_counters);
+        assert_eq!(back.wire_counters, snap.wire_counters);
+    }
+
+    #[test]
+    fn every_bit_flip_in_a_snapshot_is_rejected() {
+        let bytes = sample_snapshot().encode();
+        // Sampled sweep (full sweep is the frame codec's own test).
+        for byte in (0..bytes.len()).step_by(7) {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    Snapshot::decode(&corrupt).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+        for cut in (0..bytes.len()).step_by(11) {
+            assert!(Snapshot::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_relevant_config_only() {
+        let a = config_fingerprint(&WorldConfig::small(1));
+        let mut cfg = WorldConfig::small(1);
+        cfg.parallelism = 8;
+        assert_eq!(a, config_fingerprint(&cfg), "parallelism is excluded");
+        cfg.monitoring_days += 1;
+        assert_ne!(a, config_fingerprint(&cfg));
+        let snap = sample_snapshot();
+        let mut cfg = WorldConfig::small(42);
+        cfg.seed = 42;
+        assert!(snap.check_compatible(&cfg).is_err(), "fingerprint differs");
+        let mut wrong_seed = WorldConfig::small(43);
+        wrong_seed.seed = 43;
+        assert!(snap.check_compatible(&wrong_seed).is_err());
+    }
+
+    #[test]
+    fn durable_write_and_scan_fall_back_past_corruption() {
+        let dir = std::env::temp_dir().join(format!(
+            "iiscope-ckpt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Empty/missing dir: unreadable until created.
+        assert!(load_latest(&dir).is_err());
+        std::fs::create_dir_all(&dir).unwrap();
+        let scan = load_latest(&dir).unwrap();
+        assert!(scan.snapshot.is_none());
+        assert_eq!(scan.candidates, 0);
+
+        let mut snap = sample_snapshot();
+        write_durable(&dir, snap.day, &snap.encode()).unwrap();
+        snap.day = 8;
+        let newest = write_durable(&dir, snap.day, &snap.encode()).unwrap();
+
+        let scan = load_latest(&dir).unwrap();
+        assert_eq!(scan.snapshot.as_ref().unwrap().0.day, 8);
+        assert!(scan.skipped.is_empty());
+
+        // Corrupt the newest (bit flip): scan falls back to day 6.
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&newest, &bytes).unwrap();
+        let scan = load_latest(&dir).unwrap();
+        assert_eq!(scan.snapshot.as_ref().unwrap().0.day, 6);
+        assert_eq!(scan.skipped.len(), 1);
+        assert_eq!(scan.candidates, 2);
+
+        // Truncate the older one too: nothing valid remains.
+        let older = snapshot_path(&dir, 6);
+        let bytes = std::fs::read(&older).unwrap();
+        std::fs::write(&older, &bytes[..bytes.len() / 3]).unwrap();
+        let scan = load_latest(&dir).unwrap();
+        assert!(scan.snapshot.is_none());
+        assert_eq!(scan.skipped.len(), 2);
+        assert_eq!(scan.candidates, 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

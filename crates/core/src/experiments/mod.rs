@@ -154,7 +154,14 @@ pub fn full_report_timed(
 
     let mut out = String::new();
     let mut timings = Vec::with_capacity(sections.len());
-    for ((label, _), (s, seconds)) in sections.iter().zip(rendered) {
+    for ((label, _), slot) in sections.iter().zip(rendered) {
+        // A panicking section degrades to an inline failure note
+        // instead of killing the whole report: the other experiments
+        // still render, and healthy runs are byte-identical.
+        let (s, seconds) = match slot {
+            Ok(pair) => pair,
+            Err(e) => (format!("[{label}] FAILED: {e}"), 0.0),
+        };
         if seconds > 0.5 {
             eprintln!("[{label}] computed in {seconds:.1}s");
         }

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod checkpoint;
 pub mod config;
 pub mod experiments;
 pub mod honeystudy;

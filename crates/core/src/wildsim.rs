@@ -19,20 +19,40 @@
 //!
 //! At the end the crawler downloads APKs of every observed app for the
 //! Figure 6 static analysis.
+//!
+//! ## Crash safety
+//!
+//! The loop is split into *sim* steps (1–4, 6: in-memory, consuming
+//! only the `"wildsim"` RNG) and *measurement* steps (5: network I/O
+//! on independent seed lineages, world-read-only). That split is what
+//! makes [`World::run_wild_study_with`] checkpointable: a
+//! [`CheckpointPolicy`] durably snapshots the measurement-side state
+//! at day boundaries, and a resume replays the cheap sim steps up to
+//! the snapshot day — regenerating world, RNG and clock bit-exactly —
+//! before restoring the dataset and crawler state from disk. The
+//! replayed sim state is byte-compared against the snapshot's sim
+//! section; any divergence refuses the resume instead of silently
+//! producing different numbers.
 
+use crate::chaos::CrashPlan;
+use crate::checkpoint::{self, CheckpointStats, Snapshot};
 use crate::world::World;
 use iiscope_attribution::{Conversion, ConversionGoal, Postback};
 use iiscope_devices::behavior::plan_for;
 use iiscope_devices::{IipBehaviorProfile, WorkerKind};
-use iiscope_monitor::{Dataset, UiFuzzer};
+use iiscope_monitor::{Crawler, Dataset, UiFuzzer};
 use iiscope_playstore::{InstallSignals, InstallSource};
 use iiscope_types::rng::chance;
 use iiscope_types::{
-    chaosstats, AppId, CampaignId, DeviceId, Error, IipId, Result, SimDuration, SimTime, Usd,
+    chaosstats, wirestats, AppId, CampaignId, DeviceId, Error, IipId, Result, SimDuration, SimTime,
+    Usd,
 };
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `n_jobs` indexed jobs across `workers` scoped threads and
@@ -42,17 +62,28 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// an atomic cursor (work stealing), so scheduling is nondeterministic
 /// but invisible: each result lands in its job's slot.
 ///
-/// `workers <= 1` (or a single job) runs inline on the calling thread.
-pub(crate) fn fan_out<T, F>(workers: usize, n_jobs: usize, job: F) -> Vec<T>
+/// A job that panics does not take the study down with an opaque
+/// thread abort: the panic is caught at the job boundary and surfaced
+/// in that job's slot as [`Error::WorkerPanic`], the worker thread
+/// survives, and every other job still runs. The caller decides
+/// whether a panicked slot is fatal.
+///
+/// `workers <= 1` (or a single job) runs inline on the calling thread
+/// with the same panic containment.
+pub(crate) fn fan_out<T, F>(workers: usize, n_jobs: usize, job: F) -> Vec<Result<T>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let run = |j: usize| -> Result<T> {
+        catch_unwind(AssertUnwindSafe(|| job(j)))
+            .map_err(|payload| Error::WorkerPanic(format!("job {j}: {}", panic_text(&payload))))
+    };
     if workers <= 1 || n_jobs <= 1 {
-        return (0..n_jobs).map(job).collect();
+        return (0..n_jobs).map(run).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<T>>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
     crossbeam::thread::scope(|s| {
         for _ in 0..workers.min(n_jobs) {
             s.spawn(|_| loop {
@@ -60,15 +91,52 @@ where
                 if j >= n_jobs {
                     break;
                 }
-                *slots[j].lock() = Some(job(j));
+                *slots[j].lock() = Some(run(j));
             });
         }
     })
     .expect("wild-study worker scope");
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every job ran"))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|| Err(Error::WorkerPanic("job slot never filled".into())))
+        })
         .collect()
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Checkpointing policy for a wild-study run.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory snapshots are durably written into (created on the
+    /// first write).
+    pub dir: PathBuf,
+    /// Snapshot every N completed sim days (clamped to at least 1).
+    pub every_days: u64,
+}
+
+/// Options for [`World::run_wild_study_with`]. The default runs the
+/// study straight through with no checkpointing, exactly like
+/// [`World::run_wild_study`].
+#[derive(Default)]
+pub struct WildRunOptions {
+    /// Write durable snapshots on this policy.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Resume from a previously loaded (and CRC-validated) snapshot
+    /// instead of starting at day 0.
+    pub resume: Option<Snapshot>,
+    /// Deterministic kill-point injection: die at a given sim day.
+    pub crash: Option<CrashPlan>,
 }
 
 /// Everything the wild study produced.
@@ -85,6 +153,9 @@ pub struct WildArtifacts {
     pub incentivized_ratings: u64,
     /// Raw offer observations count (pre-dedup).
     pub offer_observations: usize,
+    /// Checkpoint write/replay accounting for this run (zeroed when
+    /// checkpointing was off).
+    pub checkpoints: CheckpointStats,
 }
 
 struct OfferRt {
@@ -109,25 +180,148 @@ struct OfferRt {
     ended: bool,
 }
 
+/// The mutable state the day loop carries: the sim side (RNG, offer
+/// runtimes, schedule, counters) that a resume regenerates by replay,
+/// and the measurement side (dataset, chart crawler) that a resume
+/// restores from the snapshot.
+struct SimState {
+    dataset: Dataset,
+    rng: StdRng,
+    crawler: Crawler,
+    pending: BTreeMap<u64, Vec<(usize, usize, usize)>>,
+    active: Vec<OfferRt>,
+    enforcement_removed: u64,
+    incentivized_ratings: u64,
+    device_base: u64,
+}
+
 impl World {
     /// Runs the full wild study and returns its artifacts.
     pub fn run_wild_study(&self) -> Result<WildArtifacts> {
-        // Seed the dataset's symbol space from the world's interner:
-        // every planned package keeps its generation-order symbol, and
-        // ingest (sequential, after the plan-order merge) only appends
-        // — so symbol numbering is independent of `parallelism`.
-        let mut dataset = Dataset::with_interner(self.syms.clone());
-        let mut rng = self.seed.fork("wildsim").rng();
-        let fuzzer = UiFuzzer::new(iiscope_monitor::FuzzerConfig {
-            max_scroll_pages: self.cfg.fuzzer_pages,
-        });
-        let mut crawler = self.crawler();
+        self.run_wild_study_with(WildRunOptions::default())
+    }
+
+    /// Runs the wild study with checkpointing, resume and kill-point
+    /// options. See the module docs for the sim/measurement split that
+    /// makes the resume path byte-identical to a straight-through run.
+    pub fn run_wild_study_with(&self, opts: WildRunOptions) -> Result<WildArtifacts> {
+        let mut stats = CheckpointStats::default();
         let profiles: BTreeMap<IipId, IipBehaviorProfile> = IipId::ALL
             .into_iter()
             .map(|iip| (iip, IipBehaviorProfile::for_iip(iip)))
             .collect();
+        let fuzzer = UiFuzzer::new(iiscope_monitor::FuzzerConfig {
+            max_scroll_pages: self.cfg.fuzzer_pages,
+        });
 
-        // Schedule: planned offers keyed by start day.
+        let (mut st, start_day) = match opts.resume {
+            Some(snap) => {
+                snap.check_compatible(&self.cfg)
+                    .map_err(Error::InvalidState)?;
+                let t = std::time::Instant::now();
+                let mut st = self.replay_sim_to(snap.day, &profiles)?;
+                let replayed = self.encode_sim(&st, snap.day);
+                if replayed != snap.sim_bytes {
+                    return Err(Error::InvalidState(format!(
+                        "resume verification failed: replayed sim state for day {} \
+                         diverges from the snapshot's sim section ({} vs {} bytes); \
+                         refusing to resume",
+                        snap.day,
+                        replayed.len(),
+                        snap.sim_bytes.len()
+                    )));
+                }
+                st.dataset = Dataset::from_parts(
+                    snap.pkg_syms,
+                    snap.desc_syms,
+                    snap.offers,
+                    snap.profiles,
+                    snap.charts,
+                )?;
+                st.crawler.restore(&snap.crawler);
+                chaosstats::restore(&snap.chaos_counters);
+                wirestats::restore(&snap.wire_counters);
+                stats.resumed_from_day = Some(snap.day);
+                stats.replay_secs = t.elapsed().as_secs_f64();
+                (st, snap.day + 1)
+            }
+            None => (self.fresh_sim_state(), 0),
+        };
+
+        for day in start_day..=self.cfg.monitoring_days {
+            if let Some(crash) = &opts.crash {
+                if day == crash.kill_day {
+                    return Err(Error::Interrupted(format!(
+                        "simulated process death at sim day {day}"
+                    )));
+                }
+            }
+            let t0 = self.study_start() + SimDuration::from_days(day);
+            self.net.clock().advance_to(t0);
+            self.sim_day(&mut st, day, t0, &profiles)?;
+            if day % self.cfg.crawl_cadence_days == 0 {
+                self.measure_day(&mut st, t0, &fuzzer)?;
+            }
+            if let Some(cp) = &opts.checkpoint {
+                if day % cp.every_days.max(1) == 0 {
+                    let t = std::time::Instant::now();
+                    let bytes = self.snapshot_at(&st, day).encode();
+                    checkpoint::write_durable(&cp.dir, day, &bytes).map_err(|e| {
+                        Error::InvalidState(format!(
+                            "checkpoint write to {} failed: {e}",
+                            cp.dir.display()
+                        ))
+                    })?;
+                    stats.snapshots_written += 1;
+                    stats.last_bytes = bytes.len() as u64;
+                    stats.total_bytes += bytes.len() as u64;
+                    stats.total_write_secs += t.elapsed().as_secs_f64();
+                }
+            }
+        }
+
+        // APK downloads for the Figure 6 analysis.
+        let mut apks = BTreeMap::new();
+        let apk_plan: Vec<&str> = st
+            .dataset
+            .advertised_packages()
+            .into_iter()
+            .chain(self.plan.baseline.iter().map(|b| b.package.as_str()))
+            .collect();
+        let fetched = fan_out(self.cfg.parallelism, apk_plan.len(), |j| {
+            self.crawler_indexed(j as u64).apk(apk_plan[j])
+        });
+        let fetched: Vec<_> = apk_plan
+            .iter()
+            .zip(fetched)
+            .map(|(pkg, slot)| (pkg.to_string(), slot))
+            .collect();
+        for (pkg, slot) in fetched {
+            match slot? {
+                Ok(Some(bytes)) => {
+                    apks.insert(pkg, bytes);
+                }
+                Ok(None) => {}
+                Err(_) => chaosstats::add_crawls_abandoned(1),
+            }
+        }
+
+        Ok(WildArtifacts {
+            offer_observations: st.dataset.offers().len(),
+            dataset: st.dataset,
+            apks,
+            enforcement_removed: st.enforcement_removed,
+            incentivized_ratings: st.incentivized_ratings,
+            checkpoints: stats,
+        })
+    }
+
+    /// Day-0 state of the day loop: the planned schedule keyed by
+    /// start day, an empty dataset seeded from the world's interner
+    /// (every planned package keeps its generation-order symbol, so
+    /// numbering is independent of `parallelism`), and the `"wildsim"`
+    /// RNG at the start of its stream.
+    fn fresh_sim_state(&self) -> SimState {
         let mut pending: BTreeMap<u64, Vec<(usize, usize, usize)>> = BTreeMap::new();
         for (ai, app) in self.plan.apps.iter().enumerate() {
             for (ci, c) in app.campaigns.iter().enumerate() {
@@ -136,221 +330,294 @@ impl World {
                 }
             }
         }
-        let mut active: Vec<OfferRt> = Vec::new();
-        let mut enforcement_removed = 0u64;
-        let mut incentivized_ratings = 0u64;
-        let mut device_base = 10_000_000u64;
+        SimState {
+            dataset: Dataset::with_interner(self.syms.clone()),
+            rng: self.seed.fork("wildsim").rng(),
+            crawler: self.crawler(),
+            pending,
+            active: Vec::new(),
+            enforcement_removed: 0,
+            incentivized_ratings: 0,
+            device_base: 10_000_000,
+        }
+    }
 
-        for day in 0..=self.cfg.monitoring_days {
-            let t0 = self.study_start() + SimDuration::from_days(day);
+    /// Replays the sim steps for days `0..=day` on a fresh state,
+    /// advancing the shared clock exactly as the original run did.
+    /// Measurement steps are skipped: they read the world and write
+    /// the dataset, never the sim state, and their seed lineages are
+    /// independent of the `"wildsim"` stream.
+    fn replay_sim_to(
+        &self,
+        day: u64,
+        profiles: &BTreeMap<IipId, IipBehaviorProfile>,
+    ) -> Result<SimState> {
+        let mut st = self.fresh_sim_state();
+        for d in 0..=day {
+            let t0 = self.study_start() + SimDuration::from_days(d);
             self.net.clock().advance_to(t0);
+            self.sim_day(&mut st, d, t0, profiles)?;
+        }
+        Ok(st)
+    }
 
-            // 1. Campaign starts.
-            if let Some(starts) = pending.remove(&day) {
-                for (ai, ci, oi) in starts {
-                    let app = &self.plan.apps[ai];
-                    let c = &app.campaigns[ci];
-                    let o = &c.offers[oi];
-                    let dev = self
-                        .dev_id(app.package.as_str())
-                        .expect("planned app is registered");
-                    let platform = &self.platforms[&c.iip];
-                    let (campaign_id, tag) = platform.create_campaign(
-                        iiscope_iip::CampaignSpec {
-                            developer: dev,
-                            package: app.package.clone(),
-                            store_url: format!(
-                                "https://play.iiscope/store/apps/details?id={}",
-                                app.package
-                            ),
-                            goal: o.goal.clone(),
-                            payout: o.payout,
-                            cap: o.cap,
-                            countries: o.countries.clone(),
-                        },
-                        t0,
-                    )?;
-                    device_base += 100_000;
-                    // Companion marketing is campaign-level; attribute
-                    // it to the campaign's first offer runtime so it is
-                    // applied exactly once per campaign-day.
-                    let companion_per_day = if oi == 0 {
-                        app.pre_installs as f64 * c.companion_growth / c.duration_days as f64
-                    } else {
-                        0.0
-                    };
-                    active.push(OfferRt {
-                        app_id: self
-                            .app_id(app.package.as_str())
-                            .expect("planned app is published"),
-                        iip: c.iip,
-                        campaign_id,
-                        tag,
+    /// Serializes the sim side of `st` (and the shared clock) into a
+    /// canonical byte string. Written into every snapshot and compared
+    /// byte-for-byte against the replayed state on resume — it is an
+    /// equality oracle, never decoded.
+    fn encode_sim(&self, st: &SimState, day: u64) -> Vec<u8> {
+        let mut e = iiscope_types::frame::Enc::new();
+        e.u64(day);
+        let rng = st.rng.state();
+        for k in rng.key {
+            e.u32(k);
+        }
+        e.u64(rng.counter).u64(rng.index as u64);
+        e.u64(st.device_base)
+            .u64(st.enforcement_removed)
+            .u64(st.incentivized_ratings);
+        e.u64(self.net.clock().now().secs());
+        e.u64(st.pending.len() as u64);
+        for (d, starts) in &st.pending {
+            e.u64(*d).u64(starts.len() as u64);
+            for (ai, ci, oi) in starts {
+                e.u64(*ai as u64).u64(*ci as u64).u64(*oi as u64);
+            }
+        }
+        e.u64(st.active.len() as u64);
+        for rt in &st.active {
+            e.u64(rt.app_id.raw())
+                .u8(rt.iip as u8)
+                .u64(rt.campaign_id.raw());
+            e.str(&rt.tag);
+            e.str(&format!("{:?}", rt.goal));
+            e.u64(rt.start_day)
+                .u64(rt.end_day)
+                .u64(rt.cap)
+                .u64(rt.completions);
+            e.f64(rt.installs_per_day)
+                .f64(rt.carry)
+                .f64(rt.companion_per_day)
+                .f64(rt.companion_carry);
+            e.u32(rt.farm_left).u32(rt.farm_block);
+            e.u64(rt.device_counter).bool(rt.ended);
+        }
+        e.into_bytes()
+    }
+
+    /// Assembles the durable snapshot for a completed day.
+    fn snapshot_at(&self, st: &SimState, day: u64) -> Snapshot {
+        Snapshot {
+            day,
+            seed: self.cfg.seed,
+            fingerprint: checkpoint::config_fingerprint(&self.cfg),
+            sim_bytes: self.encode_sim(st, day),
+            crawler: st.crawler.checkpoint(),
+            pkg_syms: st.dataset.package_interner().clone(),
+            desc_syms: st.dataset.description_interner().clone(),
+            offers: st.dataset.offers().to_vec(),
+            profiles: st.dataset.profiles().to_vec(),
+            charts: st.dataset.charts().to_vec(),
+            chaos_counters: chaosstats::snapshot()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            wire_counters: wirestats::snapshot()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// Steps 1–4 and 6 of one day: campaign starts, organic
+    /// background, delivery, enforcement, campaign ends. Pure sim —
+    /// consumes only `st.rng` and mutates only `st` and the world's
+    /// stores/platforms, deterministically.
+    fn sim_day(
+        &self,
+        st: &mut SimState,
+        day: u64,
+        t0: SimTime,
+        profiles: &BTreeMap<IipId, IipBehaviorProfile>,
+    ) -> Result<()> {
+        // 1. Campaign starts.
+        if let Some(starts) = st.pending.remove(&day) {
+            for (ai, ci, oi) in starts {
+                let app = &self.plan.apps[ai];
+                let c = &app.campaigns[ci];
+                let o = &c.offers[oi];
+                let dev = self
+                    .dev_id(app.package.as_str())
+                    .expect("planned app is registered");
+                let platform = &self.platforms[&c.iip];
+                let (campaign_id, tag) = platform.create_campaign(
+                    iiscope_iip::CampaignSpec {
+                        developer: dev,
+                        package: app.package.clone(),
+                        store_url: format!(
+                            "https://play.iiscope/store/apps/details?id={}",
+                            app.package
+                        ),
                         goal: o.goal.clone(),
-                        start_day: c.start_day,
-                        end_day: c.end_day(),
+                        payout: o.payout,
                         cap: o.cap,
-                        completions: 0,
-                        installs_per_day: o.cap as f64 * 1.15 / c.duration_days as f64,
-                        carry: 0.0,
-                        companion_per_day,
-                        companion_carry: 0.0,
-                        farm_left: 0,
-                        farm_block: 0,
-                        device_counter: device_base,
-                        ended: false,
-                    });
-                }
-            }
-
-            // 2. Organic background.
-            for (app_id, organic) in &self.organic {
-                let installs = sample_count(organic.installs_daily, &mut rng);
-                if installs > 0 {
-                    self.store.record_organic_installs(*app_id, t0, installs);
-                }
-                let sessions = sample_count(organic.sessions_daily, &mut rng);
-                if sessions > 0 {
-                    self.store.record_engagement_bulk(
-                        *app_id,
-                        t0,
-                        sessions,
-                        sessions * organic.session_secs,
-                    );
-                }
-                if organic.revenue_daily > Usd::ZERO {
-                    self.store.record_revenue_bulk(
-                        *app_id,
-                        t0,
-                        (organic.revenue_daily.dollars_f64() / 3.0).ceil() as u64,
-                        organic.revenue_daily,
-                    );
-                }
-                let ratings = sample_count(organic.ratings_daily, &mut rng);
-                if ratings > 0 {
-                    let total = ((ratings as f64) * organic.avg_stars).round() as u64;
-                    self.store
-                        .record_ratings_bulk(*app_id, ratings, total.min(ratings * 5));
-                }
-            }
-
-            // 3. Campaign delivery.
-            for rt in active.iter_mut() {
-                if rt.ended || day < rt.start_day || day >= rt.end_day {
-                    continue;
-                }
-                let profile = &profiles[&rt.iip];
-                incentivized_ratings += self.deliver_offer_day(rt, profile, t0, &mut rng)?;
-            }
-
-            // 4. Enforcement sweep.
-            enforcement_removed += self.store.enforcement_sweep(t0);
-
-            // 6 (early). Campaign ends.
-            for rt in active.iter_mut() {
-                if !rt.ended && day >= rt.end_day {
-                    self.platforms[&rt.iip].end_campaign(rt.campaign_id)?;
-                    rt.ended = true;
-                }
-            }
-
-            // 5. Milk + crawl on cadence. Every crawl-day unit — one
-            // (affiliate app × vantage country) milking run, one
-            // profile crawl — is independent, so at `parallelism > 1`
-            // the jobs fan out over scoped worker threads. Results are
-            // merged in plan order, and each milk run captures its own
-            // intercepts via the log tap, so the dataset ingests the
-            // exact stream the sequential path produces.
-            if day % self.cfg.crawl_cadence_days == 0 {
-                let workers = self.cfg.parallelism;
-                let milk_jobs: Vec<(usize, usize)> = (0..self.affiliate_apps.len())
-                    .flat_map(|a| (0..self.cfg.milk_countries.len()).map(move |c| (a, c)))
-                    .collect();
-                let milked = fan_out(workers, milk_jobs.len(), |j| {
-                    let (a, c) = milk_jobs[j];
-                    self.infra
-                        .milk(&self.affiliate_apps[a], self.cfg.milk_countries[c], &fuzzer)
-                });
-                for offers in milked {
-                    // A milking run lost to the network (retries
-                    // exhausted, MITM path down, wall stalled) is a
-                    // missed observation round for that app × vantage,
-                    // not a dead study. Anything else — a parser bug, a
-                    // state-machine violation — still aborts.
-                    let offers = match offers {
-                        Ok(offers) => offers,
-                        Err(Error::Network(_)) => {
-                            chaosstats::add_milks_abandoned(1);
-                            continue;
-                        }
-                        Err(e) => return Err(e),
-                    };
-                    dataset.add_offers(offers);
-                }
-                // The dataset's advertised index *is* the discovery
-                // set (every milked offer lands there), in the same
-                // lexicographic order the old side-channel set kept —
-                // the crawl plan, and with it the per-job RNG forks,
-                // are unchanged.
-                let crawled = {
-                    let crawl_plan: Vec<&str> = dataset
-                        .advertised_packages()
-                        .into_iter()
-                        .chain(self.plan.baseline.iter().map(|b| b.package.as_str()))
-                        .collect();
-                    fan_out(workers, crawl_plan.len(), |j| {
-                        // Each job gets its own crawler (connection +
-                        // RNG fork); the snapshots it parses don't
-                        // depend on either, so per-job clients leave
-                        // the data unchanged.
-                        self.crawler_indexed(j as u64).profile(crawl_plan[j], t0)
-                    })
+                        countries: o.countries.clone(),
+                    },
+                    t0,
+                )?;
+                st.device_base += 100_000;
+                // Companion marketing is campaign-level; attribute
+                // it to the campaign's first offer runtime so it is
+                // applied exactly once per campaign-day.
+                let companion_per_day = if oi == 0 {
+                    app.pre_installs as f64 * c.companion_growth / c.duration_days as f64
+                } else {
+                    0.0
                 };
-                for crawl in crawled {
-                    // A failed crawl is a missing data point, not a
-                    // dead study (the paper's crawler had outages too).
-                    match crawl {
-                        Ok(Some(snap)) => dataset.add_profile(snap),
-                        Ok(None) => {}
-                        Err(_) => chaosstats::add_crawls_abandoned(1),
-                    }
-                }
-                for kind in iiscope_playstore::ChartKind::ALL {
-                    match crawler.chart(kind, self.cfg.chart_size, t0) {
-                        Ok(snap) => dataset.add_chart(snap),
-                        Err(_) => chaosstats::add_crawls_abandoned(1),
-                    }
-                }
+                st.active.push(OfferRt {
+                    app_id: self
+                        .app_id(app.package.as_str())
+                        .expect("planned app is published"),
+                    iip: c.iip,
+                    campaign_id,
+                    tag,
+                    goal: o.goal.clone(),
+                    start_day: c.start_day,
+                    end_day: c.end_day(),
+                    cap: o.cap,
+                    completions: 0,
+                    installs_per_day: o.cap as f64 * 1.15 / c.duration_days as f64,
+                    carry: 0.0,
+                    companion_per_day,
+                    companion_carry: 0.0,
+                    farm_left: 0,
+                    farm_block: 0,
+                    device_counter: st.device_base,
+                    ended: false,
+                });
             }
         }
 
-        // APK downloads for the Figure 6 analysis.
-        let mut apks = BTreeMap::new();
-        let apk_plan: Vec<&str> = dataset
-            .advertised_packages()
-            .into_iter()
-            .chain(self.plan.baseline.iter().map(|b| b.package.as_str()))
+        // 2. Organic background.
+        for (app_id, organic) in &self.organic {
+            let installs = sample_count(organic.installs_daily, &mut st.rng);
+            if installs > 0 {
+                self.store.record_organic_installs(*app_id, t0, installs);
+            }
+            let sessions = sample_count(organic.sessions_daily, &mut st.rng);
+            if sessions > 0 {
+                self.store.record_engagement_bulk(
+                    *app_id,
+                    t0,
+                    sessions,
+                    sessions * organic.session_secs,
+                );
+            }
+            if organic.revenue_daily > Usd::ZERO {
+                self.store.record_revenue_bulk(
+                    *app_id,
+                    t0,
+                    (organic.revenue_daily.dollars_f64() / 3.0).ceil() as u64,
+                    organic.revenue_daily,
+                );
+            }
+            let ratings = sample_count(organic.ratings_daily, &mut st.rng);
+            if ratings > 0 {
+                let total = ((ratings as f64) * organic.avg_stars).round() as u64;
+                self.store
+                    .record_ratings_bulk(*app_id, ratings, total.min(ratings * 5));
+            }
+        }
+
+        // 3. Campaign delivery.
+        for rt in st.active.iter_mut() {
+            if rt.ended || day < rt.start_day || day >= rt.end_day {
+                continue;
+            }
+            let profile = &profiles[&rt.iip];
+            st.incentivized_ratings += self.deliver_offer_day(rt, profile, t0, &mut st.rng)?;
+        }
+
+        // 4. Enforcement sweep.
+        st.enforcement_removed += self.store.enforcement_sweep(t0);
+
+        // 6 (early). Campaign ends.
+        for rt in st.active.iter_mut() {
+            if !rt.ended && day >= rt.end_day {
+                self.platforms[&rt.iip].end_campaign(rt.campaign_id)?;
+                rt.ended = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Step 5 of a crawl day: milk every (affiliate × vantage), crawl
+    /// profiles of every discovered app plus baseline, crawl the top
+    /// charts. Every crawl-day unit is independent, so at
+    /// `parallelism > 1` the jobs fan out over scoped worker threads.
+    /// Results are merged in plan order, and each milk run captures its
+    /// own intercepts via the log tap, so the dataset ingests the
+    /// exact stream the sequential path produces.
+    fn measure_day(&self, st: &mut SimState, t0: SimTime, fuzzer: &UiFuzzer) -> Result<()> {
+        let workers = self.cfg.parallelism;
+        let milk_jobs: Vec<(usize, usize)> = (0..self.affiliate_apps.len())
+            .flat_map(|a| (0..self.cfg.milk_countries.len()).map(move |c| (a, c)))
             .collect();
-        let fetched = fan_out(self.cfg.parallelism, apk_plan.len(), |j| {
-            self.crawler_indexed(j as u64).apk(apk_plan[j])
+        let milked = fan_out(workers, milk_jobs.len(), |j| {
+            let (a, c) = milk_jobs[j];
+            self.infra
+                .milk(&self.affiliate_apps[a], self.cfg.milk_countries[c], fuzzer)
         });
-        for (pkg, bytes) in apk_plan.iter().zip(fetched) {
-            match bytes {
-                Ok(Some(bytes)) => {
-                    apks.insert(pkg.to_string(), bytes);
+        for slot in milked {
+            // A milking run lost to the network (retries exhausted,
+            // MITM path down, wall stalled) is a missed observation
+            // round for that app × vantage, not a dead study. Anything
+            // else — a parser bug, a worker panic, a state-machine
+            // violation — still aborts.
+            let offers = match slot? {
+                Ok(offers) => offers,
+                Err(Error::Network(_)) => {
+                    chaosstats::add_milks_abandoned(1);
+                    continue;
                 }
+                Err(e) => return Err(e),
+            };
+            st.dataset.add_offers(offers);
+        }
+        // The dataset's advertised index *is* the discovery set (every
+        // milked offer lands there), in the same lexicographic order
+        // the old side-channel set kept — the crawl plan, and with it
+        // the per-job RNG forks, are unchanged.
+        let crawled = {
+            let crawl_plan: Vec<&str> = st
+                .dataset
+                .advertised_packages()
+                .into_iter()
+                .chain(self.plan.baseline.iter().map(|b| b.package.as_str()))
+                .collect();
+            fan_out(workers, crawl_plan.len(), |j| {
+                // Each job gets its own crawler (connection + RNG
+                // fork); the snapshots it parses don't depend on
+                // either, so per-job clients leave the data unchanged.
+                self.crawler_indexed(j as u64).profile(crawl_plan[j], t0)
+            })
+        };
+        for slot in crawled {
+            // A failed crawl is a missing data point, not a dead study
+            // (the paper's crawler had outages too).
+            match slot? {
+                Ok(Some(snap)) => st.dataset.add_profile(snap),
                 Ok(None) => {}
                 Err(_) => chaosstats::add_crawls_abandoned(1),
             }
         }
-
-        Ok(WildArtifacts {
-            offer_observations: dataset.offers().len(),
-            dataset,
-            apks,
-            enforcement_removed,
-            incentivized_ratings,
-        })
+        for kind in iiscope_playstore::ChartKind::ALL {
+            match st.crawler.chart(kind, self.cfg.chart_size, t0) {
+                Ok(snap) => st.dataset.add_chart(snap),
+                Err(_) => chaosstats::add_crawls_abandoned(1),
+            }
+        }
+        Ok(())
     }
 
     fn deliver_offer_day(
@@ -615,5 +882,30 @@ mod tests {
             )
         };
         assert_eq!(run(33), run(33));
+    }
+
+    #[test]
+    fn fan_out_surfaces_worker_panics_as_errors() {
+        for workers in [1, 4] {
+            let results = fan_out(workers, 6, |j| {
+                if j == 3 {
+                    panic!("job {j} exploded");
+                }
+                j * 10
+            });
+            assert_eq!(results.len(), 6);
+            for (j, slot) in results.iter().enumerate() {
+                if j == 3 {
+                    match slot {
+                        Err(Error::WorkerPanic(msg)) => {
+                            assert!(msg.contains("job 3"), "panic message: {msg}")
+                        }
+                        other => panic!("expected WorkerPanic, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(*slot.as_ref().unwrap(), j * 10, "healthy job survived");
+                }
+            }
+        }
     }
 }

@@ -79,6 +79,18 @@ impl Crawler {
         }
     }
 
+    /// Captures the crawler's mutable state (the underlying HTTP
+    /// client's RNG position and connection lineage) for checkpointing.
+    pub fn checkpoint(&self) -> iiscope_wire::ClientState {
+        self.client.checkpoint()
+    }
+
+    /// Restores state captured by [`Crawler::checkpoint`] onto a
+    /// crawler rebuilt with the same seed and configuration.
+    pub fn restore(&mut self, state: &iiscope_wire::ClientState) {
+        self.client.restore(state);
+    }
+
     /// Crawls one profile. `Ok(None)` when the app is not listed
     /// (404), which the dataset records as a gap.
     pub fn profile(&mut self, package: &str, now: SimTime) -> Result<Option<ProfileSnapshot>> {

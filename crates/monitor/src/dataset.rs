@@ -161,6 +161,50 @@ impl Dataset {
         }
     }
 
+    /// Rebuilds a dataset from checkpointed parts: both symbol tables
+    /// plus the three raw logs in original arrival order.
+    ///
+    /// Only the raw logs and interners are persisted — every index is
+    /// a pure function of (interner seed, insertion sequence), so the
+    /// restore *re-ingests* the logs through the normal `add_*` paths
+    /// with the serialized interners pre-seeded. Pre-seeding matters:
+    /// live ingest interleaves offers, profiles and charts across crawl
+    /// days, so symbol numbering cannot be re-derived from any one log
+    /// alone. Returns an error if re-ingest mints a symbol the
+    /// serialized tables did not contain (a corrupt or inconsistent
+    /// snapshot), since that would renumber later symbols.
+    pub fn from_parts(
+        pkg_syms: Interner,
+        desc_syms: Interner,
+        offers: Vec<ScrapedOffer>,
+        profiles: Vec<ProfileSnapshot>,
+        charts: Vec<ChartSnapshot>,
+    ) -> iiscope_types::Result<Dataset> {
+        let mut d = Dataset {
+            pkg_syms,
+            desc_syms,
+            ..Dataset::default()
+        };
+        let (want_pkg, want_desc) = (d.pkg_syms.len(), d.desc_syms.len());
+        d.add_offers(offers);
+        for p in profiles {
+            d.add_profile(p);
+        }
+        for c in charts {
+            d.add_chart(c);
+        }
+        if d.pkg_syms.len() != want_pkg || d.desc_syms.len() != want_desc {
+            return Err(iiscope_types::Error::InvalidState(format!(
+                "dataset restore minted new symbols: {} -> {} packages, {} -> {} descriptions",
+                want_pkg,
+                d.pkg_syms.len(),
+                want_desc,
+                d.desc_syms.len()
+            )));
+        }
+        Ok(d)
+    }
+
     /// Appends scraped offers, updating every offer index (including
     /// the `(iip, key)` dedup set — first observation wins).
     pub fn add_offers(&mut self, offers: impl IntoIterator<Item = ScrapedOffer>) {
@@ -282,6 +326,11 @@ impl Dataset {
     /// built via [`Dataset::with_interner`]).
     pub fn package_interner(&self) -> &Interner {
         &self.pkg_syms
+    }
+
+    /// The offer-description symbol table.
+    pub fn description_interner(&self) -> &Interner {
+        &self.desc_syms
     }
 
     /// Symbol of a package name, if it was ever observed or seeded.
@@ -620,6 +669,71 @@ mod tests {
         assert!(d.profile_series("com.none").is_empty());
         let sym = d.pkg_sym("com.a.one").unwrap();
         assert_eq!(d.first_profile_sym(sym).unwrap().day, 10);
+    }
+
+    #[test]
+    fn from_parts_round_trips_interleaved_ingest() {
+        // Interleave offers / profiles / charts the way crawl days do,
+        // so symbol numbering depends on the interleaving.
+        let mut live = dataset();
+        live.add_profile(ProfileSnapshot {
+            day: 10,
+            package: "com.z.late".into(),
+            title: "Z".into(),
+            genre_id: "TOOLS".into(),
+            released_day: 1,
+            min_installs: 500,
+            developer_id: 9,
+            developer_name: "z".into(),
+            developer_country: "US".into(),
+            developer_email: "z@z".into(),
+            developer_website: String::new(),
+            rating: 4.5,
+            rating_count: 3,
+        });
+        live.add_chart(ChartSnapshot {
+            day: 10,
+            chart: "topselling_free",
+            entries: vec![("com.chart.only".into(), 1)],
+        });
+        live.add_offers([offer(IipId::AdGem, 30, "com.c.three", 12, "Install")]);
+
+        let restored = Dataset::from_parts(
+            live.package_interner().clone(),
+            live.description_interner().clone(),
+            live.offers().to_vec(),
+            live.profiles().to_vec(),
+            live.charts().to_vec(),
+        )
+        .unwrap();
+
+        assert_eq!(restored.package_interner(), live.package_interner());
+        assert_eq!(restored.description_interner(), live.description_interner());
+        assert_eq!(restored.offers(), live.offers());
+        assert_eq!(restored.profiles(), live.profiles());
+        assert_eq!(restored.charts(), live.charts());
+        assert_eq!(restored.unique_offers(), live.unique_offers());
+        assert_eq!(restored.advertised_packages(), live.advertised_packages());
+        assert_eq!(restored.observations(), live.observations());
+        assert_eq!(
+            restored.chart_presence("com.chart.only", "topselling_free"),
+            live.chart_presence("com.chart.only", "topselling_free")
+        );
+        assert_eq!(
+            restored.profile_series("com.z.late"),
+            live.profile_series("com.z.late")
+        );
+
+        // A snapshot whose interner is missing an ingested string is
+        // rejected (it would renumber symbols), never silently used.
+        let bad = Dataset::from_parts(
+            Interner::new(),
+            live.description_interner().clone(),
+            live.offers().to_vec(),
+            vec![],
+            vec![],
+        );
+        assert!(bad.is_err());
     }
 
     #[test]

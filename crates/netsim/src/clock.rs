@@ -45,6 +45,12 @@ impl Clock {
 
     /// Moves the clock to `t` if `t` is in the future; otherwise leaves
     /// it unchanged (monotonicity). Returns the resulting instant.
+    ///
+    /// Checkpoint resume leans on this contract: the wild-study replay
+    /// re-issues the same absolute `advance_to(day_start)` calls the
+    /// original run made, so the clock lands on the exact same instants
+    /// regardless of how far a crashed first life had advanced it —
+    /// absolute targets plus monotonicity make the clock replay-exact.
     pub fn advance_to(&self, t: SimTime) -> SimTime {
         let mut cur = self.inner.write();
         if t > *cur {

@@ -28,6 +28,12 @@ pub enum Error {
     /// A policy denial (e.g. an unvetted developer rejected by a vetted
     /// IIP, or the Play Store refusing a publish).
     Denied(String),
+    /// A parallel worker panicked; the panic was caught at the fan-out
+    /// boundary and surfaced instead of aborting the whole study.
+    WorkerPanic(String),
+    /// The run was interrupted mid-study (e.g. a simulated process
+    /// death from the kill-point injector) and can be resumed.
+    Interrupted(String),
 }
 
 impl Error {
@@ -42,6 +48,8 @@ impl Error {
             Error::Network(_) => "network",
             Error::Decode(_) => "decode",
             Error::Denied(_) => "denied",
+            Error::WorkerPanic(_) => "worker_panic",
+            Error::Interrupted(_) => "interrupted",
         }
     }
 }
@@ -56,6 +64,8 @@ impl fmt::Display for Error {
             Error::Network(s) => write!(f, "network error: {s}"),
             Error::Decode(s) => write!(f, "decode error: {s}"),
             Error::Denied(s) => write!(f, "denied: {s}"),
+            Error::WorkerPanic(s) => write!(f, "worker panic: {s}"),
+            Error::Interrupted(s) => write!(f, "interrupted: {s}"),
         }
     }
 }
@@ -74,6 +84,12 @@ mod tests {
         let e = Error::Decode("bad json".into());
         assert_eq!(e.kind(), "decode");
         assert!(e.to_string().contains("bad json"));
+        let e = Error::WorkerPanic("index out of bounds".into());
+        assert_eq!(e.kind(), "worker_panic");
+        assert!(e.to_string().contains("index out of bounds"));
+        let e = Error::Interrupted("simulated crash at day 3".into());
+        assert_eq!(e.kind(), "interrupted");
+        assert!(e.to_string().contains("day 3"));
     }
 
     #[test]

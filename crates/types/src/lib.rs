@@ -43,6 +43,7 @@
 pub mod chaosstats;
 pub mod country;
 pub mod error;
+pub mod frame;
 pub mod genre;
 pub mod ids;
 pub mod money;

@@ -36,6 +36,19 @@ macro_rules! counters {
         pub fn reset() {
             $( $name.store(0, Ordering::Relaxed); )*
         }
+
+        /// Restores counters from a checkpoint ledger keyed by the
+        /// snapshot keys. Unknown keys are ignored and missing keys
+        /// stay at their current value, so ledgers survive counter
+        /// additions across versions.
+        pub fn restore(ledger: &[(String, u64)]) {
+            for (key, value) in ledger {
+                match key.as_str() {
+                    $( $key => $name.store(*value, Ordering::Relaxed), )*
+                    _ => {}
+                }
+            }
+        }
     };
 }
 

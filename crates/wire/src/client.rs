@@ -97,6 +97,17 @@ impl RetryPolicy {
     }
 }
 
+/// The serializable mutable state of an [`HttpClient`]: everything a
+/// client with the same seed and configuration needs to continue its
+/// RNG and fault-stream lineage bit-for-bit after a restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientState {
+    /// Keystream position of the jitter/TLS RNG.
+    pub rng: rand::rngs::RngState,
+    /// Next connection index (selects `links.fork_idx("conn", n)`).
+    pub conn_seq: u64,
+}
+
 /// A reusable HTTP(S) client bound to one simulated host.
 pub struct HttpClient {
     net: Network,
@@ -159,6 +170,25 @@ impl HttpClient {
     /// The client's own network location.
     pub fn from_addr(&self) -> HostAddr {
         self.from
+    }
+
+    /// Captures the client's mutable state for checkpointing: the
+    /// jitter/TLS RNG position and the connection sequence number
+    /// (which indexes the per-connection fault-stream forks). Together
+    /// with the constructor seed these fully determine all future
+    /// connections, so a restored client continues bit-for-bit.
+    pub fn checkpoint(&self) -> ClientState {
+        ClientState {
+            rng: self.rng.state(),
+            conn_seq: self.conn_seq,
+        }
+    }
+
+    /// Restores state captured by [`HttpClient::checkpoint`] onto a
+    /// freshly constructed client with the same seed and configuration.
+    pub fn restore(&mut self, state: &ClientState) {
+        self.rng = StdRng::restore(state.rng);
+        self.conn_seq = state.conn_seq;
     }
 
     /// GET `url`.

@@ -39,7 +39,7 @@ pub mod server;
 pub mod tls;
 pub mod url;
 
-pub use client::{HttpClient, RetryPolicy};
+pub use client::{ClientState, HttpClient, RetryPolicy};
 pub use http::{Handler, Request, RequestView, Response, ResponseView};
 pub use json::{Event as JsonEvent, Json, Scanner as JsonScanner};
 pub use url::Url;

@@ -617,3 +617,81 @@ proptest! {
         prop_assert_eq!(via_iter, expected);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Snapshot frame codec (checkpointing): round-trips, corruption
+// detection, decoding totality.
+
+use iiscope::subsystems::types::frame::{read_all, FrameReader, FrameWriter};
+
+/// Arbitrary record payloads for a frame file (including empty records
+/// and an empty file).
+fn arb_records() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 0..12)
+}
+
+proptest! {
+    /// Any sequence of payloads round-trips through the frame file
+    /// byte-exactly, in order.
+    #[test]
+    fn frame_codec_round_trips(records in arb_records()) {
+        let mut w = FrameWriter::new();
+        for r in &records {
+            w.record(r);
+        }
+        let bytes = w.finish();
+        let back = read_all(&bytes).expect("clean file decodes");
+        prop_assert_eq!(back.len(), records.len());
+        for (got, want) in back.iter().zip(&records) {
+            prop_assert_eq!(*got, want.as_slice());
+        }
+    }
+
+    /// Flipping any single bit anywhere in a frame file is detected:
+    /// decoding returns `Err`, never wrong data, never a panic.
+    #[test]
+    fn frame_codec_detects_any_single_bit_flip(
+        records in arb_records(),
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut w = FrameWriter::new();
+        for r in &records {
+            w.record(r);
+        }
+        let mut bytes = w.finish();
+        let at = pos.index(bytes.len());
+        bytes[at] ^= 1 << bit;
+        prop_assert!(
+            read_all(&bytes).is_err(),
+            "bit {bit} of byte {at} flipped undetected"
+        );
+    }
+
+    /// Truncating a frame file at any point (torn write) is detected.
+    #[test]
+    fn frame_codec_detects_any_truncation(
+        records in arb_records(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut w = FrameWriter::new();
+        for r in &records {
+            w.record(r);
+        }
+        let bytes = w.finish();
+        let at = cut.index(bytes.len()); // 0..len: always a strict prefix
+        prop_assert!(read_all(&bytes[..at]).is_err(), "cut at {at} undetected");
+    }
+
+    /// Decoding adversarial garbage is total: every outcome is an
+    /// orderly `Err` (or a valid decode), never a panic.
+    #[test]
+    fn frame_codec_decoding_is_total(input in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = read_all(&input);
+        let mut reader = match FrameReader::new(&input) {
+            Ok(r) => r,
+            Err(_) => return Ok(()),
+        };
+        while let Ok(Some(_)) = reader.next_record() {}
+    }
+}

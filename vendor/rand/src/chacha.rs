@@ -76,6 +76,17 @@ impl ChaCha12Core {
         }
     }
 
+    /// Rebuilds the core at an explicit `(key, counter)` point in the
+    /// keystream, for checkpoint restore.
+    pub fn from_state(key: [u32; 8], counter: u64) -> Self {
+        ChaCha12Core { key, counter }
+    }
+
+    /// The raw `(key, counter)` state, for checkpointing.
+    pub fn state(&self) -> ([u32; 8], u64) {
+        (self.key, self.counter)
+    }
+
     /// Refills a 64-word buffer with the next 4 sequential blocks and
     /// advances the counter by 4, exactly as the upstream wide backend.
     pub fn generate(&mut self, results: &mut [u32; BUFFER_WORDS]) {

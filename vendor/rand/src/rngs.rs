@@ -1,11 +1,25 @@
 //! Named generators. `StdRng` is ChaCha12, as in `rand` 0.8.
 
 use crate::block::BlockRng;
+pub use crate::block::RngState;
 use crate::{RngCore, SeedableRng};
 
 /// The standard generator: ChaCha12 behind the upstream block buffer.
 #[derive(Clone, Debug)]
 pub struct StdRng(BlockRng);
+
+impl StdRng {
+    /// Captures the keystream position for checkpointing.
+    pub fn state(&self) -> RngState {
+        self.0.state()
+    }
+
+    /// Rebuilds a generator at a captured keystream position. The
+    /// restored generator continues the stream bit-for-bit.
+    pub fn restore(state: RngState) -> Self {
+        StdRng(BlockRng::restore(state))
+    }
+}
 
 impl SeedableRng for StdRng {
     type Seed = [u8; 32];
