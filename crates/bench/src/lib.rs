@@ -1,8 +1,17 @@
 //! Shared fixtures for the Criterion benches: one small world with
-//! both studies run, built once per bench binary.
+//! both studies run, built once per bench binary — plus the peak-RSS
+//! sampler every `BENCH_*.json` emitter reports.
 
 use iiscope_core::{HoneyStudy, WildArtifacts, World, WorldConfig};
 use std::sync::OnceLock;
+
+/// Peak resident set size of the current process, in bytes.
+///
+/// `VmHWM` from `/proc/self/status` on Linux; `None` elsewhere. The
+/// implementation lives in `iiscope_types::rss` so the `repro` binary
+/// (which cannot depend on this crate without a cycle) shares the
+/// exact sampler the benches use.
+pub use iiscope_types::rss::peak_rss_bytes;
 
 /// A fully-run world shared by the table/figure benches.
 pub struct Fixture {

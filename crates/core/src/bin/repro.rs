@@ -1,16 +1,30 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale small|paper] [--seed N] [--parallel N] [--export DIR] [--timing]
+//! repro [--scale small|paper|N|small:N|paper:N] [--seed N] [--parallel N]
+//!       [--shards N] [--memory-budget BYTES] [--spill-dir DIR]
+//!       [--export DIR] [--timing]
 //!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //! ```
 //!
 //! Builds the world, runs the §3 honey study and the §4 wild study,
 //! and prints the full report (the measured side of `EXPERIMENTS.md`).
-//! `--parallel N` fans the wild study's crawl days and the experiment
-//! suite over N worker threads — the report is bit-identical to the
-//! sequential run at any N. `--timing` prints a per-experiment timing
-//! table to stderr and dumps `BENCH_repro.json`.
+//! `--parallel N` fans the wild study's crawl days, sim shards and the
+//! experiment suite over N worker threads — the report is bit-identical
+//! to the sequential run at any N. `--timing` prints a per-experiment
+//! timing table to stderr and dumps `BENCH_repro.json`.
+//!
+//! `--scale` takes a profile (`small`/`paper`), a bare multiplier
+//! (`100` = the paper profile at 100× campaign volume), or both
+//! (`small:10`, `paper:100`). The multiplier scales campaign caps and
+//! daily delivery — a 100× paper run is the "million-device world".
+//! `--shards N` splits the device population and sim state into N
+//! deterministic shards; like `--scale`, the shard count selects which
+//! RNG streams drive the sim, so it is part of the world's identity —
+//! but at any fixed shard count the report stays bit-identical at any
+//! `--parallel` worker count. `--memory-budget` (suffixes `k`/`m`/`g`)
+//! caps the resident dataset, spilling cold column segments to
+//! `--spill-dir` (byte-invariant at any budget).
 //!
 //! `--checkpoint-dir DIR` durably snapshots the wild study into `DIR`
 //! every `--checkpoint-every N` sim days (default: the crawl cadence).
@@ -34,6 +48,9 @@ fn main() {
     let mut export: Option<String> = None;
     let mut timing = false;
     let mut parallel = 1usize;
+    let mut shards = 1usize;
+    let mut memory_budget: Option<u64> = None;
+    let mut spill_dir: Option<String> = None;
     let mut checkpoint_dir: Option<String> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut resume = false;
@@ -55,6 +72,21 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage())
             }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--memory-budget" => {
+                memory_budget = Some(
+                    args.next()
+                        .and_then(|s| parse_bytes(&s))
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--spill-dir" => spill_dir = Some(args.next().unwrap_or_else(|| usage())),
             "--checkpoint-dir" => checkpoint_dir = Some(args.next().unwrap_or_else(|| usage())),
             "--checkpoint-every" => {
                 checkpoint_every = Some(
@@ -72,15 +104,23 @@ fn main() {
             }
         }
     }
-    let mut cfg = match scale.as_str() {
-        "paper" => WorldConfig::paper(seed),
-        "small" => WorldConfig::small(seed),
-        other => {
-            eprintln!("unknown scale {other:?} (use small|paper)");
+    let (profile, multiplier) = match parse_scale(&scale) {
+        Some(parts) => parts,
+        None => {
+            eprintln!("unknown scale {scale:?} (use small|paper|N|small:N|paper:N)");
             std::process::exit(2);
         }
     };
+    let mut cfg = match profile {
+        "paper" => WorldConfig::paper(seed),
+        "small" => WorldConfig::small(seed),
+        _ => unreachable!("parse_scale only yields small|paper"),
+    };
     cfg.parallelism = parallel;
+    cfg.scale = multiplier;
+    cfg.shards = shards;
+    cfg.memory_budget = memory_budget;
+    cfg.spill_dir = spill_dir.map(std::path::PathBuf::from);
 
     // Flag-combination checks (exit 2, one line, no backtrace).
     if resume && checkpoint_dir.is_none() {
@@ -116,8 +156,18 @@ fn main() {
     chaosstats::reset();
 
     eprintln!(
-        "building world: {} advertised apps, {} baseline apps, {} days, seed {seed}, {} worker(s)",
-        cfg.advertised_apps, cfg.baseline_apps, cfg.monitoring_days, cfg.parallelism
+        "building world: {} advertised apps, {} baseline apps, {} days, seed {seed}, \
+         {} worker(s), {}x scale, {} shard(s){}",
+        cfg.advertised_apps,
+        cfg.baseline_apps,
+        cfg.monitoring_days,
+        cfg.parallelism,
+        cfg.scale,
+        cfg.shards,
+        match cfg.memory_budget {
+            Some(b) => format!(", {:.0} MB budget", b as f64 / (1 << 20) as f64),
+            None => String::new(),
+        }
     );
     let world = match World::build(cfg) {
         Ok(world) => world,
@@ -294,6 +344,34 @@ fn main() {
         std::fs::write(ckpt_path, checkpoint_json(&scale, seed, parallel, &ckpt))
             .expect("write BENCH_checkpoint.json");
         eprintln!("wrote {ckpt_path}");
+
+        let spill = artifacts.dataset.spill_stats();
+        eprintln!(
+            "scale run: {} tagged installs in {wild_secs:.1}s ({:.0} devices/s), \
+             {} segment(s) spilled ({} rows, {:.1} KB), {} reload(s)",
+            artifacts.tagged_installs,
+            artifacts.tagged_installs as f64 / wild_secs.max(1e-9),
+            spill.spilled_segments,
+            spill.spilled_rows,
+            spill.spilled_bytes as f64 / 1e3,
+            spill.reloads
+        );
+        let scale_path = "BENCH_scale.json";
+        std::fs::write(
+            scale_path,
+            scale_json(
+                &scale,
+                seed,
+                parallel,
+                shards,
+                multiplier,
+                memory_budget,
+                wild_secs,
+                &artifacts,
+            ),
+        )
+        .expect("write BENCH_scale.json");
+        eprintln!("wrote {scale_path}");
     }
     println!("{report}");
 }
@@ -311,6 +389,7 @@ fn bench_json(
     s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     s.push_str(&format!("  \"seed\": {seed},\n"));
     s.push_str(&format!("  \"parallelism\": {parallel},\n"));
+    s.push_str(&rss_field());
     s.push_str(&format!("  \"wild_study_seconds\": {wild_secs:.3},\n"));
     let total: f64 = timings.iter().map(|t| t.seconds).sum();
     s.push_str(&format!("  \"experiment_seconds_total\": {total:.3},\n"));
@@ -402,6 +481,7 @@ fn wire_json(
     s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     s.push_str(&format!("  \"seed\": {seed},\n"));
     s.push_str(&format!("  \"parallelism\": {parallel},\n"));
+    s.push_str(&rss_field());
     s.push_str("  \"counters\": {\n");
     for (i, (name, value)) in counters.iter().enumerate() {
         let comma = if i + 1 < counters.len() { "," } else { "" };
@@ -507,6 +587,7 @@ fn dataset_json(
     s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     s.push_str(&format!("  \"seed\": {seed},\n"));
     s.push_str(&format!("  \"parallelism\": {parallel},\n"));
+    s.push_str(&rss_field());
     s.push_str(&format!("  \"wild_study_seconds\": {wild_secs:.3},\n"));
     s.push_str("  \"intern_stats\": {\n");
     s.push_str(&format!(
@@ -552,6 +633,7 @@ fn chaos_json(scale: &str, seed: u64, parallel: usize, counters: &[(&'static str
     s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     s.push_str(&format!("  \"seed\": {seed},\n"));
     s.push_str(&format!("  \"parallelism\": {parallel},\n"));
+    s.push_str(&rss_field());
     s.push_str("  \"counters\": {\n");
     for (i, (name, value)) in counters.iter().enumerate() {
         let comma = if i + 1 < counters.len() { "," } else { "" };
@@ -576,6 +658,7 @@ fn checkpoint_json(
     s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     s.push_str(&format!("  \"seed\": {seed},\n"));
     s.push_str(&format!("  \"parallelism\": {parallel},\n"));
+    s.push_str(&rss_field());
     s.push_str(&format!(
         "  \"snapshots_written\": {},\n",
         ckpt.snapshots_written
@@ -601,11 +684,116 @@ fn checkpoint_json(
     s
 }
 
+/// The shared `"peak_rss_bytes"` JSON line every `BENCH_*.json` dump
+/// carries: `VmHWM` of this process, or `null` where `/proc` is
+/// unavailable. Sampled at emit time — the dumps are written after the
+/// run's high-water mark, so one sample serves them all.
+fn rss_field() -> String {
+    match iiscope_types::rss::peak_rss_bytes() {
+        Some(bytes) => format!("  \"peak_rss_bytes\": {bytes},\n"),
+        None => "  \"peak_rss_bytes\": null,\n".to_string(),
+    }
+}
+
+/// Hand-rolled JSON for the scale dump: throughput (incentivized
+/// installs delivered per wall second), the scale/shard/budget knobs,
+/// peak RSS and the dataset's spill counters — the "million-device
+/// world" headline numbers.
+#[allow(clippy::too_many_arguments)]
+fn scale_json(
+    scale: &str,
+    seed: u64,
+    parallel: usize,
+    shards: usize,
+    multiplier: u64,
+    memory_budget: Option<u64>,
+    wild_secs: f64,
+    artifacts: &iiscope_core::WildArtifacts,
+) -> String {
+    let spill = artifacts.dataset.spill_stats();
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"parallelism\": {parallel},\n"));
+    s.push_str(&rss_field());
+    s.push_str(&format!("  \"shards\": {shards},\n"));
+    s.push_str(&format!("  \"scale_multiplier\": {multiplier},\n"));
+    match memory_budget {
+        Some(b) => s.push_str(&format!("  \"memory_budget_bytes\": {b},\n")),
+        None => s.push_str("  \"memory_budget_bytes\": null,\n"),
+    }
+    s.push_str(&format!("  \"wild_study_seconds\": {wild_secs:.3},\n"));
+    s.push_str(&format!(
+        "  \"tagged_installs\": {},\n",
+        artifacts.tagged_installs
+    ));
+    s.push_str(&format!(
+        "  \"devices_per_second\": {:.1},\n",
+        artifacts.tagged_installs as f64 / wild_secs.max(1e-9)
+    ));
+    s.push_str("  \"spill\": {\n");
+    s.push_str(&format!(
+        "    \"spilled_segments\": {},\n",
+        spill.spilled_segments
+    ));
+    s.push_str(&format!("    \"spilled_rows\": {},\n", spill.spilled_rows));
+    s.push_str(&format!(
+        "    \"spilled_bytes\": {},\n",
+        spill.spilled_bytes
+    ));
+    s.push_str(&format!("    \"reloads\": {},\n", spill.reloads));
+    s.push_str(&format!(
+        "    \"resident_bytes\": {}\n",
+        spill.resident_bytes
+    ));
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Splits a `--scale` argument into (profile, multiplier): `small`,
+/// `paper`, a bare multiplier (paper profile), or `profile:N`.
+fn parse_scale(s: &str) -> Option<(&'static str, u64)> {
+    let (profile, mult) = match s.split_once(':') {
+        Some((p, m)) => (p, m.parse().ok().filter(|&n| n >= 1)?),
+        None => match s.parse::<u64>() {
+            Ok(n) if n >= 1 => ("paper", n),
+            Ok(_) => return None,
+            Err(_) => (s, 1),
+        },
+    };
+    match profile {
+        "paper" => Some(("paper", mult)),
+        "small" => Some(("small", mult)),
+        _ => None,
+    }
+}
+
+/// Parses a byte count with optional `k`/`m`/`g` suffix (powers of
+/// 1024, case-insensitive): `64m` → 67108864.
+fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, shift) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 10),
+        'm' | 'M' => (&s[..s.len() - 1], 20),
+        'g' | 'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_shl(shift).filter(|&b| b > 0)
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale small|paper] [--seed N] [--parallel N] [--export DIR] [--timing]\n\
+        "usage: repro [--scale small|paper|N|small:N|paper:N] [--seed N] [--parallel N]\n\
+         \x20            [--shards N] [--memory-budget BYTES] [--spill-dir DIR]\n\
+         \x20            [--export DIR] [--timing]\n\
          \x20            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n\
          \n\
+         --scale PROFILE[:N]    world profile and campaign-volume multiplier\n\
+         \x20                      (bare N = paper profile at N x volume)\n\
+         --shards N             split population + sim state into N shards\n\
+         --memory-budget BYTES  resident-dataset cap; k/m/g suffixes accepted\n\
+         --spill-dir DIR        where cold column segments spill (default: temp)\n\
          --checkpoint-dir DIR   durably snapshot the wild study into DIR\n\
          --checkpoint-every N   snapshot every N sim days (default: crawl cadence)\n\
          --resume               restore the newest valid snapshot from DIR\n\

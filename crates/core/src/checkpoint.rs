@@ -29,11 +29,11 @@
 
 use crate::chaos::fnv64;
 use crate::config::WorldConfig;
-use iiscope_monitor::parsers::{RawOffer, RewardValue, ScrapedOffer};
+use iiscope_monitor::parsers::ScrapedOffer;
+use iiscope_monitor::spill::{SegRef, SpillManifest, SpillRow};
 use iiscope_monitor::{ChartSnapshot, ProfileSnapshot};
-use iiscope_playstore::ChartKind;
 use iiscope_types::frame::{Dec, Enc, FrameError, FrameReader, FrameWriter};
-use iiscope_types::{Country, IipId, Interner, SimTime};
+use iiscope_types::Interner;
 use iiscope_wire::ClientState;
 use rand::rngs::RngState;
 use std::io::Write as _;
@@ -41,8 +41,12 @@ use std::path::{Path, PathBuf};
 
 /// Payload schema revision carried in the META section. Bump on any
 /// layout change; decoding rejects unknown versions instead of
-/// guessing.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// guessing. Version 2 added the SPILL section: the offer and chart
+/// logs' disk-resident segments are checkpointed *by reference*
+/// (file + per-segment CRC) instead of being re-serialized into every
+/// snapshot, so snapshot cost tracks the resident suffix, not the
+/// full run history.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const SEC_META: u8 = 1;
 const SEC_SIM: u8 = 2;
@@ -52,6 +56,7 @@ const SEC_PROFILES: u8 = 5;
 const SEC_CHARTS: u8 = 6;
 const SEC_CRAWLER: u8 = 7;
 const SEC_COUNTERS: u8 = 8;
+const SEC_SPILL: u8 = 9;
 
 /// A named counter ledger (`chaosstats`/`wirestats` snapshot form).
 pub type Ledger = Vec<(String, u64)>;
@@ -77,11 +82,19 @@ pub struct Snapshot {
     pub pkg_syms: Interner,
     /// Description symbol table at snapshot time, rank order.
     pub desc_syms: Interner,
-    /// Raw offer log, arrival order.
+    /// Spilled prefix of the offer log, by reference: the spill file
+    /// plus one CRC-checked [`SegRef`] per disk segment. Restore
+    /// re-attaches and validates the file instead of re-reading rows
+    /// out of the snapshot.
+    pub offers_spill: SpillManifest,
+    /// Resident suffix of the offer log (rows not covered by
+    /// `offers_spill`), arrival order.
     pub offers: Vec<ScrapedOffer>,
     /// Raw profile log, arrival order.
     pub profiles: Vec<ProfileSnapshot>,
-    /// Raw chart log, arrival order.
+    /// Spilled prefix of the chart log, by reference.
+    pub charts_spill: SpillManifest,
+    /// Resident suffix of the chart log, arrival order.
     pub charts: Vec<ChartSnapshot>,
     /// Chaos counter ledger at snapshot time.
     pub chaos_counters: Ledger,
@@ -110,10 +123,14 @@ pub struct CheckpointStats {
 /// Fingerprint of every configuration field that influences study
 /// *results*. `parallelism` is deliberately excluded: the study is
 /// bit-identical across worker counts, so a snapshot written at 8
-/// workers legitimately resumes at 1 and vice versa.
+/// workers legitimately resumes at 1 and vice versa. `memory_budget`
+/// and `spill_dir` are excluded for the same reason — any budget
+/// produces identical results, so a spilling run legitimately resumes
+/// fully resident and vice versa. `scale` and `shards` *are* included:
+/// both change the generated population and therefore the results.
 pub fn config_fingerprint(cfg: &WorldConfig) -> u64 {
     let relevant = format!(
-        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
         cfg.advertised_apps,
         cfg.baseline_apps,
         cfg.monitoring_days,
@@ -127,6 +144,8 @@ pub fn config_fingerprint(cfg: &WorldConfig) -> u64 {
         cfg.walls_pin_certificates,
         cfg.companion_marketing,
         cfg.rating_offers,
+        cfg.scale,
+        cfg.shards,
     );
     fnv64(relevant.as_bytes())
 }
@@ -174,24 +193,30 @@ impl Snapshot {
         enc_interner(&mut syms, &self.desc_syms);
         w.record(syms.bytes());
 
+        let mut spill = Enc::new();
+        spill.u8(SEC_SPILL);
+        enc_manifest(&mut spill, &self.offers_spill);
+        enc_manifest(&mut spill, &self.charts_spill);
+        w.record(spill.bytes());
+
         let mut offers = Enc::new();
         offers.u8(SEC_OFFERS).u64(self.offers.len() as u64);
         for o in &self.offers {
-            enc_offer(&mut offers, o);
+            o.enc_row(&mut offers);
         }
         w.record(offers.bytes());
 
         let mut profiles = Enc::new();
         profiles.u8(SEC_PROFILES).u64(self.profiles.len() as u64);
         for p in &self.profiles {
-            enc_profile(&mut profiles, p);
+            p.enc_row(&mut profiles);
         }
         w.record(profiles.bytes());
 
         let mut charts = Enc::new();
         charts.u8(SEC_CHARTS).u64(self.charts.len() as u64);
         for c in &self.charts {
-            enc_chart(&mut charts, c);
+            c.enc_row(&mut charts);
         }
         w.record(charts.bytes());
 
@@ -222,6 +247,7 @@ impl Snapshot {
         let mut charts: Option<Vec<ChartSnapshot>> = None;
         let mut crawler: Option<ClientState> = None;
         let mut counters: Option<(Ledger, Ledger)> = None;
+        let mut spill: Option<(SpillManifest, SpillManifest)> = None;
 
         while let Some(payload) = reader.next_record()? {
             let mut d = Dec::new(payload);
@@ -244,11 +270,17 @@ impl Snapshot {
                     d.finish()?;
                     syms = Some((pkg, desc));
                 }
+                SEC_SPILL => {
+                    let o = dec_manifest(&mut d)?;
+                    let c = dec_manifest(&mut d)?;
+                    d.finish()?;
+                    spill = Some((o, c));
+                }
                 SEC_OFFERS => {
                     let n = d.u64()?;
                     let mut v = Vec::new();
                     for _ in 0..n {
-                        v.push(dec_offer(&mut d)?);
+                        v.push(ScrapedOffer::dec_row(&mut d)?);
                     }
                     d.finish()?;
                     offers = Some(v);
@@ -257,7 +289,7 @@ impl Snapshot {
                     let n = d.u64()?;
                     let mut v = Vec::new();
                     for _ in 0..n {
-                        v.push(dec_profile(&mut d)?);
+                        v.push(ProfileSnapshot::dec_row(&mut d)?);
                     }
                     d.finish()?;
                     profiles = Some(v);
@@ -266,7 +298,7 @@ impl Snapshot {
                     let n = d.u64()?;
                     let mut v = Vec::new();
                     for _ in 0..n {
-                        v.push(dec_chart(&mut d)?);
+                        v.push(ChartSnapshot::dec_row(&mut d)?);
                     }
                     d.finish()?;
                     charts = Some(v);
@@ -291,6 +323,8 @@ impl Snapshot {
         let (pkg_syms, desc_syms) = syms.ok_or(FrameError::Codec("missing SYMS section"))?;
         let (chaos_counters, wire_counters) =
             counters.ok_or(FrameError::Codec("missing COUNTERS section"))?;
+        let (offers_spill, charts_spill) =
+            spill.ok_or(FrameError::Codec("missing SPILL section"))?;
         Ok(Snapshot {
             day,
             seed,
@@ -299,13 +333,52 @@ impl Snapshot {
             crawler: crawler.ok_or(FrameError::Codec("missing CRAWLER section"))?,
             pkg_syms,
             desc_syms,
+            offers_spill,
             offers: offers.ok_or(FrameError::Codec("missing OFFERS section"))?,
             profiles: profiles.ok_or(FrameError::Codec("missing PROFILES section"))?,
+            charts_spill,
             charts: charts.ok_or(FrameError::Codec("missing CHARTS section"))?,
             chaos_counters,
             wire_counters,
         })
     }
+}
+
+fn enc_manifest(e: &mut Enc, m: &SpillManifest) {
+    match &m.file {
+        Some(path) => {
+            e.u8(1).str(&path.to_string_lossy());
+        }
+        None => {
+            e.u8(0);
+        }
+    }
+    e.u64(m.segments.len() as u64);
+    for s in &m.segments {
+        e.u64(s.rows).u64(s.offset).u64(s.len).u32(s.crc);
+    }
+}
+
+fn dec_manifest(d: &mut Dec) -> Result<SpillManifest, FrameError> {
+    let file = match d.u8()? {
+        0 => None,
+        1 => Some(PathBuf::from(d.str()?)),
+        _ => return Err(FrameError::Codec("bad spill-file flag")),
+    };
+    let n = d.u64()?;
+    let mut segments = Vec::new();
+    for _ in 0..n {
+        segments.push(SegRef {
+            rows: d.u64()?,
+            offset: d.u64()?,
+            len: d.u64()?,
+            crc: d.u32()?,
+        });
+    }
+    if file.is_none() && !segments.is_empty() {
+        return Err(FrameError::Codec("spill segments without a spill file"));
+    }
+    Ok(SpillManifest { file, segments })
 }
 
 fn enc_rng(e: &mut Enc, s: &RngState) {
@@ -366,126 +439,6 @@ fn dec_ledger(d: &mut Dec) -> Result<Ledger, FrameError> {
         out.push((key, d.u64()?));
     }
     Ok(out)
-}
-
-fn enc_offer(e: &mut Enc, o: &ScrapedOffer) {
-    e.u8(o.iip as u8).u64(o.raw.offer_key);
-    e.str(&o.raw.description);
-    match o.raw.reward {
-        RewardValue::Usd(v) => e.u8(0).f64(v),
-        RewardValue::Points(v) => e.u8(1).i64(v),
-        RewardValue::Cents(v) => e.u8(2).i64(v),
-    };
-    e.str(&o.raw.package).str(&o.raw.store_url);
-    e.u64(o.seen_at.secs());
-    e.str(&o.affiliate).str(o.vantage.code());
-}
-
-fn dec_offer(d: &mut Dec) -> Result<ScrapedOffer, FrameError> {
-    let iip = iip_from_index(d.u8()?)?;
-    let offer_key = d.u64()?;
-    let description = d.str()?.to_string();
-    let reward = match d.u8()? {
-        0 => RewardValue::Usd(d.f64()?),
-        1 => RewardValue::Points(d.i64()?),
-        2 => RewardValue::Cents(d.i64()?),
-        _ => return Err(FrameError::Codec("unknown reward tag")),
-    };
-    let package = d.str()?.to_string();
-    let store_url = d.str()?.to_string();
-    let seen_at = SimTime::from_secs(d.u64()?);
-    let affiliate = d.str()?.to_string();
-    let vantage = country_from_code(d.str()?)?;
-    Ok(ScrapedOffer {
-        iip,
-        raw: RawOffer {
-            offer_key,
-            description,
-            reward,
-            package,
-            store_url,
-        },
-        seen_at,
-        affiliate,
-        vantage,
-    })
-}
-
-fn enc_profile(e: &mut Enc, p: &ProfileSnapshot) {
-    e.u64(p.day);
-    e.str(&p.package).str(&p.title).str(&p.genre_id);
-    e.u64(p.released_day)
-        .u64(p.min_installs)
-        .u64(p.developer_id);
-    e.str(&p.developer_name)
-        .str(&p.developer_country)
-        .str(&p.developer_email)
-        .str(&p.developer_website);
-    e.f64(p.rating).u64(p.rating_count);
-}
-
-fn dec_profile(d: &mut Dec) -> Result<ProfileSnapshot, FrameError> {
-    Ok(ProfileSnapshot {
-        day: d.u64()?,
-        package: d.str()?.to_string(),
-        title: d.str()?.to_string(),
-        genre_id: d.str()?.to_string(),
-        released_day: d.u64()?,
-        min_installs: d.u64()?,
-        developer_id: d.u64()?,
-        developer_name: d.str()?.to_string(),
-        developer_country: d.str()?.to_string(),
-        developer_email: d.str()?.to_string(),
-        developer_website: d.str()?.to_string(),
-        rating: d.f64()?,
-        rating_count: d.u64()?,
-    })
-}
-
-fn enc_chart(e: &mut Enc, c: &ChartSnapshot) {
-    e.u64(c.day).str(c.chart).u64(c.entries.len() as u64);
-    for (pkg, rank) in &c.entries {
-        e.str(pkg).u64(*rank as u64);
-    }
-}
-
-fn dec_chart(d: &mut Dec) -> Result<ChartSnapshot, FrameError> {
-    let day = d.u64()?;
-    let chart = chart_id_from_str(d.str()?)?;
-    let n = d.u64()?;
-    let mut entries = Vec::new();
-    for _ in 0..n {
-        let pkg = d.str()?.to_string();
-        entries.push((pkg, d.u64()? as usize));
-    }
-    Ok(ChartSnapshot {
-        day,
-        chart,
-        entries,
-    })
-}
-
-fn iip_from_index(idx: u8) -> Result<IipId, FrameError> {
-    IipId::ALL
-        .get(idx as usize)
-        .copied()
-        .ok_or(FrameError::Codec("IIP index out of range"))
-}
-
-fn country_from_code(code: &str) -> Result<Country, FrameError> {
-    Country::ALL
-        .iter()
-        .find(|c| c.code() == code)
-        .copied()
-        .ok_or(FrameError::Codec("unknown country code"))
-}
-
-fn chart_id_from_str(s: &str) -> Result<&'static str, FrameError> {
-    ChartKind::ALL
-        .iter()
-        .find(|k| k.id() == s)
-        .map(|k| k.id())
-        .ok_or(FrameError::Codec("unknown chart id"))
 }
 
 /// Snapshot file name for a sim day: `snap-000042.ckpt`.
@@ -611,6 +564,9 @@ pub fn load_latest(dir: &Path) -> Result<Scan, ScanError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iiscope_monitor::parsers::{RawOffer, RewardValue};
+    use iiscope_playstore::ChartKind;
+    use iiscope_types::{Country, IipId, SimTime};
 
     fn sample_snapshot() -> Snapshot {
         let mut pkg_syms = Interner::new();
@@ -633,6 +589,23 @@ mod tests {
             },
             pkg_syms,
             desc_syms,
+            offers_spill: SpillManifest {
+                file: Some(PathBuf::from("/tmp/iiscope-spill/run-offers.spill")),
+                segments: vec![
+                    SegRef {
+                        rows: 128,
+                        offset: 0,
+                        len: 9_001,
+                        crc: 0xDEAD_BEEF,
+                    },
+                    SegRef {
+                        rows: 64,
+                        offset: 9_001,
+                        len: 4_400,
+                        crc: 0x1234_5678,
+                    },
+                ],
+            },
             offers: vec![ScrapedOffer {
                 iip: IipId::Fyber,
                 raw: RawOffer {
@@ -661,6 +634,7 @@ mod tests {
                 rating: 4.25,
                 rating_count: 31,
             }],
+            charts_spill: SpillManifest::default(),
             charts: vec![ChartSnapshot {
                 day: 1502,
                 chart: ChartKind::ALL[0].id(),
@@ -683,8 +657,10 @@ mod tests {
         assert_eq!(back.crawler, snap.crawler);
         assert_eq!(back.pkg_syms, snap.pkg_syms);
         assert_eq!(back.desc_syms, snap.desc_syms);
+        assert_eq!(back.offers_spill, snap.offers_spill);
         assert_eq!(back.offers, snap.offers);
         assert_eq!(back.profiles, snap.profiles);
+        assert_eq!(back.charts_spill, snap.charts_spill);
         assert_eq!(back.charts, snap.charts);
         assert_eq!(back.chaos_counters, snap.chaos_counters);
         assert_eq!(back.wire_counters, snap.wire_counters);
@@ -715,6 +691,15 @@ mod tests {
         let mut cfg = WorldConfig::small(1);
         cfg.parallelism = 8;
         assert_eq!(a, config_fingerprint(&cfg), "parallelism is excluded");
+        cfg.memory_budget = Some(1 << 20);
+        cfg.spill_dir = Some(PathBuf::from("/tmp/elsewhere"));
+        assert_eq!(a, config_fingerprint(&cfg), "spill knobs are excluded");
+        cfg.scale = 10;
+        assert_ne!(a, config_fingerprint(&cfg), "scale changes results");
+        cfg.scale = 1;
+        cfg.shards = 4;
+        assert_ne!(a, config_fingerprint(&cfg), "shards change results");
+        cfg.shards = 1;
         cfg.monitoring_days += 1;
         assert_ne!(a, config_fingerprint(&cfg));
         let snap = sample_snapshot();

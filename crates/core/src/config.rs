@@ -2,6 +2,7 @@
 
 use iiscope_playstore::{ChartRanking, EnforcementConfig};
 use iiscope_types::Country;
+use std::path::PathBuf;
 
 /// Everything that parameterizes a world build and study run.
 #[derive(Debug, Clone)]
@@ -58,6 +59,32 @@ pub struct WorldConfig {
     /// taxonomy has no rating class, so the calibrated world excludes
     /// them; the knob exists for the rating-inflation experiment.
     pub rating_offers: bool,
+    /// Device/install-volume multiplier. `scale = N` multiplies every
+    /// campaign's install cap and delivery rate (and the sharded
+    /// audience sizes) by `N` while keeping the app catalog fixed —
+    /// the axis the related download-fraud work scales along (~10M
+    /// events) is events-per-app, not apps. `1` is the paper world,
+    /// bit-for-bit. The honey study stays unscaled: it is the paper's
+    /// fixed measurement protocol (500 installs per campaign).
+    pub scale: u64,
+    /// Number of population/state shards for the wild-study day loop.
+    /// Offers are assigned to shards by package symbol
+    /// (`iiscope_types::shard_of`, a pure function), shard sim steps
+    /// run under the `parallelism` fan-out, and their effect buffers
+    /// merge in shard-index order — so the result depends on `shards`
+    /// but never on worker count. `1` is the unsharded legacy stream.
+    pub shards: usize,
+    /// Resident-memory budget in bytes for the monitor dataset's
+    /// spillable columns (offer observations, chart timelines). When
+    /// the columns outgrow the budget, cold segments spill to disk via
+    /// the CRC-framed snapshot codec and reload through an LRU cache.
+    /// `None` keeps everything resident. Byte-invariant: any budget
+    /// produces the identical report and CSVs.
+    pub memory_budget: Option<u64>,
+    /// Directory for spill files. `None` uses a per-process directory
+    /// under the system temp dir. Only consulted when `memory_budget`
+    /// is set.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl WorldConfig {
@@ -79,6 +106,10 @@ impl WorldConfig {
             walls_pin_certificates: false,
             companion_marketing: true,
             rating_offers: false,
+            scale: 1,
+            shards: 1,
+            memory_budget: None,
+            spill_dir: None,
         }
     }
 
@@ -116,5 +147,11 @@ mod tests {
         assert!(!s.walls_pin_certificates);
         assert_eq!(p.parallelism, 1, "presets default to the sequential path");
         assert_eq!(s.parallelism, 1);
+        // Scaling knobs default to the unscaled, unsharded, fully
+        // resident paper world.
+        assert_eq!(p.scale, 1);
+        assert_eq!(p.shards, 1);
+        assert!(p.memory_budget.is_none());
+        assert!(s.spill_dir.is_none());
     }
 }

@@ -43,7 +43,6 @@ impl CaseStudy {
             // Chart size on that day for the percentile axis.
             let size = ds
                 .charts()
-                .iter()
                 .find(|c| c.day == day && c.chart == chart)
                 .map_or(0, |c| c.entries.len());
             match rank {

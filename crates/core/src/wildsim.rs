@@ -36,7 +36,7 @@
 
 use crate::chaos::CrashPlan;
 use crate::checkpoint::{self, CheckpointStats, Snapshot};
-use crate::world::World;
+use crate::world::{OrganicProfile, World};
 use iiscope_attribution::{Conversion, ConversionGoal, Postback};
 use iiscope_devices::behavior::plan_for;
 use iiscope_devices::{IipBehaviorProfile, WorkerKind};
@@ -44,8 +44,8 @@ use iiscope_monitor::{Crawler, Dataset, UiFuzzer};
 use iiscope_playstore::{InstallSignals, InstallSource};
 use iiscope_types::rng::chance;
 use iiscope_types::{
-    chaosstats, wirestats, AppId, CampaignId, DeviceId, Error, IipId, Result, SimDuration, SimTime,
-    Usd,
+    chaosstats, shard_of, wirestats, AppId, CampaignId, DeviceId, Error, IipId, Result,
+    SimDuration, SimTime, Sym, Usd,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -85,7 +85,7 @@ where
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<T>>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
     crossbeam::thread::scope(|s| {
-        for _ in 0..workers.min(n_jobs) {
+        for _ in 0..pool_size(workers, n_jobs) {
             s.spawn(|_| loop {
                 let j = cursor.fetch_add(1, Ordering::Relaxed);
                 if j >= n_jobs {
@@ -103,6 +103,13 @@ where
                 .unwrap_or_else(|| Err(Error::WorkerPanic("job slot never filled".into())))
         })
         .collect()
+}
+
+/// Sizes a fan-out's worker pool: never more threads than jobs (extra
+/// threads would spin up, find the cursor exhausted, and die — pure
+/// overhead), never zero.
+pub(crate) fn pool_size(workers: usize, n_jobs: usize) -> usize {
+    workers.max(1).min(n_jobs.max(1))
 }
 
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
@@ -151,6 +158,10 @@ pub struct WildArtifacts {
     /// Star ratings recorded by incentivized RateApp completions
     /// (extension; always 0 unless `WorldConfig::rating_offers`).
     pub incentivized_ratings: u64,
+    /// Incentivized (tagged) installs delivered over the window — the
+    /// event count `--scale` multiplies and the numerator of the
+    /// devices/sec throughput figure.
+    pub tagged_installs: u64,
     /// Raw offer observations count (pre-dedup).
     pub offer_observations: usize,
     /// Checkpoint write/replay accounting for this run (zeroed when
@@ -180,18 +191,88 @@ struct OfferRt {
     ended: bool,
 }
 
-/// The mutable state the day loop carries: the sim side (RNG, offer
-/// runtimes, schedule, counters) that a resume regenerates by replay,
-/// and the measurement side (dataset, chart crawler) that a resume
-/// restores from the snapshot.
+/// One deferred world mutation emitted by a shard's sim step. Shard
+/// sims draw only from their private RNG streams and never touch the
+/// store or platforms; their op buffers are applied in shard-index
+/// (then emission) order afterwards, so the world sees one
+/// deterministic mutation sequence no matter how many OS workers ran
+/// the shard sims. With one shard the emission order is exactly the
+/// legacy inline call order, which is what keeps `shards = 1`
+/// bit-identical to the historical day loop.
+enum Op {
+    OrganicInstalls {
+        app: AppId,
+        at: SimTime,
+        n: u64,
+    },
+    EngagementBulk {
+        app: AppId,
+        at: SimTime,
+        sessions: u64,
+        secs: u64,
+    },
+    RevenueBulk {
+        app: AppId,
+        at: SimTime,
+        buyers: u64,
+        amount: Usd,
+    },
+    RatingsBulk {
+        app: AppId,
+        n: u64,
+        stars_total: u64,
+    },
+    Install {
+        app: AppId,
+        at: SimTime,
+        signals: InstallSignals,
+        tag: String,
+    },
+    Session {
+        app: AppId,
+        at: SimTime,
+        secs: u64,
+    },
+    Registration {
+        app: AppId,
+        at: SimTime,
+    },
+    Purchase {
+        app: AppId,
+        at: SimTime,
+        amount: Usd,
+    },
+    Rating {
+        app: AppId,
+        stars: u8,
+    },
+    Postback {
+        iip: IipId,
+        pb: Postback,
+    },
+}
+
+/// One population/state shard of the day loop: a private RNG stream
+/// and the offer runtimes assigned to it (by package symbol, via
+/// [`shard_of`]). Shard 0 of a single-shard world carries the legacy
+/// `"wildsim"` stream.
+struct ShardSim {
+    rng: StdRng,
+    active: Vec<OfferRt>,
+}
+
+/// The mutable state the day loop carries: the sim side (per-shard
+/// RNGs and offer runtimes, schedule, counters) that a resume
+/// regenerates by replay, and the measurement side (dataset, chart
+/// crawler) that a resume restores from the snapshot.
 struct SimState {
     dataset: Dataset,
-    rng: StdRng,
     crawler: Crawler,
     pending: BTreeMap<u64, Vec<(usize, usize, usize)>>,
-    active: Vec<OfferRt>,
+    shards: Vec<ShardSim>,
     enforcement_removed: u64,
     incentivized_ratings: u64,
+    tagged_installs: u64,
     device_base: u64,
 }
 
@@ -204,7 +285,7 @@ impl World {
     /// Runs the wild study with checkpointing, resume and kill-point
     /// options. See the module docs for the sim/measurement split that
     /// makes the resume path byte-identical to a straight-through run.
-    pub fn run_wild_study_with(&self, opts: WildRunOptions) -> Result<WildArtifacts> {
+    pub fn run_wild_study_with(&self, mut opts: WildRunOptions) -> Result<WildArtifacts> {
         let mut stats = CheckpointStats::default();
         let profiles: BTreeMap<IipId, IipBehaviorProfile> = IipId::ALL
             .into_iter()
@@ -213,13 +294,14 @@ impl World {
         let fuzzer = UiFuzzer::new(iiscope_monitor::FuzzerConfig {
             max_scroll_pages: self.cfg.fuzzer_pages,
         });
+        let organic = self.organic_by_shard();
 
-        let (mut st, start_day) = match opts.resume {
+        let (mut st, start_day) = match opts.resume.take() {
             Some(snap) => {
                 snap.check_compatible(&self.cfg)
                     .map_err(Error::InvalidState)?;
                 let t = std::time::Instant::now();
-                let mut st = self.replay_sim_to(snap.day, &profiles)?;
+                let mut st = self.replay_sim_to(snap.day, &profiles, &organic)?;
                 let replayed = self.encode_sim(&st, snap.day);
                 if replayed != snap.sim_bytes {
                     return Err(Error::InvalidState(format!(
@@ -231,11 +313,13 @@ impl World {
                         snap.sim_bytes.len()
                     )));
                 }
-                st.dataset = Dataset::from_parts(
+                st.dataset = Dataset::from_parts_with_spill(
                     snap.pkg_syms,
                     snap.desc_syms,
+                    &snap.offers_spill,
                     snap.offers,
                     snap.profiles,
+                    &snap.charts_spill,
                     snap.charts,
                 )?;
                 st.crawler.restore(&snap.crawler);
@@ -248,6 +332,19 @@ impl World {
             None => (self.fresh_sim_state(), 0),
         };
 
+        // Out-of-core budget for the dataset's spillable columns.
+        // Byte-invariant (any budget yields identical results), so it
+        // applies identically to fresh and resumed runs; resume keeps
+        // appending to the spill file the snapshot references.
+        if self.cfg.memory_budget.is_some() {
+            let dir = self.resolve_spill_dir(&opts);
+            st.dataset.set_memory_budget(
+                self.cfg.memory_budget,
+                &dir,
+                &format!("iiscope-{}", self.cfg.seed),
+            );
+        }
+
         for day in start_day..=self.cfg.monitoring_days {
             if let Some(crash) = &opts.crash {
                 if day == crash.kill_day {
@@ -258,7 +355,7 @@ impl World {
             }
             let t0 = self.study_start() + SimDuration::from_days(day);
             self.net.clock().advance_to(t0);
-            self.sim_day(&mut st, day, t0, &profiles)?;
+            self.sim_day(&mut st, day, t0, &profiles, &organic)?;
             if day % self.cfg.crawl_cadence_days == 0 {
                 self.measure_day(&mut st, t0, &fuzzer)?;
             }
@@ -312,8 +409,51 @@ impl World {
             apks,
             enforcement_removed: st.enforcement_removed,
             incentivized_ratings: st.incentivized_ratings,
+            tagged_installs: st.tagged_installs,
             checkpoints: stats,
         })
+    }
+
+    /// Where spill files live: the configured directory, else a
+    /// `spill/` subdirectory of the checkpoint directory (so snapshot
+    /// references and spill data share durability), else a per-process
+    /// directory under the system temp dir.
+    fn resolve_spill_dir(&self, opts: &WildRunOptions) -> PathBuf {
+        if let Some(d) = &self.cfg.spill_dir {
+            return d.clone();
+        }
+        if let Some(cp) = &opts.checkpoint {
+            return cp.dir.join("spill");
+        }
+        std::env::temp_dir().join(format!("iiscope-spill-{}", std::process::id()))
+    }
+
+    /// Partition of the organic catalog across sim shards by package
+    /// symbol, in `AppId` order within each shard (the legacy
+    /// iteration order). Pure function of the world — computed once
+    /// per run.
+    fn organic_by_shard(&self) -> Vec<Vec<(AppId, OrganicProfile)>> {
+        let n = self.cfg.shards.max(1);
+        let mut sym_of: BTreeMap<AppId, Sym> = BTreeMap::new();
+        let mut index = |pkg: &str| {
+            if let Some(sym) = self.syms.get(pkg) {
+                if let Some(id) = self.app_ids.get(sym) {
+                    sym_of.insert(*id, sym);
+                }
+            }
+        };
+        for app in &self.plan.apps {
+            index(app.package.as_str());
+        }
+        for b in &self.plan.baseline {
+            index(b.package.as_str());
+        }
+        let mut out = vec![Vec::new(); n];
+        for (app_id, org) in &self.organic {
+            let shard = sym_of.get(app_id).map_or(0, |s| shard_of(*s, n));
+            out[shard].push((*app_id, *org));
+        }
+        out
     }
 
     /// Day-0 state of the day loop: the planned schedule keyed by
@@ -330,14 +470,28 @@ impl World {
                 }
             }
         }
+        let wild = self.seed.fork("wildsim");
+        let shards = (0..self.cfg.shards.max(1))
+            .map(|k| ShardSim {
+                // Shard 0 carries the legacy `"wildsim"` stream, so a
+                // single-shard world replays the historical RNG
+                // sequence bit-for-bit.
+                rng: if k == 0 {
+                    wild.rng()
+                } else {
+                    wild.fork_idx("shard", k as u64).rng()
+                },
+                active: Vec::new(),
+            })
+            .collect();
         SimState {
             dataset: Dataset::with_interner(self.syms.clone()),
-            rng: self.seed.fork("wildsim").rng(),
             crawler: self.crawler(),
             pending,
-            active: Vec::new(),
+            shards,
             enforcement_removed: 0,
             incentivized_ratings: 0,
+            tagged_installs: 0,
             device_base: 10_000_000,
         }
     }
@@ -351,12 +505,13 @@ impl World {
         &self,
         day: u64,
         profiles: &BTreeMap<IipId, IipBehaviorProfile>,
+        organic: &[Vec<(AppId, OrganicProfile)>],
     ) -> Result<SimState> {
         let mut st = self.fresh_sim_state();
         for d in 0..=day {
             let t0 = self.study_start() + SimDuration::from_days(d);
             self.net.clock().advance_to(t0);
-            self.sim_day(&mut st, d, t0, profiles)?;
+            self.sim_day(&mut st, d, t0, profiles, organic)?;
         }
         Ok(st)
     }
@@ -368,14 +523,36 @@ impl World {
     fn encode_sim(&self, st: &SimState, day: u64) -> Vec<u8> {
         let mut e = iiscope_types::frame::Enc::new();
         e.u64(day);
-        let rng = st.rng.state();
-        for k in rng.key {
-            e.u32(k);
+        e.u64(st.shards.len() as u64);
+        for shard in &st.shards {
+            let rng = shard.rng.state();
+            for k in rng.key {
+                e.u32(k);
+            }
+            e.u64(rng.counter).u64(rng.index as u64);
+            e.u64(shard.active.len() as u64);
+            for rt in &shard.active {
+                e.u64(rt.app_id.raw())
+                    .u8(rt.iip as u8)
+                    .u64(rt.campaign_id.raw());
+                e.str(&rt.tag);
+                e.str(&format!("{:?}", rt.goal));
+                e.u64(rt.start_day)
+                    .u64(rt.end_day)
+                    .u64(rt.cap)
+                    .u64(rt.completions);
+                e.f64(rt.installs_per_day)
+                    .f64(rt.carry)
+                    .f64(rt.companion_per_day)
+                    .f64(rt.companion_carry);
+                e.u32(rt.farm_left).u32(rt.farm_block);
+                e.u64(rt.device_counter).bool(rt.ended);
+            }
         }
-        e.u64(rng.counter).u64(rng.index as u64);
         e.u64(st.device_base)
             .u64(st.enforcement_removed)
-            .u64(st.incentivized_ratings);
+            .u64(st.incentivized_ratings)
+            .u64(st.tagged_installs);
         e.u64(self.net.clock().now().secs());
         e.u64(st.pending.len() as u64);
         for (d, starts) in &st.pending {
@@ -383,24 +560,6 @@ impl World {
             for (ai, ci, oi) in starts {
                 e.u64(*ai as u64).u64(*ci as u64).u64(*oi as u64);
             }
-        }
-        e.u64(st.active.len() as u64);
-        for rt in &st.active {
-            e.u64(rt.app_id.raw())
-                .u8(rt.iip as u8)
-                .u64(rt.campaign_id.raw());
-            e.str(&rt.tag);
-            e.str(&format!("{:?}", rt.goal));
-            e.u64(rt.start_day)
-                .u64(rt.end_day)
-                .u64(rt.cap)
-                .u64(rt.completions);
-            e.f64(rt.installs_per_day)
-                .f64(rt.carry)
-                .f64(rt.companion_per_day)
-                .f64(rt.companion_carry);
-            e.u32(rt.farm_left).u32(rt.farm_block);
-            e.u64(rt.device_counter).bool(rt.ended);
         }
         e.into_bytes()
     }
@@ -415,9 +574,11 @@ impl World {
             crawler: st.crawler.checkpoint(),
             pkg_syms: st.dataset.package_interner().clone(),
             desc_syms: st.dataset.description_interner().clone(),
-            offers: st.dataset.offers().to_vec(),
+            offers_spill: st.dataset.offers_spill(),
+            offers: st.dataset.offers_suffix(),
             profiles: st.dataset.profiles().to_vec(),
-            charts: st.dataset.charts().to_vec(),
+            charts_spill: st.dataset.charts_spill(),
+            charts: st.dataset.charts_suffix(),
             chaos_counters: chaosstats::snapshot()
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
@@ -431,16 +592,21 @@ impl World {
 
     /// Steps 1–4 and 6 of one day: campaign starts, organic
     /// background, delivery, enforcement, campaign ends. Pure sim —
-    /// consumes only `st.rng` and mutates only `st` and the world's
-    /// stores/platforms, deterministically.
+    /// consumes only the shard RNGs and mutates only `st` and the
+    /// world's stores/platforms, deterministically.
     fn sim_day(
         &self,
         st: &mut SimState,
         day: u64,
         t0: SimTime,
         profiles: &BTreeMap<IipId, IipBehaviorProfile>,
+        organic: &[Vec<(AppId, OrganicProfile)>],
     ) -> Result<()> {
-        // 1. Campaign starts.
+        let n_shards = st.shards.len();
+        let scale = self.cfg.scale.max(1);
+        // 1. Campaign starts — sequential: the platform's campaign-id
+        //    and tag allocation is order-dependent, so starts stay a
+        //    single stream regardless of shard count.
         if let Some(starts) = st.pending.remove(&day) {
             for (ai, ci, oi) in starts {
                 let app = &self.plan.apps[ai];
@@ -450,6 +616,7 @@ impl World {
                     .dev_id(app.package.as_str())
                     .expect("planned app is registered");
                 let platform = &self.platforms[&c.iip];
+                let cap = o.cap.saturating_mul(scale);
                 let (campaign_id, tag) = platform.create_campaign(
                     iiscope_iip::CampaignSpec {
                         developer: dev,
@@ -460,21 +627,26 @@ impl World {
                         ),
                         goal: o.goal.clone(),
                         payout: o.payout,
-                        cap: o.cap,
+                        cap,
                         countries: o.countries.clone(),
                     },
                     t0,
                 )?;
-                st.device_base += 100_000;
+                st.device_base += 100_000 * scale;
                 // Companion marketing is campaign-level; attribute
                 // it to the campaign's first offer runtime so it is
                 // applied exactly once per campaign-day.
                 let companion_per_day = if oi == 0 {
                     app.pre_installs as f64 * c.companion_growth / c.duration_days as f64
+                        * scale as f64
                 } else {
                     0.0
                 };
-                st.active.push(OfferRt {
+                let shard = self
+                    .syms
+                    .get(app.package.as_str())
+                    .map_or(0, |s| shard_of(s, n_shards));
+                st.shards[shard].active.push(OfferRt {
                     app_id: self
                         .app_id(app.package.as_str())
                         .expect("planned app is published"),
@@ -484,9 +656,9 @@ impl World {
                     goal: o.goal.clone(),
                     start_day: c.start_day,
                     end_day: c.end_day(),
-                    cap: o.cap,
+                    cap,
                     completions: 0,
-                    installs_per_day: o.cap as f64 * 1.15 / c.duration_days as f64,
+                    installs_per_day: cap as f64 * 1.15 / c.duration_days as f64,
                     carry: 0.0,
                     companion_per_day,
                     companion_carry: 0.0,
@@ -498,54 +670,151 @@ impl World {
             }
         }
 
-        // 2. Organic background.
-        for (app_id, organic) in &self.organic {
-            let installs = sample_count(organic.installs_daily, &mut st.rng);
-            if installs > 0 {
-                self.store.record_organic_installs(*app_id, t0, installs);
-            }
-            let sessions = sample_count(organic.sessions_daily, &mut st.rng);
-            if sessions > 0 {
-                self.store.record_engagement_bulk(
-                    *app_id,
-                    t0,
-                    sessions,
-                    sessions * organic.session_secs,
-                );
-            }
-            if organic.revenue_daily > Usd::ZERO {
-                self.store.record_revenue_bulk(
-                    *app_id,
-                    t0,
-                    (organic.revenue_daily.dollars_f64() / 3.0).ceil() as u64,
-                    organic.revenue_daily,
-                );
-            }
-            let ratings = sample_count(organic.ratings_daily, &mut st.rng);
-            if ratings > 0 {
-                let total = ((ratings as f64) * organic.avg_stars).round() as u64;
-                self.store
-                    .record_ratings_bulk(*app_id, ratings, total.min(ratings * 5));
+        // 2 + 3. Per-shard sim: organic background and campaign
+        // delivery, emitted as op buffers. Shard sims never touch the
+        // store, so they fan out across the worker pool; applying the
+        // buffers in shard-index order afterwards keeps the mutation
+        // stream deterministic at any worker count.
+        let cells: Vec<Mutex<&mut ShardSim>> = st.shards.iter_mut().map(Mutex::new).collect();
+        let outs = fan_out(self.cfg.parallelism, n_shards, |k| {
+            let mut shard = cells[k].lock();
+            self.shard_sim_day(&mut shard, day, t0, profiles, &organic[k])
+        });
+        drop(cells);
+        let mut buffers = Vec::with_capacity(n_shards);
+        for slot in outs {
+            let (ops, ratings) = slot?;
+            st.incentivized_ratings += ratings;
+            buffers.push(ops);
+        }
+        for ops in buffers {
+            for op in ops {
+                self.apply_op(st, op)?;
             }
         }
 
+        // 4. Enforcement sweep — once, after every shard's ops landed.
+        st.enforcement_removed += self.store.enforcement_sweep(t0);
+
+        // 6 (early). Campaign ends — sequential, shard-index order.
+        for shard in st.shards.iter_mut() {
+            for rt in shard.active.iter_mut() {
+                if !rt.ended && day >= rt.end_day {
+                    self.platforms[&rt.iip].end_campaign(rt.campaign_id)?;
+                    rt.ended = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One shard's sim step for a day: organic background for its
+    /// slice of the catalog, then delivery for its active offers —
+    /// drawing only from the shard's own RNG and emitting world
+    /// mutations as deferred ops. Returns the ops plus the shard's
+    /// incentivized-rating count.
+    fn shard_sim_day(
+        &self,
+        shard: &mut ShardSim,
+        day: u64,
+        t0: SimTime,
+        profiles: &BTreeMap<IipId, IipBehaviorProfile>,
+        organic: &[(AppId, OrganicProfile)],
+    ) -> (Vec<Op>, u64) {
+        let ShardSim { rng, active } = shard;
+        let mut ops = Vec::new();
+        // 2. Organic background.
+        for (app_id, org) in organic {
+            let installs = sample_count(org.installs_daily, rng);
+            if installs > 0 {
+                ops.push(Op::OrganicInstalls {
+                    app: *app_id,
+                    at: t0,
+                    n: installs,
+                });
+            }
+            let sessions = sample_count(org.sessions_daily, rng);
+            if sessions > 0 {
+                ops.push(Op::EngagementBulk {
+                    app: *app_id,
+                    at: t0,
+                    sessions,
+                    secs: sessions * org.session_secs,
+                });
+            }
+            if org.revenue_daily > Usd::ZERO {
+                ops.push(Op::RevenueBulk {
+                    app: *app_id,
+                    at: t0,
+                    buyers: (org.revenue_daily.dollars_f64() / 3.0).ceil() as u64,
+                    amount: org.revenue_daily,
+                });
+            }
+            let ratings = sample_count(org.ratings_daily, rng);
+            if ratings > 0 {
+                let total = ((ratings as f64) * org.avg_stars).round() as u64;
+                ops.push(Op::RatingsBulk {
+                    app: *app_id,
+                    n: ratings,
+                    stars_total: total.min(ratings * 5),
+                });
+            }
+        }
         // 3. Campaign delivery.
-        for rt in st.active.iter_mut() {
+        let mut incentivized = 0;
+        for rt in active.iter_mut() {
             if rt.ended || day < rt.start_day || day >= rt.end_day {
                 continue;
             }
             let profile = &profiles[&rt.iip];
-            st.incentivized_ratings += self.deliver_offer_day(rt, profile, t0, &mut st.rng)?;
+            incentivized += self.deliver_offer_day(rt, profile, t0, rng, &mut ops);
         }
+        (ops, incentivized)
+    }
 
-        // 4. Enforcement sweep.
-        st.enforcement_removed += self.store.enforcement_sweep(t0);
-
-        // 6 (early). Campaign ends.
-        for rt in st.active.iter_mut() {
-            if !rt.ended && day >= rt.end_day {
-                self.platforms[&rt.iip].end_campaign(rt.campaign_id)?;
-                rt.ended = true;
+    /// Applies one deferred shard mutation to the live world.
+    fn apply_op(&self, st: &mut SimState, op: Op) -> Result<()> {
+        match op {
+            Op::OrganicInstalls { app, at, n } => self.store.record_organic_installs(app, at, n),
+            Op::EngagementBulk {
+                app,
+                at,
+                sessions,
+                secs,
+            } => self.store.record_engagement_bulk(app, at, sessions, secs),
+            Op::RevenueBulk {
+                app,
+                at,
+                buyers,
+                amount,
+            } => self.store.record_revenue_bulk(app, at, buyers, amount),
+            Op::RatingsBulk {
+                app,
+                n,
+                stars_total,
+            } => self.store.record_ratings_bulk(app, n, stars_total),
+            Op::Install {
+                app,
+                at,
+                signals,
+                tag,
+            } => {
+                self.store
+                    .record_install(app, at, signals, &InstallSource::Tagged(tag))?;
+                st.tagged_installs += 1;
+            }
+            Op::Session { app, at, secs } => {
+                self.store.record_session(app, at, secs)?;
+            }
+            Op::Registration { app, at } => {
+                self.store.record_registration(app, at)?;
+            }
+            Op::Purchase { app, at, amount } => {
+                self.store.record_purchase(app, at, amount)?;
+            }
+            Op::Rating { app, stars } => self.store.record_rating(app, stars),
+            Op::Postback { iip, pb } => {
+                self.platforms[&iip].process_postback(&pb)?;
             }
         }
         Ok(())
@@ -626,14 +895,19 @@ impl World {
         profile: &IipBehaviorProfile,
         t0: SimTime,
         rng: &mut impl Rng,
-    ) -> Result<u64> {
+        ops: &mut Vec<Op>,
+    ) -> u64 {
         let mut ratings = 0;
         // Companion non-incentivized installs (organic bulk).
         rt.companion_carry += rt.companion_per_day;
         let companion = rt.companion_carry as u64;
         rt.companion_carry -= companion as f64;
         if companion > 0 {
-            self.store.record_organic_installs(rt.app_id, t0, companion);
+            ops.push(Op::OrganicInstalls {
+                app: rt.app_id,
+                at: t0,
+                n: companion,
+            });
         }
         rt.carry += rt.installs_per_day;
         let n = rt.carry as u64;
@@ -663,15 +937,15 @@ impl World {
                 kind
             };
             let signals = self.sample_signals(rt, kind, rng);
-            self.store.record_install(
-                rt.app_id,
-                t,
+            ops.push(Op::Install {
+                app: rt.app_id,
+                at: t,
                 signals,
-                &InstallSource::Tagged(rt.tag.clone()),
-            )?;
+                tag: rt.tag.clone(),
+            });
             let plan = plan_for(profile, kind, &rt.goal, rng);
             if plan.opens_app {
-                ratings += self.record_goal_engagement(rt, &plan, t, rng)?;
+                ratings += self.record_goal_engagement(rt, &plan, t, rng, ops);
             }
             if plan.completes && rt.completions < rt.cap {
                 rt.completions += 1;
@@ -684,10 +958,10 @@ impl World {
                         fraud_flag: signals.is_suspicious(),
                     },
                 };
-                self.platforms[&rt.iip].process_postback(&pb)?;
+                ops.push(Op::Postback { iip: rt.iip, pb });
             }
         }
-        Ok(ratings)
+        ratings
     }
 
     fn sample_signals(
@@ -731,51 +1005,77 @@ impl World {
         plan: &iiscope_devices::ExecutionPlan,
         t: SimTime,
         rng: &mut impl Rng,
-    ) -> Result<u64> {
+        ops: &mut Vec<Op>,
+    ) -> u64 {
         let app = rt.app_id;
         if !plan.completes {
             // Opened, poked around, left.
-            self.store.record_session(app, t, rng.gen_range(20..120))?;
-            return Ok(0);
+            ops.push(Op::Session {
+                app,
+                at: t,
+                secs: rng.gen_range(20..120),
+            });
+            return 0;
         }
         match &rt.goal {
             ConversionGoal::InstallAndOpen => {
-                self.store.record_session(app, t, rng.gen_range(30..120))?;
+                ops.push(Op::Session {
+                    app,
+                    at: t,
+                    secs: rng.gen_range(30..120),
+                });
             }
             ConversionGoal::Register | ConversionGoal::AllOf(_) => {
                 // Paid registrations churn: a fraction are throwaway
                 // accounts the store's engagement pipeline discounts.
                 if chance(rng, 0.6) {
-                    self.store.record_registration(app, t)?;
+                    ops.push(Op::Registration { app, at: t });
                 }
-                self.store
-                    .record_session(app, t, plan.work_secs.clamp(60, 450))?;
+                ops.push(Op::Session {
+                    app,
+                    at: t,
+                    secs: plan.work_secs.clamp(60, 450),
+                });
             }
             ConversionGoal::ReachLevel(_)
             | ConversionGoal::SessionTime(_)
             | ConversionGoal::CompleteSubOffers(_) => {
-                self.store
-                    .record_session(app, t, plan.work_secs.clamp(120, 1_200))?;
+                ops.push(Op::Session {
+                    app,
+                    at: t,
+                    secs: plan.work_secs.clamp(120, 1_200),
+                });
                 if chance(rng, 0.15) {
-                    self.store.record_session(app, t, rng.gen_range(120..600))?;
+                    ops.push(Op::Session {
+                        app,
+                        at: t,
+                        secs: rng.gen_range(120..600),
+                    });
                 }
             }
             ConversionGoal::Purchase(min) => {
                 let amount = *min + Usd::from_cents(rng.gen_range(0..200));
-                self.store.record_purchase(app, t, amount)?;
-                self.store
-                    .record_session(app, t, plan.work_secs.clamp(120, 600))?;
+                ops.push(Op::Purchase { app, at: t, amount });
+                ops.push(Op::Session {
+                    app,
+                    at: t,
+                    secs: plan.work_secs.clamp(120, 600),
+                });
             }
             ConversionGoal::RateApp(min_stars) => {
                 // Paid raters leave the minimum the offer demands, or
                 // five stars — never less.
                 let stars = if chance(rng, 0.6) { 5 } else { *min_stars };
-                self.store.record_rating(app, stars);
-                self.store.record_session(app, t, rng.gen_range(30..150))?;
-                return Ok(1);
+                ops.push(Op::Rating { app, stars });
+                ops.push(Op::Session {
+                    app,
+                    at: t,
+                    secs: rng.gen_range(30..150),
+                });
+                return 1;
             }
         }
-        Ok(0)
+        0
     }
 }
 
@@ -821,7 +1121,7 @@ mod tests {
 
         // Charts were crawled and are populated.
         assert!(!ds.chart_days().is_empty());
-        assert!(ds.charts().iter().any(|c| !c.entries.is_empty()));
+        assert!(ds.charts().any(|c| !c.entries.is_empty()));
 
         // APKs downloaded for observed + baseline apps.
         assert!(artifacts.apks.len() >= advertised.len());
@@ -859,8 +1159,8 @@ mod tests {
         assert_eq!(seq.offer_observations, par.offer_observations);
         assert_eq!(seq.enforcement_removed, par.enforcement_removed);
         assert_eq!(
-            format!("{:?}", seq.dataset.offers()),
-            format!("{:?}", par.dataset.offers()),
+            format!("{:?}", seq.dataset.offers().collect::<Vec<_>>()),
+            format!("{:?}", par.dataset.offers().collect::<Vec<_>>()),
             "raw offer stream must be identical"
         );
         assert_eq!(
@@ -882,6 +1182,18 @@ mod tests {
             )
         };
         assert_eq!(run(33), run(33));
+    }
+
+    #[test]
+    fn pool_size_never_exceeds_job_count() {
+        // Regression: the pool used to spawn `workers` threads even
+        // when there were fewer jobs, so a 16-worker config paid 15
+        // thread spawns to run a single job.
+        assert_eq!(pool_size(16, 1), 1);
+        assert_eq!(pool_size(16, 3), 3);
+        assert_eq!(pool_size(4, 100), 4);
+        assert_eq!(pool_size(0, 5), 1, "zero workers still runs inline");
+        assert_eq!(pool_size(8, 0), 1, "zero jobs never yields an empty pool");
     }
 
     #[test]

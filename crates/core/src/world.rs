@@ -303,12 +303,15 @@ impl World {
             }
 
             // Register the developer on each platform it advertises on,
-            // with enough deposit to escrow every offer.
+            // with enough deposit to escrow every offer. Caps are
+            // multiplied by `scale` at campaign start, so the escrow
+            // deposit must cover the scaled spend.
             for campaign in &app.campaigns {
+                let scale = cfg.scale.max(1);
                 let budget: Usd = campaign
                     .offers
                     .iter()
-                    .map(|o| o.payout * o.cap as i64)
+                    .map(|o| o.payout * o.cap.saturating_mul(scale) as i64)
                     .sum();
                 let platform = &platforms[&campaign.iip];
                 platform.register_developer(&DeveloperApplication {
@@ -419,14 +422,20 @@ impl World {
     }
 
     /// Generates a worker audience for one platform (honey campaigns).
+    /// Sharded by `cfg.shards`: each shard draws from its own seed
+    /// stream and allocates device ids in its own namespace, so the
+    /// audience is a pure function of `(seed, shards)` — never of the
+    /// worker count that later simulates it. `shards = 1` reproduces
+    /// the legacy single-stream audience bit-for-bit.
     pub fn audience_for(&self, iip: IipId, n_workers: usize) -> IipAudience {
         let mut registry = self.registry.lock();
-        IipAudience::generate(
+        IipAudience::generate_sharded(
             &IipBehaviorProfile::for_iip(iip),
             n_workers,
             &mut registry,
             self.seed.fork("audience").fork(iip.name()),
             1_000_000 + (iip as usize as u64) * 1_000_000,
+            self.cfg.shards,
         )
     }
 

@@ -138,6 +138,12 @@ pub struct IipAudience {
     pub devices: BTreeMap<DeviceId, Device>,
 }
 
+/// Device-id namespace span per population shard. Shard `k > 0` of an
+/// audience allocates device ids from `id_base + k * SHARD_DEVICE_SPAN`
+/// so shards of the same platform (and of different platforms, whose
+/// `id_base`s are ~1M apart) can never collide.
+pub const SHARD_DEVICE_SPAN: u64 = 1 << 40;
+
 impl IipAudience {
     /// Generates `n_workers` workers (farm operators contribute many
     /// devices each). Ids are namespaced by `id_base` so audiences of
@@ -149,11 +155,42 @@ impl IipAudience {
         seed: SeedFork,
         id_base: u64,
     ) -> IipAudience {
-        let mut rng = seed.fork("audience").rng();
+        Self::generate_shard(profile, n_workers, registry, seed, id_base, 0, 0, id_base)
+    }
+
+    /// Generates one shard of a sharded audience.
+    ///
+    /// Shard 0 draws from the legacy `audience` seed stream, so a
+    /// single-shard generation reproduces [`IipAudience::generate`]
+    /// bit-for-bit. Shard `k > 0` draws from an independent
+    /// `fork_idx("shard", k)` stream — shard contents are a pure
+    /// function of `(seed, shard, n_workers, worker_offset,
+    /// device_base)` plus the registry allocation state, never of how
+    /// many OS workers later simulate them. Worker ids stay globally
+    /// indexed (`id_base + worker_offset + w`) so the audience-wide
+    /// worker-id space is identical at any shard count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate_shard(
+        profile: &IipBehaviorProfile,
+        n_workers: usize,
+        registry: &mut AsnRegistry,
+        seed: SeedFork,
+        id_base: u64,
+        shard: usize,
+        worker_offset: u64,
+        device_base: u64,
+    ) -> IipAudience {
+        let audience_seed = seed.fork("audience");
+        let mut rng = if shard == 0 {
+            audience_seed.rng()
+        } else {
+            audience_seed.fork_idx("shard", shard as u64).rng()
+        };
         let mut workers = Vec::with_capacity(n_workers);
         let mut devices = BTreeMap::new();
-        let mut next_device = id_base;
+        let mut next_device = device_base;
         for w in 0..n_workers {
+            let wid = id_base + worker_offset + w as u64;
             let kind = profile.sample_kind(&mut rng);
             let country = sample_country(&mut rng);
             let n_devices = match kind {
@@ -173,7 +210,7 @@ impl IipAudience {
             } else {
                 None
             };
-            let farm_ssid = format!("FARM-AP-{}", id_base + w as u64);
+            let farm_ssid = format!("FARM-AP-{wid}");
             let mut device_ids = Vec::with_capacity(n_devices);
             for _ in 0..n_devices {
                 let id = DeviceId(next_device);
@@ -185,10 +222,56 @@ impl IipAudience {
                 devices.insert(id, device);
             }
             workers.push(Worker {
-                id: WorkerId(id_base + w as u64),
+                id: WorkerId(wid),
                 kind,
                 devices: device_ids,
             });
+        }
+        IipAudience {
+            iip: profile.iip,
+            workers,
+            devices,
+        }
+    }
+
+    /// Generates a full audience as `shards` independently-seeded
+    /// shards merged in shard-index order. Workers are split into
+    /// contiguous balanced chunks; registry allocations happen
+    /// sequentially shard-by-shard so the address plan is a pure
+    /// function of `(seed, shards)`. `shards = 1` is bit-identical to
+    /// [`IipAudience::generate`].
+    pub fn generate_sharded(
+        profile: &IipBehaviorProfile,
+        n_workers: usize,
+        registry: &mut AsnRegistry,
+        seed: SeedFork,
+        id_base: u64,
+        shards: usize,
+    ) -> IipAudience {
+        let shards = shards.max(1);
+        let base = n_workers / shards;
+        let rem = n_workers % shards;
+        let mut workers = Vec::with_capacity(n_workers);
+        let mut devices = BTreeMap::new();
+        let mut worker_offset = 0u64;
+        for k in 0..shards {
+            let chunk = base + usize::from(k < rem);
+            let part = Self::generate_shard(
+                profile,
+                chunk,
+                registry,
+                seed,
+                id_base,
+                k,
+                worker_offset,
+                id_base + k as u64 * SHARD_DEVICE_SPAN,
+            );
+            worker_offset += chunk as u64;
+            workers.extend(part.workers);
+            for (id, d) in part.devices {
+                let prev = devices.insert(id, d);
+                debug_assert!(prev.is_none(), "shard device namespaces are disjoint");
+            }
         }
         IipAudience {
             iip: profile.iip,
@@ -434,6 +517,97 @@ mod tests {
         let b = IipAudience::generate(&profile, 10, &mut reg, SeedFork::new(4), 1_000_000);
         for id in a.devices.keys() {
             assert!(!b.devices.contains_key(id), "collision at {id}");
+        }
+    }
+
+    #[test]
+    fn one_shard_is_bit_identical_to_legacy_generation() {
+        let profile = IipBehaviorProfile::for_iip(IipId::Fyber);
+        let seed = SeedFork::new(11).fork("fyber");
+        let mut reg_a = standard_registry();
+        let a = IipAudience::generate(&profile, 60, &mut reg_a, seed, 5_000);
+        let mut reg_b = standard_registry();
+        let b = IipAudience::generate_sharded(&profile, 60, &mut reg_b, seed, 5_000, 1);
+        assert_eq!(a.workers.len(), b.workers.len());
+        for (wa, wb) in a.workers.iter().zip(&b.workers) {
+            assert_eq!(wa.id, wb.id);
+            assert_eq!(wa.kind, wb.kind);
+            assert_eq!(wa.devices, wb.devices);
+        }
+        for (id, da) in &a.devices {
+            let db = b.device(*id).expect("same device set");
+            assert_eq!(da.addr.ip, db.addr.ip);
+            assert_eq!(da.build, db.build);
+            assert_eq!(da.wifi_ssid, db.wifi_ssid);
+            assert_eq!(da.installed, db.installed);
+        }
+    }
+
+    #[test]
+    fn sharded_generation_is_deterministic_and_disjoint() {
+        let profile = IipBehaviorProfile::for_iip(IipId::AyetStudios);
+        let seed = SeedFork::new(12).fork("ayet");
+        let gen = |shards| {
+            let mut reg = standard_registry();
+            IipAudience::generate_sharded(&profile, 70, &mut reg, seed, 9_000, shards)
+        };
+        let a = gen(4);
+        let b = gen(4);
+        assert_eq!(a.workers.len(), 70, "worker count preserved");
+        assert_eq!(a.device_count(), b.device_count(), "deterministic");
+        for (id, d) in &a.devices {
+            assert_eq!(b.device(*id).unwrap().addr.ip, d.addr.ip);
+        }
+        // Worker-id space is the legacy one regardless of shard count.
+        let ids: Vec<u64> = a.workers.iter().map(|w| w.id.0).collect();
+        assert_eq!(ids, (9_000..9_070).collect::<Vec<u64>>());
+        // Device ids land in per-shard namespaces; every worker's
+        // devices exist in the merged map.
+        for w in &a.workers {
+            for d in &w.devices {
+                assert!(a.device(*d).is_some());
+            }
+        }
+        // A different shard count is a *different* (still valid)
+        // population — shard streams are independent.
+        let c = gen(2);
+        assert_eq!(c.workers.len(), 70);
+    }
+
+    #[test]
+    fn shard_generation_is_pure_in_its_inputs() {
+        let profile = IipBehaviorProfile::for_iip(IipId::OfferToro);
+        let seed = SeedFork::new(13).fork("otoro");
+        let mut reg_a = standard_registry();
+        let a = IipAudience::generate_shard(
+            &profile,
+            20,
+            &mut reg_a,
+            seed,
+            100,
+            3,
+            40,
+            100 + 3 * SHARD_DEVICE_SPAN,
+        );
+        let mut reg_b = standard_registry();
+        let b = IipAudience::generate_shard(
+            &profile,
+            20,
+            &mut reg_b,
+            seed,
+            100,
+            3,
+            40,
+            100 + 3 * SHARD_DEVICE_SPAN,
+        );
+        assert_eq!(a.workers.len(), b.workers.len());
+        for (wa, wb) in a.workers.iter().zip(&b.workers) {
+            assert_eq!(wa.id, wb.id);
+            assert_eq!(wa.devices, wb.devices);
+        }
+        // Device ids sit in shard 3's namespace.
+        for id in a.devices.keys() {
+            assert!(id.raw() >= 3 * SHARD_DEVICE_SPAN);
         }
     }
 

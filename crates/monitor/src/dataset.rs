@@ -20,8 +20,10 @@
 
 use crate::crawler::{ChartSnapshot, ProfileSnapshot};
 use crate::parsers::ScrapedOffer;
+use crate::spill::{RowLog, RowLogIter, SpillManifest, SpillStats};
 use iiscope_types::{IipId, Interner, SimTime, Sym, SymMap, SymSet};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 
 /// Per-app summary of everything the monitor saw.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,11 +107,21 @@ struct ObservationAgg {
 }
 
 /// The dataset store.
+///
+/// The two bulk logs (offer observations, chart snapshots) live in
+/// spill-capable [`RowLog`]s: under a memory budget their cold
+/// segments move to disk and the accessors stream them back through
+/// an LRU — same rows, same order, any budget. Profiles stay fully
+/// resident: they are the random-access query surface
+/// (`profile_series`, `first_profile`) and modest in size. The first
+/// observation of each unique `(iip, key)` is additionally pinned
+/// resident, so the experiment joins over `unique_offers` never touch
+/// disk.
 #[derive(Debug, Default)]
 pub struct Dataset {
-    offers: Vec<ScrapedOffer>,
+    offers: RowLog<ScrapedOffer>,
     profiles: Vec<ProfileSnapshot>,
-    charts: Vec<ChartSnapshot>,
+    charts: RowLog<ChartSnapshot>,
 
     /// Package symbol space (offers ∪ profiles ∪ charts, plus any
     /// seed the world handed to [`Dataset::with_interner`]).
@@ -125,8 +137,12 @@ pub struct Dataset {
     /// Dedup set over `(iip, offer_key)`.
     seen_offer_keys: BTreeSet<(IipId, u64)>,
     /// Rows in `offers` holding the first observation of each key, in
-    /// arrival order (what `unique_offers()` returns).
+    /// arrival order.
     unique_offer_rows: Vec<usize>,
+    /// Pinned-resident clones of those first observations (same order
+    /// as `unique_offer_rows`) — what `unique_offers()` borrows from,
+    /// so deduplicated joins stay off the spill path.
+    unique_rows: Vec<ScrapedOffer>,
     /// Distinct advertised packages.
     advertised: SymSet,
     /// Distinct packages per platform, indexed by `iip as usize`.
@@ -180,17 +196,65 @@ impl Dataset {
         profiles: Vec<ProfileSnapshot>,
         charts: Vec<ChartSnapshot>,
     ) -> iiscope_types::Result<Dataset> {
+        Dataset::from_parts_with_spill(
+            pkg_syms,
+            desc_syms,
+            &SpillManifest::default(),
+            offers,
+            profiles,
+            &SpillManifest::default(),
+            charts,
+        )
+    }
+
+    /// [`Dataset::from_parts`] for snapshots whose bulk logs were
+    /// partially spilled at checkpoint time: each log is a spill
+    /// manifest (segments already on disk, verified and reattached —
+    /// not re-serialized in the snapshot) plus the resident suffix
+    /// rows. Spilled rows are streamed back through the indexing pass
+    /// and stay spilled afterwards.
+    pub fn from_parts_with_spill(
+        pkg_syms: Interner,
+        desc_syms: Interner,
+        offers_spill: &SpillManifest,
+        offers_suffix: Vec<ScrapedOffer>,
+        profiles: Vec<ProfileSnapshot>,
+        charts_spill: &SpillManifest,
+        charts_suffix: Vec<ChartSnapshot>,
+    ) -> iiscope_types::Result<Dataset> {
+        let spill_err = |what: &str, e: String| {
+            iiscope_types::Error::InvalidState(format!("{what} spill manifest: {e}"))
+        };
         let mut d = Dataset {
             pkg_syms,
             desc_syms,
             ..Dataset::default()
         };
         let (want_pkg, want_desc) = (d.pkg_syms.len(), d.desc_syms.len());
-        d.add_offers(offers);
+        d.offers
+            .attach(offers_spill)
+            .map_err(|e| spill_err("offers", e))?;
+        // Stream the attached (possibly disk-resident) rows through the
+        // indexing pass; the log is taken out and put back because the
+        // indices borrow `self` mutably.
+        let log = std::mem::take(&mut d.offers);
+        for (row, o) in log.iter().enumerate() {
+            d.index_offer(row, &o);
+        }
+        d.offers = log;
+        d.add_offers(offers_suffix);
         for p in profiles {
             d.add_profile(p);
         }
-        for c in charts {
+        d.charts
+            .attach(charts_spill)
+            .map_err(|e| spill_err("charts", e))?;
+        let log = std::mem::take(&mut d.charts);
+        for c in log.iter() {
+            d.index_chart(&c);
+        }
+        d.charts = log;
+        for c in charts_suffix {
             d.add_chart(c);
         }
         if d.pkg_syms.len() != want_pkg || d.desc_syms.len() != want_desc {
@@ -205,33 +269,77 @@ impl Dataset {
         Ok(d)
     }
 
+    /// Sets the resident-memory budget for the spillable logs (split
+    /// evenly between offers and charts) and where their spill files
+    /// live. `None` keeps everything resident. Spilling never changes
+    /// a query result — only where cold rows wait.
+    pub fn set_memory_budget(&mut self, budget: Option<u64>, spill_dir: &Path, label: &str) {
+        let per_log = budget.map(|b| (b / 2).max(4096));
+        self.offers
+            .configure(per_log, spill_dir.join(format!("{label}-offers.spill")));
+        self.charts
+            .configure(per_log, spill_dir.join(format!("{label}-charts.spill")));
+    }
+
+    /// Combined spill counters of the offer and chart logs.
+    pub fn spill_stats(&self) -> SpillStats {
+        self.offers.stats().merged(self.charts.stats())
+    }
+
+    /// Spill manifest of the offer log (for checkpointing).
+    pub fn offers_spill(&self) -> SpillManifest {
+        self.offers.manifest()
+    }
+
+    /// Offer rows not covered by [`Dataset::offers_spill`].
+    pub fn offers_suffix(&self) -> Vec<ScrapedOffer> {
+        self.offers.suffix_rows()
+    }
+
+    /// Spill manifest of the chart log (for checkpointing).
+    pub fn charts_spill(&self) -> SpillManifest {
+        self.charts.manifest()
+    }
+
+    /// Chart rows not covered by [`Dataset::charts_spill`].
+    pub fn charts_suffix(&self) -> Vec<ChartSnapshot> {
+        self.charts.suffix_rows()
+    }
+
+    /// Index maintenance for one appended offer row (shared by live
+    /// ingest and the restore re-ingest).
+    fn index_offer(&mut self, row: usize, o: &ScrapedOffer) {
+        if self.seen_offer_keys.insert((o.iip, o.raw.offer_key)) {
+            self.unique_offer_rows.push(row);
+            self.unique_rows.push(o.clone());
+        }
+        let desc = self.desc_syms.intern(&o.raw.description);
+        let pkg = self.pkg_syms.intern(&o.raw.package);
+        self.advertised.insert(pkg);
+        self.by_iip[o.iip as usize].insert(pkg);
+        self.by_class[usize::from(o.iip.is_vetted())].insert(pkg);
+        let agg = self
+            .observations
+            .get_or_insert_with(pkg, || ObservationAgg {
+                iips: BTreeSet::new(),
+                first_seen: o.seen_at,
+                last_seen: o.seen_at,
+                keys: BTreeSet::new(),
+            });
+        agg.iips.insert(o.iip);
+        agg.first_seen = agg.first_seen.min(o.seen_at);
+        agg.last_seen = agg.last_seen.max(o.seen_at);
+        agg.keys.insert((o.iip, o.raw.offer_key));
+        self.offer_pkg.push(pkg);
+        self.offer_desc.push(desc);
+    }
+
     /// Appends scraped offers, updating every offer index (including
     /// the `(iip, key)` dedup set — first observation wins).
     pub fn add_offers(&mut self, offers: impl IntoIterator<Item = ScrapedOffer>) {
         for o in offers {
             let row = self.offers.len();
-            if self.seen_offer_keys.insert((o.iip, o.raw.offer_key)) {
-                self.unique_offer_rows.push(row);
-            }
-            let desc = self.desc_syms.intern(&o.raw.description);
-            let pkg = self.pkg_syms.intern(&o.raw.package);
-            self.advertised.insert(pkg);
-            self.by_iip[o.iip as usize].insert(pkg);
-            self.by_class[usize::from(o.iip.is_vetted())].insert(pkg);
-            let agg = self
-                .observations
-                .get_or_insert_with(pkg, || ObservationAgg {
-                    iips: BTreeSet::new(),
-                    first_seen: o.seen_at,
-                    last_seen: o.seen_at,
-                    keys: BTreeSet::new(),
-                });
-            agg.iips.insert(o.iip);
-            agg.first_seen = agg.first_seen.min(o.seen_at);
-            agg.last_seen = agg.last_seen.max(o.seen_at);
-            agg.keys.insert((o.iip, o.raw.offer_key));
-            self.offer_pkg.push(pkg);
-            self.offer_desc.push(desc);
+            self.index_offer(row, &o);
             self.offers.push(o);
         }
     }
@@ -247,8 +355,9 @@ impl Dataset {
         self.profiles.push(snap);
     }
 
-    /// Appends a chart snapshot, updating the presence indices.
-    pub fn add_chart(&mut self, snap: ChartSnapshot) {
+    /// Index maintenance for one chart snapshot (shared by live ingest
+    /// and the restore re-ingest).
+    fn index_chart(&mut self, snap: &ChartSnapshot) {
         self.chart_days.insert(snap.day);
         let per_pkg = self.chart_ranks.entry(snap.chart).or_default();
         for (pkg, rank) in &snap.entries {
@@ -262,12 +371,19 @@ impl Dataset {
                 days.insert(at, snap.day);
             }
         }
+    }
+
+    /// Appends a chart snapshot, updating the presence indices.
+    pub fn add_chart(&mut self, snap: ChartSnapshot) {
+        self.index_chart(&snap);
         self.charts.push(snap);
     }
 
-    /// All raw offer observations.
-    pub fn offers(&self) -> &[ScrapedOffer] {
-        &self.offers
+    /// All raw offer observations, in arrival order. Streams owned
+    /// rows so spilled segments can be decoded on the fly; the
+    /// iterator is exact-sized (`.len()` is the row count).
+    pub fn offers(&self) -> RowLogIter<'_, ScrapedOffer> {
+        self.offers.iter()
     }
 
     /// All profile snapshots.
@@ -275,25 +391,26 @@ impl Dataset {
         &self.profiles
     }
 
-    /// All chart snapshots.
-    pub fn charts(&self) -> &[ChartSnapshot] {
-        &self.charts
+    /// All chart snapshots, in arrival order (streaming, like
+    /// [`Dataset::offers`]).
+    pub fn charts(&self) -> RowLogIter<'_, ChartSnapshot> {
+        self.charts.iter()
     }
 
     /// Deduplicated offers: first observation of each `(iip, key)`.
+    /// Served from the pinned-resident copies — never touches the
+    /// spill path.
     pub fn unique_offers(&self) -> Vec<&ScrapedOffer> {
-        self.unique_offer_rows
-            .iter()
-            .map(|&r| &self.offers[r])
-            .collect()
+        self.unique_rows.iter().collect()
     }
 
     /// Deduplicated offers with their package and description symbols
     /// — the columnar view the experiment joins run on.
     pub fn unique_offers_with_syms(&self) -> impl Iterator<Item = (&ScrapedOffer, Sym, Sym)> + '_ {
-        self.unique_offer_rows
+        self.unique_rows
             .iter()
-            .map(|&r| (&self.offers[r], self.offer_pkg[r], self.offer_desc[r]))
+            .zip(&self.unique_offer_rows)
+            .map(|(o, &r)| (o, self.offer_pkg[r], self.offer_desc[r]))
     }
 
     /// Unique offer descriptions (the paper counts 1,128).
@@ -701,17 +818,23 @@ mod tests {
         let restored = Dataset::from_parts(
             live.package_interner().clone(),
             live.description_interner().clone(),
-            live.offers().to_vec(),
+            live.offers().collect(),
             live.profiles().to_vec(),
-            live.charts().to_vec(),
+            live.charts().collect(),
         )
         .unwrap();
 
         assert_eq!(restored.package_interner(), live.package_interner());
         assert_eq!(restored.description_interner(), live.description_interner());
-        assert_eq!(restored.offers(), live.offers());
+        assert_eq!(
+            restored.offers().collect::<Vec<_>>(),
+            live.offers().collect::<Vec<_>>()
+        );
         assert_eq!(restored.profiles(), live.profiles());
-        assert_eq!(restored.charts(), live.charts());
+        assert_eq!(
+            restored.charts().collect::<Vec<_>>(),
+            live.charts().collect::<Vec<_>>()
+        );
         assert_eq!(restored.unique_offers(), live.unique_offers());
         assert_eq!(restored.advertised_packages(), live.advertised_packages());
         assert_eq!(restored.observations(), live.observations());
@@ -729,11 +852,97 @@ mod tests {
         let bad = Dataset::from_parts(
             Interner::new(),
             live.description_interner().clone(),
-            live.offers().to_vec(),
+            live.offers().collect(),
             vec![],
             vec![],
         );
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn spilled_dataset_matches_resident_dataset() {
+        let spill_dir = std::env::temp_dir().join(format!(
+            "iiscope-ds-spill-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&spill_dir);
+        let many: Vec<ScrapedOffer> = (0..3_000)
+            .map(|k| {
+                offer(
+                    IipId::ALL[k % IipId::ALL.len()],
+                    k as u64 % 700,
+                    &format!("com.app.{}", k % 120),
+                    (k % 90) as u64,
+                    &format!("Install and run #{}", k % 40),
+                )
+            })
+            .collect();
+        let charts: Vec<ChartSnapshot> = (0..200)
+            .map(|day| ChartSnapshot {
+                day,
+                chart: "topselling_free",
+                entries: (0..50)
+                    .map(|r| (format!("com.app.{}", (day + r) % 120), r as usize))
+                    .collect(),
+            })
+            .collect();
+
+        let mut resident = Dataset::new();
+        resident.add_offers(many.clone());
+        for c in charts.clone() {
+            resident.add_chart(c.clone());
+        }
+
+        let mut spilled = Dataset::new();
+        spilled.set_memory_budget(Some(32 * 1024), &spill_dir, "test");
+        spilled.add_offers(many);
+        for c in charts {
+            spilled.add_chart(c);
+        }
+        let stats = spilled.spill_stats();
+        assert!(stats.spilled_segments > 0, "budget must force spilling");
+
+        // Every query surface agrees between the two datasets.
+        assert_eq!(
+            spilled.offers().collect::<Vec<_>>(),
+            resident.offers().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            spilled.charts().collect::<Vec<_>>(),
+            resident.charts().collect::<Vec<_>>()
+        );
+        assert_eq!(spilled.unique_offers(), resident.unique_offers());
+        assert_eq!(spilled.observations(), resident.observations());
+        assert_eq!(
+            spilled.advertised_packages(),
+            resident.advertised_packages()
+        );
+        assert_eq!(spilled.chart_days(), resident.chart_days());
+
+        // A spilled dataset restores from (manifest, suffix) without
+        // re-serializing the cold segments.
+        let restored = Dataset::from_parts_with_spill(
+            spilled.package_interner().clone(),
+            spilled.description_interner().clone(),
+            &spilled.offers_spill(),
+            spilled.offers_suffix(),
+            spilled.profiles().to_vec(),
+            &spilled.charts_spill(),
+            spilled.charts_suffix(),
+        )
+        .unwrap();
+        assert_eq!(
+            restored.offers().collect::<Vec<_>>(),
+            resident.offers().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            restored.charts().collect::<Vec<_>>(),
+            resident.charts().collect::<Vec<_>>()
+        );
+        assert_eq!(restored.observations(), resident.observations());
+        assert!(restored.spill_stats().spilled_segments > 0);
+        let _ = std::fs::remove_dir_all(&spill_dir);
     }
 
     #[test]
@@ -747,29 +956,32 @@ mod tests {
         ]);
 
         let mut seen = BTreeSet::new();
-        let rescan_unique: Vec<&ScrapedOffer> = d
+        let rescan_unique: Vec<ScrapedOffer> = d
             .offers()
-            .iter()
             .filter(|o| seen.insert((o.iip, o.raw.offer_key)))
             .collect();
         let indexed = d.unique_offers();
         assert_eq!(indexed.len(), rescan_unique.len());
         for (a, b) in indexed.iter().zip(&rescan_unique) {
-            assert!(std::ptr::eq(*a, *b), "row identity/order drifted");
+            assert_eq!(*a, b, "row value/order drifted");
         }
 
-        let rescan_packages: BTreeSet<&str> =
-            d.offers().iter().map(|o| o.raw.package.as_str()).collect();
-        assert_eq!(d.advertised_packages(), rescan_packages);
+        let rescan_packages: BTreeSet<String> = d.offers().map(|o| o.raw.package.clone()).collect();
+        let advertised: BTreeSet<String> = d
+            .advertised_packages()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(advertised, rescan_packages);
 
         for iip in [IipId::Fyber, IipId::RankApp, IipId::AdGem] {
-            let rescan: BTreeSet<&str> = d
+            let rescan: BTreeSet<String> = d
                 .offers()
-                .iter()
                 .filter(|o| o.iip == iip)
-                .map(|o| o.raw.package.as_str())
+                .map(|o| o.raw.package.clone())
                 .collect();
-            assert_eq!(d.packages_on(iip), rescan);
+            let on: BTreeSet<String> = d.packages_on(iip).iter().map(|s| s.to_string()).collect();
+            assert_eq!(on, rescan);
         }
 
         let stats = d.intern_stats();

@@ -46,7 +46,7 @@ pub fn offers_csv(ds: &Dataset) -> String {
         "store_url",
     ]);
     for o in ds.offers() {
-        let reward = match o.raw.reward {
+        let reward = match &o.raw.reward {
             crate::parsers::RewardValue::Usd(v) => format!("usd:{v}"),
             crate::parsers::RewardValue::Points(p) => format!("points:{p}"),
             crate::parsers::RewardValue::Cents(c) => format!("cents:{c}"),

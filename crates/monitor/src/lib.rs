@@ -39,6 +39,7 @@ pub mod fuzzer;
 pub mod infra;
 pub mod normalize;
 pub mod parsers;
+pub mod spill;
 
 pub use baseline::StringIndexedIngest;
 pub use crawler::{ChartSnapshot, Crawler, ProfileSnapshot};
@@ -50,3 +51,4 @@ pub use normalize::RateBook;
 pub use parsers::{
     parse_wall, parse_wall_streaming, parse_wall_tree, RawOffer, RewardValue, ScrapedOffer,
 };
+pub use spill::{RowLog, SegRef, SpillManifest, SpillRow, SpillStats};

@@ -1,0 +1,849 @@
+//! Out-of-core row storage for the monitor dataset.
+//!
+//! The paper-scale dataset fits in memory; a 100×-scale run does not.
+//! [`RowLog`] keeps each append-only row log (offer observations,
+//! chart timelines) as a resident *tail* plus closed *segments*; when
+//! a resident-memory budget is set and exceeded, the oldest closed
+//! segments spill to disk through the CRC-framed [`iiscope_types::frame`]
+//! codec already proven by checkpointing. Spilled segments decode back
+//! through a small LRU cache, so a scan touches disk once per segment
+//! per pass, not once per row.
+//!
+//! Invariants the rest of the workspace leans on:
+//!
+//! * **Append-only, prefix-spilled.** Rows never mutate after append,
+//!   and spilling always takes the *oldest* resident closed segment —
+//!   so the spilled segments form a strict prefix of the log. A
+//!   checkpoint therefore records `(spill refs, resident suffix)` and
+//!   never re-serializes cold rows.
+//! * **Byte-invariance.** Spilling is a memory optimization only:
+//!   iteration yields the same rows in the same order at any budget,
+//!   which is what keeps the seed-42 report and CSVs byte-identical
+//!   with or without spilling.
+//! * **Checksummed end to end.** Each segment is one frame blob (CRC
+//!   per record inside) and its [`SegRef`] additionally carries a CRC
+//!   of the whole blob; [`RowLog::attach`] re-reads and verifies every
+//!   referenced segment before a resume is allowed to proceed.
+
+use crate::crawler::{ChartSnapshot, ProfileSnapshot};
+use crate::parsers::{RawOffer, RewardValue, ScrapedOffer};
+use iiscope_playstore::ChartKind;
+use iiscope_types::frame::{crc32, Dec, Enc, FrameError, FrameReader, FrameWriter};
+use iiscope_types::{Country, IipId, SimTime};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A row type the log knows how to persist: the exact field-by-field
+/// codec the checkpoint module uses for the same rows (it imports
+/// these impls), so spill files and snapshots stay one format.
+pub trait SpillRow: Clone + std::fmt::Debug {
+    /// Serializes the row.
+    fn enc_row(&self, e: &mut Enc);
+    /// Deserializes one row.
+    fn dec_row(d: &mut Dec) -> Result<Self, FrameError>;
+    /// Rough resident footprint in bytes (struct + owned heap), used
+    /// only for budget accounting — never for layout.
+    fn approx_bytes(&self) -> usize;
+}
+
+/// Location of one spilled segment inside a spill file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegRef {
+    /// Rows in the segment.
+    pub rows: u64,
+    /// Byte offset of the frame blob in the spill file.
+    pub offset: u64,
+    /// Length of the frame blob.
+    pub len: u64,
+    /// CRC-32 of the whole blob (defense in depth on top of the
+    /// frame's per-record CRC).
+    pub crc: u32,
+}
+
+/// Everything a checkpoint needs to reference a log's spilled prefix
+/// instead of re-serializing it: the spill file and the segment refs,
+/// in log order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpillManifest {
+    /// Absolute path of the spill file; `None` when nothing spilled.
+    pub file: Option<PathBuf>,
+    /// Spilled segments, oldest first.
+    pub segments: Vec<SegRef>,
+}
+
+/// Cumulative spill activity of one log (summed per dataset for
+/// `BENCH_scale.json` and the scale-smoke assertions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Segments written to disk.
+    pub spilled_segments: u64,
+    /// Rows inside those segments.
+    pub spilled_rows: u64,
+    /// Bytes written to spill files.
+    pub spilled_bytes: u64,
+    /// Segment loads that missed the LRU cache and hit disk.
+    pub reloads: u64,
+    /// Current resident footprint (tail + resident segments + cache).
+    pub resident_bytes: u64,
+}
+
+impl SpillStats {
+    /// Component-wise sum.
+    pub fn merged(self, other: SpillStats) -> SpillStats {
+        SpillStats {
+            spilled_segments: self.spilled_segments + other.spilled_segments,
+            spilled_rows: self.spilled_rows + other.spilled_rows,
+            spilled_bytes: self.spilled_bytes + other.spilled_bytes,
+            reloads: self.reloads + other.reloads,
+            resident_bytes: self.resident_bytes + other.resident_bytes,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Segment<T> {
+    Resident { rows: Vec<T>, bytes: usize },
+    Spilled(SegRef),
+}
+
+/// Disk side of a log: the spill file plus the LRU of decoded
+/// segments. Behind a mutex so read-only dataset accessors (which run
+/// under the experiment fan-out) can load segments from `&self`.
+#[derive(Debug)]
+struct Cold<T> {
+    file: Option<File>,
+    /// End offset of the last written segment (next write position).
+    file_end: u64,
+    /// Decoded segments, most-recently-used first.
+    cache: Vec<(usize, Arc<Vec<T>>, usize)>,
+    cache_bytes: usize,
+    reloads: u64,
+}
+
+impl<T> Default for Cold<T> {
+    fn default() -> Cold<T> {
+        Cold {
+            file: None,
+            file_end: 0,
+            cache: Vec::new(),
+            cache_bytes: 0,
+            reloads: 0,
+        }
+    }
+}
+
+/// Default segment-close threshold when no budget is set.
+const DEFAULT_SEG_BYTES: usize = 1 << 20;
+
+/// An append-only row log with optional disk spilling.
+#[derive(Debug)]
+pub struct RowLog<T: SpillRow> {
+    tail: Vec<T>,
+    tail_bytes: usize,
+    closed: Vec<Segment<T>>,
+    /// `closed[..spilled_prefix]` are all `Spilled` (prefix invariant).
+    spilled_prefix: usize,
+    len: usize,
+    resident_seg_bytes: usize,
+    /// Resident budget in bytes; `None` disables spilling.
+    budget: Option<usize>,
+    /// Where to create the spill file on first spill.
+    spill_target: Option<PathBuf>,
+    spilled_rows: u64,
+    spilled_bytes: u64,
+    cold: Mutex<Cold<T>>,
+}
+
+impl<T: SpillRow> Default for RowLog<T> {
+    fn default() -> RowLog<T> {
+        RowLog {
+            tail: Vec::new(),
+            tail_bytes: 0,
+            closed: Vec::new(),
+            spilled_prefix: 0,
+            len: 0,
+            resident_seg_bytes: 0,
+            budget: None,
+            spill_target: None,
+            spilled_rows: 0,
+            spilled_bytes: 0,
+            cold: Mutex::new(Cold::default()),
+        }
+    }
+}
+
+impl<T: SpillRow> RowLog<T> {
+    /// An empty, fully-resident log.
+    pub fn new() -> RowLog<T> {
+        RowLog::default()
+    }
+
+    /// Sets the resident budget and the spill file path. May be called
+    /// before any row or after ingest started; enforcement happens on
+    /// the next push (and immediately, for already-closed segments).
+    pub fn configure(&mut self, budget: Option<u64>, spill_file: PathBuf) {
+        self.budget = budget.map(|b| b as usize);
+        self.spill_target = Some(spill_file);
+        self.enforce();
+    }
+
+    /// Number of rows ever appended.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no row was appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn seg_bytes_threshold(&self) -> usize {
+        match self.budget {
+            // A quarter of the budget per segment keeps a few segments
+            // resident even under tiny budgets; the 4 KiB floor stops
+            // pathological per-row segments.
+            Some(b) => (b / 4).clamp(4096, DEFAULT_SEG_BYTES),
+            None => DEFAULT_SEG_BYTES,
+        }
+    }
+
+    /// Appends a row, closing the tail into a segment and spilling
+    /// cold segments as the budget demands.
+    pub fn push(&mut self, row: T) {
+        self.tail_bytes += row.approx_bytes();
+        self.tail.push(row);
+        self.len += 1;
+        if self.tail_bytes >= self.seg_bytes_threshold() {
+            let rows = std::mem::take(&mut self.tail);
+            let bytes = std::mem::take(&mut self.tail_bytes);
+            self.closed.push(Segment::Resident { rows, bytes });
+            self.resident_seg_bytes += bytes;
+            self.enforce();
+        }
+    }
+
+    /// Spills oldest resident segments until the resident footprint
+    /// fits the budget (or nothing closed remains resident).
+    fn enforce(&mut self) {
+        let Some(budget) = self.budget else { return };
+        while self.resident_bytes() > budget as u64 && self.spilled_prefix < self.closed.len() {
+            self.spill_oldest();
+        }
+    }
+
+    fn spill_oldest(&mut self) {
+        let idx = self.spilled_prefix;
+        let Segment::Resident { rows, bytes } = &self.closed[idx] else {
+            unreachable!("spilled_prefix points at a resident segment");
+        };
+        let mut enc = Enc::new();
+        enc.u64(rows.len() as u64);
+        for r in rows {
+            r.enc_row(&mut enc);
+        }
+        let mut w = FrameWriter::new();
+        w.record(enc.bytes());
+        let blob = w.finish();
+        let crc = crc32(&blob);
+        let n_rows = rows.len() as u64;
+        let seg_bytes = *bytes;
+
+        let mut cold = self.cold.lock();
+        if cold.file.is_none() {
+            let path = self
+                .spill_target
+                .as_ref()
+                .expect("spill budget set without a spill file path");
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).expect("create spill dir");
+            }
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("open spill file {}: {e}", path.display()));
+            cold.file = Some(file);
+            cold.file_end = 0;
+        }
+        let offset = cold.file_end;
+        let file = cold.file.as_mut().expect("just opened");
+        file.seek(SeekFrom::Start(offset)).expect("seek spill file");
+        file.write_all(&blob).expect("write spill segment");
+        cold.file_end = offset + blob.len() as u64;
+        drop(cold);
+
+        let seg = SegRef {
+            rows: n_rows,
+            offset,
+            len: blob.len() as u64,
+            crc,
+        };
+        self.closed[idx] = Segment::Spilled(seg);
+        self.spilled_prefix += 1;
+        self.resident_seg_bytes -= seg_bytes;
+        self.spilled_rows += seg.rows;
+        self.spilled_bytes += seg.len;
+    }
+
+    /// Loads a spilled segment through the LRU cache.
+    fn load(&self, seg_idx: usize, seg: SegRef) -> Arc<Vec<T>> {
+        let mut cold = self.cold.lock();
+        if let Some(pos) = cold.cache.iter().position(|(i, _, _)| *i == seg_idx) {
+            let hit = cold.cache.remove(pos);
+            let rows = hit.1.clone();
+            cold.cache.insert(0, hit);
+            return rows;
+        }
+        cold.reloads += 1;
+        let file = cold
+            .file
+            .as_mut()
+            .expect("spilled segment without a spill file");
+        let mut blob = vec![0u8; seg.len as usize];
+        file.seek(SeekFrom::Start(seg.offset))
+            .expect("seek spill file");
+        file.read_exact(&mut blob).expect("read spill segment");
+        let rows = decode_segment::<T>(&blob, seg)
+            .unwrap_or_else(|e| panic!("spill segment corrupt at offset {}: {e}", seg.offset));
+        let bytes: usize = rows.iter().map(T::approx_bytes).sum();
+        let rows = Arc::new(rows);
+        cold.cache.insert(0, (seg_idx, rows.clone(), bytes));
+        cold.cache_bytes += bytes;
+        // Evict LRU entries past the cache share of the budget, always
+        // keeping the entry just loaded.
+        let cap = self.budget.map_or(usize::MAX, |b| (b / 4).max(bytes));
+        while cold.cache_bytes > cap && cold.cache.len() > 1 {
+            let (_, _, b) = cold.cache.pop().expect("len > 1");
+            cold.cache_bytes -= b;
+        }
+        rows
+    }
+
+    /// Iterates every row in append order, transparently reloading
+    /// spilled segments. Yields owned rows (clones of resident rows,
+    /// decoded copies of spilled ones).
+    pub fn iter(&self) -> RowLogIter<'_, T> {
+        RowLogIter {
+            log: self,
+            seg: 0,
+            cur: None,
+            at: 0,
+            remaining: self.len,
+        }
+    }
+
+    /// Spill-file reference for the spilled prefix (empty manifest when
+    /// nothing spilled). Together with [`RowLog::suffix_rows`] this is
+    /// the complete persistent form of the log.
+    pub fn manifest(&self) -> SpillManifest {
+        let segments: Vec<SegRef> = self.closed[..self.spilled_prefix]
+            .iter()
+            .map(|s| match s {
+                Segment::Spilled(r) => *r,
+                Segment::Resident { .. } => unreachable!("prefix invariant"),
+            })
+            .collect();
+        SpillManifest {
+            file: if segments.is_empty() {
+                None
+            } else {
+                self.spill_target.clone()
+            },
+            segments,
+        }
+    }
+
+    /// Clones the rows *after* the spilled prefix (resident segments +
+    /// tail) — what a checkpoint serializes inline.
+    pub fn suffix_rows(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        for seg in &self.closed[self.spilled_prefix..] {
+            match seg {
+                Segment::Resident { rows, .. } => out.extend(rows.iter().cloned()),
+                Segment::Spilled(_) => unreachable!("prefix invariant"),
+            }
+        }
+        out.extend(self.tail.iter().cloned());
+        out
+    }
+
+    /// Reattaches a spilled prefix on restore: opens the manifest's
+    /// spill file, verifies every referenced segment (CRC + row
+    /// count), truncates any stale bytes a crashed run wrote past the
+    /// manifest, and registers the segments. Must be called on an
+    /// empty log, before any push.
+    pub fn attach(&mut self, manifest: &SpillManifest) -> Result<(), String> {
+        assert!(
+            self.len == 0 && self.closed.is_empty(),
+            "attach on empty log only"
+        );
+        if manifest.segments.is_empty() {
+            return Ok(());
+        }
+        let path = manifest
+            .file
+            .as_ref()
+            .ok_or_else(|| "spill manifest has segments but no file".to_string())?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("open spill file {}: {e}", path.display()))?;
+        let mut end = 0u64;
+        for seg in &manifest.segments {
+            if seg.offset != end {
+                return Err(format!(
+                    "spill manifest gap: segment at {} expected at {end}",
+                    seg.offset
+                ));
+            }
+            let mut blob = vec![0u8; seg.len as usize];
+            file.seek(SeekFrom::Start(seg.offset))
+                .map_err(|e| format!("seek spill file: {e}"))?;
+            file.read_exact(&mut blob)
+                .map_err(|e| format!("read spill segment at {}: {e}", seg.offset))?;
+            decode_segment::<T>(&blob, *seg)
+                .map_err(|e| format!("spill segment at {} invalid: {e}", seg.offset))?;
+            end = seg.offset + seg.len;
+        }
+        file.set_len(end)
+            .map_err(|e| format!("truncate spill file: {e}"))?;
+        for seg in &manifest.segments {
+            self.closed.push(Segment::Spilled(*seg));
+            self.len += seg.rows as usize;
+            self.spilled_rows += seg.rows;
+            self.spilled_bytes += seg.len;
+        }
+        self.spilled_prefix = self.closed.len();
+        self.spill_target = Some(path.clone());
+        let mut cold = self.cold.lock();
+        cold.file = Some(file);
+        cold.file_end = end;
+        Ok(())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        let cache = self.cold.lock().cache_bytes as u64;
+        self.tail_bytes as u64 + self.resident_seg_bytes as u64 + cache
+    }
+
+    /// Spill activity counters.
+    pub fn stats(&self) -> SpillStats {
+        let cold = self.cold.lock();
+        SpillStats {
+            spilled_segments: self.spilled_prefix as u64,
+            spilled_rows: self.spilled_rows,
+            spilled_bytes: self.spilled_bytes,
+            reloads: cold.reloads,
+            resident_bytes: self.tail_bytes as u64
+                + self.resident_seg_bytes as u64
+                + cold.cache_bytes as u64,
+        }
+    }
+}
+
+fn decode_segment<T: SpillRow>(blob: &[u8], seg: SegRef) -> Result<Vec<T>, FrameError> {
+    if crc32(blob) != seg.crc {
+        return Err(FrameError::Codec("segment blob CRC mismatch"));
+    }
+    let mut reader = FrameReader::new(blob)?;
+    let payload = reader
+        .next_record()?
+        .ok_or(FrameError::Codec("empty segment blob"))?;
+    if reader.next_record()?.is_some() {
+        return Err(FrameError::Codec("trailing record in segment blob"));
+    }
+    let mut d = Dec::new(payload);
+    let n = d.u64()?;
+    if n != seg.rows {
+        return Err(FrameError::Codec("segment row count mismatch"));
+    }
+    let mut rows = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        rows.push(T::dec_row(&mut d)?);
+    }
+    d.finish()?;
+    Ok(rows)
+}
+
+enum Cur<'a, T> {
+    Slice(&'a [T]),
+    Loaded(Arc<Vec<T>>),
+}
+
+/// Iterator over a [`RowLog`], yielding owned rows in append order.
+pub struct RowLogIter<'a, T: SpillRow> {
+    log: &'a RowLog<T>,
+    /// Next closed-segment index to enter (`closed.len()` = tail).
+    seg: usize,
+    cur: Option<Cur<'a, T>>,
+    at: usize,
+    remaining: usize,
+}
+
+impl<T: SpillRow> Iterator for RowLogIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        loop {
+            if let Some(cur) = &self.cur {
+                let rows: &[T] = match cur {
+                    Cur::Slice(s) => s,
+                    Cur::Loaded(a) => a.as_slice(),
+                };
+                if let Some(row) = rows.get(self.at) {
+                    let row = row.clone();
+                    self.at += 1;
+                    self.remaining -= 1;
+                    return Some(row);
+                }
+                self.cur = None;
+            }
+            self.at = 0;
+            if self.seg < self.log.closed.len() {
+                let idx = self.seg;
+                self.seg += 1;
+                self.cur = Some(match &self.log.closed[idx] {
+                    Segment::Resident { rows, .. } => Cur::Slice(rows),
+                    Segment::Spilled(seg) => Cur::Loaded(self.log.load(idx, *seg)),
+                });
+            } else if self.seg == self.log.closed.len() {
+                self.seg += 1;
+                self.cur = Some(Cur::Slice(&self.log.tail));
+            } else {
+                return None;
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<T: SpillRow> ExactSizeIterator for RowLogIter<'_, T> {}
+
+// --- Row codecs -----------------------------------------------------
+//
+// These are the persistent field-by-field formats for the three crawl
+// logs — shared by spill segments and checkpoint snapshots (the
+// checkpoint module encodes its inline rows through the same impls).
+
+impl SpillRow for ScrapedOffer {
+    fn enc_row(&self, e: &mut Enc) {
+        e.u8(self.iip as u8).u64(self.raw.offer_key);
+        e.str(&self.raw.description);
+        match self.raw.reward {
+            RewardValue::Usd(v) => e.u8(0).f64(v),
+            RewardValue::Points(v) => e.u8(1).i64(v),
+            RewardValue::Cents(v) => e.u8(2).i64(v),
+        };
+        e.str(&self.raw.package).str(&self.raw.store_url);
+        e.u64(self.seen_at.secs());
+        e.str(&self.affiliate).str(self.vantage.code());
+    }
+
+    fn dec_row(d: &mut Dec) -> Result<ScrapedOffer, FrameError> {
+        let iip = iip_from_index(d.u8()?)?;
+        let offer_key = d.u64()?;
+        let description = d.str()?.to_string();
+        let reward = match d.u8()? {
+            0 => RewardValue::Usd(d.f64()?),
+            1 => RewardValue::Points(d.i64()?),
+            2 => RewardValue::Cents(d.i64()?),
+            _ => return Err(FrameError::Codec("unknown reward tag")),
+        };
+        let package = d.str()?.to_string();
+        let store_url = d.str()?.to_string();
+        let seen_at = SimTime::from_secs(d.u64()?);
+        let affiliate = d.str()?.to_string();
+        let vantage = country_from_code(d.str()?)?;
+        Ok(ScrapedOffer {
+            iip,
+            raw: RawOffer {
+                offer_key,
+                description,
+                reward,
+                package,
+                store_url,
+            },
+            seen_at,
+            affiliate,
+            vantage,
+        })
+    }
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<ScrapedOffer>()
+            + self.raw.description.len()
+            + self.raw.package.len()
+            + self.raw.store_url.len()
+            + self.affiliate.len()
+    }
+}
+
+impl SpillRow for ProfileSnapshot {
+    fn enc_row(&self, e: &mut Enc) {
+        e.u64(self.day);
+        e.str(&self.package).str(&self.title).str(&self.genre_id);
+        e.u64(self.released_day)
+            .u64(self.min_installs)
+            .u64(self.developer_id);
+        e.str(&self.developer_name)
+            .str(&self.developer_country)
+            .str(&self.developer_email)
+            .str(&self.developer_website);
+        e.f64(self.rating).u64(self.rating_count);
+    }
+
+    fn dec_row(d: &mut Dec) -> Result<ProfileSnapshot, FrameError> {
+        Ok(ProfileSnapshot {
+            day: d.u64()?,
+            package: d.str()?.to_string(),
+            title: d.str()?.to_string(),
+            genre_id: d.str()?.to_string(),
+            released_day: d.u64()?,
+            min_installs: d.u64()?,
+            developer_id: d.u64()?,
+            developer_name: d.str()?.to_string(),
+            developer_country: d.str()?.to_string(),
+            developer_email: d.str()?.to_string(),
+            developer_website: d.str()?.to_string(),
+            rating: d.f64()?,
+            rating_count: d.u64()?,
+        })
+    }
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<ProfileSnapshot>()
+            + self.package.len()
+            + self.title.len()
+            + self.genre_id.len()
+            + self.developer_name.len()
+            + self.developer_country.len()
+            + self.developer_email.len()
+            + self.developer_website.len()
+    }
+}
+
+impl SpillRow for ChartSnapshot {
+    fn enc_row(&self, e: &mut Enc) {
+        e.u64(self.day)
+            .str(self.chart)
+            .u64(self.entries.len() as u64);
+        for (pkg, rank) in &self.entries {
+            e.str(pkg).u64(*rank as u64);
+        }
+    }
+
+    fn dec_row(d: &mut Dec) -> Result<ChartSnapshot, FrameError> {
+        let day = d.u64()?;
+        let chart = chart_id_from_str(d.str()?)?;
+        let n = d.u64()?;
+        let mut entries = Vec::new();
+        for _ in 0..n {
+            let pkg = d.str()?.to_string();
+            entries.push((pkg, d.u64()? as usize));
+        }
+        Ok(ChartSnapshot {
+            day,
+            chart,
+            entries,
+        })
+    }
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<ChartSnapshot>()
+            + self
+                .entries
+                .iter()
+                .map(|(pkg, _)| pkg.len() + std::mem::size_of::<(String, usize)>())
+                .sum::<usize>()
+    }
+}
+
+fn iip_from_index(idx: u8) -> Result<IipId, FrameError> {
+    IipId::ALL
+        .get(idx as usize)
+        .copied()
+        .ok_or(FrameError::Codec("IIP index out of range"))
+}
+
+fn country_from_code(code: &str) -> Result<Country, FrameError> {
+    Country::ALL
+        .iter()
+        .find(|c| c.code() == code)
+        .copied()
+        .ok_or(FrameError::Codec("unknown country code"))
+}
+
+fn chart_id_from_str(s: &str) -> Result<&'static str, FrameError> {
+    ChartKind::ALL
+        .iter()
+        .find(|k| k.id() == s)
+        .map(|k| k.id())
+        .ok_or(FrameError::Codec("unknown chart id"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offer(key: u64, day: u64) -> ScrapedOffer {
+        ScrapedOffer {
+            iip: IipId::Fyber,
+            raw: RawOffer {
+                offer_key: key,
+                description: format!("Install and register #{key}"),
+                reward: RewardValue::Cents(5 + key as i64),
+                package: format!("com.app.{key}"),
+                store_url: format!("https://play.iiscope/store/apps/details?id=com.app.{key}"),
+            },
+            seen_at: SimTime::from_days(day),
+            affiliate: "com.cash.app".into(),
+            vantage: Country::Us,
+        }
+    }
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "iiscope-spill-test-{tag}-{}-{:?}.spill",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn resident_log_round_trips_without_a_file() {
+        let mut log: RowLog<ScrapedOffer> = RowLog::new();
+        for k in 0..100 {
+            log.push(offer(k, k));
+        }
+        assert_eq!(log.len(), 100);
+        let back: Vec<ScrapedOffer> = log.iter().collect();
+        assert_eq!(back.len(), 100);
+        assert_eq!(back[7], offer(7, 7));
+        assert_eq!(log.stats().spilled_segments, 0);
+        assert!(log.manifest().segments.is_empty());
+        assert_eq!(log.suffix_rows().len(), 100);
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_iteration_is_unchanged() {
+        let path = tmpfile("budget");
+        let mut log: RowLog<ScrapedOffer> = RowLog::new();
+        log.configure(Some(16 * 1024), path.clone());
+        let want: Vec<ScrapedOffer> = (0..2_000).map(|k| offer(k, k % 90)).collect();
+        for o in &want {
+            log.push(o.clone());
+        }
+        let stats = log.stats();
+        assert!(stats.spilled_segments > 0, "budget must force spilling");
+        assert!(stats.spilled_rows > 0);
+        assert!(stats.resident_bytes < stats.spilled_bytes + stats.resident_bytes);
+        // Byte-invariance: same rows, same order.
+        let back: Vec<ScrapedOffer> = log.iter().collect();
+        assert_eq!(back, want);
+        // A second pass reloads through the LRU (some hits, maybe some
+        // misses — but never a different answer).
+        let again: Vec<ScrapedOffer> = log.iter().collect();
+        assert_eq!(again, want);
+        assert!(log.stats().reloads >= stats.spilled_segments);
+        // Manifest + suffix partition the log.
+        let manifest = log.manifest();
+        let spilled: u64 = manifest.segments.iter().map(|s| s.rows).sum();
+        assert_eq!(spilled as usize + log.suffix_rows().len(), want.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn attach_restores_and_rejects_corruption() {
+        let path = tmpfile("attach");
+        let mut log: RowLog<ScrapedOffer> = RowLog::new();
+        log.configure(Some(8 * 1024), path.clone());
+        let want: Vec<ScrapedOffer> = (0..1_500).map(|k| offer(k, k % 90)).collect();
+        for o in &want {
+            log.push(o.clone());
+        }
+        let manifest = log.manifest();
+        let suffix = log.suffix_rows();
+        assert!(!manifest.segments.is_empty());
+
+        // Simulate a crashed run writing stale bytes past the manifest.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"stale garbage from a crashed successor")
+                .unwrap();
+        }
+
+        let mut restored: RowLog<ScrapedOffer> = RowLog::new();
+        restored
+            .attach(&manifest)
+            .expect("attach verified manifest");
+        for o in &suffix {
+            restored.push(o.clone());
+        }
+        let back: Vec<ScrapedOffer> = restored.iter().collect();
+        assert_eq!(back, want);
+        // The stale bytes were truncated away.
+        let end: u64 = manifest
+            .segments
+            .iter()
+            .map(|s| s.offset + s.len)
+            .max()
+            .unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), end);
+
+        // Flip one byte inside a referenced segment: attach must refuse.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = (manifest.segments[0].offset + manifest.segments[0].len / 2) as usize;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut corrupt: RowLog<ScrapedOffer> = RowLog::new();
+        assert!(corrupt.attach(&manifest).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chart_and_profile_rows_round_trip_the_codec() {
+        let chart = ChartSnapshot {
+            day: 12,
+            chart: ChartKind::ALL[0].id(),
+            entries: vec![("com.a".into(), 1), ("com.b".into(), 2)],
+        };
+        let mut e = Enc::new();
+        chart.enc_row(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(ChartSnapshot::dec_row(&mut d).unwrap(), chart);
+        d.finish().unwrap();
+
+        let profile = ProfileSnapshot {
+            day: 3,
+            package: "com.a.b".into(),
+            title: "A".into(),
+            genre_id: "TOOLS".into(),
+            released_day: 1,
+            min_installs: 100,
+            developer_id: 4,
+            developer_name: "Dev".into(),
+            developer_country: "DE".into(),
+            developer_email: "d@x".into(),
+            developer_website: String::new(),
+            rating: 4.5,
+            rating_count: 9,
+        };
+        let mut e = Enc::new();
+        profile.enc_row(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(ProfileSnapshot::dec_row(&mut d).unwrap(), profile);
+        d.finish().unwrap();
+    }
+}

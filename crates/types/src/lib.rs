@@ -32,6 +32,9 @@
 //! * [`wirestats`] — relaxed process-wide counters for the zero-copy
 //!   wire path (buffer reuse, streaming-parse volume); reporting only,
 //!   never read by the simulation.
+//! * [`rss`] — best-effort peak-RSS sampling (`VmHWM` on Linux) for
+//!   the `BENCH_*.json` emitters; telemetry only, never simulation
+//!   input.
 //! * [`chaosstats`] — the same pattern for the chaos subsystem: fault
 //!   injections and graceful-degradation events (retries, give-ups,
 //!   abandoned milkings), dumped as `BENCH_chaos.json`.
@@ -48,6 +51,7 @@ pub mod genre;
 pub mod ids;
 pub mod money;
 pub mod rng;
+pub mod rss;
 pub mod sym;
 pub mod time;
 pub mod wirestats;
@@ -58,5 +62,5 @@ pub use genre::Genre;
 pub use ids::{AppId, CampaignId, DeveloperId, DeviceId, IipId, OfferId, PackageName, WorkerId};
 pub use money::Usd;
 pub use rng::SeedFork;
-pub use sym::{Interner, Sym, SymMap, SymSet};
+pub use sym::{shard_of, Interner, Sym, SymMap, SymSet};
 pub use time::{SimDuration, SimTime};

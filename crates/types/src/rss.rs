@@ -1,0 +1,68 @@
+//! Peak-RSS sampling for the benchmark emitters.
+//!
+//! The scaling story of the sharded world is a *memory* claim — a
+//! 100×-paper run must fit under a budget below the fully-resident
+//! footprint — so every `BENCH_*.json` reports the process high-water
+//! mark alongside its timing numbers. On Linux the kernel already
+//! tracks this as `VmHWM` in `/proc/self/status`; elsewhere there is
+//! no portable equivalent in std, so the sampler degrades to `None`
+//! and the emitters print `null`.
+
+/// Peak resident set size of the current process, in bytes.
+///
+/// Reads `VmHWM` from `/proc/self/status` on Linux. Returns `None` on
+/// other platforms, or when the proc file is missing or malformed —
+/// callers must treat the value as best-effort telemetry, never as
+/// simulation input.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Parses the `VmHWM:` line out of a `/proc/self/status` dump.
+/// Separated from the I/O so the parser is testable on any platform.
+pub fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let mut fields = line.split_whitespace();
+    let _label = fields.next()?;
+    let value: u64 = fields.next()?.parse().ok()?;
+    // The kernel always reports kB here; tolerate a missing unit by
+    // assuming the same.
+    match fields.next() {
+        Some("kB") | None => Some(value * 1024),
+        Some(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_proc_status_dump() {
+        let status = "Name:\tiiscope\nVmPeak:\t  999 kB\nVmHWM:\t  123456 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(123_456 * 1024));
+    }
+
+    #[test]
+    fn malformed_dumps_degrade_to_none() {
+        assert_eq!(parse_vm_hwm(""), None);
+        assert_eq!(parse_vm_hwm("VmHWM:"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot-a-number kB"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\t12 MB"), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn linux_reports_a_nonzero_peak() {
+        let peak = peak_rss_bytes().expect("VmHWM available on Linux");
+        assert!(peak > 0);
+    }
+}

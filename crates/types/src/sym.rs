@@ -34,6 +34,39 @@ impl Sym {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The shard this symbol belongs to — convenience for
+    /// [`shard_of`].
+    #[inline]
+    pub fn shard(self, shards: usize) -> usize {
+        shard_of(self, shards)
+    }
+}
+
+/// Deterministic shard assignment for a symbol.
+///
+/// A **pure function** of `(sym, shards)`: no interner state, no RNG,
+/// no global configuration. The sharded world loop relies on this so
+/// that the same package lands on the same shard in every run, every
+/// process, and every worker count — shard membership is part of the
+/// deterministic plan, not of the execution schedule.
+///
+/// Symbols are dense insertion ranks, so a plain `sym % shards` would
+/// stripe correlated neighbours (apps interned back-to-back) across
+/// shards in lockstep. A finalizer-style avalanche mix (the murmur3
+/// fmix32 constants) decorrelates rank from shard first.
+#[inline]
+pub fn shard_of(sym: Sym, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut x = sym.0.wrapping_add(0x9e37_79b9);
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x85eb_ca6b);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xc2b2_ae35);
+    x ^= x >> 16;
+    x as usize % shards
 }
 
 impl fmt::Display for Sym {
@@ -248,6 +281,14 @@ impl SymSet {
         self.len == 0
     }
 
+    /// Number of 64-bit words backing the set — the memory shape.
+    ///
+    /// Growth is driven by the highest symbol inserted, not by the
+    /// member count: `word_count() == highest_index / 64 + 1`.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
     /// Members in ascending symbol order.
     pub fn iter(&self) -> impl Iterator<Item = Sym> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -344,6 +385,14 @@ impl<V> SymMap<V> {
         self.len == 0
     }
 
+    /// Number of slots backing the map — the memory shape.
+    ///
+    /// Dense maps grow to the highest symbol inserted:
+    /// `slot_count() == highest_index + 1` regardless of occupancy.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Occupied `(sym, value)` pairs in ascending symbol order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &V)> + '_ {
         self.slots
@@ -418,6 +467,106 @@ mod tests {
         assert!(!set.contains(Sym(100_000)));
         assert_eq!(set.len(), 2);
         assert_eq!(set.iter().collect::<Vec<_>>(), vec![Sym(3), Sym(130)]);
+    }
+
+    #[test]
+    fn symset_bitset_growth_at_a_million_syms() {
+        let mut set = SymSet::new();
+        // Sparse membership across a 1M+ symbol space: the bitset must
+        // grow to cover the highest index, one u64 per 64 symbols.
+        let top = Sym(1 << 20); // 1_048_576
+        assert!(set.insert(top));
+        assert_eq!(set.word_count(), top.index() / 64 + 1);
+        assert_eq!(set.len(), 1);
+        // Dense fill of every 97th symbol up to 1M: len tracks the
+        // member count, word_count tracks only the highest index.
+        for i in (0..=1_000_000u32).step_by(97) {
+            set.insert(Sym(i));
+        }
+        assert_eq!(set.len(), 1 + 1_000_000 / 97 + 1);
+        assert_eq!(set.word_count(), top.index() / 64 + 1);
+        assert!(set.contains(Sym(97 * 500)));
+        assert!(!set.contains(Sym(97 * 500 + 1)));
+        // Iteration order stays ascending through the full range.
+        let members: Vec<Sym> = set.iter().collect();
+        assert_eq!(members.len(), set.len());
+        assert!(members.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*members.last().unwrap(), top);
+    }
+
+    #[test]
+    fn symmap_dense_shape_at_a_million_syms() {
+        let mut map: SymMap<u32> = SymMap::new();
+        let top = Sym(1_250_000);
+        map.insert(top, 7);
+        // One slot per symbol index up to the highest inserted —
+        // occupancy does not shrink the dense shape.
+        assert_eq!(map.slot_count(), top.index() + 1);
+        assert_eq!(map.len(), 1);
+        for i in (0..1_250_000u32).step_by(1_000) {
+            map.insert(Sym(i), i);
+        }
+        assert_eq!(map.len(), 1 + 1_250_000 / 1_000);
+        assert_eq!(map.slot_count(), top.index() + 1);
+        assert_eq!(map.get(Sym(500_000)), Some(&500_000));
+        assert!(map.get(Sym(500_001)).is_none());
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        // Single shard: everything lands on shard 0.
+        assert_eq!(shard_of(Sym(0), 1), 0);
+        assert_eq!(shard_of(Sym(u32::MAX), 1), 0);
+        assert_eq!(shard_of(Sym(42), 0), 0);
+        // Every shard receives work for a dense symbol range — the
+        // avalanche mix must not collapse insertion ranks onto a few
+        // shards.
+        for shards in [2usize, 3, 8, 17] {
+            let mut counts = vec![0usize; shards];
+            for i in 0..10_000u32 {
+                let s = shard_of(Sym(i), shards);
+                assert!(s < shards);
+                counts[s] += 1;
+            }
+            let min = *counts.iter().min().unwrap();
+            let max = *counts.iter().max().unwrap();
+            assert!(min > 0, "empty shard at shards={shards}");
+            // Loose balance bound: no shard more than 2x another.
+            assert!(max < min * 2, "skewed shards={shards}: {counts:?}");
+        }
+    }
+
+    mod shard_props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Shard assignment is a pure function of `(Sym, shard_count)`:
+            /// the same pair always yields the same shard, in range, no
+            /// matter what other assignments were computed in between or
+            /// which interner minted the symbol.
+            #[test]
+            fn shard_assignment_is_pure(raw in any::<u32>(),
+                                        shards in 1usize..64,
+                                        noise in prop::collection::vec(any::<u32>(), 0..32)) {
+                let first = shard_of(Sym(raw), shards);
+                prop_assert!(first < shards);
+                // Interleave unrelated assignments — no hidden state may leak.
+                for n in noise {
+                    let _ = shard_of(Sym(n), shards);
+                }
+                prop_assert_eq!(first, shard_of(Sym(raw), shards));
+                // Symbols with equal ranks from different interners agree:
+                // the rank (not the string or the interner) decides.
+                let mut a = Interner::new();
+                let mut b = Interner::new();
+                let sa = a.intern("x");
+                b.intern("unrelated");
+                let sb = b.intern("x");
+                prop_assert_eq!(shard_of(sa, shards), shard_of(Sym(0), shards));
+                prop_assert_eq!(shard_of(sb, shards), shard_of(Sym(1), shards));
+            }
+        }
     }
 
     #[test]

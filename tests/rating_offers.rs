@@ -25,7 +25,6 @@ fn rating_offers_flow_end_to_end() {
     let star_offers: Vec<_> = artifacts
         .dataset
         .offers()
-        .iter()
         .filter(|o| {
             let d = o.raw.description.to_ascii_lowercase();
             d.contains("star") || d.contains("rate ")
@@ -57,7 +56,7 @@ fn default_world_has_no_rating_offers() {
         "the calibrated world must not record incentivized ratings"
     );
     assert!(
-        !artifacts.dataset.offers().iter().any(|o| o
+        !artifacts.dataset.offers().any(|o| o
             .raw
             .description
             .to_ascii_lowercase()

@@ -56,7 +56,7 @@ fn pipeline_survives_a_lossy_network() {
 
     let artifacts = world.run_wild_study().expect("wild study under loss");
     assert!(
-        !artifacts.dataset.offers().is_empty(),
+        artifacts.dataset.offers().len() > 0,
         "milking found nothing under loss"
     );
     let t3 = Table3::run(&world, &artifacts);
@@ -122,7 +122,7 @@ fn partition_during_a_crawl_day_leaves_a_gap_not_a_corpse() {
         )));
     let arts = world.run_wild_study().expect("wild study across partition");
     assert!(
-        !arts.dataset.offers().is_empty(),
+        arts.dataset.offers().len() > 0,
         "crawl days outside the window must still milk"
     );
     assert_eq!(
@@ -147,7 +147,7 @@ fn stalled_endpoints_exhaust_retries_without_wedging() {
     let delivered: u64 = honey.outcomes.iter().map(|o| o.installs_delivered).sum();
     assert!(delivered > 0);
     let arts = world.run_wild_study().expect("wild study under stalls");
-    assert!(!arts.dataset.offers().is_empty());
+    assert!(arts.dataset.offers().len() > 0);
     // Stalled-then-retried uploads may duplicate records; distinct
     // install ids stay bounded by deliveries.
     assert!(world.collector.distinct_installs() as u64 <= delivered);
@@ -208,8 +208,8 @@ fn parallel_fan_out_matches_sequential_under_faults() {
     let par = run(8);
     assert_eq!(seq.offer_observations, par.offer_observations);
     assert_eq!(
-        format!("{:?}", seq.dataset.offers()),
-        format!("{:?}", par.dataset.offers()),
+        format!("{:?}", seq.dataset.offers().collect::<Vec<_>>()),
+        format!("{:?}", par.dataset.offers().collect::<Vec<_>>()),
         "fault randomness must be a function of each connection's \
          lineage, not of worker scheduling"
     );
@@ -232,7 +232,7 @@ fn slow_links_cost_connection_local_time_only() {
             .with_latency(SimDuration::from_secs(1), SimDuration::ZERO),
     );
     let arts = world.run_wild_study().expect("wild study on slow links");
-    assert!(!arts.dataset.offers().is_empty());
+    assert!(arts.dataset.offers().len() > 0);
     assert_eq!(
         world.net.clock().now(),
         world.study_end(),
