@@ -2,8 +2,10 @@
 //! wall through the MITM proxy, crawling a profile, and building a
 //! world.
 
+mod fixture;
+
 use criterion::{criterion_group, criterion_main, Criterion};
-use iiscope_bench::fixture;
+use fixture::fixture;
 use iiscope_core::{World, WorldConfig};
 use iiscope_monitor::UiFuzzer;
 use iiscope_types::Country;

@@ -3,8 +3,10 @@
 //! the paper's numbering, so `cargo bench table5` re-times exactly the
 //! Table 5 computation.
 
+mod fixture;
+
 use criterion::{criterion_group, criterion_main, Criterion};
-use iiscope_bench::fixture;
+use fixture::fixture;
 use iiscope_core::experiments::{
     DetectorEval, Disclosure, Figure4, Figure5, Figure6, Monetization, Section3, Section5, Table1,
     Table2, Table3, Table4, Table5, Table6, Table7, Table8,

@@ -1,41 +1,69 @@
-//! Shared fixtures for the Criterion benches: one small world with
-//! both studies run, built once per bench binary — plus the peak-RSS
-//! sampler every `BENCH_*.json` emitter reports.
+//! The shared `BENCH_*.json` envelope: every bench dump the workspace
+//! emits (the six `repro --timing` dumps and anything CI archives)
+//! opens with the same header fields from [`envelope`], so downstream
+//! consumers (the `BENCH_load`/`BENCH_report` trend tooling of ROADMAP
+//! item 3) can parse one stable preamble instead of per-dump formats.
+//!
+//! The Criterion bench fixtures live under `benches/` (see
+//! `benches/fixture.rs`), not here: this library stays
+//! dependency-light (`iiscope-types` only) so `repro` — which the
+//! heavy bench targets dev-depend on — can link it without a cycle.
 
-use iiscope_core::{HoneyStudy, WildArtifacts, World, WorldConfig};
-use std::sync::OnceLock;
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Schema version stamped into every `BENCH_*.json` envelope. Bump on
+/// any incompatible change to the shared header fields below.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
 
 /// Peak resident set size of the current process, in bytes.
 ///
-/// `VmHWM` from `/proc/self/status` on Linux; `None` elsewhere. The
-/// implementation lives in `iiscope_types::rss` so the `repro` binary
-/// (which cannot depend on this crate without a cycle) shares the
-/// exact sampler the benches use.
+/// `VmHWM` from `/proc/self/status` on Linux; `None` elsewhere.
+/// Re-exported from `iiscope_types::rss` so emitters and benches share
+/// the exact sampler.
 pub use iiscope_types::rss::peak_rss_bytes;
 
-/// A fully-run world shared by the table/figure benches.
-pub struct Fixture {
-    /// The world.
-    pub world: World,
-    /// §4 artifacts.
-    pub artifacts: WildArtifacts,
-    /// §3 study results.
-    pub honey: HoneyStudy,
+/// The shared header every `BENCH_*.json` dump opens with: schema
+/// version, run identity (`scale`, `seed`, `parallelism`) and the
+/// process's peak RSS at emit time (`null` where `/proc` is
+/// unavailable).
+///
+/// Returns the header as indented `"key": value,` lines — the caller
+/// appends its own fields after it inside the same top-level object:
+///
+/// ```
+/// let mut s = String::from("{\n");
+/// s.push_str(&iiscope_bench::envelope("paper", 42, 8));
+/// s.push_str("  \"answer\": 42\n}\n");
+/// ```
+pub fn envelope(scale: &str, seed: u64, parallelism: usize) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
+    s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"parallelism\": {parallelism},\n"));
+    match peak_rss_bytes() {
+        Some(bytes) => s.push_str(&format!("  \"peak_rss_bytes\": {bytes},\n")),
+        None => s.push_str("  \"peak_rss_bytes\": null,\n"),
+    }
+    s
 }
 
-/// Builds (once) and returns the shared fixture.
-pub fn fixture() -> &'static Fixture {
-    static CELL: OnceLock<Fixture> = OnceLock::new();
-    CELL.get_or_init(|| {
-        let world = World::build(WorldConfig::small(31_337)).expect("world build");
-        let honey = world
-            .run_honey_study(world.study_start())
-            .expect("honey study");
-        let artifacts = world.run_wild_study().expect("wild study");
-        Fixture {
-            world,
-            artifacts,
-            honey,
-        }
-    })
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_carries_the_stable_header_fields() {
+        let e = envelope("paper:10", 42, 8);
+        assert!(e.contains("\"schema_version\": 1,"));
+        assert!(e.contains("\"scale\": \"paper:10\","));
+        assert!(e.contains("\"seed\": 42,"));
+        assert!(e.contains("\"parallelism\": 8,"));
+        assert!(e.contains("\"peak_rss_bytes\": "));
+        // Every line is a `"key": value,` continuation — the caller
+        // owns the braces.
+        assert!(!e.contains('{') && !e.contains('}'));
+        assert!(e.lines().all(|l| l.starts_with("  \"") && l.ends_with(',')));
+    }
 }

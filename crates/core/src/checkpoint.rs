@@ -27,6 +27,7 @@
 //! the CRC framing of [`iiscope_types::frame`]; a corrupt newest
 //! snapshot is logged and skipped back to the previous valid one.
 
+use crate::aggregates::ReportAggregates;
 use crate::chaos::fnv64;
 use crate::config::WorldConfig;
 use iiscope_monitor::parsers::ScrapedOffer;
@@ -45,8 +46,10 @@ use std::path::{Path, PathBuf};
 /// logs' disk-resident segments are checkpointed *by reference*
 /// (file + per-segment CRC) instead of being re-serialized into every
 /// snapshot, so snapshot cost tracks the resident suffix, not the
-/// full run history.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// full run history. Version 3 added the optional AGGS section
+/// (incremental report-aggregate state); v2 snapshots still decode —
+/// their aggregates are refolded from the restored dataset on resume.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 const SEC_META: u8 = 1;
 const SEC_SIM: u8 = 2;
@@ -57,6 +60,7 @@ const SEC_CHARTS: u8 = 6;
 const SEC_CRAWLER: u8 = 7;
 const SEC_COUNTERS: u8 = 8;
 const SEC_SPILL: u8 = 9;
+const SEC_AGGS: u8 = 10;
 
 /// A named counter ledger (`chaosstats`/`wirestats` snapshot form).
 pub type Ledger = Vec<(String, u64)>;
@@ -100,6 +104,10 @@ pub struct Snapshot {
     pub chaos_counters: Ledger,
     /// Wire counter ledger at snapshot time.
     pub wire_counters: Ledger,
+    /// Incremental report-aggregate state at snapshot time (v3;
+    /// `None` for v2 snapshots — resume refolds from the restored
+    /// dataset instead).
+    pub aggregates: Option<ReportAggregates>,
 }
 
 /// Cumulative cost of checkpoint writes (and the resume replay) over a
@@ -173,11 +181,18 @@ impl Snapshot {
 
     /// Serializes the snapshot into a frame file.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_as(SNAPSHOT_VERSION)
+    }
+
+    /// Version-parameterized encoder: version 2 omits the AGGS section
+    /// (its wire layout predates aggregates). Only tests downgrade;
+    /// the public path always writes [`SNAPSHOT_VERSION`].
+    fn encode_as(&self, version: u32) -> Vec<u8> {
         let mut w = FrameWriter::new();
 
         let mut meta = Enc::new();
         meta.u8(SEC_META)
-            .u32(SNAPSHOT_VERSION)
+            .u32(version)
             .u64(self.seed)
             .u64(self.fingerprint)
             .u64(self.day);
@@ -232,6 +247,15 @@ impl Snapshot {
         enc_ledger(&mut counters, &self.wire_counters);
         w.record(counters.bytes());
 
+        if version >= 3 {
+            if let Some(aggs) = &self.aggregates {
+                let mut a = Enc::new();
+                a.u8(SEC_AGGS);
+                aggs.encode(&mut a);
+                w.record(a.bytes());
+            }
+        }
+
         w.finish()
     }
 
@@ -248,13 +272,17 @@ impl Snapshot {
         let mut crawler: Option<ClientState> = None;
         let mut counters: Option<(Ledger, Ledger)> = None;
         let mut spill: Option<(SpillManifest, SpillManifest)> = None;
+        let mut aggregates: Option<ReportAggregates> = None;
 
         while let Some(payload) = reader.next_record()? {
             let mut d = Dec::new(payload);
             match d.u8()? {
                 SEC_META => {
                     let version = d.u32()?;
-                    if version != SNAPSHOT_VERSION {
+                    // v2 snapshots (pre-AGGS) remain readable: the
+                    // aggregate state is a pure fold of the dataset,
+                    // so resume reconstructs it instead.
+                    if version != 2 && version != SNAPSHOT_VERSION {
                         return Err(FrameError::Codec("unsupported snapshot version"));
                     }
                     meta = Some((d.u64()?, d.u64()?, d.u64()?));
@@ -315,6 +343,11 @@ impl Snapshot {
                     d.finish()?;
                     counters = Some((chaos, wire));
                 }
+                SEC_AGGS => {
+                    let aggs = ReportAggregates::decode(&mut d)?;
+                    d.finish()?;
+                    aggregates = Some(aggs);
+                }
                 _ => return Err(FrameError::Codec("unknown snapshot section")),
             }
         }
@@ -340,6 +373,7 @@ impl Snapshot {
             charts: charts.ok_or(FrameError::Codec("missing CHARTS section"))?,
             chaos_counters,
             wire_counters,
+            aggregates,
         })
     }
 }
@@ -642,7 +676,38 @@ mod tests {
             }],
             chaos_counters: vec![("retries".into(), 3)],
             wire_counters: vec![("bytes_delivered".into(), 912)],
+            aggregates: Some(sample_aggregates()),
         }
+    }
+
+    /// A genuinely folded aggregate state (not a hand-built one), so
+    /// the snapshot round-trip exercises the real digest layout.
+    fn sample_aggregates() -> ReportAggregates {
+        let mut ds = iiscope_monitor::Dataset::new();
+        ds.add_offers([ScrapedOffer {
+            iip: IipId::Fyber,
+            raw: RawOffer {
+                offer_key: 11,
+                description: "Install and Register".into(),
+                reward: RewardValue::Usd(0.25),
+                package: "com.a.one".into(),
+                store_url: "https://play.iiscope/store/apps/details?id=com.a.one".into(),
+            },
+            seen_at: SimTime::from_days(1502),
+            affiliate: "com.cash.app".into(),
+            vantage: Country::Us,
+        }]);
+        ds.add_chart(ChartSnapshot {
+            day: 1502,
+            chart: ChartKind::ALL[0].id(),
+            entries: vec![("com.a.one".into(), 1)],
+        });
+        let book = iiscope_monitor::RateBook::from_catalog(
+            &iiscope_devices::AffiliateApp::table2_catalog(),
+        );
+        let mut aggs = ReportAggregates::new();
+        aggs.fold_day(&ds, &book);
+        aggs
     }
 
     #[test]
@@ -664,6 +729,19 @@ mod tests {
         assert_eq!(back.charts, snap.charts);
         assert_eq!(back.chaos_counters, snap.chaos_counters);
         assert_eq!(back.wire_counters, snap.wire_counters);
+        assert_eq!(back.aggregates, snap.aggregates);
+        assert!(back.aggregates.is_some());
+    }
+
+    #[test]
+    fn v2_snapshots_decode_without_aggregates() {
+        let snap = sample_snapshot();
+        let back = Snapshot::decode(&snap.encode_as(2)).unwrap();
+        assert!(back.aggregates.is_none(), "v2 has no AGGS section");
+        assert_eq!(back.offers, snap.offers);
+        assert_eq!(back.charts, snap.charts);
+        // Unknown future versions are still refused, not guessed at.
+        assert!(Snapshot::decode(&snap.encode_as(4)).is_err());
     }
 
     #[test]

@@ -28,6 +28,20 @@ pub fn avg_campaign_days(ds: &Dataset) -> u64 {
     (total / obs.len() as u64).max(1)
 }
 
+/// Symbol-side twin of [`avg_campaign_days`]: the same integer result
+/// (same campaign set, order-insensitive integer sum) without
+/// resolving or name-sorting every package. The incremental report
+/// computes this once and shares it across Tables 5–7, where the
+/// batch path recomputed the sorted observation list three times.
+pub fn avg_campaign_days_sym(ds: &Dataset) -> u64 {
+    let (mut total, mut n) = (0u64, 0u64);
+    for c in ds.campaigns() {
+        total += c.duration_days();
+        n += 1;
+    }
+    total.checked_div(n).map_or(25, |avg| avg.max(1))
+}
+
 /// The baseline observation window: starting at the *second* crawl
 /// round, for the average campaign duration. Starting one round in
 /// leaves a pre-window observation, so the Table 6 exclusion rule

@@ -28,7 +28,26 @@ pub struct CaseStudy {
 }
 
 impl CaseStudy {
+    /// Batch panel: the per-day chart size comes from a full scan of
+    /// the chart log — one scan *per chart day*, which is the report
+    /// pass's dominant spill-reload source and exactly what the
+    /// aggregate layer's chart-size map eliminates.
     fn compute(ds: &Dataset, package: &str, chart: &'static str) -> CaseStudy {
+        CaseStudy::compute_with(ds, package, chart, |day| {
+            ds.charts()
+                .find(|c| c.day == day && c.chart == chart)
+                .map_or(0, |c| c.entries.len())
+        })
+    }
+
+    /// Shared panel body with a pluggable chart-size lookup (the
+    /// percentile axis denominator for one crawl day).
+    fn compute_with(
+        ds: &Dataset,
+        package: &str,
+        chart: &'static str,
+        size_of: impl Fn(u64) -> usize,
+    ) -> CaseStudy {
         let sym = ds.pkg_sym(package);
         let campaign = sym
             .and_then(|s| ds.campaign(s))
@@ -40,11 +59,7 @@ impl CaseStudy {
         let mut absent = Vec::new();
         for &day in ds.chart_days() {
             let rank = ranks.iter().find(|&&(d, _)| d == day).map(|&(_, r)| r);
-            // Chart size on that day for the percentile axis.
-            let size = ds
-                .charts()
-                .find(|c| c.day == day && c.chart == chart)
-                .map_or(0, |c| c.entries.len());
+            let size = size_of(day);
             match rank {
                 Some(r) if size > 0 => {
                     presence.push((day, 100.0 * (size - r) as f64 / size as f64));
@@ -81,7 +96,8 @@ pub struct Figure5 {
 }
 
 impl Figure5 {
-    /// Computes both panels.
+    /// Computes both panels by rescanning the chart log — the
+    /// byte-parity oracle for [`Figure5::run_incremental`].
     pub fn run(_world: &World, artifacts: &WildArtifacts) -> Figure5 {
         Figure5 {
             trebel: CaseStudy::compute(
@@ -90,6 +106,24 @@ impl Figure5 {
                 "topselling_free_games",
             ),
             wof: CaseStudy::compute(&artifacts.dataset, CASE_STUDY_WOF, "topgrossing"),
+        }
+    }
+
+    /// Computes both panels with per-day chart sizes from the
+    /// streaming aggregates' chart-size map — O(log) lookups instead
+    /// of a full chart-log scan per chart day, so the figure renders
+    /// without touching spilled segments. Byte-identical to
+    /// [`Figure5::run`].
+    pub fn run_incremental(artifacts: &WildArtifacts) -> Figure5 {
+        let ds = &artifacts.dataset;
+        let aggs = &artifacts.aggregates;
+        Figure5 {
+            trebel: CaseStudy::compute_with(ds, CASE_STUDY_TREBEL, "topselling_free_games", |d| {
+                aggs.chart_size("topselling_free_games", d)
+            }),
+            wof: CaseStudy::compute_with(ds, CASE_STUDY_WOF, "topgrossing", |d| {
+                aggs.chart_size("topgrossing", d)
+            }),
         }
     }
 
@@ -150,5 +184,14 @@ mod tests {
         }
         let rendered = f.render();
         assert!(rendered.contains("topgrossing"));
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let shared = testworld::shared();
+        assert_eq!(
+            Figure5::run_incremental(&shared.artifacts),
+            Figure5::run(&shared.world, &shared.artifacts)
+        );
     }
 }

@@ -47,11 +47,13 @@ pub struct Figure6 {
 }
 
 impl Figure6 {
-    /// Runs the static analysis over the downloaded APKs.
+    /// Runs the static analysis over the downloaded APKs, classifying
+    /// packages by a rescan of the deduplicated offer log — the
+    /// byte-parity oracle for [`Figure6::run_incremental`].
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Figure6 {
-        let ds = &artifacts.dataset;
         // Classify each advertised package by its observed offers —
         // one pass over the deduplicated offer column into bitsets.
+        let ds = &artifacts.dataset;
         let mut activity = SymSet::default();
         let mut any_no_activity = SymSet::default();
         for (o, pkg, _) in ds.unique_offers_with_syms() {
@@ -61,7 +63,25 @@ impl Figure6 {
                 activity.insert(pkg);
             }
         }
+        Figure6::with_classes(world, artifacts, activity, any_no_activity)
+    }
 
+    /// Same figure, but the activity/no-activity package sets come
+    /// from the streaming offer digest (classified at fold time).
+    /// Byte-identical to [`Figure6::run`].
+    pub fn run_incremental(world: &World, artifacts: &WildArtifacts) -> Figure6 {
+        let activity = artifacts.aggregates.activity_syms();
+        let any_no_activity = artifacts.aggregates.no_activity_syms();
+        Figure6::with_classes(world, artifacts, activity, any_no_activity)
+    }
+
+    fn with_classes(
+        world: &World,
+        artifacts: &WildArtifacts,
+        activity: SymSet,
+        any_no_activity: SymSet,
+    ) -> Figure6 {
+        let ds = &artifacts.dataset;
         // Every series below is sorted/thresholded before rendering,
         // so sym-order visits are invisible in the output.
         let counts_for = |pkgs: &mut dyn Iterator<Item = &str>| -> Vec<usize> {
@@ -160,5 +180,14 @@ mod tests {
             assert!((cdf.last().unwrap() - 1.0).abs() < 1e-9);
         }
         assert!(f.render().contains("Panel (a: offer type)"));
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let shared = testworld::shared();
+        assert_eq!(
+            Figure6::run_incremental(&shared.world, &shared.artifacts),
+            Figure6::run(&shared.world, &shared.artifacts)
+        );
     }
 }

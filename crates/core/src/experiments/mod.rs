@@ -73,6 +73,42 @@ pub fn full_report_timed(
     artifacts: &WildArtifacts,
     honey: HoneyStudy,
 ) -> (String, Vec<ExperimentTiming>) {
+    report_timed(world, artifacts, honey, false)
+}
+
+/// The incremental report: the hot tables (4–8, figures 5/6,
+/// monetization) render from the streaming aggregates folded during
+/// the wild study instead of re-scanning the full dataset. The output
+/// is byte-identical to [`full_report`] — the batch path is the
+/// parity oracle, enforced by `tests/aggregates.rs`.
+pub fn full_report_incremental(
+    world: &World,
+    artifacts: &WildArtifacts,
+    honey: HoneyStudy,
+) -> String {
+    full_report_incremental_timed(world, artifacts, honey).0
+}
+
+/// Timed variant of [`full_report_incremental`].
+pub fn full_report_incremental_timed(
+    world: &World,
+    artifacts: &WildArtifacts,
+    honey: HoneyStudy,
+) -> (String, Vec<ExperimentTiming>) {
+    assert!(
+        artifacts.aggregates.covers(&artifacts.dataset),
+        "incremental report requires aggregates folded over the full dataset \
+         (did these artifacts come from run_wild_study?)"
+    );
+    report_timed(world, artifacts, honey, true)
+}
+
+fn report_timed(
+    world: &World,
+    artifacts: &WildArtifacts,
+    honey: HoneyStudy,
+    incremental: bool,
+) -> (String, Vec<ExperimentTiming>) {
     type Section<'a> = (&'static str, Box<dyn Fn() -> String + Send + Sync + 'a>);
     let sections: Vec<Section> = vec![
         (
@@ -94,23 +130,53 @@ pub fn full_report_timed(
         ),
         (
             "Table 4",
-            Box::new(|| Table4::run(world, artifacts).render()),
+            Box::new(move || {
+                if incremental {
+                    Table4::run_incremental(artifacts).render()
+                } else {
+                    Table4::run(world, artifacts).render()
+                }
+            }),
         ),
         (
             "Table 5",
-            Box::new(|| Table5::run(world, artifacts).render()),
+            Box::new(move || {
+                if incremental {
+                    Table5::run_incremental(world, artifacts).render()
+                } else {
+                    Table5::run(world, artifacts).render()
+                }
+            }),
         ),
         (
             "Table 6",
-            Box::new(|| Table6::run(world, artifacts).render()),
+            Box::new(move || {
+                if incremental {
+                    Table6::run_incremental(world, artifacts).render()
+                } else {
+                    Table6::run(world, artifacts).render()
+                }
+            }),
         ),
         (
             "Table 7",
-            Box::new(|| Table7::run(world, artifacts).render()),
+            Box::new(move || {
+                if incremental {
+                    Table7::run_incremental(world, artifacts).render()
+                } else {
+                    Table7::run(world, artifacts).render()
+                }
+            }),
         ),
         (
             "Table 8",
-            Box::new(|| Table8::run(world, artifacts).render()),
+            Box::new(move || {
+                if incremental {
+                    Table8::run_incremental(world, artifacts).render()
+                } else {
+                    Table8::run(world, artifacts).render()
+                }
+            }),
         ),
         (
             "Figure 4",
@@ -118,15 +184,33 @@ pub fn full_report_timed(
         ),
         (
             "Figure 5",
-            Box::new(|| Figure5::run(world, artifacts).render()),
+            Box::new(move || {
+                if incremental {
+                    Figure5::run_incremental(artifacts).render()
+                } else {
+                    Figure5::run(world, artifacts).render()
+                }
+            }),
         ),
         (
             "Figure 6",
-            Box::new(|| Figure6::run(world, artifacts).render()),
+            Box::new(move || {
+                if incremental {
+                    Figure6::run_incremental(world, artifacts).render()
+                } else {
+                    Figure6::run(world, artifacts).render()
+                }
+            }),
         ),
         (
             "Monetization",
-            Box::new(|| Monetization::run(world, artifacts).render()),
+            Box::new(move || {
+                if incremental {
+                    Monetization::run_incremental(world, artifacts).render()
+                } else {
+                    Monetization::run(world, artifacts).render()
+                }
+            }),
         ),
         (
             "Disclosure",

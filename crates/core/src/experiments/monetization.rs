@@ -36,11 +36,13 @@ pub struct Monetization {
 }
 
 impl Monetization {
-    /// Computes the summary.
+    /// Computes the summary, classifying packages by a rescan of the
+    /// deduplicated offer log — the byte-parity oracle for
+    /// [`Monetization::run_incremental`].
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Monetization {
-        let ds = &artifacts.dataset;
         // One pass over the deduplicated offer column classifies every
         // advertised package into the arbitrage / activity bitsets.
+        let ds = &artifacts.dataset;
         let mut arbitrage = SymSet::default();
         let mut activity = SymSet::default();
         for (o, pkg, _) in ds.unique_offers_with_syms() {
@@ -51,6 +53,26 @@ impl Monetization {
                 activity.insert(pkg);
             }
         }
+        Monetization::with_classes(world, artifacts, arbitrage, activity)
+    }
+
+    /// Same summary, with the arbitrage/activity package sets taken
+    /// from the streaming offer digest (an offer is an activity offer
+    /// iff it did not classify as no-activity). Byte-identical to
+    /// [`Monetization::run`].
+    pub fn run_incremental(world: &World, artifacts: &WildArtifacts) -> Monetization {
+        let arbitrage = artifacts.aggregates.arbitrage_syms();
+        let activity = artifacts.aggregates.activity_syms();
+        Monetization::with_classes(world, artifacts, arbitrage, activity)
+    }
+
+    fn with_classes(
+        world: &World,
+        artifacts: &WildArtifacts,
+        arbitrage: SymSet,
+        activity: SymSet,
+    ) -> Monetization {
+        let ds = &artifacts.dataset;
         let share = |pkgs: &SymSet| {
             if pkgs.is_empty() {
                 return 0.0;
@@ -177,5 +199,14 @@ mod tests {
         assert!(m.public_companies >= 3, "public {}", m.public_companies);
         assert!(!m.public_brands.is_empty());
         assert!(m.render().contains("Arbitrage"));
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let shared = testworld::shared();
+        assert_eq!(
+            Monetization::run_incremental(&shared.world, &shared.artifacts),
+            Monetization::run(&shared.world, &shared.artifacts)
+        );
     }
 }

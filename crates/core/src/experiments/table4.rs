@@ -46,10 +46,54 @@ pub struct Table4 {
 }
 
 impl Table4 {
-    /// Computes the per-IIP summary.
+    /// Computes the per-IIP summary from a full rescan of the
+    /// deduplicated offer log — the byte-parity oracle for
+    /// [`Table4::run_incremental`].
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Table4 {
         let book = RateBook::from_catalog(&world.affiliate_apps);
         let ds = &artifacts.dataset;
+        let all_unique = ds.unique_offers();
+        Table4::with_offer_stats(ds, |iip| {
+            let offers: Vec<_> = all_unique.iter().filter(|o| o.iip == iip).collect();
+            let payouts: Vec<Usd> = offers.iter().filter_map(|o| offer_usd(&book, o)).collect();
+            let no_activity = offers
+                .iter()
+                .filter(|o| classify_description(&o.raw.description) == OfferType::NoActivity)
+                .count();
+            (payouts, no_activity, offers.len())
+        })
+    }
+
+    /// Computes the per-IIP summary from the streaming offer digest —
+    /// classification and payout normalization already happened at
+    /// fold time, so the offer side never re-reads a description.
+    /// Byte-identical to [`Table4::run`].
+    pub fn run_incremental(artifacts: &WildArtifacts) -> Table4 {
+        let aggs = &artifacts.aggregates;
+        Table4::with_offer_stats(&artifacts.dataset, |iip| {
+            let mut payouts = Vec::new();
+            let (mut no_activity, mut total) = (0usize, 0usize);
+            for o in aggs.offers().filter(|o| o.iip == iip) {
+                total += 1;
+                if o.no_activity {
+                    no_activity += 1;
+                }
+                if let Some(usd) = o.usd {
+                    payouts.push(usd);
+                }
+            }
+            (payouts, no_activity, total)
+        })
+    }
+
+    /// Shared body: the profile/campaign side reads the dataset's live
+    /// symbol indices either way; `offer_stats` supplies the
+    /// offer-derived columns (arrival-order payouts, no-activity
+    /// count, offer count) per platform.
+    fn with_offer_stats(
+        ds: &iiscope_monitor::Dataset,
+        offer_stats: impl Fn(IipId) -> (Vec<Usd>, usize, usize),
+    ) -> Table4 {
         let order = [
             IipId::RankApp,
             IipId::AyetStudios,
@@ -59,16 +103,10 @@ impl Table4 {
             IipId::HangMyAds,
             IipId::OfferToro,
         ];
-        let all_unique = ds.unique_offers();
         let rows = order
             .into_iter()
             .map(|iip| {
-                let offers: Vec<_> = all_unique.iter().filter(|o| o.iip == iip).collect();
-                let payouts: Vec<Usd> = offers.iter().filter_map(|o| offer_usd(&book, o)).collect();
-                let no_activity = offers
-                    .iter()
-                    .filter(|o| classify_description(&o.raw.description) == OfferType::NoActivity)
-                    .count();
+                let (payouts, no_activity, offer_count) = offer_stats(iip);
                 // Sym-order iteration: every aggregate below is either
                 // a set re-collect or sorted before use, so symbol
                 // order never reaches the output.
@@ -103,10 +141,10 @@ impl Table4 {
                 Table4Row {
                     iip,
                     median_payout: Usd::median(&payouts),
-                    no_activity_share: if offers.is_empty() {
+                    no_activity_share: if offer_count == 0 {
                         0.0
                     } else {
-                        no_activity as f64 / offers.len() as f64
+                        no_activity as f64 / offer_count as f64
                     },
                     apps: packages.len(),
                     developers: developers.len(),
@@ -227,5 +265,14 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("RankApp"));
         assert!(rendered.contains("MedInstalls"));
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let shared = testworld::shared();
+        let batch = Table4::run(&shared.world, &shared.artifacts);
+        let inc = Table4::run_incremental(&shared.artifacts);
+        assert_eq!(inc, batch);
+        assert_eq!(inc.render(), batch.render());
     }
 }

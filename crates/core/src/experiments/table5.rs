@@ -49,8 +49,26 @@ pub struct Table5 {
 }
 
 impl Table5 {
-    /// Computes the table from crawl timelines.
+    /// Computes the table from crawl timelines, deriving the baseline
+    /// window from the batch (name-sorted observation list) average —
+    /// the byte-parity oracle for [`Table5::run_incremental`].
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Table5 {
+        let avg = crate::experiments::common::avg_campaign_days(&artifacts.dataset);
+        Table5::run_with_avg(world, artifacts, avg)
+    }
+
+    /// Incremental-report variant: identical numbers, but the average
+    /// campaign duration comes from the O(#campaigns) symbol-side
+    /// fold (shared by Tables 5–7) instead of re-sorting the owned
+    /// observation list.
+    pub fn run_incremental(world: &World, artifacts: &WildArtifacts) -> Table5 {
+        let avg = crate::experiments::common::avg_campaign_days_sym(&artifacts.dataset);
+        Table5::run_with_avg(world, artifacts, avg)
+    }
+
+    /// Computes the table with a caller-supplied average campaign
+    /// duration (the baseline observation window length).
+    pub fn run_with_avg(world: &World, artifacts: &WildArtifacts, avg_days: u64) -> Table5 {
         let ds = &artifacts.dataset;
         // Sym-order iteration over the class bitsets; the row is a
         // pair of counters, so iteration order is invisible.
@@ -79,7 +97,6 @@ impl Table5 {
             no_increase: 0,
             increase: 0,
         };
-        let avg_days = crate::experiments::common::avg_campaign_days(ds);
         for b in &world.plan.baseline {
             let pkg = b.package.as_str();
             let Some((from, to)) = baseline_window(ds, pkg, avg_days) else {
@@ -181,5 +198,14 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("Baseline"));
         assert!(rendered.contains("chi2"));
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let shared = testworld::shared();
+        assert_eq!(
+            Table5::run_incremental(&shared.world, &shared.artifacts),
+            Table5::run(&shared.world, &shared.artifacts)
+        );
     }
 }

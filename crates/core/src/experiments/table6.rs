@@ -52,8 +52,25 @@ pub struct Table6 {
 }
 
 impl Table6 {
-    /// Computes the table.
+    /// Computes the table, deriving the baseline window from the batch
+    /// (name-sorted observation list) average — the byte-parity oracle
+    /// for [`Table6::run_incremental`].
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Table6 {
+        let avg = crate::experiments::common::avg_campaign_days(&artifacts.dataset);
+        Table6::run_with_avg(world, artifacts, avg)
+    }
+
+    /// Incremental-report variant: identical numbers, with the average
+    /// campaign duration from the symbol-side fold shared by Tables
+    /// 5–7 instead of a re-sorted observation list.
+    pub fn run_incremental(world: &World, artifacts: &WildArtifacts) -> Table6 {
+        let avg = crate::experiments::common::avg_campaign_days_sym(&artifacts.dataset);
+        Table6::run_with_avg(world, artifacts, avg)
+    }
+
+    /// Computes the table with a caller-supplied average campaign
+    /// duration (the baseline observation window length).
+    pub fn run_with_avg(world: &World, artifacts: &WildArtifacts, avg_days: u64) -> Table6 {
         let ds = &artifacts.dataset;
         // Sym-order iteration over the class bitsets; the row is a
         // triple of counters, so iteration order is invisible.
@@ -83,7 +100,6 @@ impl Table6 {
             present: 0,
             excluded: 0,
         };
-        let avg_days = crate::experiments::common::avg_campaign_days(ds);
         for b in &world.plan.baseline {
             let pkg = b.package.as_str();
             let Some((from, to)) = baseline_window(ds, pkg, avg_days) else {
@@ -172,5 +188,14 @@ mod tests {
 
         let rendered = t.render();
         assert!(rendered.contains("Excluded"));
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let shared = testworld::shared();
+        assert_eq!(
+            Table6::run_incremental(&shared.world, &shared.artifacts),
+            Table6::run(&shared.world, &shared.artifacts)
+        );
     }
 }

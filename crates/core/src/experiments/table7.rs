@@ -71,8 +71,25 @@ pub struct Table7 {
 }
 
 impl Table7 {
-    /// Computes the table.
+    /// Computes the table, deriving the baseline window from the batch
+    /// (name-sorted observation list) average — the byte-parity oracle
+    /// for [`Table7::run_incremental`].
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Table7 {
+        let avg = crate::experiments::common::avg_campaign_days(&artifacts.dataset);
+        Table7::run_with_avg(world, artifacts, avg)
+    }
+
+    /// Incremental-report variant: identical numbers, with the average
+    /// campaign duration from the symbol-side fold shared by Tables
+    /// 5–7 instead of a re-sorted observation list.
+    pub fn run_incremental(world: &World, artifacts: &WildArtifacts) -> Table7 {
+        let avg = crate::experiments::common::avg_campaign_days_sym(&artifacts.dataset);
+        Table7::run_with_avg(world, artifacts, avg)
+    }
+
+    /// Computes the table with a caller-supplied average campaign
+    /// duration (the baseline observation window length).
+    pub fn run_with_avg(world: &World, artifacts: &WildArtifacts, avg_days: u64) -> Table7 {
         let ds = &artifacts.dataset;
         let check_sym = |sym: iiscope_types::Sym, after: SimTime| -> Option<bool> {
             let profile = ds.first_profile_sym(sym)?;
@@ -115,7 +132,6 @@ impl Table7 {
             not_funded: 0,
             unmatched: 0,
         };
-        let avg_days = crate::experiments::common::avg_campaign_days(ds);
         for b in &world.plan.baseline {
             let pkg = b.package.as_str();
             let Some((from, _)) = baseline_window(ds, pkg, avg_days) else {
@@ -230,5 +246,14 @@ mod tests {
         let (um, uf) = expect(false);
         assert_eq!(t.unvetted.total(), um, "unvetted matched");
         assert_eq!(t.unvetted.funded, uf, "unvetted funded");
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let shared = testworld::shared();
+        assert_eq!(
+            Table7::run_incremental(&shared.world, &shared.artifacts),
+            Table7::run(&shared.world, &shared.artifacts)
+        );
     }
 }

@@ -31,10 +31,79 @@ pub struct Table8 {
 
 impl Table8 {
     /// Computes the table over the funded vetted apps of Table 7's
-    /// logic.
+    /// logic — the byte-parity oracle for [`Table8::run_incremental`].
     pub fn run(world: &World, artifacts: &WildArtifacts) -> Table8 {
         let ds = &artifacts.dataset;
         let book = RateBook::from_catalog(&world.affiliate_apps);
+        let funded = Table8::funded_syms(world, artifacts);
+        // One pass over the deduplicated offer column with bitset
+        // probes, instead of the old funded-apps × unique-offers
+        // rescan. The per-class payout means are exact integer sums,
+        // so visit order is invisible.
+        let mut no_act_seen = SymSet::default();
+        let mut act_seen = SymSet::default();
+        let mut no_act_payouts = Vec::new();
+        let mut act_payouts = Vec::new();
+        for (o, pkg, _) in ds.unique_offers_with_syms() {
+            if !o.iip.is_vetted() || !funded.contains(pkg) {
+                continue;
+            }
+            let usd = offer_usd(&book, o).unwrap_or(Usd::ZERO);
+            if classify_description(&o.raw.description) == OfferType::NoActivity {
+                no_act_seen.insert(pkg);
+                no_act_payouts.push(usd);
+            } else {
+                act_seen.insert(pkg);
+                act_payouts.push(usd);
+            }
+        }
+        Table8::assemble(
+            &funded,
+            &no_act_seen,
+            &act_seen,
+            &no_act_payouts,
+            &act_payouts,
+        )
+    }
+
+    /// Computes the table from the streaming offer digest: the funded
+    /// set still needs the *final* campaign windows and Crunchbase, so
+    /// it is computed at render like the batch path, but the offer
+    /// pass reads the classified digest instead of re-scanning (and
+    /// re-classifying) the deduplicated offer log. Byte-identical to
+    /// [`Table8::run`].
+    pub fn run_incremental(world: &World, artifacts: &WildArtifacts) -> Table8 {
+        let funded = Table8::funded_syms(world, artifacts);
+        let mut no_act_seen = SymSet::default();
+        let mut act_seen = SymSet::default();
+        let mut no_act_payouts = Vec::new();
+        let mut act_payouts = Vec::new();
+        for o in artifacts.aggregates.offers() {
+            if !o.iip.is_vetted() || !funded.contains(o.pkg) {
+                continue;
+            }
+            let usd = o.usd.unwrap_or(Usd::ZERO);
+            if o.no_activity {
+                no_act_seen.insert(o.pkg);
+                no_act_payouts.push(usd);
+            } else {
+                act_seen.insert(o.pkg);
+                act_payouts.push(usd);
+            }
+        }
+        Table8::assemble(
+            &funded,
+            &no_act_seen,
+            &act_seen,
+            &no_act_payouts,
+            &act_payouts,
+        )
+    }
+
+    /// Funded vetted apps per Table 7's pipeline: campaign window →
+    /// crawled developer identity → Crunchbase → funding-round check.
+    fn funded_syms(world: &World, artifacts: &WildArtifacts) -> SymSet {
+        let ds = &artifacts.dataset;
         let mut funded = SymSet::default();
         for sym in ds.class_syms(true).iter() {
             let Some(obs) = ds.campaign(sym) else {
@@ -61,45 +130,31 @@ impl Table8 {
                 funded.insert(sym);
             }
         }
+        funded
+    }
 
-        // One pass over the deduplicated offer column with bitset
-        // probes, instead of the old funded-apps × unique-offers
-        // rescan. The per-class payout means are exact integer sums,
-        // so visit order is invisible.
-        let mut no_act_seen = SymSet::default();
-        let mut act_seen = SymSet::default();
-        let mut no_act_payouts = Vec::new();
-        let mut act_payouts = Vec::new();
-        for (o, pkg, _) in ds.unique_offers_with_syms() {
-            if !o.iip.is_vetted() || !funded.contains(pkg) {
-                continue;
-            }
-            let usd = offer_usd(&book, o).unwrap_or(Usd::ZERO);
-            if classify_description(&o.raw.description) == OfferType::NoActivity {
-                no_act_seen.insert(pkg);
-                no_act_payouts.push(usd);
-            } else {
-                act_seen.insert(pkg);
-                act_payouts.push(usd);
-            }
-        }
-        let no_act_apps = no_act_seen.len();
-        let act_apps = act_seen.len();
+    fn assemble(
+        funded: &SymSet,
+        no_act_seen: &SymSet,
+        act_seen: &SymSet,
+        no_act_payouts: &[Usd],
+        act_payouts: &[Usd],
+    ) -> Table8 {
         let n = funded.len();
         Table8 {
             funded_apps: n,
             no_activity_apps: if n == 0 {
                 0.0
             } else {
-                no_act_apps as f64 / n as f64
+                no_act_seen.len() as f64 / n as f64
             },
             activity_apps: if n == 0 {
                 0.0
             } else {
-                act_apps as f64 / n as f64
+                act_seen.len() as f64 / n as f64
             },
-            no_activity_payout: Usd::mean(&no_act_payouts),
-            activity_payout: Usd::mean(&act_payouts),
+            no_activity_payout: Usd::mean(no_act_payouts),
+            activity_payout: Usd::mean(act_payouts),
         }
     }
 
@@ -141,5 +196,14 @@ mod tests {
         assert!(t.no_activity_apps + t.activity_apps > 0.0);
         let rendered = t.render();
         assert!(rendered.contains("funded vetted apps"));
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let shared = testworld::shared();
+        assert_eq!(
+            Table8::run_incremental(&shared.world, &shared.artifacts),
+            Table8::run(&shared.world, &shared.artifacts)
+        );
     }
 }

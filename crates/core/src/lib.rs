@@ -24,10 +24,16 @@
 //! * [`chaos`] — the deterministic chaos harness: the adversarial
 //!   fault grid, the one-call study runner, and the monotone
 //!   telemetry-survival scenario behind `tests/chaos.rs`.
+//! * [`aggregates`] — streaming per-day accumulators for the hot
+//!   report tables, folded during the wild study so paper-scale
+//!   reports render without re-scanning (and re-loading) the full
+//!   dataset; the batch experiment paths remain the byte-parity
+//!   oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregates;
 pub mod chaos;
 pub mod checkpoint;
 pub mod config;

@@ -34,13 +34,14 @@
 //! section; any divergence refuses the resume instead of silently
 //! producing different numbers.
 
+use crate::aggregates::ReportAggregates;
 use crate::chaos::CrashPlan;
 use crate::checkpoint::{self, CheckpointStats, Snapshot};
 use crate::world::{OrganicProfile, World};
 use iiscope_attribution::{Conversion, ConversionGoal, Postback};
 use iiscope_devices::behavior::plan_for;
 use iiscope_devices::{IipBehaviorProfile, WorkerKind};
-use iiscope_monitor::{Crawler, Dataset, UiFuzzer};
+use iiscope_monitor::{Crawler, Dataset, RateBook, UiFuzzer};
 use iiscope_playstore::{InstallSignals, InstallSource};
 use iiscope_types::rng::chance;
 use iiscope_types::{
@@ -83,7 +84,8 @@ where
         return (0..n_jobs).map(run).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<T>>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let mut slots: Vec<Mutex<Option<Result<T>>>> = Vec::with_capacity(n_jobs);
+    slots.resize_with(n_jobs, || Mutex::new(None));
     crossbeam::thread::scope(|s| {
         for _ in 0..pool_size(workers, n_jobs) {
             s.spawn(|_| loop {
@@ -167,6 +169,10 @@ pub struct WildArtifacts {
     /// Checkpoint write/replay accounting for this run (zeroed when
     /// checkpointing was off).
     pub checkpoints: CheckpointStats,
+    /// Streaming per-day aggregates for the hot report tables, folded
+    /// while each day's rows were still resident. Always covers the
+    /// final dataset; the incremental report path renders from this.
+    pub aggregates: ReportAggregates,
 }
 
 struct OfferRt {
@@ -268,6 +274,7 @@ struct ShardSim {
 struct SimState {
     dataset: Dataset,
     crawler: Crawler,
+    aggregates: ReportAggregates,
     pending: BTreeMap<u64, Vec<(usize, usize, usize)>>,
     shards: Vec<ShardSim>,
     enforcement_removed: u64,
@@ -295,9 +302,14 @@ impl World {
             max_scroll_pages: self.cfg.fuzzer_pages,
         });
         let organic = self.organic_by_shard();
+        // Rate book for the per-day aggregate fold — same catalog the
+        // batch tables build theirs from, so fold-time payout
+        // normalization is bit-identical to the oracle's.
+        let book = RateBook::from_catalog(&self.affiliate_apps);
 
         let (mut st, start_day) = match opts.resume.take() {
-            Some(snap) => {
+            Some(mut snap) => {
+                let snap_aggs = snap.aggregates.take();
                 snap.check_compatible(&self.cfg)
                     .map_err(Error::InvalidState)?;
                 let t = std::time::Instant::now();
@@ -323,6 +335,15 @@ impl World {
                     snap.charts,
                 )?;
                 st.crawler.restore(&snap.crawler);
+                // v3 snapshots carry the aggregate state verbatim; a
+                // v2 snapshot (no AGGS section) catches up with one
+                // fold over the restored dataset — the fold is a pure
+                // function of arrival order, so the refolded state is
+                // byte-identical to the day-by-day original.
+                st.aggregates = snap_aggs.unwrap_or_default();
+                if !st.aggregates.covers(&st.dataset) {
+                    st.aggregates.fold_day(&st.dataset, &book);
+                }
                 chaosstats::restore(&snap.chaos_counters);
                 wirestats::restore(&snap.wire_counters);
                 stats.resumed_from_day = Some(snap.day);
@@ -359,6 +380,11 @@ impl World {
             if day % self.cfg.crawl_cadence_days == 0 {
                 self.measure_day(&mut st, t0, &fuzzer)?;
             }
+            // Fold the day's ingest delta into the report aggregates
+            // while the new rows are still resident (before the spill
+            // LRU can evict them), and before the snapshot below so
+            // the aggregate state rides the same durability boundary.
+            st.aggregates.fold_day(&st.dataset, &book);
             if let Some(cp) = &opts.checkpoint {
                 if day % cp.every_days.max(1) == 0 {
                     let t = std::time::Instant::now();
@@ -411,6 +437,7 @@ impl World {
             incentivized_ratings: st.incentivized_ratings,
             tagged_installs: st.tagged_installs,
             checkpoints: stats,
+            aggregates: st.aggregates,
         })
     }
 
@@ -487,6 +514,7 @@ impl World {
         SimState {
             dataset: Dataset::with_interner(self.syms.clone()),
             crawler: self.crawler(),
+            aggregates: ReportAggregates::new(),
             pending,
             shards,
             enforcement_removed: 0,
@@ -579,6 +607,7 @@ impl World {
             profiles: st.dataset.profiles().to_vec(),
             charts_spill: st.dataset.charts_spill(),
             charts: st.dataset.charts_suffix(),
+            aggregates: Some(st.aggregates.clone()),
             chaos_counters: chaosstats::snapshot()
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
@@ -1194,6 +1223,19 @@ mod tests {
         assert_eq!(pool_size(4, 100), 4);
         assert_eq!(pool_size(0, 5), 1, "zero workers still runs inline");
         assert_eq!(pool_size(8, 0), 1, "zero jobs never yields an empty pool");
+    }
+
+    #[test]
+    fn zero_job_fan_out_returns_empty_without_a_pool() {
+        // Regression: zero jobs must take the inline path — no worker
+        // pool, no job closure invocations, just an empty Vec.
+        let calls = AtomicUsize::new(0);
+        let results: Vec<Result<u64>> = fan_out(8, 0, |j| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            j as u64
+        });
+        assert!(results.is_empty());
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "job ran despite zero jobs");
     }
 
     #[test]

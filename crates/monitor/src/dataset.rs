@@ -413,6 +413,41 @@ impl Dataset {
             .map(|(o, &r)| (o, self.offer_pkg[r], self.offer_desc[r]))
     }
 
+    /// Number of deduplicated offers ingested so far — the cursor an
+    /// incremental fold records so its next delta pass starts where
+    /// this one ended.
+    pub fn unique_offer_count(&self) -> usize {
+        self.unique_rows.len()
+    }
+
+    /// Delta view of [`Dataset::unique_offers_with_syms`]: the
+    /// deduplicated offers appended at index `start` and later. Served
+    /// from the pinned-resident copies, so a per-day fold never touches
+    /// the spill path.
+    pub fn unique_offers_with_syms_from(
+        &self,
+        start: usize,
+    ) -> impl Iterator<Item = (&ScrapedOffer, Sym, Sym)> + '_ {
+        let start = start.min(self.unique_rows.len());
+        self.unique_rows[start..]
+            .iter()
+            .zip(&self.unique_offer_rows[start..])
+            .map(|(o, &r)| (o, self.offer_pkg[r], self.offer_desc[r]))
+    }
+
+    /// Number of chart snapshots ingested so far (the chart-log
+    /// cursor for incremental folds).
+    pub fn charts_len(&self) -> usize {
+        self.charts.len()
+    }
+
+    /// Delta view of [`Dataset::charts`]: snapshots appended at row
+    /// `start` and later. A cursor past the spilled prefix streams
+    /// straight from resident segments without reloading cold ones.
+    pub fn charts_from(&self, start: usize) -> RowLogIter<'_, ChartSnapshot> {
+        self.charts.iter_from(start)
+    }
+
     /// Unique offer descriptions (the paper counts 1,128).
     pub fn unique_descriptions(&self) -> BTreeSet<&str> {
         self.desc_syms.iter().map(|(_, s)| s).collect()
@@ -966,7 +1001,7 @@ mod tests {
             assert_eq!(*a, b, "row value/order drifted");
         }
 
-        let rescan_packages: BTreeSet<String> = d.offers().map(|o| o.raw.package.clone()).collect();
+        let rescan_packages: BTreeSet<String> = d.offers().map(|o| o.raw.package).collect();
         let advertised: BTreeSet<String> = d
             .advertised_packages()
             .iter()
@@ -978,7 +1013,7 @@ mod tests {
             let rescan: BTreeSet<String> = d
                 .offers()
                 .filter(|o| o.iip == iip)
-                .map(|o| o.raw.package.clone())
+                .map(|o| o.raw.package)
                 .collect();
             let on: BTreeSet<String> = d.packages_on(iip).iter().map(|s| s.to_string()).collect();
             assert_eq!(on, rescan);
