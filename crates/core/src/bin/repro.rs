@@ -5,6 +5,7 @@
 //!       [--shards N] [--memory-budget BYTES] [--spill-dir DIR]
 //!       [--export DIR] [--timing]
 //!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+//!       [--serve ADDR] [--serve-workers N] [--conn-cap N] [--idle-timeout MS]
 //! ```
 //!
 //! Builds the world, runs the §3 honey study and the §4 wild study,
@@ -28,6 +29,16 @@
 //! caps the resident dataset, spilling cold column segments to
 //! `--spill-dir` (byte-invariant at any budget).
 //!
+//! `--serve ADDR` binds a real TCP server (`iiscope-serve`) on `ADDR`
+//! right after the world is built, exposing the Play-store frontend
+//! (`/store/...`, `/apk`), the offer walls (`/wall/<slug>/offers`),
+//! `GET /healthz` and `POST /admin/shutdown`. The server runs through
+//! the studies (its handlers are pure reads — the report stays
+//! byte-identical) and keeps serving after the report prints, until
+//! the shutdown route is hit. `ADDR` may name port 0 for an ephemeral
+//! port; the resolved address is announced on stderr as
+//! `serving on <addr>`.
+//!
 //! `--checkpoint-dir DIR` durably snapshots the wild study into `DIR`
 //! every `--checkpoint-every N` sim days (default: the crawl cadence).
 //! `--resume` restores the newest *valid* snapshot from `DIR` —
@@ -42,7 +53,9 @@
 
 use iiscope_core::wildsim::{CheckpointPolicy, WildRunOptions};
 use iiscope_core::{checkpoint, experiments, World, WorldConfig};
-use iiscope_types::{chaosstats, wirestats};
+use iiscope_serve::{AdminHandler, ServeConfig, Server, ShutdownFlag};
+use iiscope_types::{chaosstats, servestats, wirestats};
+use std::sync::Arc;
 
 fn main() {
     let mut scale = "paper".to_string();
@@ -56,6 +69,10 @@ fn main() {
     let mut checkpoint_dir: Option<String> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut resume = false;
+    let mut serve_addr: Option<String> = None;
+    let mut serve_workers: Option<usize> = None;
+    let mut conn_cap: Option<usize> = None;
+    let mut idle_timeout_ms: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -98,6 +115,31 @@ fn main() {
                 )
             }
             "--resume" => resume = true,
+            "--serve" => serve_addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--serve-workers" => {
+                serve_workers = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--conn-cap" => {
+                conn_cap = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--idle-timeout" => {
+                idle_timeout_ms = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--timing" => timing = true,
             "--help" | "-h" => usage(),
             other => {
@@ -137,6 +179,12 @@ fn main() {
         eprintln!("repro: --checkpoint-every must be at least 1 day");
         std::process::exit(2);
     }
+    if serve_addr.is_none()
+        && (serve_workers.is_some() || conn_cap.is_some() || idle_timeout_ms.is_some())
+    {
+        eprintln!("repro: --serve-workers/--conn-cap/--idle-timeout require --serve");
+        std::process::exit(2);
+    }
 
     let policy = checkpoint_dir.as_ref().map(|dir| CheckpointPolicy {
         dir: std::path::PathBuf::from(dir),
@@ -152,10 +200,12 @@ fn main() {
         }
     }
 
-    // Start the wire- and chaos-layer counters from zero so the
-    // `--timing` dumps reflect this run only (process-global atomics).
+    // Start the wire-, chaos- and serve-layer counters from zero so
+    // the `--timing` dumps reflect this run only (process-global
+    // atomics).
     wirestats::reset();
     chaosstats::reset();
+    servestats::reset();
 
     eprintln!(
         "building world: {} advertised apps, {} baseline apps, {} days, seed {seed}, \
@@ -178,6 +228,30 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    // Bind the socket server before the studies so external clients
+    // can hammer the frontends mid-run — every route is a pure read,
+    // so the report below stays byte-identical regardless.
+    let serving = serve_addr.map(|addr| {
+        let flag = ShutdownFlag::new();
+        let serve_cfg = ServeConfig {
+            workers: serve_workers.unwrap_or(2),
+            conn_cap: conn_cap.unwrap_or(256),
+            idle_timeout: std::time::Duration::from_millis(idle_timeout_ms.unwrap_or(10_000)),
+            sim_now: world.study_end(),
+            ..ServeConfig::default()
+        };
+        let handler = Arc::new(AdminHandler::new(world.serve_router(), flag.clone()));
+        let server = match Server::start(addr.as_str(), serve_cfg, handler) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("repro: cannot bind {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!("serving on {}", server.local_addr());
+        (server, flag)
+    });
 
     eprintln!("running the Section 3 honey-app study…");
     let honey = match world.run_honey_study(world.study_start()) {
@@ -427,6 +501,20 @@ fn main() {
         eprintln!("wrote {report_path}");
     }
     println!("{report}");
+
+    if let Some((server, flag)) = serving {
+        eprintln!(
+            "report complete; still serving on {} (POST /admin/shutdown to exit)",
+            server.local_addr()
+        );
+        flag.wait();
+        eprintln!("shutdown requested; draining connections…");
+        server.stop();
+        eprintln!("serve-layer counters:");
+        for (name, value) in servestats::snapshot() {
+            eprintln!("  {name:<24} {value:>14}");
+        }
+    }
 }
 
 /// Hand-rolled JSON for the timing dump (the workspace carries no
@@ -857,6 +945,7 @@ fn usage() -> ! {
          \x20            [--shards N] [--memory-budget BYTES] [--spill-dir DIR]\n\
          \x20            [--export DIR] [--timing]\n\
          \x20            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n\
+         \x20            [--serve ADDR] [--serve-workers N] [--conn-cap N] [--idle-timeout MS]\n\
          \n\
          --scale PROFILE[:N]    world profile and campaign-volume multiplier\n\
          \x20                      (bare N = paper profile at N x volume)\n\
@@ -866,6 +955,11 @@ fn usage() -> ! {
          --checkpoint-dir DIR   durably snapshot the wild study into DIR\n\
          --checkpoint-every N   snapshot every N sim days (default: crawl cadence)\n\
          --resume               restore the newest valid snapshot from DIR\n\
+         --serve ADDR           expose the world's HTTP surface on a real TCP\n\
+         \x20                      listener (port 0 = ephemeral; addr on stderr)\n\
+         --serve-workers N      accept workers (default 2)\n\
+         --conn-cap N           in-flight connection cap (default 256)\n\
+         --idle-timeout MS      per-connection idle timeout (default 10000)\n\
          \n\
          exit codes: 0 ok, 1 study error, 2 usage, 3 checkpoint dir unreadable,\n\
          \x20           4 snapshots present but none valid, 5 snapshot/config mismatch"

@@ -40,6 +40,7 @@ pub mod config;
 pub mod experiments;
 pub mod honeystudy;
 pub mod report;
+pub mod servefront;
 pub mod wildgen;
 pub mod wildsim;
 pub mod world;

@@ -1,0 +1,165 @@
+//! World-facing route multiplexer for the socket server.
+//!
+//! The simulation reaches each service by hostname (the store at its
+//! own IP, every wall at `wall.<slug>.iiscope`); an external TCP
+//! client talks to one listener and cannot resolve sim hostnames, so
+//! the server multiplexes by path instead:
+//!
+//! * `/store/apps/details`, `/store/charts`, `/apk` — the Play-store
+//!   frontend, verbatim;
+//! * `/wall/<slug>/offers?...` — rewritten to the wall's own
+//!   [`iiscope_iip::OFFERS_PATH`] and dispatched to that IIP's
+//!   handler, so query handling (affiliate gate, paging, geo filter)
+//!   is exactly the wall the milkers hit.
+//!
+//! Every dispatch is a pure read of world state — serving mid-run
+//! cannot perturb the simulation's byte-identical output.
+
+use iiscope_iip::{OfferWallHandler, OFFERS_PATH};
+use iiscope_playstore::frontend::{StoreFrontend, APK_PATH};
+use iiscope_types::IipId;
+use iiscope_wire::http::RequestCtx;
+use iiscope_wire::{Handler, Request, Response};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Path-multiplexed view of one world's public HTTP surface.
+pub struct WorldRouter {
+    store: StoreFrontend,
+    walls: BTreeMap<IipId, Arc<OfferWallHandler>>,
+}
+
+impl WorldRouter {
+    /// Routes over the given store frontend and wall handlers.
+    pub fn new(store: StoreFrontend, walls: BTreeMap<IipId, Arc<OfferWallHandler>>) -> WorldRouter {
+        WorldRouter { store, walls }
+    }
+}
+
+impl Handler for WorldRouter {
+    fn handle(&self, req: &Request, ctx: &RequestCtx) -> Response {
+        let path = req.path();
+        if path == APK_PATH || path.starts_with("/store/") {
+            return self.store.handle(req, ctx);
+        }
+        if let Some(rest) = path.strip_prefix("/wall/") {
+            if let Some((slug, tail)) = rest.split_once('/') {
+                if let (Some(iip), true) = (IipId::from_slug(slug), tail == &OFFERS_PATH[1..]) {
+                    // Rewrite to the wall's native route, query intact.
+                    let mut inner = req.clone();
+                    inner.target = match req.target.split_once('?') {
+                        Some((_, query)) => format!("{OFFERS_PATH}?{query}"),
+                        None => OFFERS_PATH.to_string(),
+                    };
+                    return self.walls[&iip].handle(&inner, ctx);
+                }
+            }
+        }
+        Response::not_found()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::world::World;
+    use iiscope_netsim::{AsnId, AsnKind, HostAddr, PeerInfo};
+    use iiscope_types::{Country, SeedFork};
+    use iiscope_wire::Json;
+
+    fn ctx(world: &World) -> RequestCtx {
+        RequestCtx {
+            peer: PeerInfo {
+                addr: HostAddr {
+                    ip: std::net::Ipv4Addr::new(203, 0, 113, 9),
+                    asn: AsnId(64512),
+                    asn_kind: AsnKind::Eyeball,
+                    country: Country::Us,
+                },
+                opened_at: world.study_start(),
+                link: SeedFork::new(99),
+            },
+            now: world.study_start(),
+        }
+    }
+
+    fn tiny_world() -> World {
+        let mut cfg = WorldConfig::small(7);
+        cfg.advertised_apps = 5;
+        cfg.baseline_apps = 3;
+        World::build(cfg).unwrap()
+    }
+
+    #[test]
+    fn routes_store_walls_and_rejects_the_rest() {
+        let world = tiny_world();
+        let router = world.serve_router();
+        let ctx = ctx(&world);
+
+        let honey = format!("/store/apps/details?id={}", iiscope_honeyapp::HONEY_PACKAGE);
+        assert_eq!(router.handle(&Request::get(honey), &ctx).status, 200);
+        assert_eq!(
+            router
+                .handle(
+                    &Request::get("/store/charts?chart=topselling_free&n=5"),
+                    &ctx
+                )
+                .status,
+            200
+        );
+        let apk = format!("/apk?id={}", iiscope_honeyapp::HONEY_PACKAGE);
+        assert_eq!(router.handle(&Request::get(apk), &ctx).status, 200);
+
+        // Wall rewrite carries the query through to the IIP handler.
+        let wall = "/wall/fyber/offers?affiliate=com.mobvantage.cashforapps";
+        let resp = router.handle(&Request::get(wall), &ctx);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body_json().unwrap().get("ofw").is_some());
+        // Missing affiliate is the wall's own 400, unregistered its 403.
+        assert_eq!(
+            router
+                .handle(&Request::get("/wall/fyber/offers"), &ctx)
+                .status,
+            400
+        );
+        assert_eq!(
+            router
+                .handle(
+                    &Request::get("/wall/fyber/offers?affiliate=com.not.reg"),
+                    &ctx
+                )
+                .status,
+            403
+        );
+
+        assert_eq!(
+            router
+                .handle(&Request::get("/wall/nope/offers"), &ctx)
+                .status,
+            404
+        );
+        assert_eq!(
+            router.handle(&Request::get("/wall/fyber"), &ctx).status,
+            404
+        );
+        assert_eq!(router.handle(&Request::get("/elsewhere"), &ctx).status, 404);
+    }
+
+    #[test]
+    fn wall_dispatch_matches_direct_handler_bytes() {
+        let world = tiny_world();
+        let router = world.serve_router();
+        let ctx = ctx(&world);
+        let via_router = router.handle(
+            &Request::get("/wall/offertoro/offers?affiliate=com.mobvantage.cashforapps&page=0"),
+            &ctx,
+        );
+        let direct = world.walls[&IipId::OfferToro].handle(
+            &Request::get("/offers?affiliate=com.mobvantage.cashforapps&page=0"),
+            &ctx,
+        );
+        assert_eq!(via_router.body_json().unwrap(), direct.body_json().unwrap());
+        assert_ne!(via_router.body_json().unwrap(), Json::Null);
+    }
+}

@@ -439,6 +439,18 @@ impl World {
         )
     }
 
+    /// The world's public HTTP surface as one path-multiplexed
+    /// handler — what `repro --serve` binds to a real socket. Store
+    /// routes pass through verbatim; walls mount at
+    /// `/wall/<slug>/offers`. Every dispatch is a pure read, so a
+    /// server hammering these mid-run cannot perturb determinism.
+    pub fn serve_router(&self) -> Arc<dyn iiscope_wire::Handler> {
+        Arc::new(crate::servefront::WorldRouter::new(
+            StoreFrontend::new(Arc::clone(&self.store)),
+            self.walls.clone(),
+        ))
+    }
+
     /// The study start instant.
     pub fn study_start(&self) -> SimTime {
         study::STUDY_START

@@ -41,10 +41,7 @@ pub struct AffiliateApp {
 impl AffiliateApp {
     /// The offer-wall hostname used for an IIP in this world.
     pub fn wall_host(iip: IipId) -> String {
-        format!(
-            "wall.{}.iiscope",
-            iip.name().to_ascii_lowercase().replace('-', "")
-        )
+        format!("wall.{}.iiscope", iip.slug())
     }
 
     fn new(

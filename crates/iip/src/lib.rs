@@ -28,4 +28,4 @@ pub use economics::{PayoutSplit, Settlement};
 pub use offer::{describe_goal, Offer, OfferStatus};
 pub use platform::{Campaign, CampaignSpec, IipPlatform};
 pub use vetting::{DeveloperApplication, IipProfile, VettingOutcome};
-pub use wall::OfferWallHandler;
+pub use wall::{OfferWallHandler, OFFERS_PATH};

@@ -153,9 +153,14 @@ impl OfferWallHandler {
     }
 }
 
+/// The wall's single route. Socket-server front-ends that multiplex
+/// all walls behind one listener rewrite `/wall/<slug>/offers` to this
+/// before dispatching.
+pub const OFFERS_PATH: &str = "/offers";
+
 impl Handler for OfferWallHandler {
     fn handle(&self, req: &Request, ctx: &RequestCtx) -> Response {
-        if req.path() != "/offers" {
+        if req.path() != OFFERS_PATH {
             return Response::not_found();
         }
         let Some(affiliate) = req.query_param("affiliate") else {

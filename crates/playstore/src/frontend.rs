@@ -16,6 +16,13 @@ use iiscope_types::PackageName;
 use iiscope_wire::{Handler, Json, Request, Response};
 use std::sync::Arc;
 
+/// Route of the app-profile endpoint.
+pub const DETAILS_PATH: &str = "/store/apps/details";
+/// Route of the top-charts endpoint.
+pub const CHARTS_PATH: &str = "/store/charts";
+/// Route of the APK download endpoint.
+pub const APK_PATH: &str = "/apk";
+
 /// HTTP handler over a shared store.
 pub struct StoreFrontend {
     store: Arc<PlayStore>,
@@ -117,9 +124,9 @@ impl StoreFrontend {
 impl Handler for StoreFrontend {
     fn handle(&self, req: &Request, ctx: &iiscope_wire::http::RequestCtx) -> Response {
         match req.path() {
-            "/store/apps/details" => self.details(req),
-            "/store/charts" => self.charts(req, ctx.now),
-            "/apk" => self.apk(req),
+            DETAILS_PATH => self.details(req),
+            CHARTS_PATH => self.charts(req, ctx.now),
+            APK_PATH => self.apk(req),
             _ => Response::not_found(),
         }
     }

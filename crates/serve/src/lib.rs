@@ -1,0 +1,507 @@
+//! Real concurrent TCP server front-end over the sans-IO HTTP engine.
+//!
+//! The simulation drives [`iiscope_wire::server::HttpEngine`] through
+//! the in-process network; this crate is the *second consumer* of the
+//! same engine — real sockets, real concurrency, the same handlers.
+//! A finished (or resumed) world becomes a queryable service: the
+//! Play-store frontend and the seven IIP offer walls answer external
+//! clients byte-for-byte as they answer the simulated crawler.
+//!
+//! Architecture (DESIGN.md §13):
+//!
+//! * **Accept model** — one `std::net::TcpListener` in nonblocking
+//!   mode, N accept workers serialized by a mutex (mutex-accept; the
+//!   std listener has no `SO_REUSEPORT` sharding), each connection on
+//!   its own handler thread.
+//! * **Backpressure** — a permit gate bounds in-flight connections.
+//!   Workers take a permit *before* accepting, so the listener simply
+//!   stops accepting at the cap and the kernel backlog absorbs the
+//!   queue; no connection is accepted only to be turned away.
+//! * **Budgets** — per-connection read/write byte budgets and an idle
+//!   timeout (reads use a short poll tick so idle time accrues even
+//!   while blocked).
+//! * **Rejection** — parse errors are classified on this path only:
+//!   431 oversized header block, 413 oversized declared body, 400
+//!   otherwise; the mapped status is flushed, then the connection
+//!   closes. A mid-request idle expiry answers 408.
+//! * **Shutdown** — [`Server::stop`] flips the stop flag, nudges every
+//!   live socket with `shutdown(Read)`, joins the accept workers, and
+//!   waits until the permit gate drains to zero.
+//!
+//! Nothing here touches the simulation: handlers are pure reads over
+//! world state, counters are relaxed write-only atomics
+//! ([`iiscope_types::servestats`]), and connection seed lineages fork
+//! from connection ids, not from world RNG streams — seed-42 output
+//! stays byte-identical with a client hammering the endpoints mid-run.
+
+use bytes::BytesMut;
+use iiscope_netsim::{AsnId, AsnKind, HostAddr, PeerInfo};
+use iiscope_types::servestats;
+use iiscope_types::{Country, SeedFork, SimTime};
+use iiscope_wire::http::RequestCtx;
+use iiscope_wire::server::HttpEngine;
+use iiscope_wire::{Handler, Response};
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+pub mod stats;
+
+/// Server tuning knobs. [`ServeConfig::default`] matches the `repro`
+/// CLI defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Accept workers (each connection still gets its own thread).
+    pub workers: usize,
+    /// In-flight connection cap; accept pauses at the cap.
+    pub conn_cap: usize,
+    /// Idle timeout: a connection that neither delivers bytes nor has
+    /// a response in flight for this long is closed (408 if it parked
+    /// a partial request, silent close if it was between requests).
+    pub idle_timeout: Duration,
+    /// Per-connection read budget in bytes.
+    pub read_budget: u64,
+    /// Per-connection write budget in bytes.
+    pub write_budget: u64,
+    /// Country attributed to external clients (walls geo-filter on
+    /// the connection's vantage, §4.1).
+    pub vantage: Country,
+    /// Sim instant stamped on external requests (handlers render
+    /// charts "as of" this time).
+    pub sim_now: SimTime,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            conn_cap: 256,
+            idle_timeout: Duration::from_secs(10),
+            read_budget: 64 * 1024 * 1024,
+            write_budget: 256 * 1024 * 1024,
+            vantage: Country::Us,
+            sim_now: SimTime::EPOCH,
+        }
+    }
+}
+
+/// A clonable latch: triggered once, waited on by many. `repro` parks
+/// on it after printing the report; `POST /admin/shutdown` trips it.
+#[derive(Clone, Default)]
+pub struct ShutdownFlag(Arc<(Mutex<bool>, Condvar)>);
+
+impl ShutdownFlag {
+    /// A fresh, untriggered flag.
+    pub fn new() -> ShutdownFlag {
+        ShutdownFlag::default()
+    }
+
+    /// Trips the flag and wakes every waiter. Idempotent.
+    pub fn trigger(&self) {
+        let (lock, cv) = &*self.0;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    /// Whether the flag has been tripped.
+    pub fn is_set(&self) -> bool {
+        *self.0 .0.lock().unwrap()
+    }
+
+    /// Blocks until the flag is tripped.
+    pub fn wait(&self) {
+        let (lock, cv) = &*self.0;
+        let mut set = lock.lock().unwrap();
+        while !*set {
+            set = cv.wait(set).unwrap();
+        }
+    }
+}
+
+/// Wraps a world handler with the server's operational routes:
+/// `GET /healthz` liveness and `POST /admin/shutdown` (trips the
+/// [`ShutdownFlag`], letting CI stop a served run cleanly without
+/// signal plumbing). Everything else falls through to the inner
+/// handler.
+pub struct AdminHandler {
+    inner: Arc<dyn Handler>,
+    flag: ShutdownFlag,
+}
+
+impl AdminHandler {
+    /// Wraps `inner`, tripping `flag` on the shutdown route.
+    pub fn new(inner: Arc<dyn Handler>, flag: ShutdownFlag) -> AdminHandler {
+        AdminHandler { inner, flag }
+    }
+}
+
+impl Handler for AdminHandler {
+    fn handle(&self, req: &iiscope_wire::Request, ctx: &RequestCtx) -> Response {
+        use iiscope_wire::http::Method;
+        match (req.method, req.path()) {
+            (Method::Get, "/healthz") => Response::ok_text("ok"),
+            (Method::Post, "/admin/shutdown") => {
+                self.flag.trigger();
+                Response::ok_text("draining")
+            }
+            _ => self.inner.handle(req, ctx),
+        }
+    }
+}
+
+/// Poll tick for connection reads: short enough that stop-flag checks
+/// and idle accounting stay responsive, long enough not to spin.
+const READ_TICK: Duration = Duration::from_millis(25);
+
+/// Sleep between accept polls when the listener has nothing pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// State shared by accept workers and connection threads.
+struct Shared {
+    handler: Arc<dyn Handler>,
+    cfg: ServeConfig,
+    stop: AtomicBool,
+    /// In-flight permits: accept reservations plus live connections.
+    gate: Mutex<usize>,
+    gate_cv: Condvar,
+    /// Live sockets by connection id, for the shutdown(Read) nudge.
+    conns: Mutex<BTreeMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    fn release_permit(&self) {
+        let mut inflight = self.gate.lock().unwrap();
+        *inflight -= 1;
+        self.gate_cv.notify_all();
+    }
+}
+
+/// A running server. Dropping it does *not* stop it — call
+/// [`Server::stop`] for the drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptors: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds `addr` and starts accepting. `addr` may name port 0 for
+    /// an ephemeral port — read it back with [`Server::local_addr`].
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        cfg: ServeConfig,
+        handler: Arc<dyn Handler>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            handler,
+            cfg,
+            stop: AtomicBool::new(false),
+            gate: Mutex::new(0),
+            gate_cv: Condvar::new(),
+            conns: Mutex::new(BTreeMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let listener = Arc::new(listener);
+        let accept_mx = Arc::new(Mutex::new(()));
+        let workers = shared.cfg.workers.max(1);
+        let acceptors = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let listener = Arc::clone(&listener);
+                let accept_mx = Arc::clone(&accept_mx);
+                thread::spawn(move || accept_loop(shared, listener, accept_mx))
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptors: Mutex::new(acceptors),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently in flight (reservations included).
+    pub fn inflight(&self) -> usize {
+        *self.shared.gate.lock().unwrap()
+    }
+
+    /// Stops accepting, nudges live connections, and blocks until
+    /// every handler thread has drained. Idempotent.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.gate_cv.notify_all();
+        // Nudge blocked reads: a half-shutdown turns them into EOFs.
+        for conn in self.shared.conns.lock().unwrap().values() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        for h in self.acceptors.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+        let mut inflight = self.shared.gate.lock().unwrap();
+        while *inflight > 0 {
+            inflight = self.shared.gate_cv.wait(inflight).unwrap();
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: Arc<TcpListener>, accept_mx: Arc<Mutex<()>>) {
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        // Permit first: at the cap the worker parks here and the
+        // listener stops accepting — backpressure lands in the kernel
+        // backlog, never on an accepted-then-dropped connection.
+        {
+            let mut inflight = shared.gate.lock().unwrap();
+            let mut waited = false;
+            while *inflight >= shared.cfg.conn_cap && !shared.stopping() {
+                if !waited {
+                    servestats::add_accept_backpressure(1);
+                    waited = true;
+                }
+                let (guard, _) = shared.gate_cv.wait_timeout(inflight, READ_TICK).unwrap();
+                inflight = guard;
+            }
+            if shared.stopping() {
+                return;
+            }
+            *inflight += 1; // reservation; transfers to the conn thread
+        }
+        // Accept under the mutex (serializing workers on one listener).
+        let accepted = loop {
+            if shared.stopping() {
+                break None;
+            }
+            let res = {
+                let _g = accept_mx.lock().unwrap();
+                listener.accept()
+            };
+            match res {
+                Ok(pair) => break Some(pair),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                Err(_) => thread::sleep(ACCEPT_POLL),
+            }
+        };
+        let Some((stream, peer_addr)) = accepted else {
+            shared.release_permit();
+            return;
+        };
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap().insert(conn_id, clone);
+        }
+        let shared2 = Arc::clone(&shared);
+        thread::spawn(move || {
+            serve_conn(&shared2, stream, peer_addr, conn_id);
+            shared2.conns.lock().unwrap().remove(&conn_id);
+            shared2.release_permit();
+        });
+    }
+}
+
+/// Synthesizes the engine-facing peer identity for a socket client:
+/// real IP, a private eyeball ASN, the configured vantage country,
+/// and a seed lineage forked from the connection id — independent of
+/// every world RNG stream by construction.
+fn peer_info(addr: SocketAddr, cfg: &ServeConfig, conn_id: u64) -> PeerInfo {
+    let ip = match addr.ip() {
+        IpAddr::V4(v4) => v4,
+        IpAddr::V6(v6) => v6.to_ipv4().unwrap_or(Ipv4Addr::LOCALHOST),
+    };
+    PeerInfo {
+        addr: HostAddr {
+            ip,
+            asn: AsnId(64512),
+            asn_kind: AsnKind::Eyeball,
+            country: cfg.vantage,
+        },
+        opened_at: cfg.sim_now,
+        link: SeedFork::new(conn_id),
+    }
+}
+
+fn serve_conn(shared: &Shared, mut stream: TcpStream, peer_addr: SocketAddr, conn_id: u64) {
+    servestats::add_conns_accepted(1);
+    let cfg = &shared.cfg;
+    let tick = READ_TICK
+        .min(cfg.idle_timeout)
+        .max(Duration::from_millis(1));
+    let _ = stream.set_read_timeout(Some(tick));
+    let _ = stream.set_nodelay(true);
+    let peer = peer_info(peer_addr, cfg, conn_id);
+
+    let mut engine = HttpEngine::new(Arc::clone(&shared.handler));
+    let mut out = BytesMut::new(); // reused across feeds (no per-call alloc)
+    let mut rbuf = vec![0u8; 16 * 1024];
+    let mut idle = Duration::ZERO;
+    let mut read_total = 0u64;
+    let mut write_total = 0u64;
+    let mut served = 0u64;
+
+    loop {
+        if shared.stopping() {
+            break;
+        }
+        match stream.read(&mut rbuf) {
+            Ok(0) => break, // EOF — includes half-close mid-request: clean drop
+            Ok(n) => {
+                idle = Duration::ZERO;
+                read_total += n as u64;
+                servestats::add_bytes_read(n as u64);
+                if read_total > cfg.read_budget {
+                    servestats::add_budget_closes(1);
+                    break;
+                }
+                let report = engine.feed_slice(&rbuf[..n], peer, cfg.sim_now, &mut out);
+                if !out.is_empty() {
+                    served += u64::from(report.responses);
+                    servestats::add_requests_served(u64::from(report.responses));
+                    write_total += out.len() as u64;
+                    servestats::add_bytes_written(out.len() as u64);
+                    let ok = stream.write_all(&out).is_ok();
+                    out.clear();
+                    if !ok {
+                        break;
+                    }
+                    if write_total > cfg.write_budget {
+                        servestats::add_budget_closes(1);
+                        break;
+                    }
+                }
+                if report.close.is_some() {
+                    servestats::add_parse_rejects(1);
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                idle += tick;
+                if idle >= cfg.idle_timeout {
+                    servestats::add_idle_timeouts(1);
+                    if engine.has_partial() {
+                        // Slowloris: the request never completed.
+                        let mut t = BytesMut::new();
+                        Response::status(408).encode_into(&mut t);
+                        let _ = stream.write_all(&t);
+                    }
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break, // reset / aborted: clean drop
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    if served > 1 {
+        servestats::add_keepalive_conns(1);
+    }
+    if shared.stopping() {
+        servestats::add_drained_conns(1);
+    }
+    servestats::add_conns_closed(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiscope_wire::{Request, Response};
+
+    fn echo_handler() -> Arc<dyn Handler> {
+        Arc::new(|req: &Request, _ctx: &RequestCtx| -> Response {
+            match req.path() {
+                "/ping" => Response::ok_text("pong"),
+                _ => Response::not_found(),
+            }
+        })
+    }
+
+    fn tiny_cfg() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            conn_cap: 8,
+            idle_timeout: Duration::from_millis(200),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn get(stream: &mut TcpStream, target: &str) -> Response {
+        stream.write_all(&Request::get(target).encode()).unwrap();
+        read_response(stream)
+    }
+
+    fn read_response(stream: &mut TcpStream) -> Response {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    if let Ok(Some((resp, _))) = Response::parse(&buf) {
+                        return resp;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        let (resp, _) = Response::parse(&buf).unwrap().unwrap();
+        resp
+    }
+
+    #[test]
+    fn serves_keepalive_requests_and_drains() {
+        let server = Server::start("127.0.0.1:0", tiny_cfg(), echo_handler()).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        assert_eq!(get(&mut conn, "/ping").body_text(), "pong");
+        assert_eq!(get(&mut conn, "/nope").status, 404);
+        assert_eq!(get(&mut conn, "/ping").status, 200);
+        server.stop();
+        assert_eq!(server.inflight(), 0);
+    }
+
+    #[test]
+    fn admin_routes_trip_the_flag() {
+        let flag = ShutdownFlag::new();
+        let handler: Arc<dyn Handler> = Arc::new(AdminHandler::new(echo_handler(), flag.clone()));
+        let server = Server::start("127.0.0.1:0", tiny_cfg(), handler).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        assert_eq!(get(&mut conn, "/healthz").body_text(), "ok");
+        assert!(!flag.is_set());
+        conn.write_all(&Request::post("/admin/shutdown", Vec::new()).encode())
+            .unwrap();
+        let resp = read_response(&mut conn);
+        assert_eq!(resp.body_text(), "draining");
+        assert!(flag.is_set());
+        flag.wait(); // must not block once set
+        server.stop();
+    }
+
+    #[test]
+    fn idle_connections_time_out() {
+        let server = Server::start("127.0.0.1:0", tiny_cfg(), echo_handler()).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        assert_eq!(get(&mut conn, "/ping").status, 200);
+        // Stay silent past the idle timeout: the server closes (EOF).
+        let mut buf = [0u8; 64];
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(conn.read(&mut buf).unwrap(), 0);
+        server.stop();
+    }
+}

@@ -1,0 +1,72 @@
+//! Latency bookkeeping for the soak harness.
+//!
+//! The soak test records one wall-clock duration per request and
+//! reduces them to the percentiles reported in `BENCH_serve.json`.
+//! Nothing here is used by the server's hot path.
+
+/// Microsecond latencies collected by a soak run.
+#[derive(Debug, Default)]
+pub struct LatencyLog {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyLog {
+    /// An empty log.
+    pub fn new() -> LatencyLog {
+        LatencyLog::default()
+    }
+
+    /// Records one request latency.
+    pub fn record(&mut self, micros: u64) {
+        self.samples_us.push(micros);
+    }
+
+    /// Absorbs another log (per-thread logs merge into one).
+    pub fn merge(&mut self, other: LatencyLog) {
+        self.samples_us.extend(other.samples_us);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// The `p`-th percentile (nearest-rank, `0.0..=100.0`) in
+    /// microseconds; 0 when no samples were recorded.
+    pub fn percentile_us(&mut self, p: f64) -> u64 {
+        if self.samples_us.is_empty() {
+            return 0;
+        }
+        self.samples_us.sort_unstable();
+        let n = self.samples_us.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples_us[rank.clamp(1, n) - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut log = LatencyLog::new();
+        assert_eq!(log.percentile_us(99.0), 0);
+        for v in [5, 1, 4, 2, 3] {
+            log.record(v);
+        }
+        assert_eq!(log.percentile_us(50.0), 3);
+        assert_eq!(log.percentile_us(99.0), 5);
+        assert_eq!(log.percentile_us(100.0), 5);
+        let mut other = LatencyLog::new();
+        other.record(10);
+        log.merge(other);
+        assert_eq!(log.len(), 6);
+        assert_eq!(log.percentile_us(100.0), 10);
+    }
+}

@@ -133,6 +133,27 @@ impl IipId {
             IipId::RankApp => "RankApp",
         }
     }
+
+    /// URL-safe lowercase slug — the marketing name lowercased with
+    /// punctuation dropped. Used in wall hostnames
+    /// (`wall.<slug>.iiscope`) and socket-server routes
+    /// (`/wall/<slug>/offers`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            IipId::Fyber => "fyber",
+            IipId::OfferToro => "offertoro",
+            IipId::AdscendMedia => "adscendmedia",
+            IipId::HangMyAds => "hangmyads",
+            IipId::AdGem => "adgem",
+            IipId::AyetStudios => "ayetstudios",
+            IipId::RankApp => "rankapp",
+        }
+    }
+
+    /// Looks an IIP up by its [`IipId::slug`].
+    pub fn from_slug(slug: &str) -> Option<IipId> {
+        IipId::ALL.into_iter().find(|iip| iip.slug() == slug)
+    }
 }
 
 impl fmt::Display for IipId {
@@ -219,6 +240,15 @@ mod tests {
         assert_eq!(CampaignId(1).to_string(), "camp-1");
         assert_eq!(DeviceId(9).to_string(), "device-9");
         assert_eq!(WorkerId(3).to_string(), "worker-3");
+    }
+
+    #[test]
+    fn slugs_are_the_punctuation_free_lowercase_names() {
+        for iip in IipId::ALL {
+            assert_eq!(iip.slug(), iip.name().to_ascii_lowercase().replace('-', ""));
+            assert_eq!(IipId::from_slug(iip.slug()), Some(iip));
+        }
+        assert_eq!(IipId::from_slug("nonsense"), None);
     }
 
     #[test]

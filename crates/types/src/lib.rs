@@ -52,6 +52,7 @@ pub mod ids;
 pub mod money;
 pub mod rng;
 pub mod rss;
+pub mod servestats;
 pub mod sym;
 pub mod time;
 pub mod wirestats;

@@ -1,0 +1,88 @@
+//! Process-wide socket-server counters.
+//!
+//! `iiscope-serve` exposes a finished world to real TCP clients as a
+//! second consumer of the sans-IO wire substrates. These counters
+//! record what the accept loop and connection workers did — the
+//! observability half of the server, surfaced by `repro --timing` as
+//! part of `BENCH_serve.json` and dumped on shutdown.
+//!
+//! Like [`crate::wirestats`], they are relaxed write-only atomics:
+//! nothing in the simulation ever reads them, so they cannot perturb
+//! determinism, and they live in `iiscope-types` so any layer can
+//! report without new dependency edges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One relaxed counter.
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident / $inc:ident / $key:literal;)*) => {
+        $( $(#[$doc])* pub static $name: AtomicU64 = AtomicU64::new(0); )*
+
+        $(
+            $(#[$doc])*
+            #[inline]
+            pub fn $inc(n: u64) {
+                $name.fetch_add(n, Ordering::Relaxed);
+            }
+        )*
+
+        /// Snapshot of every counter, in declaration order, as
+        /// `(json_key, value)` pairs.
+        pub fn snapshot() -> Vec<(&'static str, u64)> {
+            vec![$( ($key, $name.load(Ordering::Relaxed)), )*]
+        }
+
+        /// Resets every counter to zero (tests and `--timing` runs).
+        pub fn reset() {
+            $( $name.store(0, Ordering::Relaxed); )*
+        }
+    };
+}
+
+counters! {
+    /// Connections accepted by the listener workers.
+    CONNS_ACCEPTED / add_conns_accepted / "conns_accepted";
+    /// Connections fully closed (handler thread exited).
+    CONNS_CLOSED / add_conns_closed / "conns_closed";
+    /// Times an accept worker paused because the in-flight connection
+    /// count sat at the cap (backpressure events, not wait duration).
+    ACCEPT_BACKPRESSURE / add_accept_backpressure / "accept_backpressure_waits";
+    /// Requests answered over real sockets.
+    REQUESTS_SERVED / add_requests_served / "requests_served";
+    /// Request bytes read off sockets.
+    BYTES_READ / add_bytes_read / "bytes_read";
+    /// Response bytes written to sockets.
+    BYTES_WRITTEN / add_bytes_written / "bytes_written";
+    /// Connections that served more than one request (keep-alive paid
+    /// off at least once).
+    KEEPALIVE_CONNS / add_keepalive_conns / "keepalive_conns";
+    /// Connections closed for exceeding the idle timeout.
+    IDLE_TIMEOUTS / add_idle_timeouts / "idle_timeouts";
+    /// Connections poisoned by a parse reject (400/413/431) and closed
+    /// after the mapped status was flushed.
+    PARSE_REJECTS / add_parse_rejects / "parse_rejects";
+    /// Connections closed for blowing a per-connection read or write
+    /// budget.
+    BUDGET_CLOSES / add_budget_closes / "budget_closes";
+    /// Connections still open when shutdown began and drained cleanly.
+    DRAINED_CONNS / add_drained_conns / "drained_conns";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reports_increments_in_order() {
+        reset();
+        add_conns_accepted(3);
+        add_requests_served(9);
+        add_drained_conns(1);
+        let snap = snapshot();
+        assert_eq!(snap[0], ("conns_accepted", 3));
+        assert_eq!(snap[3], ("requests_served", 9));
+        assert_eq!(snap.last().unwrap(), &("drained_conns", 1));
+        reset();
+        assert!(snapshot().iter().all(|&(_, v)| v == 0));
+    }
+}

@@ -516,9 +516,33 @@ fn reason_of(status: u16) -> &'static str {
         401 => "Unauthorized",
         403 => "Forbidden",
         404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
+    }
+}
+
+/// Parse-error message for a header block past [`MAX_HEADER_BYTES`]
+/// (the single spelling [`status_for_parse_error`] keys off).
+const ERR_HEADER_TOO_LARGE: &str = "header block too large";
+/// Parse-error message for a declared body past [`MAX_BODY_BYTES`].
+const ERR_BODY_TOO_LARGE: &str = "body too large";
+
+/// Maps a request parse error to the status a transport-owning server
+/// (the real-socket front-end) answers before closing the connection:
+/// `431` for an oversized header block, `413` for an oversized body,
+/// `400` for anything else. The in-sim engine paths keep answering a
+/// uniform `400` — this mapping exists only for external clients, so
+/// the simulation's byte streams are untouched.
+pub fn status_for_parse_error(e: &Error) -> u16 {
+    match e {
+        Error::Decode(msg) if msg == ERR_HEADER_TOO_LARGE => 431,
+        Error::Decode(msg) if msg == ERR_BODY_TOO_LARGE => 413,
+        _ => 400,
     }
 }
 
@@ -600,9 +624,9 @@ fn parse_response_view(buf: &[u8]) -> Result<Option<(ResponseView<'_>, usize)>> 
 fn split_head(buf: &[u8]) -> Result<Option<(&str, usize)>> {
     let end = buf.windows(4).position(|w| w == b"\r\n\r\n");
     match end {
-        None if buf.len() > MAX_HEADER_BYTES => Err(Error::Decode("header block too large".into())),
+        None if buf.len() > MAX_HEADER_BYTES => Err(Error::Decode(ERR_HEADER_TOO_LARGE.into())),
         None => Ok(None),
-        Some(pos) if pos > MAX_HEADER_BYTES => Err(Error::Decode("header block too large".into())),
+        Some(pos) if pos > MAX_HEADER_BYTES => Err(Error::Decode(ERR_HEADER_TOO_LARGE.into())),
         Some(pos) => {
             let head = std::str::from_utf8(&buf[..pos])
                 .map_err(|_| Error::Decode("headers are not utf-8".into()))?;
@@ -640,7 +664,7 @@ fn read_body_range(
         None => 0,
     };
     if len > MAX_BODY_BYTES {
-        return Err(Error::Decode("body too large".into()));
+        return Err(Error::Decode(ERR_BODY_TOO_LARGE.into()));
     }
     if buf.len() < body_start + len {
         return Ok(None);
@@ -850,7 +874,26 @@ mod tests {
     fn reason_phrases() {
         assert_eq!(Response::status(200).reason(), "OK");
         assert_eq!(Response::status(429).reason(), "Too Many Requests");
+        assert_eq!(
+            Response::status(431).reason(),
+            "Request Header Fields Too Large"
+        );
+        assert_eq!(Response::status(413).reason(), "Payload Too Large");
         assert_eq!(Response::status(999).reason(), "Unknown");
         assert!(!Response::not_found().is_success());
+    }
+
+    #[test]
+    fn parse_errors_classify_for_socket_servers() {
+        let oversized_headers = Request::parse(&vec![b'a'; MAX_HEADER_BYTES + 10]).unwrap_err();
+        assert_eq!(status_for_parse_error(&oversized_headers), 431);
+        let huge_body = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let oversized_body = Request::parse(huge_body.as_bytes()).unwrap_err();
+        assert_eq!(status_for_parse_error(&oversized_body), 413);
+        let garbage = Request::parse(b"NONSENSE\r\n\r\n").unwrap_err();
+        assert_eq!(status_for_parse_error(&garbage), 400);
     }
 }

@@ -5,7 +5,7 @@
 //! telemetry collector, attribution postbacks) implements the small
 //! [`Handler`] trait; these factories do the transport plumbing.
 
-use crate::http::{Handler, Request, RequestCtx, Response};
+use crate::http::{status_for_parse_error, Handler, Request, RequestCtx, Response};
 use crate::tls::session::{FixedIdentity, PlainService, TlsServerSession};
 use crate::tls::ServerIdentity;
 use bytes::{Buf, Bytes, BytesMut};
@@ -13,6 +13,19 @@ use iiscope_netsim::{PeerInfo, ServerIo, Session, SessionFactory};
 use iiscope_types::{SeedFork, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Outcome of one socket-path feed: how many responses were encoded
+/// onto the output buffer and, when a request failed to parse, the
+/// status that poisoned the connection (the caller must flush `out`
+/// and then close).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FeedReport {
+    /// Complete responses encoded by this feed.
+    pub responses: u32,
+    /// `Some(status)` when the byte stream is poisoned and the
+    /// connection must close after flushing; `None` to keep reading.
+    pub close: Option<u16>,
+}
 
 /// Plaintext HTTP engine shared by the plain and TLS paths: parses
 /// complete requests, dispatches to the handler, encodes responses.
@@ -66,21 +79,63 @@ impl HttpEngine {
         }
         // Reassembly path: a previous delivery left a partial request.
         self.buf.extend_from_slice(data);
+        self.drain_buf(&ctx, out, false);
+    }
+
+    /// Feeds a byte slice through the engine's own reassembly buffer,
+    /// encoding responses onto the caller-owned `out`. Unlike
+    /// [`HttpEngine::feed`] this allocates nothing per call: the
+    /// reassembly buffer reclaims consumed front space and `out` is
+    /// reused by the caller across feeds. Parse errors are classified
+    /// for socket clients (431 oversized header block, 413 oversized
+    /// body, 400 otherwise); the sim paths keep their uniform 400.
+    pub fn feed_slice(
+        &mut self,
+        data: &[u8],
+        peer: PeerInfo,
+        now: SimTime,
+        out: &mut BytesMut,
+    ) -> FeedReport {
+        let ctx = RequestCtx { peer, now };
+        self.buf.extend_from_slice(data);
+        self.drain_buf(&ctx, out, true)
+    }
+
+    /// Drains every complete request out of the reassembly buffer.
+    /// On a parse error the poisoning status is encoded (classified
+    /// only on the socket path so sim byte streams are untouched), the
+    /// buffer is dropped, and the report tells the caller to close.
+    fn drain_buf(&mut self, ctx: &RequestCtx, out: &mut BytesMut, classify: bool) -> FeedReport {
+        let mut report = FeedReport::default();
         loop {
             match Request::parse(&self.buf) {
                 Ok(Some((req, consumed))) => {
                     self.buf.advance(consumed);
-                    let resp = self.handler.handle(&req, &ctx);
+                    let resp = self.handler.handle(&req, ctx);
                     resp.encode_into(out);
+                    report.responses += 1;
                 }
-                Ok(None) => return,
-                Err(_) => {
-                    Response::status(400).encode_into(out);
+                Ok(None) => return report,
+                Err(e) => {
+                    let status = if classify {
+                        status_for_parse_error(&e)
+                    } else {
+                        400
+                    };
+                    Response::status(status).encode_into(out);
                     self.buf.clear();
-                    return;
+                    report.responses += 1;
+                    report.close = Some(status);
+                    return report;
                 }
             }
         }
+    }
+
+    /// True when a partial request is sitting in the reassembly buffer
+    /// (used by servers to distinguish idle from mid-request stalls).
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
     }
 
     /// Feeds bytes; returns encoded responses for every complete
@@ -259,6 +314,152 @@ mod tests {
         conn.send(b"NONSENSE\r\n\r\n");
         let reply = conn.roundtrip().unwrap();
         let (resp, _) = Response::parse(&reply).unwrap().unwrap();
+        assert_eq!(resp.status, 400);
+    }
+
+    fn peer() -> PeerInfo {
+        PeerInfo {
+            addr: client_addr(),
+            opened_at: SimTime::EPOCH,
+            link: SeedFork::new(7),
+        }
+    }
+
+    /// The three feed paths must agree byte-for-byte on every
+    /// fragmentation of the same input stream, valid or malformed.
+    fn assert_feed_parity(stream: &[u8], splits: &[usize]) {
+        // Oracle: one `feed` over the whole stream.
+        let mut oracle_engine = HttpEngine::new(handler());
+        let oracle = oracle_engine.feed(stream, peer(), SimTime::EPOCH);
+
+        // `feed_into`, fragmented at `splits`.
+        let mut into_engine = HttpEngine::new(handler());
+        let mut into_out = BytesMut::new();
+        for chunk in fragments(stream, splits) {
+            into_engine.feed_into(
+                &Bytes::copy_from_slice(chunk),
+                peer(),
+                SimTime::EPOCH,
+                &mut into_out,
+            );
+        }
+        assert_eq!(&oracle[..], &into_out[..]);
+
+        // `feed_slice`, same fragments, one reused output buffer.
+        let mut slice_engine = HttpEngine::new(handler());
+        let mut slice_out = BytesMut::new();
+        for chunk in fragments(stream, splits) {
+            slice_engine.feed_slice(chunk, peer(), SimTime::EPOCH, &mut slice_out);
+        }
+        assert_eq!(&oracle[..], &slice_out[..]);
+    }
+
+    fn fragments<'a>(stream: &'a [u8], splits: &[usize]) -> Vec<&'a [u8]> {
+        let mut out = Vec::new();
+        let mut prev = 0;
+        for &s in splits {
+            let s = s.min(stream.len());
+            if s > prev {
+                out.push(&stream[prev..s]);
+                prev = s;
+            }
+        }
+        if prev < stream.len() {
+            out.push(&stream[prev..]);
+        }
+        out
+    }
+
+    #[test]
+    fn feed_paths_agree_on_valid_streams() {
+        let mut wire = BytesMut::new();
+        Request::get("/ping").encode_into(&mut wire);
+        Request::post("/echo", b"payload-bytes".to_vec()).encode_into(&mut wire);
+        Request::get("/whoami").encode_into(&mut wire);
+        let stream = wire.freeze();
+        // Whole, bisected, every-7-bytes, and header/body straddling
+        // fragmentations all produce the single-feed oracle bytes.
+        assert_feed_parity(&stream, &[]);
+        assert_feed_parity(&stream, &[stream.len() / 2]);
+        assert_feed_parity(&stream, &(1..stream.len()).step_by(7).collect::<Vec<_>>());
+        assert_feed_parity(&stream, &[3, 20, 21, 60]);
+    }
+
+    #[test]
+    fn feed_paths_agree_on_malformed_streams() {
+        let mut wire = BytesMut::new();
+        Request::get("/ping").encode_into(&mut wire);
+        wire.extend_from_slice(b"NONSENSE\r\n\r\n");
+        let stream = wire.freeze();
+        // Garbage after a valid request is plain-malformed on every
+        // path: one 200 then one 400, regardless of fragmentation.
+        assert_feed_parity(&stream, &[]);
+        assert_feed_parity(&stream, &[5, 11]);
+    }
+
+    #[test]
+    fn feed_slice_reports_and_classifies() {
+        let mut engine = HttpEngine::new(handler());
+        let mut out = BytesMut::new();
+
+        // Two pipelined requests: two responses, keep reading.
+        let mut wire = BytesMut::new();
+        Request::get("/ping").encode_into(&mut wire);
+        Request::get("/ping").encode_into(&mut wire);
+        let report = engine.feed_slice(&wire, peer(), SimTime::EPOCH, &mut out);
+        assert_eq!(
+            report,
+            FeedReport {
+                responses: 2,
+                close: None
+            }
+        );
+        assert!(!engine.has_partial());
+
+        // A partial request parks in the reassembly buffer.
+        let report = engine.feed_slice(b"GET /pi", peer(), SimTime::EPOCH, &mut out);
+        assert_eq!(
+            report,
+            FeedReport {
+                responses: 0,
+                close: None
+            }
+        );
+        assert!(engine.has_partial());
+        let report = engine.feed_slice(b"ng HTTP/1.1\r\n\r\n", peer(), SimTime::EPOCH, &mut out);
+        assert_eq!(
+            report,
+            FeedReport {
+                responses: 1,
+                close: None
+            }
+        );
+
+        // Oversized header block: 431 on the socket path.
+        let mut engine = HttpEngine::new(handler());
+        let mut out = BytesMut::new();
+        let big = vec![b'a'; crate::http::MAX_HEADER_BYTES + 1];
+        let report = engine.feed_slice(&big, peer(), SimTime::EPOCH, &mut out);
+        assert_eq!(report.close, Some(431));
+        let (resp, _) = Response::parse(&out.split().freeze()).unwrap().unwrap();
+        assert_eq!(resp.status, 431);
+
+        // Oversized declared body: 413 on the socket path.
+        let mut engine = HttpEngine::new(handler());
+        let mut out = BytesMut::new();
+        let huge = format!(
+            "POST /echo HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            crate::http::MAX_BODY_BYTES + 1
+        );
+        let report = engine.feed_slice(huge.as_bytes(), peer(), SimTime::EPOCH, &mut out);
+        assert_eq!(report.close, Some(413));
+        let (resp, _) = Response::parse(&out.split().freeze()).unwrap().unwrap();
+        assert_eq!(resp.status, 413);
+
+        // The same oversized inputs through the sim path stay 400.
+        let mut engine = HttpEngine::new(handler());
+        let sim = engine.feed(&big, peer(), SimTime::EPOCH);
+        let (resp, _) = Response::parse(&sim).unwrap().unwrap();
         assert_eq!(resp.status, 400);
     }
 

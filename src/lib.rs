@@ -39,6 +39,7 @@ pub mod subsystems {
     pub use iiscope_monitor as monitor;
     pub use iiscope_netsim as netsim;
     pub use iiscope_playstore as playstore;
+    pub use iiscope_serve as serve;
     pub use iiscope_types as types;
     pub use iiscope_wire as wire;
 }
