@@ -6,6 +6,9 @@
 //!       [--export DIR] [--timing]
 //!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //!       [--serve ADDR] [--serve-workers N] [--conn-cap N] [--idle-timeout MS]
+//!       [--serve-cache on|off]
+//!       [--load] [--load-stages SPEC] [--load-conns N] [--load-mix SPEC]
+//!       [--load-baseline PATH] [--load-tolerance PCT] [--load-out PATH]
 //! ```
 //!
 //! Builds the world, runs the §3 honey study and the §4 wild study,
@@ -39,6 +42,23 @@
 //! port; the resolved address is announced on stderr as
 //! `serving on <addr>`.
 //!
+//! `--serve-cache off` disables the day-versioned response cache in
+//! the served router (the A/B baseline for the load harness; the
+//! default `on` serves cache hits as `Arc`-backed clones of rendered
+//! bodies, invalidated as the sim advances days).
+//!
+//! `--load` (requires `--serve`) skips the studies entirely: it binds
+//! the server on the freshly built world — the same state the PR 8
+//! soak measured — and drives the `iiscope-load` workload generator
+//! against it: `--load-stages QPSxSECS,…` ramp stages (`0xN` = a
+//! closed-loop ceiling stage), `--load-conns` keep-alive connections,
+//! and a `--load-mix wall=W,store=W,apk=W` request mix over the seven
+//! offer walls, store profile/chart crawls, and APK pulls. Results go
+//! to `--load-out` (default `BENCH_load.json`); with
+//! `--load-baseline PATH` the measured gate is compared against the
+//! committed baseline and the run exits `6` on a regression beyond
+//! `--load-tolerance` percent (default 20).
+//!
 //! `--checkpoint-dir DIR` durably snapshots the wild study into `DIR`
 //! every `--checkpoint-every N` sim days (default: the crawl cadence).
 //! `--resume` restores the newest *valid* snapshot from `DIR` —
@@ -49,7 +69,8 @@
 //! Exit codes: `0` success, `1` study/pipeline error, `2` usage error
 //! (including bad flag combinations), `3` checkpoint directory
 //! unreadable, `4` snapshots present but none valid, `5` a valid
-//! snapshot exists but its seed/config does not match this run.
+//! snapshot exists but its seed/config does not match this run, `6`
+//! the load harness measured a regression beyond the baseline band.
 
 use iiscope_core::wildsim::{CheckpointPolicy, WildRunOptions};
 use iiscope_core::{checkpoint, experiments, World, WorldConfig};
@@ -73,6 +94,14 @@ fn main() {
     let mut serve_workers: Option<usize> = None;
     let mut conn_cap: Option<usize> = None;
     let mut idle_timeout_ms: Option<u64> = None;
+    let mut serve_cache = true;
+    let mut load = false;
+    let mut load_stages = "500x2,2000x2,0x5".to_string();
+    let mut load_conns = 4usize;
+    let mut load_mix = "wall=8,store=3,apk=1".to_string();
+    let mut load_baseline: Option<String> = None;
+    let mut load_tolerance = 20.0f64;
+    let mut load_out = "BENCH_load.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -140,6 +169,32 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--serve-cache" => {
+                serve_cache = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
+            }
+            "--load" => load = true,
+            "--load-stages" => load_stages = args.next().unwrap_or_else(|| usage()),
+            "--load-conns" => {
+                load_conns = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--load-mix" => load_mix = args.next().unwrap_or_else(|| usage()),
+            "--load-baseline" => load_baseline = Some(args.next().unwrap_or_else(|| usage())),
+            "--load-tolerance" => {
+                load_tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--load-out" => load_out = args.next().unwrap_or_else(|| usage()),
             "--timing" => timing = true,
             "--help" | "-h" => usage(),
             other => {
@@ -185,6 +240,29 @@ fn main() {
         eprintln!("repro: --serve-workers/--conn-cap/--idle-timeout require --serve");
         std::process::exit(2);
     }
+    if load && serve_addr.is_none() {
+        eprintln!("repro: --load requires --serve");
+        std::process::exit(2);
+    }
+    let load_plan = if load {
+        let stages = match iiscope_load::parse_stages(&load_stages) {
+            Ok(stages) => stages,
+            Err(e) => {
+                eprintln!("repro: --load-stages: {e}");
+                std::process::exit(2);
+            }
+        };
+        let weights = match iiscope_load::parse_mix_weights(&load_mix) {
+            Ok(weights) => weights,
+            Err(e) => {
+                eprintln!("repro: --load-mix: {e}");
+                std::process::exit(2);
+            }
+        };
+        Some((stages, weights))
+    } else {
+        None
+    };
 
     let policy = checkpoint_dir.as_ref().map(|dir| CheckpointPolicy {
         dir: std::path::PathBuf::from(dir),
@@ -241,7 +319,12 @@ fn main() {
             sim_now: world.study_end(),
             ..ServeConfig::default()
         };
-        let handler = Arc::new(AdminHandler::new(world.serve_router(), flag.clone()));
+        let router = if serve_cache {
+            world.serve_router()
+        } else {
+            world.serve_router_uncached()
+        };
+        let handler = Arc::new(AdminHandler::new(router, flag.clone()));
         let server = match Server::start(addr.as_str(), serve_cfg, handler) {
             Ok(server) => server,
             Err(e) => {
@@ -252,6 +335,87 @@ fn main() {
         eprintln!("serving on {}", server.local_addr());
         (server, flag)
     });
+
+    // --load: drive the workload generator against the bound server
+    // instead of running the studies (the served state is the freshly
+    // built world, matching the PR 8 soak's conditions).
+    if let Some((stages, (wall_w, store_w, apk_w))) = load_plan {
+        let (server, flag) = serving.expect("--load requires --serve (checked above)");
+        let spec = iiscope_load::LoadSpec {
+            stages,
+            conns: load_conns,
+            mix: load_mix_targets(&world, wall_w, store_w, apk_w),
+            seed,
+        };
+        eprintln!(
+            "load: {} stage(s), {} conn(s), cache {}",
+            spec.stages.len(),
+            spec.conns,
+            if serve_cache { "on" } else { "off" }
+        );
+        let addr = server.local_addr();
+        if let Err(e) = iiscope_load::probe(addr, &spec.mix) {
+            eprintln!("repro: load probe failed: {e}");
+            std::process::exit(1);
+        }
+        let results = match iiscope_load::run(addr, &spec) {
+            Ok(results) => results,
+            Err(e) => {
+                eprintln!("repro: load run failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        for r in &results {
+            eprintln!(
+                "  stage qps={:<6} {:>5.1}s: {:>8.0} req/s  p50 {}us  p90 {}us  p99 {}us  \
+                 max {}us  errors {}  reconnects {}",
+                r.stage.qps,
+                r.elapsed_secs,
+                r.achieved_rps,
+                r.p50_us,
+                r.p90_us,
+                r.p99_us,
+                r.max_us,
+                r.tally.errors(),
+                r.reconnects
+            );
+        }
+        let json =
+            iiscope_load::bench_load_json(&scale, seed, load_conns, serve_cache, &spec, &results);
+        std::fs::write(&load_out, json).expect("write BENCH_load.json");
+        eprintln!("wrote {load_out}");
+        eprintln!("serve-layer counters:");
+        for (name, value) in servestats::snapshot() {
+            eprintln!("  {name:<24} {value:>14}");
+        }
+        flag.trigger();
+        server.stop();
+        if let Some(path) = load_baseline {
+            let baseline_json = match std::fs::read_to_string(&path) {
+                Ok(json) => json,
+                Err(e) => {
+                    eprintln!("repro: cannot read baseline {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let baseline = match iiscope_load::parse_baseline(&baseline_json) {
+                Ok(gate) => gate,
+                Err(e) => {
+                    eprintln!("repro: baseline {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let measured = iiscope_load::gate(&results).expect("stages are non-empty");
+            match iiscope_load::check_against_baseline(&measured, &baseline, load_tolerance) {
+                Ok(verdict) => eprintln!("load gate OK ({load_tolerance}% band): {verdict}"),
+                Err(why) => {
+                    eprintln!("repro: load gate FAILED: {why}");
+                    std::process::exit(6);
+                }
+            }
+        }
+        return;
+    }
 
     eprintln!("running the Section 3 honey-app study…");
     let honey = match world.run_honey_study(world.study_start()) {
@@ -907,6 +1071,60 @@ fn report_json(
     s
 }
 
+/// Builds the `--load` request mix from the world: one wall-milk
+/// target per IIP (weight `wall_w` each), store profile crawls over
+/// the honey app, a handful of planned apps and a charts page (weight
+/// `store_w` each), and the honey APK pull (weight `apk_w`). The
+/// affiliate is the monitoring app registered on every wall, so every
+/// target answers 200 on the freshly built world.
+fn load_mix_targets(
+    world: &World,
+    wall_w: u32,
+    store_w: u32,
+    apk_w: u32,
+) -> Vec<iiscope_load::MixEntry> {
+    use iiscope_load::MixEntry;
+    use iiscope_types::IipId;
+
+    const AFFILIATE: &str = "com.mobvantage.cashforapps";
+    let honey = iiscope_honeyapp::HONEY_PACKAGE;
+    let mut mix = Vec::new();
+    for iip in IipId::ALL {
+        mix.push(MixEntry {
+            name: format!("wall:{}", iip.slug()),
+            target: format!("/wall/{}/offers?affiliate={AFFILIATE}", iip.slug()),
+            weight: wall_w,
+        });
+    }
+    let mut store_packages = vec![honey.to_string()];
+    store_packages.extend(
+        world
+            .plan
+            .apps
+            .iter()
+            .take(3)
+            .map(|a| a.package.as_str().to_string()),
+    );
+    for pkg in store_packages {
+        mix.push(MixEntry {
+            name: format!("store:{pkg}"),
+            target: format!("/store/apps/details?id={pkg}"),
+            weight: store_w,
+        });
+    }
+    mix.push(MixEntry {
+        name: "store:charts".to_string(),
+        target: "/store/charts?chart=topselling_free&n=10".to_string(),
+        weight: store_w,
+    });
+    mix.push(MixEntry {
+        name: "apk:honey".to_string(),
+        target: format!("/apk?id={honey}"),
+        weight: apk_w,
+    });
+    mix
+}
+
 /// Splits a `--scale` argument into (profile, multiplier): `small`,
 /// `paper`, a bare multiplier (paper profile), or `profile:N`.
 fn parse_scale(s: &str) -> Option<(&'static str, u64)> {
@@ -946,6 +1164,9 @@ fn usage() -> ! {
          \x20            [--export DIR] [--timing]\n\
          \x20            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n\
          \x20            [--serve ADDR] [--serve-workers N] [--conn-cap N] [--idle-timeout MS]\n\
+         \x20            [--serve-cache on|off]\n\
+         \x20            [--load] [--load-stages SPEC] [--load-conns N] [--load-mix SPEC]\n\
+         \x20            [--load-baseline PATH] [--load-tolerance PCT] [--load-out PATH]\n\
          \n\
          --scale PROFILE[:N]    world profile and campaign-volume multiplier\n\
          \x20                      (bare N = paper profile at N x volume)\n\
@@ -960,9 +1181,21 @@ fn usage() -> ! {
          --serve-workers N      accept workers (default 2)\n\
          --conn-cap N           in-flight connection cap (default 256)\n\
          --idle-timeout MS      per-connection idle timeout (default 10000)\n\
+         --serve-cache on|off   day-versioned response cache (default on)\n\
+         --load                 drive the workload generator against --serve\n\
+         \x20                      (skips the studies; serves the fresh world)\n\
+         --load-stages SPEC     ramp stages QPSxSECS,… (0xN = closed-loop\n\
+         \x20                      ceiling; default 500x2,2000x2,0x5)\n\
+         --load-conns N         keep-alive connections (default 4)\n\
+         --load-mix SPEC        wall=W,store=W,apk=W weights (default 8,3,1)\n\
+         --load-baseline PATH   compare the gate against a committed\n\
+         \x20                      BENCH_load.json; exit 6 on regression\n\
+         --load-tolerance PCT   allowed regression band (default 20)\n\
+         --load-out PATH        where results go (default BENCH_load.json)\n\
          \n\
          exit codes: 0 ok, 1 study error, 2 usage, 3 checkpoint dir unreadable,\n\
-         \x20           4 snapshots present but none valid, 5 snapshot/config mismatch"
+         \x20           4 snapshots present but none valid, 5 snapshot/config mismatch,\n\
+         \x20           6 load gate regression beyond the baseline band"
     );
     std::process::exit(2);
 }

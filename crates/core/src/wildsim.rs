@@ -376,6 +376,12 @@ impl World {
             }
             let t0 = self.study_start() + SimDuration::from_days(day);
             self.net.clock().advance_to(t0);
+            // The day's mutations get their own cache version: anything
+            // a concurrent server cached overnight must not survive
+            // into the mutation window, and anything cached *during*
+            // the window is dropped by the bump below once the day's
+            // state settles.
+            self.day_version.bump();
             self.sim_day(&mut st, day, t0, &profiles, &organic)?;
             if day % self.cfg.crawl_cadence_days == 0 {
                 self.measure_day(&mut st, t0, &fuzzer)?;
@@ -385,6 +391,7 @@ impl World {
             // LRU can evict them), and before the snapshot below so
             // the aggregate state rides the same durability boundary.
             st.aggregates.fold_day(&st.dataset, &book);
+            self.day_version.bump();
             if let Some(cp) = &opts.checkpoint {
                 if day % cp.every_days.max(1) == 0 {
                     let t = std::time::Instant::now();

@@ -1,6 +1,7 @@
 //! World construction: every subsystem wired together, deterministically.
 
 use crate::config::WorldConfig;
+use crate::servefront::{WorldRouter, WorldVersion};
 use crate::wildgen::{self, WildPlan};
 use iiscope_analysis::{CompanyRecord, CrunchbaseDb, FundingRound, RoundKind};
 use iiscope_attribution::Mediator;
@@ -103,6 +104,10 @@ pub struct World {
     pub registry: Mutex<AsnRegistry>,
     /// The monitored affiliate apps (Table 2).
     pub affiliate_apps: Vec<AffiliateApp>,
+    /// Served-state version: the wild study bumps it as each sim day
+    /// advances, invalidating any day-versioned response caches handed
+    /// out by [`World::serve_router`].
+    pub day_version: WorldVersion,
 }
 
 impl World {
@@ -385,6 +390,7 @@ impl World {
             crawler_from,
             registry: Mutex::new(registry),
             affiliate_apps,
+            day_version: WorldVersion::new(),
         })
     }
 
@@ -443,9 +449,23 @@ impl World {
     /// handler — what `repro --serve` binds to a real socket. Store
     /// routes pass through verbatim; walls mount at
     /// `/wall/<slug>/offers`. Every dispatch is a pure read, so a
-    /// server hammering these mid-run cannot perturb determinism.
-    pub fn serve_router(&self) -> Arc<dyn iiscope_wire::Handler> {
-        Arc::new(crate::servefront::WorldRouter::new(
+    /// server hammering these mid-run cannot perturb determinism —
+    /// which also makes rendered responses cacheable: this router
+    /// retains them under [`World::day_version`] and serves hits as
+    /// cheap `Bytes` clones until the sim advances a day.
+    pub fn serve_router(&self) -> Arc<WorldRouter> {
+        Arc::new(WorldRouter::new_cached(
+            StoreFrontend::new(Arc::clone(&self.store)),
+            self.walls.clone(),
+            self.day_version.clone(),
+        ))
+    }
+
+    /// [`World::serve_router`] without the response cache — the A/B
+    /// baseline for `repro --serve-cache off` and the load harness's
+    /// before/after numbers.
+    pub fn serve_router_uncached(&self) -> Arc<WorldRouter> {
+        Arc::new(WorldRouter::new(
             StoreFrontend::new(Arc::clone(&self.store)),
             self.walls.clone(),
         ))

@@ -173,25 +173,47 @@ impl Handler for OfferWallHandler {
         // milkers change vantage points via VPN proxies precisely
         // because walls geo-filter on source address.
         let country = ctx.peer.addr.country;
-        // Pagination: walls return one page per request; the UI fuzzer
-        // must scroll to load more (the coverage mechanic of §4.1).
-        let page: usize = req
-            .query_param("page")
-            .and_then(|p| p.parse().ok())
-            .unwrap_or(0);
         let mut offers = self.platform.offers_for(country);
         offers.sort_by_key(|o| o.id);
-        let page_items: Vec<Offer> = offers
-            .into_iter()
-            .skip(page * PAGE_SIZE)
-            .take(PAGE_SIZE)
-            .collect();
+        // Pagination: walls return one page per request; the UI fuzzer
+        // must scroll to load more (the coverage mechanic of §4.1).
+        // Two addressing schemes share the sorted offer list:
+        // `cursor=N&limit=M` slices offers [N, N+M); the legacy
+        // `page=P` (fixed PAGE_SIZE rows) remains the default so
+        // parameterless requests stay byte-identical.
+        let cursor_mode = req.query_param("cursor").is_some() || req.query_param("limit").is_some();
+        let page_items: Vec<Offer> = if cursor_mode {
+            let cursor: usize = req
+                .query_param("cursor")
+                .and_then(|c| c.parse().ok())
+                .unwrap_or(0);
+            let limit: usize = req
+                .query_param("limit")
+                .and_then(|l| l.parse().ok())
+                .unwrap_or(PAGE_SIZE)
+                .min(CURSOR_MAX_LIMIT);
+            offers.into_iter().skip(cursor).take(limit).collect()
+        } else {
+            let page: usize = req
+                .query_param("page")
+                .and_then(|p| p.parse().ok())
+                .unwrap_or(0);
+            offers
+                .into_iter()
+                .skip(page * PAGE_SIZE)
+                .take(PAGE_SIZE)
+                .collect()
+        };
         Response::ok_json(&self.render_wall(&page_items, points_per_dollar))
     }
 }
 
 /// Number of offers per wall page (public for the fuzzer's tests).
 pub const PAGE_SIZE: usize = 10;
+
+/// Largest `limit` a cursor-mode request can ask for — bounds one
+/// response's render cost regardless of query-string input.
+pub const CURSOR_MAX_LIMIT: usize = 100;
 
 #[cfg(test)]
 mod tests {
@@ -388,6 +410,59 @@ mod tests {
         assert_eq!(fetch(1), 10);
         assert_eq!(fetch(2), 3);
         assert_eq!(fetch(3), 0);
+    }
+
+    #[test]
+    fn cursor_pagination_slices_and_defaults_match_page_zero() {
+        let (p, wall) = rig(IipId::Fyber);
+        add_campaign(&p, 23, 50, vec![]);
+        let fetch = |query: &str| -> Vec<i64> {
+            let resp = wall.handle(
+                &Request::get(format!("/offers?affiliate=com.cash.app{query}")),
+                &ctx(Country::Us),
+            );
+            assert_eq!(resp.status, 200);
+            resp.body_json()
+                .unwrap()
+                .get("ofw")
+                .unwrap()
+                .get("offers")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|o| o.get("offer_id").and_then(Json::as_i64).unwrap())
+                .collect()
+        };
+        // cursor walks the same sorted list page mode does.
+        let all: Vec<i64> = (0..3).flat_map(|p| fetch(&format!("&page={p}"))).collect();
+        assert_eq!(all.len(), 23);
+        assert_eq!(fetch("&cursor=0&limit=23"), all);
+        assert_eq!(fetch("&cursor=5&limit=4"), all[5..9].to_vec());
+        // limit alone defaults cursor=0; cursor alone defaults
+        // limit=PAGE_SIZE.
+        assert_eq!(fetch("&limit=3"), all[..3].to_vec());
+        assert_eq!(fetch("&cursor=20"), all[20..].to_vec());
+        // Past the end is empty, not an error; limit is clamped.
+        assert_eq!(fetch("&cursor=40&limit=5"), Vec::<i64>::new());
+        assert_eq!(fetch("&cursor=0&limit=9999").len(), 23);
+        // Unparsable values fall back silently, like `page` does.
+        assert_eq!(fetch("&cursor=x&limit=y"), all[..PAGE_SIZE].to_vec());
+    }
+
+    #[test]
+    fn parameterless_requests_ignore_cursor_code_path() {
+        let (p, wall) = rig(IipId::Fyber);
+        add_campaign(&p, 12, 50, vec![]);
+        let plain = wall.handle(
+            &Request::get("/offers?affiliate=com.cash.app"),
+            &ctx(Country::Us),
+        );
+        let paged = wall.handle(
+            &Request::get("/offers?affiliate=com.cash.app&page=0"),
+            &ctx(Country::Us),
+        );
+        // Byte-identical to the legacy default page.
+        assert_eq!(plain.encode(), paged.encode());
     }
 
     #[test]

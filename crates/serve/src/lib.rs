@@ -160,6 +160,35 @@ const READ_TICK: Duration = Duration::from_millis(25);
 /// Sleep between accept polls when the listener has nothing pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
+/// Read-buffer size for one connection.
+const RBUF_SIZE: usize = 16 * 1024;
+
+/// Most retained connections the buffer pool will hold. Buffers above
+/// this are dropped on return rather than hoarded.
+const POOL_CAP: usize = 256;
+
+/// Write buffers above this capacity (a one-off huge response) are not
+/// worth retaining — they'd pin that memory for the pool's lifetime.
+const POOL_OUT_RETAIN_MAX: usize = 256 * 1024;
+
+/// One connection's reusable buffers: the socket read scratch and the
+/// response assembly buffer. Pooled so short-lived connections under
+/// churn reuse prior allocations instead of paying a fresh 16 KiB +
+/// `BytesMut` per accept.
+struct ConnBuffers {
+    rbuf: Vec<u8>,
+    out: BytesMut,
+}
+
+impl ConnBuffers {
+    fn fresh() -> ConnBuffers {
+        ConnBuffers {
+            rbuf: vec![0u8; RBUF_SIZE],
+            out: BytesMut::new(),
+        }
+    }
+}
+
 /// State shared by accept workers and connection threads.
 struct Shared {
     handler: Arc<dyn Handler>,
@@ -171,6 +200,8 @@ struct Shared {
     /// Live sockets by connection id, for the shutdown(Read) nudge.
     conns: Mutex<BTreeMap<u64, TcpStream>>,
     next_conn: AtomicU64,
+    /// Returned connection buffers, ready for the next accept.
+    pool: Mutex<Vec<ConnBuffers>>,
 }
 
 impl Shared {
@@ -182,6 +213,34 @@ impl Shared {
         let mut inflight = self.gate.lock().unwrap();
         *inflight -= 1;
         self.gate_cv.notify_all();
+    }
+
+    /// Pops pooled buffers, or allocates fresh on a dry pool.
+    fn checkout_buffers(&self) -> ConnBuffers {
+        let popped = self.pool.lock().unwrap().pop();
+        match popped {
+            Some(b) => {
+                servestats::add_pool_hits(1);
+                b
+            }
+            None => {
+                servestats::add_pool_misses(1);
+                ConnBuffers::fresh()
+            }
+        }
+    }
+
+    /// Returns buffers to the pool (bounded; oversized write buffers
+    /// are dropped so one giant response can't pin memory forever).
+    fn return_buffers(&self, mut b: ConnBuffers) {
+        b.out.clear();
+        if b.out.capacity() > POOL_OUT_RETAIN_MAX {
+            b.out = BytesMut::new();
+        }
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < POOL_CAP {
+            pool.push(b);
+        }
     }
 }
 
@@ -212,6 +271,7 @@ impl Server {
             gate_cv: Condvar::new(),
             conns: Mutex::new(BTreeMap::new()),
             next_conn: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
         });
         let listener = Arc::new(listener);
         let accept_mx = Arc::new(Mutex::new(()));
@@ -348,8 +408,9 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream, peer_addr: SocketAddr, con
     let peer = peer_info(peer_addr, cfg, conn_id);
 
     let mut engine = HttpEngine::new(Arc::clone(&shared.handler));
-    let mut out = BytesMut::new(); // reused across feeds (no per-call alloc)
-    let mut rbuf = vec![0u8; 16 * 1024];
+    // Pooled read/write buffers: reused across feeds within the
+    // connection, and across connections via the shared pool.
+    let ConnBuffers { mut rbuf, mut out } = shared.checkout_buffers();
     let mut idle = Duration::ZERO;
     let mut read_total = 0u64;
     let mut write_total = 0u64;
@@ -408,6 +469,7 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream, peer_addr: SocketAddr, con
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
+    shared.return_buffers(ConnBuffers { rbuf, out });
     if served > 1 {
         servestats::add_keepalive_conns(1);
     }

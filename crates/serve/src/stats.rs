@@ -49,9 +49,110 @@ impl LatencyLog {
     }
 }
 
+/// Client-side tally of response status codes, bucketed the way the
+/// regression gate reads them: successes, not-founds, the reject
+/// statuses (408/413/431) individually, and everything else. Lives
+/// here (not in the process-wide `servestats`) so concurrent soak and
+/// load runs in one test binary can each keep their own books.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StatusTally {
+    /// 2xx responses.
+    pub ok: u64,
+    /// 404s (unknown routes — expected in fuzzing mixes, drift in
+    /// clean ones).
+    pub not_found: u64,
+    /// 408 Request Timeout (slowloris kills).
+    pub timeouts_408: u64,
+    /// 413 Payload Too Large rejects.
+    pub rejects_413: u64,
+    /// 431 Request Header Fields Too Large rejects.
+    pub rejects_431: u64,
+    /// Everything else (other 4xx/5xx).
+    pub other: u64,
+}
+
+impl StatusTally {
+    /// An empty tally.
+    pub fn new() -> StatusTally {
+        StatusTally::default()
+    }
+
+    /// Buckets one response status.
+    pub fn record(&mut self, status: u16) {
+        match status {
+            200..=299 => self.ok += 1,
+            404 => self.not_found += 1,
+            408 => self.timeouts_408 += 1,
+            413 => self.rejects_413 += 1,
+            431 => self.rejects_431 += 1,
+            _ => self.other += 1,
+        }
+    }
+
+    /// Absorbs another tally (per-thread tallies merge into one).
+    pub fn merge(&mut self, other: StatusTally) {
+        self.ok += other.ok;
+        self.not_found += other.not_found;
+        self.timeouts_408 += other.timeouts_408;
+        self.rejects_413 += other.rejects_413;
+        self.rejects_431 += other.rejects_431;
+        self.other += other.other;
+    }
+
+    /// Total responses recorded.
+    pub fn total(&self) -> u64 {
+        self.ok
+            + self.not_found
+            + self.timeouts_408
+            + self.rejects_413
+            + self.rejects_431
+            + self.other
+    }
+
+    /// Responses outside the expected 2xx/404 envelope — what the
+    /// regression gate treats as correctness drift.
+    pub fn errors(&self) -> u64 {
+        self.timeouts_408 + self.rejects_413 + self.rejects_431 + self.other
+    }
+
+    /// The tally as `(json_key, value)` pairs, in declaration order.
+    pub fn fields(&self) -> [(&'static str, u64); 6] {
+        [
+            ("ok", self.ok),
+            ("not_found", self.not_found),
+            ("rejects_408", self.timeouts_408),
+            ("rejects_413", self.rejects_413),
+            ("rejects_431", self.rejects_431),
+            ("other", self.other),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn status_tally_buckets_and_merges() {
+        let mut t = StatusTally::new();
+        for s in [200, 204, 404, 408, 413, 431, 500, 403] {
+            t.record(s);
+        }
+        assert_eq!(t.ok, 2);
+        assert_eq!(t.not_found, 1);
+        assert_eq!(t.timeouts_408, 1);
+        assert_eq!(t.rejects_413, 1);
+        assert_eq!(t.rejects_431, 1);
+        assert_eq!(t.other, 2);
+        assert_eq!(t.total(), 8);
+        assert_eq!(t.errors(), 5);
+        let mut u = StatusTally::new();
+        u.record(200);
+        u.merge(t);
+        assert_eq!(u.total(), 9);
+        assert_eq!(u.ok, 3);
+        assert_eq!(u.fields()[0], ("ok", 3));
+    }
 
     #[test]
     fn nearest_rank_percentiles() {

@@ -66,6 +66,16 @@ counters! {
     BUDGET_CLOSES / add_budget_closes / "budget_closes";
     /// Connections still open when shutdown began and drained cleanly.
     DRAINED_CONNS / add_drained_conns / "drained_conns";
+    /// Responses served from the day-versioned render cache.
+    CACHE_HITS / add_cache_hits / "cache_hits";
+    /// Cacheable requests that had to render fresh.
+    CACHE_MISSES / add_cache_misses / "cache_misses";
+    /// Times the render cache dropped its entries on a version bump.
+    CACHE_INVALIDATIONS / add_cache_invalidations / "cache_invalidations";
+    /// Connection buffers checked out of the per-server pool.
+    POOL_HITS / add_pool_hits / "pool_hits";
+    /// Connections that had to allocate fresh buffers (pool empty).
+    POOL_MISSES / add_pool_misses / "pool_misses";
 }
 
 #[cfg(test)]
@@ -78,10 +88,14 @@ mod tests {
         add_conns_accepted(3);
         add_requests_served(9);
         add_drained_conns(1);
+        add_cache_hits(4);
+        add_pool_misses(2);
         let snap = snapshot();
         assert_eq!(snap[0], ("conns_accepted", 3));
         assert_eq!(snap[3], ("requests_served", 9));
-        assert_eq!(snap.last().unwrap(), &("drained_conns", 1));
+        assert_eq!(snap[10], ("drained_conns", 1));
+        assert_eq!(snap[11], ("cache_hits", 4));
+        assert_eq!(snap.last().unwrap(), &("pool_misses", 2));
         reset();
         assert!(snapshot().iter().all(|&(_, v)| v == 0));
     }

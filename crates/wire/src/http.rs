@@ -283,23 +283,34 @@ impl Response {
 
     /// Serializes onto the end of `out` (sets `Content-Length`).
     pub fn encode_into(&self, out: &mut BytesMut) {
+        // Header-only responses on the serve hot path (404s, the
+        // 400/408/413/431 reject statuses) have a fixed wire image —
+        // one pre-encoded slice instead of line-by-line assembly.
+        if self.headers.is_empty() && self.body.is_empty() {
+            if let Some(wire) = preencoded_empty(self.status) {
+                out.put_slice(wire);
+                return;
+            }
+        }
         out.reserve(64 + self.body.len());
-        out.put_slice(b"HTTP/1.1 ");
-        let mut status_buf = [0u8; 3];
-        let status_str = if (100..1000).contains(&self.status) {
-            status_buf[0] = b'0' + (self.status / 100) as u8;
-            status_buf[1] = b'0' + (self.status / 10 % 10) as u8;
-            status_buf[2] = b'0' + (self.status % 10) as u8;
-            std::str::from_utf8(&status_buf).expect("digits")
+        if let Some(line) = preencoded_status_line(self.status) {
+            out.put_slice(line);
+        } else if (100..1000).contains(&self.status) {
+            out.put_slice(b"HTTP/1.1 ");
+            let status_buf = [
+                b'0' + (self.status / 100) as u8,
+                b'0' + (self.status / 10 % 10) as u8,
+                b'0' + (self.status % 10) as u8,
+            ];
+            out.put_slice(&status_buf);
+            out.put_u8(b' ');
+            out.put_slice(self.reason().as_bytes());
+            out.put_slice(b"\r\n");
         } else {
             // Out-of-range codes never occur in the world but keep the
             // encoder total.
             return self.encode_into_slow(out);
-        };
-        out.put_slice(status_str.as_bytes());
-        out.put_u8(b' ');
-        out.put_slice(self.reason().as_bytes());
-        out.put_slice(b"\r\n");
+        }
         encode_headers(out, &self.headers, self.body.len());
         out.put_slice(&self.body);
     }
@@ -526,6 +537,52 @@ fn reason_of(status: u16) -> &'static str {
     }
 }
 
+/// Pre-encoded status line (`HTTP/1.1 <code> <reason>\r\n`) for every
+/// status in [`Response::reason`]'s table. Byte-identical to the
+/// general encoder's output (asserted by tests); `None` for codes
+/// outside the table, which fall back to the assembling path.
+pub fn preencoded_status_line(status: u16) -> Option<&'static [u8]> {
+    Some(match status {
+        200 => b"HTTP/1.1 200 OK\r\n".as_slice(),
+        204 => b"HTTP/1.1 204 No Content\r\n",
+        302 => b"HTTP/1.1 302 Found\r\n",
+        400 => b"HTTP/1.1 400 Bad Request\r\n",
+        401 => b"HTTP/1.1 401 Unauthorized\r\n",
+        403 => b"HTTP/1.1 403 Forbidden\r\n",
+        404 => b"HTTP/1.1 404 Not Found\r\n",
+        408 => b"HTTP/1.1 408 Request Timeout\r\n",
+        413 => b"HTTP/1.1 413 Payload Too Large\r\n",
+        429 => b"HTTP/1.1 429 Too Many Requests\r\n",
+        431 => b"HTTP/1.1 431 Request Header Fields Too Large\r\n",
+        500 => b"HTTP/1.1 500 Internal Server Error\r\n",
+        503 => b"HTTP/1.1 503 Service Unavailable\r\n",
+        _ => return None,
+    })
+}
+
+/// Pre-encoded complete wire image for a header-less, body-less
+/// response — the socket server's 404 and reject fast paths (400, 408,
+/// 413, 431 and friends) are exactly these. Byte-identical to encoding
+/// `Response::status(status)` the long way (asserted by tests).
+pub fn preencoded_empty(status: u16) -> Option<&'static [u8]> {
+    Some(match status {
+        200 => b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n".as_slice(),
+        204 => b"HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\n",
+        302 => b"HTTP/1.1 302 Found\r\nContent-Length: 0\r\n\r\n",
+        400 => b"HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n",
+        401 => b"HTTP/1.1 401 Unauthorized\r\nContent-Length: 0\r\n\r\n",
+        403 => b"HTTP/1.1 403 Forbidden\r\nContent-Length: 0\r\n\r\n",
+        404 => b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n",
+        408 => b"HTTP/1.1 408 Request Timeout\r\nContent-Length: 0\r\n\r\n",
+        413 => b"HTTP/1.1 413 Payload Too Large\r\nContent-Length: 0\r\n\r\n",
+        429 => b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 0\r\n\r\n",
+        431 => b"HTTP/1.1 431 Request Header Fields Too Large\r\nContent-Length: 0\r\n\r\n",
+        500 => b"HTTP/1.1 500 Internal Server Error\r\nContent-Length: 0\r\n\r\n",
+        503 => b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n",
+        _ => return None,
+    })
+}
+
 /// Parse-error message for a header block past [`MAX_HEADER_BYTES`]
 /// (the single spelling [`status_for_parse_error`] keys off).
 const ERR_HEADER_TOO_LARGE: &str = "header block too large";
@@ -557,7 +614,20 @@ fn encode_headers(out: &mut BytesMut, headers: &Headers, body_len: usize) {
         out.put_slice(b"\r\n");
     }
     out.put_slice(b"Content-Length: ");
-    out.put_slice(body_len.to_string().as_bytes());
+    // Stack-formatted digits: the per-response `to_string` allocation
+    // was measurable on the serve hot path.
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut n = body_len;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.put_slice(&digits[i..]);
     out.put_slice(b"\r\n\r\n");
 }
 
@@ -868,6 +938,53 @@ mod tests {
         h.set("X-Token", "c");
         assert_eq!(h.len(), 1);
         assert_eq!(h.get("x-token"), Some("c"));
+    }
+
+    #[test]
+    fn preencoded_images_match_the_assembling_encoder() {
+        // Every status with a named reason phrase has a pre-encoded
+        // status line and empty-response image; both must be
+        // byte-identical to what the general path assembles.
+        let named = [
+            200, 204, 302, 400, 401, 403, 404, 408, 413, 429, 431, 500, 503,
+        ];
+        for status in named {
+            let line = preencoded_status_line(status).unwrap_or_else(|| panic!("line {status}"));
+            let assembled = format!("HTTP/1.1 {status} {}\r\n", reason_of(status));
+            assert_eq!(line, assembled.as_bytes(), "status line {status}");
+
+            let wire = preencoded_empty(status).unwrap_or_else(|| panic!("empty {status}"));
+            let assembled = format!(
+                "HTTP/1.1 {status} {}\r\nContent-Length: 0\r\n\r\n",
+                reason_of(status)
+            );
+            assert_eq!(wire, assembled.as_bytes(), "empty response {status}");
+            // And the fast path inside encode_into emits the same.
+            assert_eq!(wire, &Response::status(status).encode()[..]);
+        }
+        // Codes outside the table fall back and stay total.
+        assert!(preencoded_status_line(418).is_none());
+        assert!(preencoded_empty(418).is_none());
+        assert_eq!(
+            &Response::status(418).encode()[..],
+            b"HTTP/1.1 418 Unknown\r\nContent-Length: 0\r\n\r\n"
+        );
+    }
+
+    #[test]
+    fn content_length_digits_cover_all_magnitudes() {
+        for len in [0usize, 1, 9, 10, 99, 100, 12345, 1_000_000] {
+            let resp = Response::ok_bytes(vec![b'x'; len], "application/octet-stream");
+            let wire = resp.encode();
+            let text = String::from_utf8_lossy(&wire);
+            assert!(
+                text.contains(&format!("Content-Length: {len}\r\n")),
+                "{len}"
+            );
+            let (parsed, consumed) = Response::parse(&wire).unwrap().unwrap();
+            assert_eq!(consumed, wire.len());
+            assert_eq!(parsed.body.len(), len);
+        }
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! telemetry collector, attribution postbacks) implements the small
 //! [`Handler`] trait; these factories do the transport plumbing.
 
-use crate::http::{status_for_parse_error, Handler, Request, RequestCtx, Response};
+use crate::http::{
+    preencoded_empty, status_for_parse_error, Handler, Request, RequestCtx, Response,
+};
 use crate::tls::session::{FixedIdentity, PlainService, TlsServerSession};
 use crate::tls::ServerIdentity;
 use bytes::{Buf, Bytes, BytesMut};
@@ -68,9 +70,10 @@ impl HttpEngine {
                         return;
                     }
                     Err(_) => {
-                        // Malformed request: answer 400 and drop the
-                        // buffer (the connection is poisoned).
-                        Response::status(400).encode_into(out);
+                        // Malformed request: answer 400 (pre-encoded)
+                        // and drop the buffer (the connection is
+                        // poisoned).
+                        out.extend_from_slice(preencoded_empty(400).expect("400 is pre-encoded"));
                         self.buf.clear();
                         return;
                     }
@@ -122,7 +125,12 @@ impl HttpEngine {
                     } else {
                         400
                     };
-                    Response::status(status).encode_into(out);
+                    // The reject statuses (400/413/431) all have
+                    // pre-encoded wire images — no per-reject assembly.
+                    match preencoded_empty(status) {
+                        Some(wire) => out.extend_from_slice(wire),
+                        None => Response::status(status).encode_into(out),
+                    }
                     self.buf.clear();
                     report.responses += 1;
                     report.close = Some(status);

@@ -36,6 +36,7 @@ pub mod subsystems {
     pub use iiscope_devices as devices;
     pub use iiscope_honeyapp as honeyapp;
     pub use iiscope_iip as iip;
+    pub use iiscope_load as load;
     pub use iiscope_monitor as monitor;
     pub use iiscope_netsim as netsim;
     pub use iiscope_playstore as playstore;

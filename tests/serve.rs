@@ -14,7 +14,7 @@
 use iiscope::experiments;
 use iiscope::subsystems::monitor::export;
 use iiscope::subsystems::netsim::{AsnId, AsnKind, HostAddr, PeerInfo};
-use iiscope::subsystems::serve::stats::LatencyLog;
+use iiscope::subsystems::serve::stats::{LatencyLog, StatusTally};
 use iiscope::subsystems::serve::{AdminHandler, ServeConfig, Server, ShutdownFlag};
 use iiscope::subsystems::types::{Country, SeedFork, SimTime};
 use iiscope::subsystems::wire::http::{Method, RequestCtx};
@@ -437,7 +437,8 @@ fn run_world(cfg: WorldConfig, serve: bool) -> RunOutput {
             sim_now: world.study_end(),
             ..ServeConfig::default()
         };
-        let server = Server::start("127.0.0.1:0", cfg, world.serve_router()).unwrap();
+        let router = world.serve_router();
+        let server = Server::start("127.0.0.1:0", cfg, router.clone()).unwrap();
         let addr = server.local_addr();
         let stop = Arc::new(AtomicBool::new(false));
         let hammers: Vec<_> = (0..3)
@@ -482,7 +483,7 @@ fn run_world(cfg: WorldConfig, serve: bool) -> RunOutput {
                 })
             })
             .collect();
-        (server, stop, hammers)
+        (server, stop, hammers, router)
     });
 
     let honey = world.run_honey_study(world.study_start()).unwrap();
@@ -494,12 +495,19 @@ fn run_world(cfg: WorldConfig, serve: bool) -> RunOutput {
         export::charts_csv(&artifacts.dataset),
     ];
 
-    if let Some((server, stop, hammers)) = rig {
+    if let Some((server, stop, hammers, router)) = rig {
         stop.store(true, Ordering::Relaxed);
         let served: u64 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
         server.stop();
-        // The guard is vacuous if the hammer never landed a request.
+        // The guard is vacuous if the hammer never landed a request —
+        // and, since PR 9, if none of them hit the response cache (the
+        // guard must cover the cached read path, not just rendering).
         assert!(served > 0, "hammer clients served no requests");
+        assert!(router.cache_enabled(), "serve_router() must cache");
+        assert!(
+            router.cache_stats().hits() > 0,
+            "hammer clients never hit the response cache"
+        );
     }
     (report, csv)
 }
@@ -575,6 +583,7 @@ fn nightly_soak_emits_bench_serve_json() {
                     "/healthz",
                 ];
                 let mut log = LatencyLog::new();
+                let mut tally = StatusTally::new();
                 let mut conn = TcpStream::connect(addr).unwrap();
                 conn.set_nodelay(true).unwrap();
                 conn.set_read_timeout(Some(Duration::from_secs(10)))
@@ -592,18 +601,22 @@ fn nightly_soak_emits_bench_serve_json() {
                         buf.extend_from_slice(&chunk[..n]);
                         if let Ok(Some((resp, _))) = Response::parse(&buf) {
                             assert_eq!(resp.status, 200, "{target}");
+                            tally.record(resp.status);
                             break;
                         }
                     }
                     log.record(t.elapsed().as_micros() as u64);
                 }
-                log
+                (log, tally)
             })
         })
         .collect();
     let mut log = LatencyLog::new();
+    let mut tally = StatusTally::new();
     for h in latency_threads {
-        log.merge(h.join().unwrap());
+        let (l, t) = h.join().unwrap();
+        log.merge(l);
+        tally.merge(t);
     }
     let soak_secs = t.elapsed().as_secs_f64();
     assert_eq!(log.len(), CLIENTS * REQS_PER_CLIENT);
@@ -617,9 +630,18 @@ fn nightly_soak_emits_bench_serve_json() {
     s.push_str(&format!("  \"conns_per_sec\": {conns_per_sec:.1},\n"));
     s.push_str(&format!("  \"requests_per_sec\": {requests_per_sec:.1},\n"));
     s.push_str(&format!("  \"p50_us\": {p50},\n"));
-    s.push_str(&format!("  \"p99_us\": {p99}\n"));
+    s.push_str(&format!("  \"p99_us\": {p99},\n"));
+    s.push_str("  \"statuses\": {\n");
+    let fields = tally.fields();
+    for (i, (name, value)) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        s.push_str(&format!("    \"{name}\": {value}{comma}\n"));
+    }
+    s.push_str("  }\n");
     s.push_str("}\n");
     std::fs::write("BENCH_serve.json", s).unwrap();
+    assert_eq!(tally.total(), log.len() as u64);
+    assert_eq!(tally.errors(), 0, "clean soak must tally zero errors");
 
     flag.trigger();
     server.stop();

@@ -298,6 +298,11 @@ impl BytesMut {
         self.data.len() - self.off
     }
 
+    /// Capacity of the backing allocation.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
