@@ -465,7 +465,19 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream, peer_addr: SocketAddr, con
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => break, // reset / aborted: clean drop
+            Err(e) => {
+                // One bad peer must never take a worker with it: every
+                // unexpected read error is a counted close, classified
+                // so the overload books can tell routine resets from
+                // genuinely odd transport failures.
+                match e.kind() {
+                    ErrorKind::ConnectionReset
+                    | ErrorKind::ConnectionAborted
+                    | ErrorKind::BrokenPipe => servestats::add_read_resets(1),
+                    _ => servestats::add_read_errors(1),
+                }
+                break;
+            }
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
@@ -520,7 +532,7 @@ mod tests {
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {}
-                Err(e) => panic!("read: {e}"),
+                Err(_) => break, // reset mid-read: fall through to the parse
             }
         }
         let (resp, _) = Response::parse(&buf).unwrap().unwrap();
@@ -553,6 +565,41 @@ mod tests {
         assert!(flag.is_set());
         flag.wait(); // must not block once set
         server.stop();
+    }
+
+    #[test]
+    fn peer_reset_is_a_counted_close_not_a_worker_death() {
+        let before = servestats::READ_RESETS.load(Ordering::Relaxed)
+            + servestats::READ_ERRORS.load(Ordering::Relaxed);
+        let server = Server::start("127.0.0.1:0", tiny_cfg(), echo_handler()).unwrap();
+        {
+            let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+            conn.set_nodelay(true).unwrap();
+            conn.write_all(&Request::get("/ping").encode()).unwrap();
+            // Let the response land in our receive buffer unread, then
+            // drop: closing with undelivered data sends an RST, which
+            // the server must book as a close, not die on.
+            thread::sleep(Duration::from_millis(100));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while servestats::READ_RESETS.load(Ordering::Relaxed)
+            + servestats::READ_ERRORS.load(Ordering::Relaxed)
+            == before
+            && std::time::Instant::now() < deadline
+        {
+            thread::sleep(Duration::from_millis(10));
+        }
+        // The pool survived the abuse: a fresh client is still served.
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        assert_eq!(get(&mut conn, "/ping").status, 200);
+        server.stop();
+        assert_eq!(server.inflight(), 0);
+        assert!(
+            servestats::READ_RESETS.load(Ordering::Relaxed)
+                + servestats::READ_ERRORS.load(Ordering::Relaxed)
+                > before,
+            "reset was not counted"
+        );
     }
 
     #[test]

@@ -76,6 +76,11 @@ counters! {
     POOL_HITS / add_pool_hits / "pool_hits";
     /// Connections that had to allocate fresh buffers (pool empty).
     POOL_MISSES / add_pool_misses / "pool_misses";
+    /// Connections dropped on a peer reset/abort mid-read (routine
+    /// under hostile churn; never a worker death).
+    READ_RESETS / add_read_resets / "read_resets";
+    /// Connections dropped on any other unexpected read error.
+    READ_ERRORS / add_read_errors / "read_errors";
 }
 
 #[cfg(test)]
@@ -90,12 +95,14 @@ mod tests {
         add_drained_conns(1);
         add_cache_hits(4);
         add_pool_misses(2);
+        add_read_resets(5);
         let snap = snapshot();
         assert_eq!(snap[0], ("conns_accepted", 3));
         assert_eq!(snap[3], ("requests_served", 9));
         assert_eq!(snap[10], ("drained_conns", 1));
         assert_eq!(snap[11], ("cache_hits", 4));
-        assert_eq!(snap.last().unwrap(), &("pool_misses", 2));
+        assert_eq!(snap[15], ("pool_misses", 2));
+        assert_eq!(snap[16], ("read_resets", 5));
         reset();
         assert!(snapshot().iter().all(|&(_, v)| v == 0));
     }
