@@ -6,7 +6,8 @@
 //!       [--export DIR] [--timing]
 //!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //!       [--serve ADDR] [--serve-workers N] [--conn-cap N] [--idle-timeout MS]
-//!       [--serve-cache on|off]
+//!       [--serve-cache on|off] [--shed-inflight N] [--shed-route N]
+//!       [--shed-queue-ms MS] [--shed-deadline-ms MS]
 //!       [--load] [--load-stages SPEC] [--load-conns N] [--load-mix SPEC]
 //!       [--load-baseline PATH] [--load-tolerance PCT] [--load-out PATH]
 //! ```
@@ -46,6 +47,17 @@
 //! the served router (the A/B baseline for the load harness; the
 //! default `on` serves cache hits as `Arc`-backed clones of rendered
 //! bodies, invalidated as the sim advances days).
+//!
+//! The `--shed-*` flags (all requiring `--serve`, all off by default)
+//! arm the overload watermarks of DESIGN.md §15: `--shed-inflight N`
+//! and `--shed-route N` bound concurrent renders (total / per route
+//! class) and answer `503 + Retry-After` past the bound;
+//! `--shed-queue-ms MS` sheds pre-parse when a connection waited
+//! longer than `MS` for an accept permit; `--shed-deadline-ms MS`
+//! gives every request a deadline budget — renders that would start
+//! past it are shed, partial reads older than it are answered 408.
+//! Cache hits are exempt from shedding, and `/healthz` + `/admin/*`
+//! are never shed.
 //!
 //! `--load` (requires `--serve`) skips the studies entirely: it binds
 //! the server on the freshly built world — the same state the PR 8
@@ -95,6 +107,10 @@ fn main() {
     let mut conn_cap: Option<usize> = None;
     let mut idle_timeout_ms: Option<u64> = None;
     let mut serve_cache = true;
+    let mut shed_inflight: Option<usize> = None;
+    let mut shed_route: Option<usize> = None;
+    let mut shed_queue_ms: Option<u64> = None;
+    let mut shed_deadline_ms: Option<u64> = None;
     let mut load = false;
     let mut load_stages = "500x2,2000x2,0x5".to_string();
     let mut load_conns = 4usize;
@@ -176,6 +192,36 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--shed-inflight" => {
+                shed_inflight = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--shed-route" => {
+                shed_route = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--shed-queue-ms" => {
+                shed_queue_ms = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--shed-deadline-ms" => {
+                shed_deadline_ms = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--load" => load = true,
             "--load-stages" => load_stages = args.next().unwrap_or_else(|| usage()),
             "--load-conns" => {
@@ -232,6 +278,15 @@ fn main() {
     }
     if checkpoint_every == Some(0) {
         eprintln!("repro: --checkpoint-every must be at least 1 day");
+        std::process::exit(2);
+    }
+    if serve_addr.is_none()
+        && (shed_inflight.is_some()
+            || shed_route.is_some()
+            || shed_queue_ms.is_some()
+            || shed_deadline_ms.is_some())
+    {
+        eprintln!("repro: --shed-* flags require --serve");
         std::process::exit(2);
     }
     if serve_addr.is_none()
@@ -317,6 +372,12 @@ fn main() {
             conn_cap: conn_cap.unwrap_or(256),
             idle_timeout: std::time::Duration::from_millis(idle_timeout_ms.unwrap_or(10_000)),
             sim_now: world.study_end(),
+            shed: iiscope_serve::ShedConfig {
+                accept_queue_ms: shed_queue_ms,
+                max_inflight: shed_inflight,
+                per_route: shed_route,
+                deadline: shed_deadline_ms.map(std::time::Duration::from_millis),
+            },
             ..ServeConfig::default()
         };
         let router = if serve_cache {
@@ -1164,7 +1225,8 @@ fn usage() -> ! {
          \x20            [--export DIR] [--timing]\n\
          \x20            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n\
          \x20            [--serve ADDR] [--serve-workers N] [--conn-cap N] [--idle-timeout MS]\n\
-         \x20            [--serve-cache on|off]\n\
+         \x20            [--serve-cache on|off] [--shed-inflight N] [--shed-route N]\n\
+         \x20            [--shed-queue-ms MS] [--shed-deadline-ms MS]\n\
          \x20            [--load] [--load-stages SPEC] [--load-conns N] [--load-mix SPEC]\n\
          \x20            [--load-baseline PATH] [--load-tolerance PCT] [--load-out PATH]\n\
          \n\
@@ -1182,6 +1244,12 @@ fn usage() -> ! {
          --conn-cap N           in-flight connection cap (default 256)\n\
          --idle-timeout MS      per-connection idle timeout (default 10000)\n\
          --serve-cache on|off   day-versioned response cache (default on)\n\
+         --shed-inflight N      503-shed renders past N concurrent (default: off)\n\
+         --shed-route N         503-shed past N concurrent renders per route\n\
+         --shed-queue-ms MS     503 before parsing when the accept queue is\n\
+         \x20                      staler than MS (cheap pre-parse gate)\n\
+         --shed-deadline-ms MS  request deadline budget: shed renders (503) and\n\
+         \x20                      kill partial reads (408) older than MS\n\
          --load                 drive the workload generator against --serve\n\
          \x20                      (skips the studies; serves the fresh world)\n\
          --load-stages SPEC     ramp stages QPSxSECS,… (0xN = closed-loop\n\

@@ -98,8 +98,9 @@ struct CacheState {
 /// Entry cap — bounds memory on adversarial query-string churn. The
 /// legitimate route space (7 walls × pages × a few thousand store
 /// targets) fits comfortably; beyond the cap new entries are simply
-/// not retained.
-const CACHE_CAP: usize = 8192;
+/// not retained, while retained ones keep serving hits and a version
+/// bump still drops the whole map at once.
+pub const CACHE_CAP: usize = 8192;
 
 /// Path-multiplexed view of one world's public HTTP surface.
 pub struct WorldRouter {
@@ -157,6 +158,11 @@ impl WorldRouter {
     /// The version handle the cache invalidates on.
     pub fn version(&self) -> &WorldVersion {
         &self.version
+    }
+
+    /// Entries currently retained by the render cache (0 uncached).
+    pub fn cache_len(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.read().map.len())
     }
 
     /// The actual route dispatch, cache aside.
@@ -222,6 +228,28 @@ impl Handler for WorldRouter {
             st.map.insert(key, resp.clone());
         }
         resp
+    }
+
+    /// Admission probe: a retained response for `req`, without
+    /// rendering on miss. Overload gates call this to exempt cache
+    /// hits from shedding; a found entry counts as a hit (it is
+    /// served), a miss counts nothing (nothing was rendered).
+    fn cached(&self, req: &Request, ctx: &RequestCtx) -> Option<Response> {
+        let cache = self.cache.as_ref()?;
+        if req.method != Method::Get {
+            return None;
+        }
+        let v = self.version.get();
+        let key: CacheKey = (req.target.clone(), ctx.peer.addr.country, ctx.now);
+        let st = cache.read();
+        if st.as_of == v {
+            if let Some(resp) = st.map.get(&key) {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                servestats::add_cache_hits(1);
+                return Some(resp.clone());
+            }
+        }
+        None
     }
 }
 

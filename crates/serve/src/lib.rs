@@ -24,9 +24,22 @@
 //!   431 oversized header block, 413 oversized declared body, 400
 //!   otherwise; the mapped status is flushed, then the connection
 //!   closes. A mid-request idle expiry answers 408.
+//! * **Load shedding** (DESIGN.md §15) — optional watermarks turn
+//!   overload into explicit `503 + Retry-After` answers instead of
+//!   unbounded queueing: a pre-parse gate sheds connections that aged
+//!   past [`ShedConfig::accept_queue_ms`] waiting for a permit, and a
+//!   pre-render gate sheds requests at the in-flight / per-route
+//!   watermarks or past their [`ShedConfig::deadline`] budget. Cache
+//!   hits are exempt — serving one is cheaper than turning it away.
+//! * **Supervision** — a connection thread can never die of a peer:
+//!   read errors are counted closes, handler panics are caught (the
+//!   permit is still released), and a supervisor respawns any accept
+//!   worker that dies outside shutdown, so the pool size is an
+//!   invariant (`worker_respawns`).
 //! * **Shutdown** — [`Server::stop`] flips the stop flag, nudges every
-//!   live socket with `shutdown(Read)`, joins the accept workers, and
-//!   waits until the permit gate drains to zero.
+//!   live socket with `shutdown(Read)`, joins the supervisor (which
+//!   joins the accept workers), and waits until the permit gate drains
+//!   to zero.
 //!
 //! Nothing here touches the simulation: handlers are pure reads over
 //! world state, counters are relaxed write-only atomics
@@ -38,16 +51,17 @@ use bytes::BytesMut;
 use iiscope_netsim::{AsnId, AsnKind, HostAddr, PeerInfo};
 use iiscope_types::servestats;
 use iiscope_types::{Country, SeedFork, SimTime};
-use iiscope_wire::http::RequestCtx;
+use iiscope_wire::http::{shed_503, RequestCtx, SHED_503_WIRE};
 use iiscope_wire::server::HttpEngine;
-use iiscope_wire::{Handler, Response};
+use iiscope_wire::{Handler, Request, Response};
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 pub mod stats;
 
@@ -73,6 +87,13 @@ pub struct ServeConfig {
     /// Sim instant stamped on external requests (handlers render
     /// charts "as of" this time).
     pub sim_now: SimTime,
+    /// Load-shedding watermarks; all off by default.
+    pub shed: ShedConfig,
+    /// Test hook: the first accept worker to observe this many
+    /// accepted connections panics once, at its loop top (holding no
+    /// permit or socket) — the supervisor must respawn it. `None`
+    /// everywhere outside supervision tests.
+    pub fault_panic_after_conns: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -85,7 +106,44 @@ impl Default for ServeConfig {
             write_budget: 256 * 1024 * 1024,
             vantage: Country::Us,
             sim_now: SimTime::EPOCH,
+            shed: ShedConfig::default(),
+            fault_panic_after_conns: None,
         }
+    }
+}
+
+/// Load-shedding watermarks. Every gate defaults to off, leaving the
+/// server byte-identical to its ungated behavior; a set watermark
+/// turns the corresponding overload into explicit `503 + Retry-After`
+/// answers ([`iiscope_wire::http::shed_503`]) instead of unbounded
+/// queueing. Ops routes (`/healthz`, `/admin/*`) are never shed.
+#[derive(Debug, Clone, Default)]
+pub struct ShedConfig {
+    /// Pre-parse gate: a connection whose accept worker waited longer
+    /// than this (milliseconds) for a permit is answered the fixed
+    /// 503 image and closed without parsing — the accept queue is
+    /// visibly stale, so the cheapest thing to do is turn work away
+    /// before spending any on it.
+    pub accept_queue_ms: Option<u64>,
+    /// Pre-render gate: shed when this many renders are in flight
+    /// across all routes.
+    pub max_inflight: Option<usize>,
+    /// Pre-render gate: shed when this many renders of the same route
+    /// class (wall / store / other) are in flight.
+    pub per_route: Option<usize>,
+    /// Deadline budget, carried from the bytes' arrival through router
+    /// render: a request older than this is shed before rendering
+    /// (cache hits exempt), and a *partial* request older than this is
+    /// answered 408 and closed (kills byte-drip clients that defeat
+    /// the idle timeout by trickling).
+    pub deadline: Option<Duration>,
+}
+
+impl ShedConfig {
+    /// Whether any pre-render gate is configured (the per-connection
+    /// admission wrapper is only installed when one is).
+    fn gates_renders(&self) -> bool {
+        self.max_inflight.is_some() || self.per_route.is_some() || self.deadline.is_some()
     }
 }
 
@@ -151,6 +209,153 @@ impl Handler for AdminHandler {
             _ => self.inner.handle(req, ctx),
         }
     }
+
+    fn cached(&self, req: &Request, ctx: &RequestCtx) -> Option<Response> {
+        // Ops routes are cheap and never cached; everything else
+        // forwards so the admission layer still sees the world
+        // router's cache through this wrapper.
+        self.inner.cached(req, ctx)
+    }
+}
+
+/// Route classes the per-route watermark buckets by. Ops routes are
+/// classified but never shed — health checks must answer precisely
+/// when the server is drowning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RouteClass {
+    Wall = 0,
+    Store = 1,
+    Other = 2,
+    Ops = 3,
+}
+
+fn route_class(path: &str) -> RouteClass {
+    if path == "/healthz" || path.starts_with("/admin/") {
+        RouteClass::Ops
+    } else if path.starts_with("/wall/") {
+        RouteClass::Wall
+    } else if path.starts_with("/store/") || path == "/apk" {
+        RouteClass::Store
+    } else {
+        RouteClass::Other
+    }
+}
+
+/// Shared admission state: live render counts the watermarks read,
+/// plus per-instance overload books (mirrored into the process-wide
+/// [`servestats`]) so tests and the bench can assert on one server
+/// without cross-test pollution.
+#[derive(Default)]
+struct OverloadState {
+    /// Renders in flight, all routes.
+    inflight: AtomicUsize,
+    /// Renders in flight per non-ops route class.
+    route: [AtomicUsize; 3],
+    /// 503s shed by any gate of this server.
+    sheds_503: AtomicU64,
+    /// Connection-thread panics caught by this server.
+    conn_panics: AtomicU64,
+    /// Accept workers this server's supervisor respawned.
+    worker_respawns: AtomicU64,
+}
+
+/// RAII render slot: holds one global and one per-class count for the
+/// duration of an admitted render, so the watermarks see live work
+/// even when a handler panics (the guard unwinds with the stack).
+struct RenderGuard<'a> {
+    ovl: &'a OverloadState,
+    class: RouteClass,
+}
+
+impl<'a> RenderGuard<'a> {
+    fn enter(ovl: &'a OverloadState, class: RouteClass) -> RenderGuard<'a> {
+        ovl.inflight.fetch_add(1, Ordering::Relaxed);
+        ovl.route[class as usize].fetch_add(1, Ordering::Relaxed);
+        RenderGuard { ovl, class }
+    }
+}
+
+impl Drop for RenderGuard<'_> {
+    fn drop(&mut self) {
+        self.ovl.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.ovl.route[self.class as usize].fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Why a request was turned away (each reason keeps its own counter).
+enum ShedReason {
+    Deadline,
+    Inflight,
+    Route,
+}
+
+/// Per-connection admission wrapper installed between the engine and
+/// the real handler when any pre-render gate is configured. Checks run
+/// *before* the render: a request that will be shed costs one atomic
+/// read per watermark plus a cache probe, never a render.
+struct GatedHandler {
+    inner: Arc<dyn Handler>,
+    ovl: Arc<OverloadState>,
+    shed: ShedConfig,
+    /// The server's clock origin; `arrival_us` is measured against it.
+    epoch: Instant,
+    /// Microseconds (since `epoch`) when the connection's current read
+    /// chunk arrived — written by the serve loop, read by the deadline
+    /// gate. Requests rendered late in a pipelined batch age here too.
+    arrival_us: Arc<AtomicU64>,
+}
+
+impl GatedHandler {
+    fn shed_reason(&self, class: RouteClass) -> Option<ShedReason> {
+        if let Some(budget) = self.shed.deadline {
+            let age_us = (self.epoch.elapsed().as_micros() as u64)
+                .saturating_sub(self.arrival_us.load(Ordering::Relaxed));
+            if age_us > budget.as_micros() as u64 {
+                return Some(ShedReason::Deadline);
+            }
+        }
+        if let Some(cap) = self.shed.max_inflight {
+            if self.ovl.inflight.load(Ordering::Relaxed) >= cap {
+                return Some(ShedReason::Inflight);
+            }
+        }
+        if let Some(cap) = self.shed.per_route {
+            if self.ovl.route[class as usize].load(Ordering::Relaxed) >= cap {
+                return Some(ShedReason::Route);
+            }
+        }
+        None
+    }
+}
+
+impl Handler for GatedHandler {
+    fn handle(&self, req: &Request, ctx: &RequestCtx) -> Response {
+        let class = route_class(req.path());
+        if class == RouteClass::Ops {
+            return self.inner.handle(req, ctx);
+        }
+        if let Some(reason) = self.shed_reason(class) {
+            // Exemption before the 503: a cache hit is a pointer clone
+            // — cheaper to serve than to shed.
+            if let Some(resp) = self.inner.cached(req, ctx) {
+                servestats::add_shed_cache_exempt(1);
+                return resp;
+            }
+            match reason {
+                ShedReason::Deadline => servestats::add_sheds_deadline(1),
+                ShedReason::Inflight => servestats::add_sheds_inflight(1),
+                ShedReason::Route => servestats::add_sheds_route(1),
+            }
+            self.ovl.sheds_503.fetch_add(1, Ordering::Relaxed);
+            return shed_503();
+        }
+        let _slot = RenderGuard::enter(&self.ovl, class);
+        self.inner.handle(req, ctx)
+    }
+
+    fn cached(&self, req: &Request, ctx: &RequestCtx) -> Option<Response> {
+        self.inner.cached(req, ctx)
+    }
 }
 
 /// Poll tick for connection reads: short enough that stop-flag checks
@@ -202,6 +407,12 @@ struct Shared {
     next_conn: AtomicU64,
     /// Returned connection buffers, ready for the next accept.
     pool: Mutex<Vec<ConnBuffers>>,
+    /// Admission watermark state and per-instance overload books.
+    ovl: Arc<OverloadState>,
+    /// Clock origin for deadline arithmetic (monotonic, per server).
+    epoch: Instant,
+    /// One-shot latch for the injected accept-worker fault.
+    fault_fired: AtomicBool,
 }
 
 impl Shared {
@@ -249,7 +460,7 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    acceptors: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Server {
@@ -272,22 +483,24 @@ impl Server {
             conns: Mutex::new(BTreeMap::new()),
             next_conn: AtomicU64::new(0),
             pool: Mutex::new(Vec::new()),
+            ovl: Arc::new(OverloadState::default()),
+            epoch: Instant::now(),
+            fault_fired: AtomicBool::new(false),
         });
         let listener = Arc::new(listener);
         let accept_mx = Arc::new(Mutex::new(()));
         let workers = shared.cfg.workers.max(1);
-        let acceptors = (0..workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let listener = Arc::clone(&listener);
-                let accept_mx = Arc::clone(&accept_mx);
-                thread::spawn(move || accept_loop(shared, listener, accept_mx))
-            })
+        let acceptors: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| spawn_acceptor(&shared, &listener, &accept_mx))
             .collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || supervise(shared, listener, accept_mx, acceptors))
+        };
         Ok(Server {
             shared,
             local_addr,
-            acceptors: Mutex::new(acceptors),
+            supervisor: Mutex::new(Some(supervisor)),
         })
     }
 
@@ -301,6 +514,24 @@ impl Server {
         *self.shared.gate.lock().unwrap()
     }
 
+    /// 503s this server shed, across every gate (pre-parse and
+    /// pre-render).
+    pub fn sheds(&self) -> u64 {
+        self.shared.ovl.sheds_503.load(Ordering::Relaxed)
+    }
+
+    /// Connection-thread panics this server caught and converted to
+    /// closes (the permit was released; the pool never shrank).
+    pub fn conn_panics(&self) -> u64 {
+        self.shared.ovl.conn_panics.load(Ordering::Relaxed)
+    }
+
+    /// Accept workers the supervisor respawned after a death outside
+    /// shutdown. Nonzero means the pool-size invariant did its job.
+    pub fn worker_respawns(&self) -> u64 {
+        self.shared.ovl.worker_respawns.load(Ordering::Relaxed)
+    }
+
     /// Stops accepting, nudges live connections, and blocks until
     /// every handler thread has drained. Idempotent.
     pub fn stop(&self) {
@@ -310,7 +541,7 @@ impl Server {
         for conn in self.shared.conns.lock().unwrap().values() {
             let _ = conn.shutdown(Shutdown::Read);
         }
-        for h in self.acceptors.lock().unwrap().drain(..) {
+        if let Some(h) = self.supervisor.lock().unwrap().take() {
             let _ = h.join();
         }
         let mut inflight = self.shared.gate.lock().unwrap();
@@ -320,14 +551,66 @@ impl Server {
     }
 }
 
+fn spawn_acceptor(
+    shared: &Arc<Shared>,
+    listener: &Arc<TcpListener>,
+    accept_mx: &Arc<Mutex<()>>,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let listener = Arc::clone(listener);
+    let accept_mx = Arc::clone(accept_mx);
+    thread::spawn(move || accept_loop(shared, listener, accept_mx))
+}
+
+/// Keeps the accept-pool size an invariant: a worker only returns when
+/// the server is stopping, so any thread found finished earlier died
+/// of a panic — it is reaped and replaced in its slot. On stop, joins
+/// the whole pool.
+fn supervise(
+    shared: Arc<Shared>,
+    listener: Arc<TcpListener>,
+    accept_mx: Arc<Mutex<()>>,
+    mut workers: Vec<JoinHandle<()>>,
+) {
+    while !shared.stopping() {
+        thread::sleep(READ_TICK);
+        for slot in workers.iter_mut() {
+            if slot.is_finished() && !shared.stopping() {
+                let fresh = spawn_acceptor(&shared, &listener, &accept_mx);
+                let dead = std::mem::replace(slot, fresh);
+                let _ = dead.join(); // reap; the payload already printed
+                servestats::add_worker_respawns(1);
+                shared.ovl.worker_respawns.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
 fn accept_loop(shared: Arc<Shared>, listener: Arc<TcpListener>, accept_mx: Arc<Mutex<()>>) {
     loop {
         if shared.stopping() {
             return;
         }
+        // Injected fault (supervision tests): dies at the loop top,
+        // holding no permit and no socket, so the respawned worker
+        // inherits a consistent world.
+        if let Some(after) = shared.cfg.fault_panic_after_conns {
+            if shared.next_conn.load(Ordering::Relaxed) >= after
+                && !shared.fault_fired.swap(true, Ordering::Relaxed)
+            {
+                panic!("injected accept-worker fault (after {after} conns)");
+            }
+        }
         // Permit first: at the cap the worker parks here and the
         // listener stops accepting — backpressure lands in the kernel
-        // backlog, never on an accepted-then-dropped connection.
+        // backlog, never on an accepted-then-dropped connection. How
+        // long we park is the accept-queue age the pre-parse shed gate
+        // reads: a connection accepted after a long park has sat in
+        // the backlog at least that long.
+        let park_start = Instant::now();
         {
             let mut inflight = shared.gate.lock().unwrap();
             let mut waited = false;
@@ -344,6 +627,7 @@ fn accept_loop(shared: Arc<Shared>, listener: Arc<TcpListener>, accept_mx: Arc<M
             }
             *inflight += 1; // reservation; transfers to the conn thread
         }
+        let queue_wait = park_start.elapsed();
         // Accept under the mutex (serializing workers on one listener).
         let accepted = loop {
             if shared.stopping() {
@@ -369,11 +653,44 @@ fn accept_loop(shared: Arc<Shared>, listener: Arc<TcpListener>, accept_mx: Arc<M
         }
         let shared2 = Arc::clone(&shared);
         thread::spawn(move || {
-            serve_conn(&shared2, stream, peer_addr, conn_id);
+            // A panicking handler must not leak the permit or the
+            // conns-map entry — that would permanently shrink the
+            // effective pool. Catch, count, clean up, move on.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                serve_conn(&shared2, stream, peer_addr, conn_id, queue_wait);
+            }));
+            if outcome.is_err() {
+                servestats::add_conn_panics(1);
+                shared2.ovl.conn_panics.fetch_add(1, Ordering::Relaxed);
+                servestats::add_conns_closed(1);
+            }
             shared2.conns.lock().unwrap().remove(&conn_id);
             shared2.release_permit();
         });
     }
+}
+
+/// The deadline budget applied to the *parse* phase: answers 408 and
+/// reports true (close the connection) when a partial request has been
+/// incomplete longer than the budget. This is what actually kills a
+/// byte-drip slowloris — each dripped byte resets the idle clock, but
+/// nothing resets the request's arrival.
+fn partial_deadline_expired(
+    stream: &mut TcpStream,
+    since: Option<Instant>,
+    budget: Option<Duration>,
+) -> bool {
+    let (Some(budget), Some(since)) = (budget, since) else {
+        return false;
+    };
+    if since.elapsed() < budget {
+        return false;
+    }
+    servestats::add_deadline_408s(1);
+    let mut t = BytesMut::new();
+    Response::status(408).encode_into(&mut t);
+    let _ = stream.write_all(&t);
+    true
 }
 
 /// Synthesizes the engine-facing peer identity for a socket client:
@@ -397,9 +714,30 @@ fn peer_info(addr: SocketAddr, cfg: &ServeConfig, conn_id: u64) -> PeerInfo {
     }
 }
 
-fn serve_conn(shared: &Shared, mut stream: TcpStream, peer_addr: SocketAddr, conn_id: u64) {
+fn serve_conn(
+    shared: &Shared,
+    mut stream: TcpStream,
+    peer_addr: SocketAddr,
+    conn_id: u64,
+    queue_wait: Duration,
+) {
     servestats::add_conns_accepted(1);
     let cfg = &shared.cfg;
+    // Pre-parse admission: a connection that aged past the watermark
+    // waiting in the accept queue is turned away for the cost of one
+    // pre-encoded write — no parse, no render, no buffers.
+    if let Some(q) = cfg.shed.accept_queue_ms {
+        if queue_wait >= Duration::from_millis(q) {
+            servestats::add_sheds_preparse(1);
+            shared.ovl.sheds_503.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_nodelay(true);
+            let _ = stream.write_all(SHED_503_WIRE);
+            servestats::add_bytes_written(SHED_503_WIRE.len() as u64);
+            let _ = stream.shutdown(Shutdown::Both);
+            servestats::add_conns_closed(1);
+            return;
+        }
+    }
     let tick = READ_TICK
         .min(cfg.idle_timeout)
         .max(Duration::from_millis(1));
@@ -407,7 +745,22 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream, peer_addr: SocketAddr, con
     let _ = stream.set_nodelay(true);
     let peer = peer_info(peer_addr, cfg, conn_id);
 
-    let mut engine = HttpEngine::new(Arc::clone(&shared.handler));
+    // When a pre-render gate is on, the engine dispatches through a
+    // per-connection admission wrapper; otherwise the handler chain is
+    // exactly the ungated one (no new work on the default path).
+    let arrival_us = Arc::new(AtomicU64::new(0));
+    let engine_handler: Arc<dyn Handler> = if cfg.shed.gates_renders() {
+        Arc::new(GatedHandler {
+            inner: Arc::clone(&shared.handler),
+            ovl: Arc::clone(&shared.ovl),
+            shed: cfg.shed.clone(),
+            epoch: shared.epoch,
+            arrival_us: Arc::clone(&arrival_us),
+        })
+    } else {
+        Arc::clone(&shared.handler)
+    };
+    let mut engine = HttpEngine::new(engine_handler);
     // Pooled read/write buffers: reused across feeds within the
     // connection, and across connections via the shared pool.
     let ConnBuffers { mut rbuf, mut out } = shared.checkout_buffers();
@@ -415,6 +768,10 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream, peer_addr: SocketAddr, con
     let mut read_total = 0u64;
     let mut write_total = 0u64;
     let mut served = 0u64;
+    // When the current request began arriving, for the deadline gate:
+    // a byte-drip client resets the idle clock with every byte, but
+    // never resets this one.
+    let mut partial_since: Option<Instant> = None;
 
     loop {
         if shared.stopping() {
@@ -424,6 +781,9 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream, peer_addr: SocketAddr, con
             Ok(0) => break, // EOF — includes half-close mid-request: clean drop
             Ok(n) => {
                 idle = Duration::ZERO;
+                if cfg.shed.deadline.is_some() {
+                    arrival_us.store(shared.epoch.elapsed().as_micros() as u64, Ordering::Relaxed);
+                }
                 read_total += n as u64;
                 servestats::add_bytes_read(n as u64);
                 if read_total > cfg.read_budget {
@@ -450,9 +810,20 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream, peer_addr: SocketAddr, con
                     servestats::add_parse_rejects(1);
                     break;
                 }
+                partial_since = if engine.has_partial() {
+                    partial_since.or(Some(Instant::now()))
+                } else {
+                    None
+                };
+                if partial_deadline_expired(&mut stream, partial_since, cfg.shed.deadline) {
+                    break;
+                }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 idle += tick;
+                if partial_deadline_expired(&mut stream, partial_since, cfg.shed.deadline) {
+                    break;
+                }
                 if idle >= cfg.idle_timeout {
                     servestats::add_idle_timeouts(1);
                     if engine.has_partial() {
@@ -565,6 +936,209 @@ mod tests {
         assert!(flag.is_set());
         flag.wait(); // must not block once set
         server.stop();
+    }
+
+    /// Handler with a slow route, a panicking route, and a "cache"
+    /// that always holds `/cached` — the admission gates' test bench.
+    struct OverloadProbeHandler;
+
+    impl Handler for OverloadProbeHandler {
+        fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Response {
+            match req.path() {
+                "/ping" => Response::ok_text("pong"),
+                "/slow" => {
+                    thread::sleep(Duration::from_millis(150));
+                    Response::ok_text("slow")
+                }
+                "/boom" => panic!("handler exploded on purpose"),
+                _ => Response::not_found(),
+            }
+        }
+
+        fn cached(&self, req: &Request, _ctx: &RequestCtx) -> Option<Response> {
+            (req.path() == "/cached").then(|| Response::ok_text("hot"))
+        }
+    }
+
+    fn probe_server(cfg: ServeConfig) -> Server {
+        Server::start("127.0.0.1:0", cfg, Arc::new(OverloadProbeHandler)).unwrap()
+    }
+
+    #[test]
+    fn inflight_watermark_sheds_503_with_retry_after_and_spares_ops() {
+        let mut cfg = tiny_cfg();
+        cfg.shed.max_inflight = Some(0); // everything non-ops sheds
+        let handler: Arc<dyn Handler> = Arc::new(AdminHandler::new(
+            Arc::new(OverloadProbeHandler),
+            ShutdownFlag::new(),
+        ));
+        let server = Server::start("127.0.0.1:0", cfg, handler).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        let resp = get(&mut conn, "/ping");
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.headers.get("Retry-After"), Some("1"));
+        // The shed keeps the connection alive for the retry…
+        assert_eq!(get(&mut conn, "/ping").status, 503);
+        // …and ops routes answer even while everything else sheds.
+        assert_eq!(get(&mut conn, "/healthz").status, 200);
+        server.stop();
+        assert_eq!(server.sheds(), 2);
+    }
+
+    #[test]
+    fn deadline_sheds_late_pipelined_requests_but_serves_cache_hits() {
+        let mut cfg = tiny_cfg();
+        cfg.shed.deadline = Some(Duration::from_millis(20));
+        let server = probe_server(cfg);
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        // One write, three pipelined requests. The slow render eats
+        // the whole batch's budget: the trailing /ping can no longer
+        // meet its deadline and is shed *before* rendering, while the
+        // cache hit is served regardless — too cheap to shed.
+        let mut batch = Vec::new();
+        batch.extend_from_slice(&Request::get("/slow").encode());
+        batch.extend_from_slice(&Request::get("/ping").encode());
+        batch.extend_from_slice(&Request::get("/cached").encode());
+        conn.write_all(&batch).unwrap();
+        // All three answers may land in one segment: parse from one
+        // rolling buffer instead of one read_response call each.
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let mut resps = Vec::new();
+        while resps.len() < 3 {
+            if let Ok(Some((resp, consumed))) = Response::parse(&buf) {
+                buf.drain(..consumed);
+                resps.push(resp);
+                continue;
+            }
+            match conn.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                Err(_) => break,
+            }
+        }
+        assert_eq!(resps.len(), 3);
+        assert_eq!(resps[0].status, 200);
+        assert_eq!(resps[1].status, 503);
+        assert_eq!(resps[2].status, 200);
+        assert_eq!(resps[2].body_text(), "hot");
+        server.stop();
+        assert_eq!(server.sheds(), 1);
+    }
+
+    #[test]
+    fn per_route_watermark_sheds_the_second_concurrent_render() {
+        let mut cfg = tiny_cfg();
+        cfg.shed.per_route = Some(1);
+        let server = probe_server(cfg);
+        let addr = server.local_addr();
+        let mut a = TcpStream::connect(addr).unwrap();
+        a.write_all(&Request::get("/slow").encode()).unwrap();
+        thread::sleep(Duration::from_millis(40)); // let A's render start
+        let mut b = TcpStream::connect(addr).unwrap();
+        assert_eq!(get(&mut b, "/slow").status, 503);
+        assert_eq!(read_response(&mut a).status, 200);
+        // With A's render done the slot is free again.
+        assert_eq!(get(&mut b, "/slow").status, 200);
+        server.stop();
+        assert_eq!(server.sheds(), 1);
+    }
+
+    #[test]
+    fn stale_accept_queue_sheds_pre_parse_and_closes() {
+        let mut cfg = tiny_cfg();
+        cfg.conn_cap = 1;
+        cfg.shed.accept_queue_ms = Some(50);
+        let server = probe_server(cfg);
+        let addr = server.local_addr();
+        let mut a = TcpStream::connect(addr).unwrap();
+        assert_eq!(get(&mut a, "/ping").status, 200);
+        // B sits in the backlog while A holds the only permit…
+        let mut b = TcpStream::connect(addr).unwrap();
+        b.write_all(&Request::get("/ping").encode()).unwrap();
+        thread::sleep(Duration::from_millis(150));
+        drop(a); // …so when B is finally accepted, its age > watermark
+        b.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let resp = read_response(&mut b);
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.headers.get("Retry-After"), Some("1"));
+        // Pre-parse sheds close: the next read is EOF.
+        let mut rest = Vec::new();
+        b.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        server.stop();
+        assert!(server.sheds() >= 1);
+    }
+
+    #[test]
+    fn byte_drip_is_killed_by_the_deadline_budget_not_the_idle_clock() {
+        let mut cfg = tiny_cfg();
+        cfg.idle_timeout = Duration::from_secs(30); // drip defeats this
+        cfg.shed.deadline = Some(Duration::from_millis(100));
+        let server = probe_server(cfg);
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.write_all(b"GET /drip HTTP/1.1\r\nX-Pad: ").unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        let start = std::time::Instant::now();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        let mut killed = None;
+        while start.elapsed() < Duration::from_secs(5) {
+            let _ = conn.write_all(b"a"); // one dripped header byte
+            match conn.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(_) => break,
+            }
+            if let Ok(Some((resp, _))) = Response::parse(&buf) {
+                killed = Some(resp.status);
+                break;
+            }
+        }
+        assert_eq!(killed, Some(408), "drip was never killed");
+        server.stop();
+    }
+
+    #[test]
+    fn handler_panic_releases_the_permit_and_the_pool_serves_on() {
+        let server = probe_server(tiny_cfg());
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.write_all(&Request::get("/boom").encode()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // The panicking render owes no response — just a close.
+        let mut got = Vec::new();
+        let _ = conn.read_to_end(&mut got);
+        assert!(got.is_empty(), "unexpected bytes: {got:?}");
+        // The permit came back and fresh connections are served.
+        let mut next = TcpStream::connect(server.local_addr()).unwrap();
+        assert_eq!(get(&mut next, "/ping").status, 200);
+        server.stop();
+        assert_eq!(server.inflight(), 0);
+        assert_eq!(server.conn_panics(), 1);
+    }
+
+    #[test]
+    fn injected_acceptor_fault_is_respawned_and_the_pool_restored() {
+        let mut cfg = tiny_cfg();
+        cfg.fault_panic_after_conns = Some(1);
+        let server = probe_server(cfg);
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        assert_eq!(get(&mut conn, "/ping").status, 200);
+        drop(conn);
+        // The lone accept worker now dies at its loop top; the
+        // supervisor must notice and replace it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.worker_respawns() == 0 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.worker_respawns(), 1, "worker never respawned");
+        let mut next = TcpStream::connect(server.local_addr()).unwrap();
+        assert_eq!(get(&mut next, "/ping").status, 200);
+        server.stop();
+        assert_eq!(server.inflight(), 0);
     }
 
     #[test]

@@ -81,6 +81,27 @@ counters! {
     READ_RESETS / add_read_resets / "read_resets";
     /// Connections dropped on any other unexpected read error.
     READ_ERRORS / add_read_errors / "read_errors";
+    /// Connections answered a pre-encoded 503 and closed before any
+    /// parse (accept-queue age past its watermark).
+    SHEDS_PREPARSE / add_sheds_preparse / "sheds_preparse";
+    /// Requests shed with 503 at the in-flight-renders watermark.
+    SHEDS_INFLIGHT / add_sheds_inflight / "sheds_inflight";
+    /// Requests shed with 503 at the per-route concurrency watermark.
+    SHEDS_ROUTE / add_sheds_route / "sheds_route";
+    /// Requests shed with 503 after outliving their deadline budget
+    /// before rendering began.
+    SHEDS_DEADLINE / add_sheds_deadline / "sheds_deadline";
+    /// Requests a shed gate would have turned away but answered from
+    /// the render cache instead (hits are too cheap to shed).
+    SHED_CACHE_EXEMPT / add_shed_cache_exempt / "shed_cache_exempt";
+    /// Partial requests answered 408 and closed because they were
+    /// still incomplete past the deadline budget (byte-drip clients).
+    DEADLINE_408S / add_deadline_408s / "deadline_408s";
+    /// Connection-thread panics caught and converted to closes.
+    CONN_PANICS / add_conn_panics / "conn_panics";
+    /// Accept workers respawned by the supervisor after dying outside
+    /// shutdown.
+    WORKER_RESPAWNS / add_worker_respawns / "worker_respawns";
 }
 
 #[cfg(test)]

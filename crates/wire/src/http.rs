@@ -583,6 +583,27 @@ pub fn preencoded_empty(status: u16) -> Option<&'static [u8]> {
     })
 }
 
+/// Seconds a shed client is told to back off (`Retry-After`).
+pub const SHED_RETRY_AFTER_SECS: u32 = 1;
+
+/// The load-shed response: `503 Service Unavailable` carrying a
+/// `Retry-After` back-off hint. Overload gates answer with this —
+/// flow control, not an error — so clients can distinguish "try again
+/// shortly" from a correctness failure.
+pub fn shed_503() -> Response {
+    let mut r = Response::status(503);
+    r.headers
+        .set("Retry-After", SHED_RETRY_AFTER_SECS.to_string());
+    r
+}
+
+/// Pre-encoded complete wire image of [`shed_503`] — the pre-parse
+/// shed path writes this slice straight to the socket, spending no
+/// encoder work on a connection it is turning away. Byte-identical to
+/// `shed_503().encode()` (asserted by tests).
+pub const SHED_503_WIRE: &[u8] =
+    b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\n\r\n";
+
 /// Parse-error message for a header block past [`MAX_HEADER_BYTES`]
 /// (the single spelling [`status_for_parse_error`] keys off).
 const ERR_HEADER_TOO_LARGE: &str = "header block too large";
@@ -787,6 +808,14 @@ pub struct RequestCtx {
 pub trait Handler: Send + Sync {
     /// Produces the response for one request.
     fn handle(&self, req: &Request, ctx: &RequestCtx) -> Response;
+
+    /// A response this handler has already materialized for `req`, if
+    /// it keeps a cache. Admission layers use the probe to exempt
+    /// cache hits from load shedding (a hit is cheaper to serve than
+    /// to turn away); handlers without a cache keep the default.
+    fn cached(&self, _req: &Request, _ctx: &RequestCtx) -> Option<Response> {
+        None
+    }
 }
 
 impl<F> Handler for F
@@ -969,6 +998,21 @@ mod tests {
             &Response::status(418).encode()[..],
             b"HTTP/1.1 418 Unknown\r\nContent-Length: 0\r\n\r\n"
         );
+    }
+
+    #[test]
+    fn shed_image_matches_the_assembling_encoder() {
+        // The overload fast path writes SHED_503_WIRE verbatim; it
+        // must be exactly what encoding the shed response produces.
+        assert_eq!(&shed_503().encode()[..], SHED_503_WIRE);
+        let (resp, consumed) = Response::parse(SHED_503_WIRE).unwrap().unwrap();
+        assert_eq!(consumed, SHED_503_WIRE.len());
+        assert_eq!(resp.status, 503);
+        assert_eq!(
+            resp.headers.get("Retry-After"),
+            Some(SHED_RETRY_AFTER_SECS.to_string().as_str())
+        );
+        assert!(resp.body.is_empty());
     }
 
     #[test]
