@@ -23,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hostile;
+
 use iiscope_serve::stats::{LatencyLog, StatusTally};
 use iiscope_types::SeedFork;
 use iiscope_wire::{Json, Request, Response};
@@ -88,6 +90,16 @@ pub struct StageResult {
     pub tally: StatusTally,
     /// Connections that had to be re-established mid-stage.
     pub reconnects: u64,
+}
+
+impl StageResult {
+    /// Successful (2xx) responses per second — the overload bench's
+    /// honest-client yardstick. Unlike [`StageResult::achieved_rps`],
+    /// shed 503s and rejects do not count: a server drowning everyone
+    /// in fast 503s has high throughput but zero goodput.
+    pub fn goodput_rps(&self) -> f64 {
+        self.tally.ok as f64 / self.elapsed_secs.max(1e-9)
+    }
 }
 
 /// The scalar pair the regression gate compares: the best closed-loop
@@ -560,9 +572,33 @@ mod tests {
         let g = parse_baseline(&json).unwrap();
         assert!((g.requests_per_sec - 1234.0).abs() < 1e-9);
         assert_eq!(g.p99_us, 300);
-        // The stage rows carry the tally fields.
+        // The stage rows carry the tally fields, sheds included.
         assert!(json.contains("\"rejects_431\": 0"));
+        assert!(json.contains("\"sheds_503\": 0"));
         assert!(json.contains("\"ok\": 1"));
+    }
+
+    #[test]
+    fn goodput_counts_only_successes() {
+        let mut tally = StatusTally::new();
+        for s in [200, 200, 200, 503, 503, 599] {
+            tally.record(s);
+        }
+        let r = StageResult {
+            stage: LoadStage { qps: 0, secs: 2 },
+            done: 6,
+            elapsed_secs: 2.0,
+            achieved_rps: 3.0,
+            p50_us: 1,
+            p90_us: 1,
+            p99_us: 1,
+            max_us: 1,
+            tally,
+            reconnects: 1,
+        };
+        // 3 oks over 2s; the sheds and the dropped conn don't count.
+        assert!((r.goodput_rps() - 1.5).abs() < 1e-9);
+        assert_eq!(r.tally.errors(), 1); // only the 599
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub struct StatusTally {
     pub rejects_413: u64,
     /// 431 Request Header Fields Too Large rejects.
     pub rejects_431: u64,
+    /// 503 load sheds — flow control, not failures: a shedding server
+    /// under the overload bench must not read as a correctness
+    /// regression, so these stay out of [`StatusTally::errors`].
+    pub sheds_503: u64,
     /// Everything else (other 4xx/5xx).
     pub other: u64,
 }
@@ -85,6 +89,7 @@ impl StatusTally {
             408 => self.timeouts_408 += 1,
             413 => self.rejects_413 += 1,
             431 => self.rejects_431 += 1,
+            503 => self.sheds_503 += 1,
             _ => self.other += 1,
         }
     }
@@ -96,6 +101,7 @@ impl StatusTally {
         self.timeouts_408 += other.timeouts_408;
         self.rejects_413 += other.rejects_413;
         self.rejects_431 += other.rejects_431;
+        self.sheds_503 += other.sheds_503;
         self.other += other.other;
     }
 
@@ -106,23 +112,27 @@ impl StatusTally {
             + self.timeouts_408
             + self.rejects_413
             + self.rejects_431
+            + self.sheds_503
             + self.other
     }
 
     /// Responses outside the expected 2xx/404 envelope — what the
-    /// regression gate treats as correctness drift.
+    /// regression gate treats as correctness drift. 503 sheds are
+    /// deliberately excluded: an overloaded server answering them is
+    /// doing exactly what it was configured to do.
     pub fn errors(&self) -> u64 {
         self.timeouts_408 + self.rejects_413 + self.rejects_431 + self.other
     }
 
     /// The tally as `(json_key, value)` pairs, in declaration order.
-    pub fn fields(&self) -> [(&'static str, u64); 6] {
+    pub fn fields(&self) -> [(&'static str, u64); 7] {
         [
             ("ok", self.ok),
             ("not_found", self.not_found),
             ("rejects_408", self.timeouts_408),
             ("rejects_413", self.rejects_413),
             ("rejects_431", self.rejects_431),
+            ("sheds_503", self.sheds_503),
             ("other", self.other),
         ]
     }
@@ -135,7 +145,7 @@ mod tests {
     #[test]
     fn status_tally_buckets_and_merges() {
         let mut t = StatusTally::new();
-        for s in [200, 204, 404, 408, 413, 431, 500, 403] {
+        for s in [200, 204, 404, 408, 413, 431, 503, 503, 500, 403] {
             t.record(s);
         }
         assert_eq!(t.ok, 2);
@@ -143,15 +153,19 @@ mod tests {
         assert_eq!(t.timeouts_408, 1);
         assert_eq!(t.rejects_413, 1);
         assert_eq!(t.rejects_431, 1);
+        assert_eq!(t.sheds_503, 2);
         assert_eq!(t.other, 2);
-        assert_eq!(t.total(), 8);
+        assert_eq!(t.total(), 10);
+        // Sheds are flow control, not drift: errors() skips them.
         assert_eq!(t.errors(), 5);
         let mut u = StatusTally::new();
         u.record(200);
         u.merge(t);
-        assert_eq!(u.total(), 9);
+        assert_eq!(u.total(), 11);
         assert_eq!(u.ok, 3);
+        assert_eq!(u.sheds_503, 2);
         assert_eq!(u.fields()[0], ("ok", 3));
+        assert_eq!(u.fields()[5], ("sheds_503", 2));
     }
 
     #[test]

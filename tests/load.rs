@@ -5,7 +5,7 @@
 //! must measure a real server end to end — probe, ramp stages,
 //! closed-loop ceiling, tallies, and the baseline gate.
 
-use iiscope::servefront::{WorldRouter, WorldVersion};
+use iiscope::servefront::{WorldRouter, WorldVersion, CACHE_CAP};
 use iiscope::subsystems::honeyapp::HONEY_PACKAGE;
 use iiscope::subsystems::load::{self, LoadSpec, LoadStage, MixEntry};
 use iiscope::subsystems::netsim::{AsnId, AsnKind, HostAddr, PeerInfo};
@@ -182,6 +182,58 @@ fn cursor_variants_are_distinct_cache_slots() {
     assert_eq!(first, second);
     assert_eq!(router.cache_stats().misses(), variants.len() as u64);
     assert_eq!(router.cache_stats().hits(), variants.len() as u64);
+}
+
+/// The cap boundary: filling past `CACHE_CAP` distinct targets stops
+/// retaining at exactly the cap, overflow targets still render
+/// byte-identical to the uncached oracle, and a version bump drops the
+/// full map in one invalidation after which it refills byte-identical.
+#[test]
+fn cache_cap_bounds_retention_without_bending_bytes() {
+    let world = world();
+    let (router, version) = private_cached_router(world);
+    let fresh = world.serve_router_uncached();
+    let ctx = ctx_at(world, Country::Us);
+
+    // Distinct query strings are distinct cache keys — exactly the
+    // adversarial churn the cap exists for. All 404 renders: cheap,
+    // and error paths are cached like any other response.
+    let over = CACHE_CAP + 64;
+    let target = |i: usize| format!("/store/apps/details?id=com.nope.app{i}");
+    for i in 0..over {
+        router.handle(&Request::get(target(i)), &ctx);
+    }
+    assert_eq!(
+        router.cache_len(),
+        CACHE_CAP,
+        "retention must stop at the cap"
+    );
+    assert_eq!(router.cache_stats().misses(), over as u64);
+    assert_eq!(router.cache_stats().invalidations(), 0);
+
+    // Retained and overflow targets alike match the uncached oracle.
+    for i in [0, 1, CACHE_CAP - 1, CACHE_CAP, over - 1] {
+        let got = router.handle(&Request::get(target(i)), &ctx).encode();
+        let oracle = fresh.handle(&Request::get(target(i)), &ctx).encode();
+        assert_eq!(got, oracle, "diverged at target {i}");
+    }
+    // The first CACHE_CAP re-probes were hits; the overflow two missed.
+    assert_eq!(router.cache_stats().hits(), 3);
+    assert_eq!(router.cache_stats().misses(), over as u64 + 2);
+
+    // One bump drops everything at once, and the refill is
+    // byte-identical again.
+    version.bump();
+    let probe = target(CACHE_CAP / 2);
+    let got = router.handle(&Request::get(probe.clone()), &ctx).encode();
+    assert_eq!(router.cache_stats().invalidations(), 1);
+    assert_eq!(router.cache_len(), 1);
+    assert_eq!(
+        got,
+        fresh.handle(&Request::get(probe.clone()), &ctx).encode()
+    );
+    let again = router.handle(&Request::get(probe), &ctx).encode();
+    assert_eq!(got, again, "post-bump refill must replay its own bytes");
 }
 
 /// The harness end to end against a real server: probe validates the
